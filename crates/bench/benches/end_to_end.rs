@@ -1,0 +1,59 @@
+//! End-to-end simulation throughput: how many simulated seconds per wall
+//! second the engine sustains, per protocol variant. These are the runs
+//! behind every figure, so regressions here multiply into experiment
+//! wall time.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dftmsn_core::params::ScenarioParams;
+use dftmsn_core::variants::ProtocolKind;
+use dftmsn_core::world::Simulation;
+
+fn scenario(secs: u64) -> ScenarioParams {
+    ScenarioParams {
+        sensors: 30,
+        sinks: 2,
+        duration_secs: secs,
+        ..ScenarioParams::paper_default()
+    }
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_300s_30_sensors");
+    group.sample_size(10);
+    for kind in [
+        ProtocolKind::Opt,
+        ProtocolKind::NoOpt,
+        ProtocolKind::Zbr,
+        ProtocolKind::Direct,
+        ProtocolKind::Epidemic,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| black_box(Simulation::new(scenario(300), kind, 1).run()));
+        });
+    }
+    // NOSLEEP generates far more events; bench it shorter so the suite
+    // stays fast.
+    group.bench_function("NOSLEEP_100s", |b| {
+        b.iter(|| black_box(Simulation::new(scenario(100), ProtocolKind::NoSleep, 1).run()));
+    });
+    group.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    c.bench_function("simulation_setup_paper_scale", |b| {
+        b.iter(|| {
+            black_box(Simulation::new(
+                ScenarioParams::paper_default(),
+                ProtocolKind::Opt,
+                1,
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default();
+    targets = bench_variants, bench_construction
+);
+criterion_main!(benches);

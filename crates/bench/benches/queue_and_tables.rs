@@ -1,0 +1,88 @@
+//! Benchmarks of the stateful protocol structures: the FTD queue under
+//! churn, the neighbor table, and the sleep controller.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dftmsn_core::ftd::Ftd;
+use dftmsn_core::message::{Message, MessageId};
+use dftmsn_core::neighbor::NeighborTable;
+use dftmsn_core::params::ProtocolParams;
+use dftmsn_core::queue::FtdQueue;
+use dftmsn_core::sleep::SleepController;
+use dftmsn_radio::ids::NodeId;
+use dftmsn_sim::rng::SimRng;
+use dftmsn_sim::time::{SimDuration, SimTime};
+
+fn msg(id: u64, ftd: f64) -> Message {
+    Message::sensed(MessageId(id), NodeId(0), SimTime::ZERO).with_ftd(Ftd::new(ftd))
+}
+
+fn bench_queue(c: &mut Criterion) {
+    c.bench_function("ftd_queue_churn_200cap", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| {
+            let mut q = FtdQueue::new(200);
+            for i in 0..500u64 {
+                q.insert(msg(i, rng.next_f64()));
+                if i % 5 == 0 {
+                    let _ = q.pop_head();
+                }
+            }
+            black_box(q.len())
+        });
+    });
+    c.bench_function("ftd_queue_available_space", |b| {
+        let mut q = FtdQueue::new(200);
+        let mut rng = SimRng::seed_from(2);
+        for i in 0..200u64 {
+            q.insert(msg(i, rng.next_f64()));
+        }
+        b.iter(|| q.available_space_for(black_box(Ftd::new(0.5))));
+    });
+    c.bench_function("ftd_queue_update_ftd", |b| {
+        let mut q = FtdQueue::new(200);
+        let mut rng = SimRng::seed_from(3);
+        for i in 0..200u64 {
+            q.insert(msg(i, rng.next_f64()));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 200;
+            q.update_ftd(MessageId(i), Ftd::new(0.42))
+        });
+    });
+}
+
+fn bench_neighbor_table(c: &mut Criterion) {
+    c.bench_function("neighbor_table_observe_and_query", |b| {
+        let mut t = NeighborTable::new();
+        let now = SimTime::from_secs(100);
+        for i in 0..64usize {
+            t.observe(NodeId(i), (i as f64) / 64.0, SimTime::from_secs(i as u64));
+        }
+        let ttl = SimDuration::from_secs(50);
+        b.iter(|| {
+            black_box(t.fresh_xis(now, ttl));
+            black_box(t.qualified_count(0.4, now, ttl))
+        });
+    });
+}
+
+fn bench_sleep(c: &mut Criterion) {
+    c.bench_function("sleep_controller_cycle_and_duration", |b| {
+        let p = ProtocolParams::paper_default();
+        let mut ctl = SleepController::new(p.history_window_s);
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            ctl.record_cycle(i % 3 == 0);
+            ctl.sleep_duration(black_box(0.2), &p)
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_queue, bench_neighbor_table, bench_sleep
+);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Benchmarks of the simulation substrates: event queue throughput,
+//! RNG, mobility stepping, spatial-index rebuild+query, and medium
+//! broadcast.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dftmsn_mobility::geom::{Bounds, Vec2};
+use dftmsn_mobility::grid_index::SpatialGrid;
+use dftmsn_mobility::models::{MobilityModel, ZoneMobility};
+use dftmsn_mobility::zones::{ZoneGrid, ZoneId};
+use dftmsn_radio::ids::NodeId;
+use dftmsn_radio::medium::{Frame, Medium};
+use dftmsn_sim::event::EventQueue;
+use dftmsn_sim::rng::SimRng;
+use dftmsn_sim::time::{SimDuration, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_10k", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| {
+            let mut q: EventQueue<u32> = EventQueue::new();
+            for i in 0..10_000u32 {
+                q.schedule_at(SimTime::from_ticks(rng.gen_range_u64(1_000_000)), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum += u64::from(e);
+            }
+            black_box(sum)
+        });
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng_next_f64_1k", |b| {
+        let mut rng = SimRng::seed_from(2);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.next_f64();
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("rng_exp_1k", |b| {
+        let mut rng = SimRng::seed_from(3);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.gen_exp(120.0);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_mobility(c: &mut Criterion) {
+    c.bench_function("zone_mobility_100_nodes_one_tick", |b| {
+        let zones = ZoneGrid::new(Bounds::new(150.0, 150.0), 5, 5);
+        let mut rng = SimRng::seed_from(4);
+        let mut models: Vec<ZoneMobility> = (0..100)
+            .map(|i| ZoneMobility::new(zones.clone(), ZoneId(i % 25), 0.0, 5.0, 0.2, &mut rng))
+            .collect();
+        b.iter(|| {
+            for m in &mut models {
+                m.advance(0.5, &mut rng);
+            }
+            black_box(models[0].position())
+        });
+    });
+}
+
+fn bench_spatial_grid(c: &mut Criterion) {
+    let area = Bounds::new(150.0, 150.0);
+    let mut rng = SimRng::seed_from(5);
+    let positions: Vec<Vec2> = (0..100)
+        .map(|_| Vec2::new(rng.gen_range_f64(0.0, 150.0), rng.gen_range_f64(0.0, 150.0)))
+        .collect();
+    c.bench_function("spatial_grid_rebuild_100", |b| {
+        let mut grid = SpatialGrid::new(area, 10.0);
+        b.iter(|| grid.rebuild(black_box(&positions)));
+    });
+    c.bench_function("spatial_grid_query_100", |b| {
+        let mut grid = SpatialGrid::new(area, 10.0);
+        grid.rebuild(&positions);
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % positions.len();
+            grid.query_within(&positions, i, 10.0, &mut out);
+            black_box(out.len())
+        });
+    });
+}
+
+fn bench_medium(c: &mut Criterion) {
+    c.bench_function("medium_broadcast_8_receivers", |b| {
+        let mut medium: Medium<u32> = Medium::new(10);
+        for i in 1..10 {
+            medium.set_listening(NodeId(i), true);
+        }
+        let audible: Vec<NodeId> = (1..9).map(NodeId).collect();
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            now += SimDuration::from_millis(6);
+            let tx = medium.begin_tx(
+                now,
+                Frame { src: NodeId(0), bits: 50, payload: 1 },
+                &audible,
+            );
+            black_box(medium.end_tx(now + SimDuration::from_millis(5), tx))
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_event_queue, bench_rng, bench_mobility, bench_spatial_grid, bench_medium
+);
+criterion_main!(benches);

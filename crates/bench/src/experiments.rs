@@ -1,0 +1,376 @@
+//! Experiment builders: one function per table/figure of the paper's
+//! evaluation (see DESIGN.md §3 for the index).
+
+use crate::sweep::{average, run_all, RunSpec};
+use dftmsn_core::contention::{
+    cts_collision_probability, optimize_cts_window, optimize_tau_max,
+    rts_collision_probability, sigma,
+};
+use dftmsn_core::params::{ProtocolParams, ScenarioParams};
+use dftmsn_core::sleep::SleepController;
+use dftmsn_core::variants::{ProtocolKind, VariantConfig};
+use dftmsn_metrics::table::Table;
+
+/// Shared experiment knobs.
+#[derive(Debug, Clone)]
+pub struct ExperimentOpts {
+    /// Seeds per configuration (averaged).
+    pub seeds: u64,
+    /// Simulated seconds per run.
+    pub duration_secs: u64,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl ExperimentOpts {
+    /// The paper's full setup: 25 000 s, averaged over 3 seeds.
+    #[must_use]
+    pub fn full() -> Self {
+        ExperimentOpts {
+            seeds: 3,
+            duration_secs: 25_000,
+            threads: 0,
+        }
+    }
+
+    /// A fast smoke configuration for CI and iteration.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExperimentOpts {
+            seeds: 2,
+            duration_secs: 3_000,
+            threads: 0,
+        }
+    }
+
+    /// Parses `--quick`, `--seeds N`, `--duration S`, `--threads N` from
+    /// the process arguments; defaults to [`ExperimentOpts::full`].
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut opts = if args.iter().any(|a| a == "--quick") {
+            Self::quick()
+        } else {
+            Self::full()
+        };
+        let grab = |flag: &str| -> Option<u64> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+        };
+        if let Some(s) = grab("--seeds") {
+            opts.seeds = s.max(1);
+        }
+        if let Some(d) = grab("--duration") {
+            opts.duration_secs = d.max(1);
+        }
+        if let Some(t) = grab("--threads") {
+            opts.threads = t as usize;
+        }
+        opts
+    }
+}
+
+fn averaged_cell(spec_base: &ScenarioParams, kind: ProtocolKind, opts: &ExperimentOpts) -> Vec<RunSpec> {
+    (0..opts.seeds)
+        .map(|seed| RunSpec {
+            scenario: spec_base.clone().with_duration_secs(opts.duration_secs),
+            protocol: ProtocolParams::paper_default(),
+            config: kind.config(),
+            seed: seed + 1,
+        })
+        .collect()
+}
+
+/// Runs one (scenario-point × variant) grid and returns, per metric, a
+/// table with the sweep value in the first column and one column per
+/// variant.
+fn grid_tables(
+    title_prefix: &str,
+    sweep_name: &str,
+    points: &[(f64, ScenarioParams)],
+    variants: &[ProtocolKind],
+    opts: &ExperimentOpts,
+) -> Vec<Table> {
+    let mut specs = Vec::new();
+    for (_, scenario) in points {
+        for &kind in variants {
+            specs.extend(averaged_cell(scenario, kind, opts));
+        }
+    }
+    let reports = run_all(&specs, opts.threads);
+
+    let mut columns: Vec<&str> = vec![sweep_name];
+    let labels: Vec<&'static str> = variants.iter().map(|v| v.label()).collect();
+    columns.extend(labels.iter().copied());
+
+    let metric_titles = [
+        format!("{title_prefix}: delivery ratio (%)"),
+        format!("{title_prefix}: average nodal power consumption rate (mW)"),
+        format!("{title_prefix}: average delivery delay (s)"),
+        format!("{title_prefix}: collision losses"),
+        format!("{title_prefix}: control overhead (ctrl bits / data bits)"),
+    ];
+    let mut tables: Vec<Table> = metric_titles
+        .iter()
+        .map(|t| Table::new(t, &columns))
+        .collect();
+
+    let per_point = variants.len() * opts.seeds as usize;
+    for (pi, (x, _)) in points.iter().enumerate() {
+        let mut rows: Vec<Vec<dftmsn_metrics::table::Cell>> =
+            (0..5).map(|_| vec![(*x).into()]).collect();
+        for (vi, _) in variants.iter().enumerate() {
+            let start = pi * per_point + vi * opts.seeds as usize;
+            let avg = average(&reports[start..start + opts.seeds as usize]);
+            rows[0].push((avg.ratio.mean() * 100.0).into());
+            rows[1].push(avg.power_mw.mean().into());
+            rows[2].push(avg.delay_secs.mean().into());
+            rows[3].push(avg.collisions.mean().into());
+            rows[4].push(avg.overhead.mean().into());
+        }
+        for (t, row) in tables.iter_mut().zip(rows) {
+            t.row(row);
+        }
+    }
+    tables
+}
+
+/// Fig. 2(a–c): impact of the number of sinks on delivery ratio, power
+/// consumption rate and delivery delay for OPT/NOSLEEP/NOOPT/ZBR (plus
+/// collision/overhead diagnostics).
+#[must_use]
+pub fn fig2(opts: &ExperimentOpts) -> Vec<Table> {
+    let points: Vec<(f64, ScenarioParams)> = (1..=10)
+        .map(|s| {
+            (
+                s as f64,
+                ScenarioParams::paper_default().with_sinks(s as usize),
+            )
+        })
+        .collect();
+    grid_tables("Fig. 2", "sinks", &points, &ProtocolKind::FIG2, opts)
+}
+
+/// Prose-A (Sec. 5): impact of node density. The paper reports that the
+/// delivery ratio *falls* as density grows (near-sink bottlenecks).
+#[must_use]
+pub fn density(opts: &ExperimentOpts) -> Vec<Table> {
+    let points: Vec<(f64, ScenarioParams)> = [50usize, 100, 150, 200, 250]
+        .iter()
+        .map(|&n| {
+            (
+                n as f64,
+                ScenarioParams::paper_default().with_sensors(n),
+            )
+        })
+        .collect();
+    grid_tables(
+        "Density study",
+        "sensors",
+        &points,
+        &ProtocolKind::FIG2,
+        opts,
+    )
+}
+
+/// Prose-B (Sec. 5): impact of nodal speed. Ratios rise and delays fall
+/// with speed; OPT's overhead falls too.
+#[must_use]
+pub fn speed(opts: &ExperimentOpts) -> Vec<Table> {
+    let points: Vec<(f64, ScenarioParams)> = [1.0f64, 2.0, 5.0, 8.0, 10.0]
+        .iter()
+        .map(|&v| (v, ScenarioParams::paper_default().with_max_speed(v)))
+        .collect();
+    grid_tables(
+        "Speed study",
+        "v_max (m/s)",
+        &points,
+        &ProtocolKind::FIG2,
+        opts,
+    )
+}
+
+/// Abl-1: each Sec. 4 optimization toggled independently on the default
+/// scenario.
+#[must_use]
+pub fn ablation(opts: &ExperimentOpts) -> Vec<Table> {
+    let base = ProtocolKind::Opt.config();
+    let cases: Vec<(&str, VariantConfig)> = vec![
+        ("OPT (all)", base),
+        ("no adaptive tau", VariantConfig { adaptive_tau: false, ..base }),
+        ("no adaptive W", VariantConfig { adaptive_window: false, ..base }),
+        ("fixed sleep", VariantConfig { adaptive_sleep: false, ..base }),
+        ("NOOPT (none)", ProtocolKind::NoOpt.config()),
+        ("NOSLEEP", ProtocolKind::NoSleep.config()),
+    ];
+    let mut specs = Vec::new();
+    for (_, config) in &cases {
+        for seed in 0..opts.seeds {
+            specs.push(RunSpec {
+                scenario: ScenarioParams::paper_default().with_duration_secs(opts.duration_secs),
+                protocol: ProtocolParams::paper_default(),
+                config: *config,
+                seed: seed + 1,
+            });
+        }
+    }
+    let reports = run_all(&specs, opts.threads);
+    let mut table = Table::new(
+        "Ablation: Sec. 4 optimizations toggled independently (3 sinks)",
+        &[
+            "configuration",
+            "ratio (%)",
+            "power (mW)",
+            "delay (s)",
+            "collisions",
+            "overhead",
+        ],
+    );
+    for (ci, (name, _)) in cases.iter().enumerate() {
+        let start = ci * opts.seeds as usize;
+        let avg = average(&reports[start..start + opts.seeds as usize]);
+        table.row(vec![
+            (*name).into(),
+            (avg.ratio.mean() * 100.0).into(),
+            avg.power_mw.mean().into(),
+            avg.delay_secs.mean().into(),
+            avg.collisions.mean().into(),
+            avg.overhead.mean().into(),
+        ]);
+    }
+    vec![table]
+}
+
+/// Opt-1/2/3: the analytic optimization tables of Sec. 4 — no simulation,
+/// pure evaluations of Eqs. 9–14 and Eq. 6.
+#[must_use]
+pub fn optimization_tables() -> Vec<Table> {
+    let mut out = Vec::new();
+
+    // Opt-1: RTS collision probability γ (Eq. 12) vs τ_max for m equal-ξ
+    // contenders, plus the Eq. 13 minimal τ_max at H = 0.1.
+    let mut t1 = Table::new(
+        "Opt-1: RTS collision probability vs tau_max (xi = 0.5 contenders, Eqs. 10-13)",
+        &["tau_max", "m=2", "m=3", "m=5", "m=8", "min tau (m=3, H=0.1)"],
+    );
+    let min_tau_m3 = optimize_tau_max(&[0.5, 0.5, 0.5], 0.1, 64);
+    for tau_max in [2u64, 4, 8, 16, 32, 64] {
+        let gamma = |m: usize| {
+            let sigmas: Vec<u64> = (0..m).map(|_| sigma(0.5, tau_max)).collect();
+            rts_collision_probability(&sigmas)
+        };
+        t1.row(vec![
+            tau_max.into(),
+            gamma(2).into(),
+            gamma(3).into(),
+            gamma(5).into(),
+            gamma(8).into(),
+            min_tau_m3.into(),
+        ]);
+    }
+    out.push(t1);
+
+    // Opt-2: CTS collision probability γₒ (Eq. 14) vs window W, plus the
+    // minimal window for a 0.1 target.
+    let mut t2 = Table::new(
+        "Opt-2: CTS collision probability vs contention window (Eq. 14)",
+        &["W", "n=2", "n=3", "n=5", "n=8", "min W (n=3, target 0.1)"],
+    );
+    let min_w_n3 = optimize_cts_window(3, 0.1, 1024);
+    for w in [2u64, 4, 8, 16, 32, 64] {
+        t2.row(vec![
+            w.into(),
+            cts_collision_probability(2, w).into(),
+            cts_collision_probability(3, w).into(),
+            cts_collision_probability(5, w).into(),
+            cts_collision_probability(8, w).into(),
+            min_w_n3.into(),
+        ]);
+    }
+    out.push(t2);
+
+    // Opt-3: the Eq. 6 sleeping period over (ρ, α).
+    let p = ProtocolParams::paper_default();
+    let mut t3 = Table::new(
+        "Opt-3: sleeping period T_i (s) over success rate rho and urgency alpha (Eqs. 4-8)",
+        &["rho", "alpha=0.0", "alpha=0.25", "alpha=0.5", "alpha=1.0"],
+    );
+    for successes in [0usize, 2, 4, 6, 8, 10] {
+        let mut ctl = SleepController::new(p.history_window_s);
+        for i in 0..p.history_window_s {
+            ctl.record_cycle(i < successes);
+        }
+        let mut row: Vec<dftmsn_metrics::table::Cell> = vec![ctl.rho().into()];
+        for alpha in [0.0, 0.25, 0.5, 1.0] {
+            row.push(ctl.sleep_duration(alpha, &p).as_secs_f64().into());
+        }
+        t3.row(row);
+    }
+    out.push(t3);
+    out
+}
+
+/// Writes a table as aligned text + CSV under `dir` (created on demand),
+/// and returns the rendered text.
+///
+/// # Panics
+///
+/// Panics if the directory or files cannot be written.
+pub fn write_table(dir: &str, slug: &str, table: &Table) -> String {
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let text = table.render_text(3);
+    std::fs::write(format!("{dir}/{slug}.txt"), &text).expect("write table text");
+    std::fs::write(format!("{dir}/{slug}.csv"), table.render_csv()).expect("write table csv");
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimization_tables_have_expected_shape() {
+        let tables = optimization_tables();
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].row_count(), 6);
+        assert_eq!(tables[1].row_count(), 6);
+        assert_eq!(tables[2].row_count(), 6);
+        // γ decreases down the τ_max column for m=3.
+        let first = tables[0].num(0, 2).unwrap();
+        let last = tables[0].num(5, 2).unwrap();
+        assert!(last < first);
+        // Eq. 14 monotone in W.
+        let first = tables[1].num(0, 2).unwrap();
+        let last = tables[1].num(5, 2).unwrap();
+        assert!(last < first);
+    }
+
+    #[test]
+    fn opts_parsing_defaults() {
+        let full = ExperimentOpts::full();
+        assert_eq!(full.duration_secs, 25_000);
+        let quick = ExperimentOpts::quick();
+        assert!(quick.duration_secs < full.duration_secs);
+    }
+
+    #[test]
+    fn tiny_fig2_grid_runs() {
+        // One sink point, one seed, tiny duration: exercises the whole
+        // grid machinery quickly.
+        let opts = ExperimentOpts {
+            seeds: 1,
+            duration_secs: 120,
+            threads: 0,
+        };
+        let points = vec![(1.0, ScenarioParams {
+            sensors: 8,
+            ..ScenarioParams::paper_default()
+        })];
+        let tables = grid_tables("t", "sinks", &points, &[ProtocolKind::Opt], &opts);
+        assert_eq!(tables.len(), 5);
+        assert_eq!(tables[0].row_count(), 1);
+        assert!(tables[0].num(0, 1).is_some());
+    }
+}

@@ -1,0 +1,29 @@
+//! # dftmsn-bench — experiment harness for the DFT-MSN reproduction
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (DESIGN.md §3 maps experiment ids to binaries):
+//!
+//! | binary | experiment |
+//! |---|---|
+//! | `fig2` | Fig. 2(a–c): delivery ratio / power / delay vs #sinks |
+//! | `density` | Prose-A: node-density sweep |
+//! | `speed` | Prose-B: nodal-speed sweep |
+//! | `opt_tables` | Opt-1/2/3: Sec. 4 analytic optimization tables |
+//! | `ablation` | Abl-1: per-optimization ablation |
+//! | `scale_check` | quick per-variant snapshot (diagnostics) |
+//!
+//! All binaries accept `--quick` (short runs), `--seeds N`,
+//! `--duration SECS` and `--threads N`, and write text + CSV tables under
+//! `results/`.
+//!
+//! The Criterion benches (`cargo bench`) cover the protocol math, queue
+//! operations, the substrates, and short end-to-end simulations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod sweep;
+
+pub use experiments::ExperimentOpts;
+pub use sweep::{average, run_all, Averaged, RunSpec};

@@ -1,0 +1,192 @@
+//! Parallel experiment runner.
+//!
+//! A sweep is a list of [`RunSpec`]s (scenario × variant × seed) executed
+//! across OS threads — each simulation is single-threaded and
+//! deterministic, so parallelism across runs keeps results reproducible.
+
+use dftmsn_core::params::{ProtocolParams, ScenarioParams};
+use dftmsn_core::report::SimReport;
+use dftmsn_core::variants::VariantConfig;
+use dftmsn_core::world::Simulation;
+use dftmsn_metrics::stats::RunningStats;
+use std::sync::mpsc;
+use std::thread;
+
+/// One simulation to run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Deployment and traffic.
+    pub scenario: ScenarioParams,
+    /// Protocol constants.
+    pub protocol: ProtocolParams,
+    /// Variant configuration (from a `ProtocolKind` or a custom ablation).
+    pub config: VariantConfig,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// Executes the run.
+    #[must_use]
+    pub fn run(&self) -> SimReport {
+        Simulation::with_config(
+            self.scenario.clone(),
+            self.protocol.clone(),
+            self.config,
+            self.seed,
+        )
+        .run()
+    }
+}
+
+/// Runs every spec, fanning out over `threads` OS threads (0 = one per
+/// available core). Results come back in spec order.
+#[must_use]
+pub fn run_all(specs: &[RunSpec], threads: usize) -> Vec<SimReport> {
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        threads
+    }
+    .min(specs.len());
+
+    if threads <= 1 {
+        return specs.iter().map(RunSpec::run).collect();
+    }
+
+    let (tx, rx) = mpsc::channel::<(usize, SimReport)>();
+    thread::scope(|scope| {
+        for t in 0..threads {
+            let tx = tx.clone();
+            let chunk: Vec<(usize, &RunSpec)> = specs
+                .iter()
+                .enumerate()
+                .skip(t)
+                .step_by(threads)
+                .collect();
+            scope.spawn(move || {
+                for (idx, spec) in chunk {
+                    let report = spec.run();
+                    // The receiver lives until the scope ends.
+                    let _ = tx.send((idx, report));
+                }
+            });
+        }
+        drop(tx);
+    });
+    let mut slots: Vec<Option<SimReport>> = (0..specs.len()).map(|_| None).collect();
+    while let Ok((idx, report)) = rx.recv() {
+        slots[idx] = Some(report);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every spec produced a report"))
+        .collect()
+}
+
+/// Seed-averaged headline metrics of a set of runs of the *same*
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct Averaged {
+    /// Delivery ratio statistics across seeds.
+    pub ratio: RunningStats,
+    /// Average sensor power (mW) across seeds.
+    pub power_mw: RunningStats,
+    /// Mean delivery delay (s) across seeds.
+    pub delay_secs: RunningStats,
+    /// Collision losses across seeds.
+    pub collisions: RunningStats,
+    /// Control-overhead ratio (control bits / data bits) across seeds.
+    pub overhead: RunningStats,
+}
+
+/// Averages reports (across seeds) into per-metric statistics.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn average(reports: &[SimReport]) -> Averaged {
+    assert!(!reports.is_empty(), "cannot average zero reports");
+    let mut out = Averaged {
+        ratio: RunningStats::new(),
+        power_mw: RunningStats::new(),
+        delay_secs: RunningStats::new(),
+        collisions: RunningStats::new(),
+        overhead: RunningStats::new(),
+    };
+    for r in reports {
+        out.ratio.record(r.delivery_ratio());
+        out.power_mw.record(r.avg_sensor_power_mw);
+        out.delay_secs.record(r.mean_delay_secs);
+        out.collisions.record(r.collisions as f64);
+        out.overhead.record(r.control_overhead());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftmsn_core::variants::ProtocolKind;
+
+    fn spec(seed: u64) -> RunSpec {
+        RunSpec {
+            scenario: ScenarioParams {
+                sensors: 10,
+                sinks: 1,
+                duration_secs: 150,
+                ..ScenarioParams::paper_default()
+            },
+            protocol: ProtocolParams::paper_default(),
+            config: ProtocolKind::Opt.config(),
+            seed,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let specs: Vec<RunSpec> = (0..4).map(spec).collect();
+        let serial = run_all(&specs, 1);
+        let parallel = run_all(&specs, 4);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.seed, p.seed);
+            assert_eq!(s.generated, p.generated);
+            assert_eq!(s.delivered, p.delivered);
+            assert_eq!(s.frames_sent, p.frames_sent);
+        }
+    }
+
+    #[test]
+    fn results_preserve_spec_order() {
+        let specs: Vec<RunSpec> = (0..6).map(spec).collect();
+        let reports = run_all(&specs, 3);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.seed, i as u64);
+        }
+    }
+
+    #[test]
+    fn average_aggregates_seeds() {
+        let specs: Vec<RunSpec> = (0..3).map(spec).collect();
+        let reports = run_all(&specs, 0);
+        let avg = average(&reports);
+        assert_eq!(avg.ratio.count(), 3);
+        assert!(avg.ratio.mean() >= 0.0 && avg.ratio.mean() <= 1.0);
+        assert!(avg.power_mw.mean() > 0.0);
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        assert!(run_all(&[], 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero reports")]
+    fn average_of_nothing_panics() {
+        let _ = average(&[]);
+    }
+}

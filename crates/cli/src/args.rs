@@ -1,0 +1,237 @@
+//! A small, dependency-free argument parser for the `dftmsn` CLI.
+
+use dftmsn_core::params::ScenarioParams;
+use dftmsn_core::variants::ProtocolKind;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one simulation and print its report.
+    Run {
+        /// Variant to simulate.
+        protocol: ProtocolKind,
+        /// Scenario, after applying overrides.
+        scenario: ScenarioParams,
+        /// Seed.
+        seed: u64,
+        /// Emit the delivery log as CSV on stdout instead of the summary.
+        csv: bool,
+        /// Emit the full report as JSON on stdout instead of the summary.
+        json: bool,
+    },
+    /// Run every variant on one scenario and print a comparison table.
+    Compare {
+        /// Scenario, after applying overrides.
+        scenario: ScenarioParams,
+        /// Seed.
+        seed: u64,
+    },
+    /// Print the analytic contact/delivery model values for a scenario.
+    Analyze {
+        /// Scenario, after applying overrides.
+        scenario: ScenarioParams,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage text.
+pub const USAGE: &str = "\
+dftmsn — Delay/Fault-Tolerant Mobile Sensor Network simulator (ICDCS 2007)
+
+USAGE:
+    dftmsn run      [--protocol OPT|NOOPT|NOSLEEP|ZBR|DIRECT|EPIDEMIC]
+                    [scenario flags] [--seed N] [--csv | --json]
+    dftmsn compare  [scenario flags] [--seed N]
+    dftmsn analyze  [scenario flags]
+    dftmsn help
+
+SCENARIO FLAGS (defaults = the paper's Sec. 5 setup):
+    --sensors N        number of wearable sensors        (100)
+    --sinks N          number of sink nodes              (3)
+    --duration SECS    simulated seconds                 (25000)
+    --speed-max M/S    maximum node speed                (5)
+    --area METERS      square area side                  (150)
+    --seed N           run seed                          (1)
+";
+
+fn parse_protocol(s: &str) -> Result<ProtocolKind, ParseError> {
+    match s.to_ascii_uppercase().as_str() {
+        "OPT" => Ok(ProtocolKind::Opt),
+        "NOOPT" => Ok(ProtocolKind::NoOpt),
+        "NOSLEEP" => Ok(ProtocolKind::NoSleep),
+        "ZBR" => Ok(ProtocolKind::Zbr),
+        "DIRECT" => Ok(ProtocolKind::Direct),
+        "EPIDEMIC" => Ok(ProtocolKind::Epidemic),
+        other => Err(ParseError(format!("unknown protocol '{other}'"))),
+    }
+}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<&'a str, ParseError> {
+    it.next()
+        .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, ParseError> {
+    v.parse()
+        .map_err(|_| ParseError(format!("invalid value '{v}' for {flag}")))
+}
+
+/// Parses the full argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first invalid flag or value.
+pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
+    let Some((&cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    let mut scenario = ScenarioParams::paper_default();
+    let mut protocol = ProtocolKind::Opt;
+    let mut seed = 1u64;
+    let mut csv = false;
+    let mut json = false;
+
+    let mut it = rest.iter().copied();
+    while let Some(flag) = it.next() {
+        match flag {
+            "--protocol" => protocol = parse_protocol(take_value(flag, &mut it)?)?,
+            "--sensors" => {
+                scenario.sensors = parse_num(flag, take_value(flag, &mut it)?)?;
+            }
+            "--sinks" => {
+                scenario.sinks = parse_num(flag, take_value(flag, &mut it)?)?;
+            }
+            "--duration" => {
+                scenario.duration_secs = parse_num(flag, take_value(flag, &mut it)?)?;
+            }
+            "--speed-max" => {
+                scenario.speed_max_mps = parse_num(flag, take_value(flag, &mut it)?)?;
+            }
+            "--area" => {
+                let side: f64 = parse_num(flag, take_value(flag, &mut it)?)?;
+                scenario.area_width_m = side;
+                scenario.area_height_m = side;
+            }
+            "--seed" => seed = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--csv" => csv = true,
+            "--json" => json = true,
+            other => return Err(ParseError(format!("unknown flag '{other}'"))),
+        }
+    }
+    scenario
+        .validate()
+        .map_err(|e| ParseError(format!("invalid scenario: {e}")))?;
+
+    match cmd {
+        "run" => Ok(Command::Run {
+            protocol,
+            scenario,
+            seed,
+            csv,
+            json,
+        }),
+        "compare" => Ok(Command::Compare { scenario, seed }),
+        "analyze" => Ok(Command::Analyze { scenario }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError(format!("unknown command '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_args_mean_help() {
+        assert_eq!(parse(&[]), Ok(Command::Help));
+        assert_eq!(parse(&["help"]), Ok(Command::Help));
+        assert_eq!(parse(&["--help"]), Ok(Command::Help));
+    }
+
+    #[test]
+    fn run_with_overrides() {
+        let cmd = parse(&[
+            "run",
+            "--protocol",
+            "zbr",
+            "--sensors",
+            "40",
+            "--sinks",
+            "5",
+            "--duration",
+            "1000",
+            "--seed",
+            "9",
+            "--csv",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run {
+                protocol,
+                scenario,
+                seed,
+                csv,
+                json,
+            } => {
+                assert_eq!(protocol, ProtocolKind::Zbr);
+                assert_eq!(scenario.sensors, 40);
+                assert_eq!(scenario.sinks, 5);
+                assert_eq!(scenario.duration_secs, 1000);
+                assert_eq!(seed, 9);
+                assert!(csv);
+                assert!(!json);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn area_sets_both_dimensions() {
+        let Ok(Command::Analyze { scenario }) = parse(&["analyze", "--area", "300"]) else {
+            panic!("parse failed");
+        };
+        assert_eq!(scenario.area_width_m, 300.0);
+        assert_eq!(scenario.area_height_m, 300.0);
+    }
+
+    #[test]
+    fn protocol_is_case_insensitive() {
+        for s in ["opt", "OPT", "Opt"] {
+            assert_eq!(parse_protocol(s).unwrap(), ProtocolKind::Opt);
+        }
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&["run", "--protocol", "FOO"])
+            .unwrap_err()
+            .0
+            .contains("unknown protocol"));
+        assert!(parse(&["run", "--sensors"]).unwrap_err().0.contains("needs a value"));
+        assert!(parse(&["run", "--sensors", "x"]).unwrap_err().0.contains("invalid value"));
+        assert!(parse(&["frobnicate"]).unwrap_err().0.contains("unknown command"));
+        assert!(parse(&["run", "--wat"]).unwrap_err().0.contains("unknown flag"));
+    }
+
+    #[test]
+    fn invalid_scenarios_are_rejected_at_parse_time() {
+        let err = parse(&["run", "--sinks", "0"]).unwrap_err();
+        assert!(err.0.contains("invalid scenario"), "{err}");
+    }
+}

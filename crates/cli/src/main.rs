@@ -1,0 +1,122 @@
+//! The `dftmsn` command-line front end.
+
+mod args;
+
+use args::{parse, Command, USAGE};
+use dftmsn_core::analysis::{
+    direct_average_ratio, direct_expected_delay, ContactModel, EpidemicModel,
+};
+use dftmsn_core::params::ScenarioParams;
+use dftmsn_core::variants::ProtocolKind;
+use dftmsn_core::world::Simulation;
+use dftmsn_metrics::table::Table;
+
+fn main() {
+    let owned: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = owned.iter().map(String::as_str).collect();
+    match parse(&refs) {
+        Ok(Command::Help) => print!("{USAGE}"),
+        Ok(Command::Run {
+            protocol,
+            scenario,
+            seed,
+            csv,
+            json,
+        }) => run_one(protocol, scenario, seed, csv, json),
+        Ok(Command::Compare { scenario, seed }) => compare(scenario, seed),
+        Ok(Command::Analyze { scenario }) => analyze(&scenario),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_one(protocol: ProtocolKind, scenario: ScenarioParams, seed: u64, csv: bool, json: bool) {
+    eprintln!(
+        "running {protocol} on {} sensors / {} sinks for {} s (seed {seed})...",
+        scenario.sensors, scenario.sinks, scenario.duration_secs
+    );
+    let report = Simulation::new(scenario, protocol, seed).run();
+    if json {
+        println!("{}", report.to_json());
+        return;
+    }
+    if csv {
+        println!("msg,origin,created_secs,delay_secs,sink");
+        for d in &report.deliveries {
+            println!(
+                "{},{},{},{},{}",
+                d.msg.0, d.origin.0, d.created_secs, d.delay_secs, d.sink.0
+            );
+        }
+        return;
+    }
+    println!("{}", report.summary());
+    println!("  delivery ratio   : {:>8.2} %", report.delivery_ratio() * 100.0);
+    println!("  mean delay       : {:>8.0} s", report.mean_delay_secs);
+    println!("  p95 delay        : {:>8.0} s", report.p95_delay_secs);
+    println!("  avg power        : {:>8.3} mW", report.avg_sensor_power_mw);
+    println!("  attempts         : {:>8}", report.attempts);
+    println!("  multicasts       : {:>8}", report.multicasts);
+    println!("  copies sent      : {:>8}", report.copies_sent);
+    println!("  collisions       : {:>8}", report.collisions);
+    println!(
+        "  drops (ovf/rej/ftd): {} / {} / {}",
+        report.drops_overflow, report.drops_rejected, report.drops_ftd
+    );
+    println!("  control overhead : {:>8.2} ctrl/data bits", report.control_overhead());
+    println!("  mean final xi    : {:>8.3}", report.mean_final_xi);
+}
+
+fn compare(scenario: ScenarioParams, seed: u64) {
+    let mut table = Table::new(
+        "variant comparison",
+        &["variant", "ratio (%)", "power (mW)", "delay (s)", "collisions"],
+    );
+    for kind in ProtocolKind::ALL {
+        eprintln!("running {kind}...");
+        let r = Simulation::new(scenario.clone(), kind, seed).run();
+        table.row(vec![
+            kind.label().into(),
+            (r.delivery_ratio() * 100.0).into(),
+            r.avg_sensor_power_mw.into(),
+            r.mean_delay_secs.into(),
+            r.collisions.into(),
+        ]);
+    }
+    println!("{}", table.render_text(2));
+}
+
+fn analyze(scenario: &ScenarioParams) {
+    let contacts = ContactModel::from_scenario(scenario);
+    let epidemic = EpidemicModel::from_scenario(scenario);
+    let horizon = scenario.duration_secs as f64;
+    println!("analytic contact model (well-mixed approximation):");
+    println!(
+        "  sensor-sensor contact rate : {:.3e} /s  (mean gap {:.0} s)",
+        contacts.lambda_node_node,
+        contacts.mean_intercontact_nn()
+    );
+    println!(
+        "  sensor-sink contact rate   : {:.3e} /s  (mean gap {:.0} s)",
+        contacts.lambda_node_sink,
+        contacts.mean_intercontact_ns()
+    );
+    println!("direct transmission:");
+    println!(
+        "  expected delay             : {:.0} s",
+        direct_expected_delay(contacts.lambda_node_sink, scenario.sinks)
+    );
+    println!(
+        "  avg ratio over a {horizon:.0} s run: {:.1} %",
+        direct_average_ratio(contacts.lambda_node_sink, scenario.sinks, horizon) * 100.0
+    );
+    println!("flooding:");
+    println!("  expected delay             : {:.0} s", epidemic.expected_delay());
+    println!(
+        "  P(delivered by {horizon:.0} s)     : {:.1} %",
+        epidemic.delivery_probability_by(horizon, 1.0) * 100.0
+    );
+}

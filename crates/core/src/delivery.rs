@@ -1,0 +1,150 @@
+//! Nodal delivery probability ξ (paper Sec. 3.1.1, Eq. 1).
+//!
+//! ξᵢ estimates how likely sensor *i* is to get a data message to a sink.
+//! It is the routing metric of the protocol: data flows from low-ξ to
+//! high-ξ nodes. The update rule is an exponentially weighted moving
+//! average,
+//!
+//! ```text
+//! ξᵢ = (1 − α)·ξᵢ + α·ξₖ   on transmitting to node k (ξₖ = 1 for a sink)
+//! ξᵢ = (1 − α)·ξᵢ          on a Δ-timeout with no transmission
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// A nodal delivery probability, invariantly in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use dftmsn_core::delivery::DeliveryProb;
+///
+/// let mut xi = DeliveryProb::ZERO;
+/// xi.on_transmission(DeliveryProb::SINK, 0.25); // met a sink
+/// assert!((xi.value() - 0.25).abs() < 1e-12);
+/// xi.on_timeout(0.25);
+/// assert!((xi.value() - 0.1875).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct DeliveryProb(f64);
+
+impl DeliveryProb {
+    /// The initial delivery probability of a fresh sensor.
+    pub const ZERO: DeliveryProb = DeliveryProb(0.0);
+    /// The delivery probability of a sink (messages there are delivered by
+    /// definition).
+    pub const SINK: DeliveryProb = DeliveryProb(1.0);
+
+    /// Wraps a raw probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or not finite.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "delivery probability {p} outside [0,1]"
+        );
+        DeliveryProb(p)
+    }
+
+    /// The raw probability.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Eq. 1, transmission case: pulls ξ toward the receiver's ξ with
+    /// memory `1 − alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    pub fn on_transmission(&mut self, receiver: DeliveryProb, alpha: f64) {
+        assert!((0.0..=1.0).contains(&alpha), "alpha {alpha} outside [0,1]");
+        self.0 = (1.0 - alpha) * self.0 + alpha * receiver.0;
+        debug_assert!((0.0..=1.0).contains(&self.0));
+    }
+
+    /// Eq. 1, timeout case: decays ξ multiplicatively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    pub fn on_timeout(&mut self, alpha: f64) {
+        assert!((0.0..=1.0).contains(&alpha), "alpha {alpha} outside [0,1]");
+        self.0 *= 1.0 - alpha;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_sink_is_one() {
+        assert_eq!(DeliveryProb::ZERO.value(), 0.0);
+        assert_eq!(DeliveryProb::SINK.value(), 1.0);
+    }
+
+    #[test]
+    fn transmission_to_sink_raises_xi_by_alpha_steps() {
+        let mut xi = DeliveryProb::ZERO;
+        xi.on_transmission(DeliveryProb::SINK, 0.25);
+        assert!((xi.value() - 0.25).abs() < 1e-12);
+        xi.on_transmission(DeliveryProb::SINK, 0.25);
+        assert!((xi.value() - 0.4375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_sink_contact_converges_to_one() {
+        let mut xi = DeliveryProb::ZERO;
+        for _ in 0..200 {
+            xi.on_transmission(DeliveryProb::SINK, 0.25);
+        }
+        assert!(xi.value() > 0.999_999);
+        assert!(xi.value() <= 1.0);
+    }
+
+    #[test]
+    fn repeated_timeouts_converge_to_zero() {
+        let mut xi = DeliveryProb::new(0.9);
+        for _ in 0..200 {
+            xi.on_timeout(0.25);
+        }
+        assert!(xi.value() < 1e-6);
+        assert!(xi.value() >= 0.0);
+    }
+
+    #[test]
+    fn transmission_to_weaker_node_lowers_xi() {
+        // Relaying through a node with smaller ξ drags the estimate down —
+        // the update tracks where the data actually went.
+        let mut xi = DeliveryProb::new(0.8);
+        xi.on_transmission(DeliveryProb::new(0.4), 0.25);
+        assert!((xi.value() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_zero_freezes_and_alpha_one_copies() {
+        let mut xi = DeliveryProb::new(0.3);
+        xi.on_transmission(DeliveryProb::SINK, 0.0);
+        assert_eq!(xi.value(), 0.3);
+        xi.on_transmission(DeliveryProb::new(0.6), 1.0);
+        assert_eq!(xi.value(), 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn out_of_range_probability_panics() {
+        let _ = DeliveryProb::new(1.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn out_of_range_alpha_panics() {
+        let mut xi = DeliveryProb::ZERO;
+        xi.on_timeout(-0.1);
+    }
+}

@@ -1,0 +1,122 @@
+//! The MAC frame vocabulary of the two-phase protocol (paper Sec. 3.2).
+//!
+//! All control frames share the scenario's control-packet size on the
+//! wire; the data frame carries a [`Message`] and uses the data size.
+
+use crate::message::{Message, MessageId};
+use dftmsn_radio::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Payload of a MAC frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MacPayload {
+    /// Channel-occupancy announcement opening the asynchronous phase.
+    Preamble,
+    /// Request-to-send: advertises the sender's delivery probability, the
+    /// head message's FTD and the contention-window length (Sec. 3.2.1).
+    Rts {
+        /// Sender's routing metric (ξ, or ZBR history).
+        xi: f64,
+        /// FTD of the message about to be multicast.
+        ftd: f64,
+        /// Contention-window length in CTS slots.
+        window_slots: u32,
+        /// Identity of the message (lets receivers skip copies they hold).
+        msg: MessageId,
+    },
+    /// Clear-to-send from a qualified receiver: advertises its metric and
+    /// available buffer space (Sec. 3.2.1).
+    Cts {
+        /// Replier's routing metric.
+        xi: f64,
+        /// Buffer slots available for the advertised FTD class.
+        buffer_space: u32,
+        /// Echo of the RTS's message id.
+        msg: MessageId,
+    },
+    /// The synchronous-phase schedule: selected receivers in ACK order
+    /// with the FTD each copy carries (Sec. 3.2.2).
+    Schedule {
+        /// `(receiver, copy FTD)` in ACK-slot order.
+        receivers: Vec<(NodeId, f64)>,
+        /// The message about to follow.
+        msg: MessageId,
+    },
+    /// The multicast data message.
+    Data {
+        /// The carried message copy (receivers re-stamp the FTD from the
+        /// schedule).
+        msg: Message,
+    },
+    /// Per-receiver acknowledgement sent in its scheduled slot.
+    Ack {
+        /// The acknowledged message.
+        msg: MessageId,
+    },
+}
+
+impl MacPayload {
+    /// True for the control frames (everything but data).
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        !matches!(self, MacPayload::Data { .. })
+    }
+
+    /// A short wire-format tag for traces.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            MacPayload::Preamble => "PRE",
+            MacPayload::Rts { .. } => "RTS",
+            MacPayload::Cts { .. } => "CTS",
+            MacPayload::Schedule { .. } => "SCHD",
+            MacPayload::Data { .. } => "DATA",
+            MacPayload::Ack { .. } => "ACK",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftmsn_sim::time::SimTime;
+
+    #[test]
+    fn control_classification() {
+        assert!(MacPayload::Preamble.is_control());
+        assert!(MacPayload::Ack { msg: MessageId(0) }.is_control());
+        let data = MacPayload::Data {
+            msg: Message::sensed(MessageId(0), NodeId(0), SimTime::ZERO),
+        };
+        assert!(!data.is_control());
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let frames = [
+            MacPayload::Preamble,
+            MacPayload::Rts {
+                xi: 0.0,
+                ftd: 0.0,
+                window_slots: 1,
+                msg: MessageId(0),
+            },
+            MacPayload::Cts {
+                xi: 0.0,
+                buffer_space: 0,
+                msg: MessageId(0),
+            },
+            MacPayload::Schedule {
+                receivers: vec![],
+                msg: MessageId(0),
+            },
+            MacPayload::Data {
+                msg: Message::sensed(MessageId(0), NodeId(0), SimTime::ZERO),
+            },
+            MacPayload::Ack { msg: MessageId(0) },
+        ];
+        let tags: std::collections::HashSet<&str> =
+            frames.iter().map(|f| f.tag()).collect();
+        assert_eq!(tags.len(), frames.len());
+    }
+}

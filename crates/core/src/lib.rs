@@ -1,0 +1,63 @@
+//! # dftmsn-core — the DFT-MSN cross-layer data delivery protocol
+//!
+//! A faithful implementation of *"Protocol Design and Optimization for
+//! Delay/Fault-Tolerant Mobile Sensor Networks"* (ICDCS 2007):
+//!
+//! * [`delivery`] — the nodal delivery probability ξ (Eq. 1);
+//! * [`ftd`] — the message fault-tolerance degree (Eqs. 2–3);
+//! * [`queue`] — FTD-ordered queue management (Sec. 3.1.2);
+//! * [`contention`] — collision analysis and the τ_max / contention-window
+//!   optimizers (Eqs. 9–14);
+//! * [`sleep`] — adaptive periodic sleeping (Eqs. 4–8);
+//! * [`neighbor`] — neighbor tables and greedy receiver selection
+//!   (Sec. 3.2.2);
+//! * [`frames`], [`node`], [`world`] — the two-phase MAC state machine on
+//!   a simulated shared medium;
+//! * [`variants`] — OPT / NOOPT / NOSLEEP / ZBR (+ DIRECT, EPIDEMIC)
+//!   baselines;
+//! * [`params`], [`report`] — configuration and results.
+//!
+//! # Examples
+//!
+//! Run a short OPT simulation and inspect the headline metrics:
+//!
+//! ```
+//! use dftmsn_core::params::ScenarioParams;
+//! use dftmsn_core::variants::ProtocolKind;
+//! use dftmsn_core::world::Simulation;
+//!
+//! let params = ScenarioParams::smoke_test().with_duration_secs(200);
+//! let report = Simulation::new(params, ProtocolKind::Opt, 1).run();
+//! println!("{}", report.summary());
+//! assert!(report.delivery_ratio() <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod contention;
+pub mod delivery;
+pub mod frames;
+pub mod ftd;
+pub mod message;
+pub mod neighbor;
+pub mod node;
+pub mod params;
+pub mod queue;
+pub mod report;
+pub mod scenarios;
+pub mod sensing;
+pub mod sleep;
+pub mod trace;
+pub mod variants;
+pub mod world;
+
+pub use delivery::DeliveryProb;
+pub use ftd::Ftd;
+pub use message::{Message, MessageId};
+pub use params::{ProtocolParams, ScenarioParams};
+pub use queue::FtdQueue;
+pub use report::SimReport;
+pub use variants::ProtocolKind;
+pub use world::Simulation;

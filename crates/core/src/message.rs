@@ -1,0 +1,141 @@
+//! Data messages and their identity.
+
+use crate::ftd::Ftd;
+use dftmsn_radio::ids::NodeId;
+use dftmsn_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Globally unique message identity (copies of the same sensed datum share
+/// the id).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct MessageId(pub u64);
+
+/// One copy of a sensed data message.
+///
+/// The wire size of a data message is a scenario constant
+/// (`ScenarioParams::data_bits`), so the struct carries only metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// Message identity shared by all copies.
+    pub id: MessageId,
+    /// The sensor that sensed the datum.
+    pub origin: NodeId,
+    /// When the datum was sensed.
+    pub created: SimTime,
+    /// Fault-tolerance degree of *this copy*.
+    pub ftd: Ftd,
+    /// How many times this copy has been handed over since sensing.
+    pub hops: u32,
+}
+
+impl Message {
+    /// Creates the first copy of a freshly sensed message (FTD 0).
+    #[must_use]
+    pub fn sensed(id: MessageId, origin: NodeId, created: SimTime) -> Self {
+        Message {
+            id,
+            origin,
+            created,
+            ftd: Ftd::NEW,
+            hops: 0,
+        }
+    }
+
+    /// A copy of this message with a different FTD (used when handing
+    /// copies to receivers, Eq. 2).
+    #[must_use]
+    pub fn with_ftd(mut self, ftd: Ftd) -> Self {
+        self.ftd = ftd;
+        self
+    }
+
+    /// A copy with the hop counter advanced by one handover.
+    #[must_use]
+    pub fn hopped(mut self) -> Self {
+        self.hops += 1;
+        self
+    }
+
+    /// Age of the message at `now`.
+    #[must_use]
+    pub fn age(&self, now: SimTime) -> dftmsn_sim::time::SimDuration {
+        now.saturating_since(self.created)
+    }
+}
+
+/// Hands out unique [`MessageId`]s.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageIdAllocator {
+    next: u64,
+}
+
+impl MessageIdAllocator {
+    /// Creates an allocator starting at id 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a fresh, never-before-issued id.
+    pub fn allocate(&mut self) -> MessageId {
+        let id = MessageId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// How many ids have been issued.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftmsn_sim::time::SimDuration;
+
+    #[test]
+    fn sensed_messages_start_fresh() {
+        let m = Message::sensed(MessageId(1), NodeId(3), SimTime::from_secs(10));
+        assert_eq!(m.ftd, Ftd::NEW);
+        assert_eq!(m.origin, NodeId(3));
+    }
+
+    #[test]
+    fn hopped_increments_only_hops() {
+        let m = Message::sensed(MessageId(1), NodeId(3), SimTime::from_secs(10));
+        assert_eq!(m.hops, 0);
+        let h = m.hopped().hopped();
+        assert_eq!(h.hops, 2);
+        assert_eq!(h.id, m.id);
+        assert_eq!(h.ftd, m.ftd);
+    }
+
+    #[test]
+    fn with_ftd_changes_only_ftd() {
+        let m = Message::sensed(MessageId(1), NodeId(3), SimTime::from_secs(10));
+        let c = m.with_ftd(Ftd::new(0.5));
+        assert_eq!(c.id, m.id);
+        assert_eq!(c.origin, m.origin);
+        assert_eq!(c.created, m.created);
+        assert_eq!(c.ftd, Ftd::new(0.5));
+    }
+
+    #[test]
+    fn age_is_elapsed_time() {
+        let m = Message::sensed(MessageId(0), NodeId(0), SimTime::from_secs(5));
+        assert_eq!(m.age(SimTime::from_secs(12)), SimDuration::from_secs(7));
+        assert_eq!(m.age(SimTime::from_secs(3)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn allocator_ids_are_unique_and_sequential() {
+        let mut a = MessageIdAllocator::new();
+        let ids: Vec<MessageId> = (0..5).map(|_| a.allocate()).collect();
+        assert_eq!(ids, (0..5).map(MessageId).collect::<Vec<_>>());
+        assert_eq!(a.issued(), 5);
+    }
+}

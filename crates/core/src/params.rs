@@ -1,0 +1,462 @@
+//! Scenario and protocol parameters.
+//!
+//! [`ScenarioParams`] describes the deployment (area, nodes, traffic,
+//! radio); [`ProtocolParams`] the protocol constants (Eqs. 1–14). Defaults
+//! reproduce the paper's Sec. 5 setup; see `DESIGN.md` for the handful of
+//! constants the OCR of the paper dropped and how they were chosen.
+
+use dftmsn_radio::channel::ChannelParams;
+use dftmsn_radio::energy::EnergyModel;
+use dftmsn_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A scenario or protocol parameter set failed validation.
+///
+/// The message names the first violated constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidParams(String);
+
+impl InvalidParams {
+    fn new(msg: impl Into<String>) -> Self {
+        InvalidParams(msg.into())
+    }
+
+    /// The human-readable constraint violation.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for InvalidParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for InvalidParams {}
+
+/// Which mobility model drives the sensors.
+///
+/// The paper evaluates on [`MobilityKind::ZoneBased`]; the others support
+/// sensitivity studies (e.g. how much the home-zone bias matters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MobilityKind {
+    /// The paper's home-zone model (Sec. 5).
+    ZoneBased,
+    /// Classic random waypoint over the whole area.
+    RandomWaypoint,
+    /// Random direction with boundary reflection.
+    RandomWalk,
+}
+
+/// Deployment, traffic and radio configuration (paper Sec. 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioParams {
+    /// Deployment area width (m).
+    pub area_width_m: f64,
+    /// Deployment area height (m).
+    pub area_height_m: f64,
+    /// Zone grid columns.
+    pub zone_cols: usize,
+    /// Zone grid rows.
+    pub zone_rows: usize,
+    /// Number of wearable sensor nodes.
+    pub sensors: usize,
+    /// Number of high-end sink nodes.
+    pub sinks: usize,
+    /// Minimum node speed (m/s).
+    pub speed_min_mps: f64,
+    /// Maximum node speed (m/s).
+    pub speed_max_mps: f64,
+    /// Probability of crossing a non-home zone boundary (paper: 0.2).
+    pub zone_exit_prob: f64,
+    /// Sensor queue capacity in messages (paper: 200).
+    pub queue_capacity: usize,
+    /// Mean Poisson data-generation interval per sensor (s; paper: 120).
+    pub data_interval_secs: f64,
+    /// Data message size (bits; paper: 1000).
+    pub data_bits: u64,
+    /// Control packet size (bits; paper: 50).
+    pub control_bits: u64,
+    /// Radio channel (bandwidth, range).
+    pub channel: ChannelParams,
+    /// Radio energy model.
+    pub energy: EnergyModel,
+    /// Simulated duration (s; paper: 25 000).
+    pub duration_secs: u64,
+    /// Mobility integration step (s).
+    pub mobility_tick_secs: f64,
+    /// Sensor mobility model.
+    pub mobility: MobilityKind,
+    /// Number of the sinks that are mobile — "carried by a subset of
+    /// people" (paper Sec. 1) — instead of fixed at strategic locations.
+    /// Must not exceed `sinks`.
+    pub mobile_sinks: usize,
+}
+
+impl ScenarioParams {
+    /// The paper's default setup: 100 sensors, 3 sinks, 150×150 m² in 25
+    /// zones, 0–5 m/s, 10 m range, 10 kbps, 25 000 s.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ScenarioParams {
+            area_width_m: 150.0,
+            area_height_m: 150.0,
+            zone_cols: 5,
+            zone_rows: 5,
+            sensors: 100,
+            sinks: 3,
+            speed_min_mps: 0.0,
+            speed_max_mps: 5.0,
+            zone_exit_prob: 0.2,
+            queue_capacity: 200,
+            data_interval_secs: 120.0,
+            data_bits: 1000,
+            control_bits: 50,
+            channel: ChannelParams::paper_default(),
+            energy: EnergyModel::berkeley_mote(),
+            duration_secs: 25_000,
+            mobility_tick_secs: 0.5,
+            mobility: MobilityKind::ZoneBased,
+            mobile_sinks: 0,
+        }
+    }
+
+    /// A small, fast scenario for tests and examples (same physics,
+    /// fewer nodes, shorter run).
+    #[must_use]
+    pub fn smoke_test() -> Self {
+        ScenarioParams {
+            sensors: 30,
+            sinks: 2,
+            duration_secs: 1_500,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Sets the number of sink nodes (builder style).
+    #[must_use]
+    pub fn with_sinks(mut self, sinks: usize) -> Self {
+        self.sinks = sinks;
+        self
+    }
+
+    /// Sets the number of sensor nodes (builder style).
+    #[must_use]
+    pub fn with_sensors(mut self, sensors: usize) -> Self {
+        self.sensors = sensors;
+        self
+    }
+
+    /// Sets the maximum node speed (builder style).
+    #[must_use]
+    pub fn with_max_speed(mut self, v: f64) -> Self {
+        self.speed_max_mps = v;
+        self
+    }
+
+    /// Sets the simulated duration in seconds (builder style).
+    #[must_use]
+    pub fn with_duration_secs(mut self, secs: u64) -> Self {
+        self.duration_secs = secs;
+        self
+    }
+
+    /// Total number of nodes (sensors + sinks).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.sensors + self.sinks
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), InvalidParams> {
+        if self.sensors == 0 {
+            return Err(InvalidParams::new("need at least one sensor"));
+        }
+        if self.sinks == 0 {
+            return Err(InvalidParams::new("need at least one sink"));
+        }
+        if self.zone_cols == 0 || self.zone_rows == 0 {
+            return Err(InvalidParams::new("zone grid must be non-empty"));
+        }
+        if !(self.area_width_m > 0.0 && self.area_height_m > 0.0) {
+            return Err(InvalidParams::new("area must be positive"));
+        }
+        if !(self.speed_min_mps >= 0.0 && self.speed_max_mps >= self.speed_min_mps) {
+            return Err(InvalidParams::new("invalid speed range"));
+        }
+        if !(0.0..=1.0).contains(&self.zone_exit_prob) {
+            return Err(InvalidParams::new("zone_exit_prob must be a probability"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(InvalidParams::new("queue capacity must be positive"));
+        }
+        if self.data_interval_secs <= 0.0 {
+            return Err(InvalidParams::new("data interval must be positive"));
+        }
+        if self.channel.bandwidth_bps == 0 {
+            return Err(InvalidParams::new("channel bandwidth must be positive"));
+        }
+        if self.channel.range_m <= 0.0 {
+            return Err(InvalidParams::new("transmission range must be positive"));
+        }
+        if self.mobility_tick_secs <= 0.0 {
+            return Err(InvalidParams::new("mobility tick must be positive"));
+        }
+        if self.duration_secs == 0 {
+            return Err(InvalidParams::new("duration must be positive"));
+        }
+        if self.mobile_sinks > self.sinks {
+            return Err(InvalidParams::new("mobile_sinks cannot exceed sinks"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ScenarioParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Protocol constants (paper Secs. 3–4). Field names follow the paper's
+/// notation where one exists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolParams {
+    /// Eq. 1 memory constant α ∈ [0, 1].
+    pub alpha: f64,
+    /// Eq. 1 timeout Δ: the delivery probability decays when no
+    /// transmission happened within this interval (s).
+    pub xi_timeout_secs: f64,
+    /// Delivery threshold R of the receiver-selection loop (Sec. 3.2.2).
+    pub delivery_threshold_r: f64,
+    /// Messages whose FTD exceeds this are dropped from the queue
+    /// (Sec. 3.1.2).
+    pub ftd_drop_threshold: f64,
+    /// L: a node sleeps after this many consecutive cycles without acting
+    /// as sender or receiver (Sec. 3.2).
+    pub inactivity_cycles_l: usize,
+    /// S: length of the transmission-success history window (Eq. 4).
+    pub history_window_s: usize,
+    /// H: buffer-urgency threshold of Eq. 6 (also bounds T_max via Eq. 8).
+    pub sleep_h: f64,
+    /// FTD bound F̄ used by Eq. 5's urgency count (messages with FTD below
+    /// it are "urgent").
+    pub urgency_ftd_bound: f64,
+    /// Minimum sleeping period T_min (s). Must respect Eq. 7; the default
+    /// (1 s) is far above the Berkeley-mote bound (~16 ms).
+    pub t_min_secs: f64,
+    /// Target collision probability H for Eq. 13 (RTS/preamble phase).
+    pub tau_collision_target: f64,
+    /// Upper bound on the adaptive τ_max search (listening slots).
+    pub tau_max_cap_slots: u64,
+    /// Fixed τ_max (slots) used when optimization is disabled (NOOPT).
+    pub tau_max_fixed_slots: u64,
+    /// Target collision probability for Eq. 14 (CTS window search).
+    pub cts_collision_target: f64,
+    /// Upper bound on the adaptive contention-window search (slots).
+    pub cts_window_cap: u64,
+    /// Fixed contention window W (slots) when optimization is disabled.
+    pub cts_window_fixed: u64,
+    /// Fixed sleeping period (s) when sleep optimization is disabled
+    /// (NOOPT still sleeps, with a constant period).
+    pub fixed_sleep_secs: f64,
+    /// Frame-processing gap added to CTS/ACK slots and guard margins (s).
+    pub proc_gap_secs: f64,
+    /// Idle backoff range between failed attempts while awake (s).
+    pub backoff_min_secs: f64,
+    /// Upper end of the idle backoff range (s).
+    pub backoff_max_secs: f64,
+    /// Awake window a node with an empty queue spends listening per cycle
+    /// before re-evaluating the sleep policy (s).
+    pub receiver_window_secs: f64,
+    /// Neighbor-table entries older than this are ignored (s).
+    pub neighbor_ttl_secs: f64,
+}
+
+impl ProtocolParams {
+    /// Defaults documented in DESIGN.md §4.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ProtocolParams {
+            alpha: 0.25,
+            xi_timeout_secs: 30.0,
+            delivery_threshold_r: 0.95,
+            ftd_drop_threshold: 0.995,
+            inactivity_cycles_l: 3,
+            history_window_s: 10,
+            sleep_h: 0.9,
+            urgency_ftd_bound: 0.5,
+            t_min_secs: 0.4,
+            tau_collision_target: 0.1,
+            tau_max_cap_slots: 32,
+            tau_max_fixed_slots: 8,
+            cts_collision_target: 0.1,
+            cts_window_cap: 32,
+            cts_window_fixed: 8,
+            fixed_sleep_secs: 5.0,
+            proc_gap_secs: 0.002,
+            backoff_min_secs: 0.2,
+            backoff_max_secs: 1.0,
+            receiver_window_secs: 0.5,
+            neighbor_ttl_secs: 30.0,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), InvalidParams> {
+        for (name, p) in [
+            ("alpha", self.alpha),
+            ("delivery_threshold_r", self.delivery_threshold_r),
+            ("ftd_drop_threshold", self.ftd_drop_threshold),
+            ("sleep_h", self.sleep_h),
+            ("urgency_ftd_bound", self.urgency_ftd_bound),
+            ("tau_collision_target", self.tau_collision_target),
+            ("cts_collision_target", self.cts_collision_target),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(InvalidParams::new(format!("{name} must be in [0,1], got {p}")));
+            }
+        }
+        if self.sleep_h <= 0.0 {
+            return Err(InvalidParams::new("sleep_h must be positive (Eq. 8 divides by it)"));
+        }
+        if self.history_window_s < 2 {
+            return Err(InvalidParams::new("history window S must be at least 2"));
+        }
+        if self.inactivity_cycles_l == 0 {
+            return Err(InvalidParams::new("L must be positive"));
+        }
+        if self.t_min_secs <= 0.0 || self.fixed_sleep_secs <= 0.0 {
+            return Err(InvalidParams::new("sleep periods must be positive"));
+        }
+        if self.tau_max_cap_slots == 0
+            || self.tau_max_fixed_slots == 0
+            || self.cts_window_cap == 0
+            || self.cts_window_fixed == 0
+        {
+            return Err(InvalidParams::new("slot counts must be positive"));
+        }
+        if self.backoff_min_secs < 0.0 || self.backoff_max_secs < self.backoff_min_secs {
+            return Err(InvalidParams::new("invalid backoff range"));
+        }
+        if self.xi_timeout_secs <= 0.0 {
+            return Err(InvalidParams::new("xi timeout must be positive"));
+        }
+        Ok(())
+    }
+
+    /// The maximum sleeping period T_max of Eq. 8:
+    /// `T_max = (S − 1)/H · T_min`.
+    #[must_use]
+    pub fn t_max(&self) -> SimDuration {
+        SimDuration::from_secs_f64(
+            (self.history_window_s as f64 - 1.0) / self.sleep_h * self.t_min_secs,
+        )
+    }
+}
+
+impl Default for ProtocolParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_valid() {
+        ScenarioParams::paper_default().validate().unwrap();
+        ProtocolParams::paper_default().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_defaults_match_the_paper() {
+        let s = ScenarioParams::paper_default();
+        assert_eq!(s.sensors, 100);
+        assert_eq!(s.sinks, 3);
+        assert_eq!(s.zone_cols * s.zone_rows, 25);
+        assert_eq!(s.queue_capacity, 200);
+        assert_eq!(s.data_bits, 1000);
+        assert_eq!(s.control_bits, 50);
+        assert_eq!(s.channel.bandwidth_bps, 10_000);
+        assert_eq!(s.channel.range_m, 10.0);
+        assert_eq!(s.duration_secs, 25_000);
+        assert_eq!(s.data_interval_secs, 120.0);
+        assert_eq!(s.speed_max_mps, 5.0);
+        assert_eq!(s.zone_exit_prob, 0.2);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let s = ScenarioParams::paper_default()
+            .with_sinks(7)
+            .with_sensors(50)
+            .with_max_speed(2.0)
+            .with_duration_secs(100);
+        assert_eq!(s.sinks, 7);
+        assert_eq!(s.sensors, 50);
+        assert_eq!(s.speed_max_mps, 2.0);
+        assert_eq!(s.duration_secs, 100);
+        assert_eq!(s.node_count(), 57);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn t_min_respects_eq7_bound() {
+        let p = ProtocolParams::paper_default();
+        let s = ScenarioParams::paper_default();
+        assert!(p.t_min_secs >= s.energy.min_sleep().as_secs_f64());
+    }
+
+    #[test]
+    fn t_max_follows_eq8() {
+        let p = ProtocolParams::paper_default();
+        // (10 - 1) / 0.9 * 0.4 s = 4 s.
+        assert!((p.t_max().as_secs_f64() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut s = ScenarioParams::paper_default();
+        s.sinks = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = ScenarioParams::paper_default();
+        s.speed_max_mps = -1.0;
+        assert!(s.validate().is_err());
+
+        let mut p = ProtocolParams::paper_default();
+        p.alpha = 1.5;
+        assert!(p.validate().is_err());
+
+        let mut p = ProtocolParams::paper_default();
+        p.history_window_s = 1;
+        assert!(p.validate().is_err());
+
+        let mut p = ProtocolParams::paper_default();
+        p.backoff_max_secs = 0.0;
+        p.backoff_min_secs = 1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn smoke_test_scenario_is_valid_and_small() {
+        let s = ScenarioParams::smoke_test();
+        s.validate().unwrap();
+        assert!(s.sensors < ScenarioParams::paper_default().sensors);
+        assert!(s.duration_secs < ScenarioParams::paper_default().duration_secs);
+    }
+}

@@ -1,0 +1,381 @@
+//! Run metrics and the final [`SimReport`].
+//!
+//! [`RunMetrics`] is the live accumulator the world updates while events
+//! fire; [`SimReport`] is the immutable summary a finished run returns —
+//! the quantities the paper's evaluation plots (delivery ratio, average
+//! nodal power consumption rate, average delivery delay) plus the
+//! diagnostics behind them.
+
+use crate::message::MessageId;
+use dftmsn_metrics::histogram::Histogram;
+use dftmsn_metrics::stats::RunningStats;
+use dftmsn_radio::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One first-copy delivery, for post-hoc coverage analysis (e.g. field
+/// reconstruction in the sensing layer).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeliveryRecord {
+    /// The delivered message.
+    pub msg: MessageId,
+    /// The sensor that sensed it.
+    pub origin: NodeId,
+    /// Sensing time (s since run start).
+    pub created_secs: f64,
+    /// End-to-end delay (s).
+    pub delay_secs: f64,
+    /// The receiving sink.
+    pub sink: NodeId,
+    /// Handovers from the sensing node to the sink.
+    pub hops: u32,
+}
+
+/// Per-node end-of-run summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSummary {
+    /// The node.
+    pub id: NodeId,
+    /// Final routing metric (ξ or ZBR history).
+    pub final_metric: f64,
+    /// Total energy consumed (J).
+    pub energy_j: f64,
+    /// Messages still queued at the end.
+    pub queue_len: usize,
+    /// Radio sleep/wake transitions.
+    pub switches: u64,
+    /// Energy spent per radio state `[sleep, idle, rx, tx]` (J), excluding
+    /// switch costs. In the Berkeley-mote model receive power equals
+    /// idle-listening power, so the engine meters reception time as idle
+    /// and the rx slot stays zero.
+    pub energy_by_state_j: [f64; 4],
+}
+
+/// Live counters updated during a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Messages sensed (generated) by sensors.
+    pub generated: u64,
+    /// Unique messages that reached any sink.
+    pub delivered: u64,
+    /// Total data receptions at sinks (including duplicate copies).
+    pub sink_receptions: u64,
+    /// End-to-end delay of first-copy deliveries (s).
+    pub delay: RunningStats,
+    /// Delay distribution (s).
+    pub delay_hist: Histogram,
+    /// Copies evicted by queue overflow (drop-tail).
+    pub drops_overflow: u64,
+    /// Copies rejected outright because a full queue had nothing less
+    /// important.
+    pub drops_rejected: u64,
+    /// Copies purged for exceeding the FTD threshold.
+    pub drops_ftd: u64,
+    /// Entries into the asynchronous listening phase, counting each
+    /// busy-channel re-listen within a cycle.
+    pub attempts: u64,
+    /// Attempts abandoned before any data was acknowledged.
+    pub failed_attempts: u64,
+    /// Multicasts with at least one acknowledged receiver.
+    pub multicasts: u64,
+    /// Acknowledged copies handed to receivers.
+    pub copies_sent: u64,
+    /// Frames transmitted, by kind: [preamble, rts, cts, schedule, data, ack].
+    pub frames_by_kind: [u64; 6],
+    /// Control bits put on the air.
+    pub control_bits: u64,
+    /// Data bits put on the air.
+    pub data_bits: u64,
+}
+
+impl RunMetrics {
+    /// Creates zeroed metrics; the delay histogram spans `[0, max_delay)`
+    /// seconds.
+    #[must_use]
+    pub fn new(max_delay_secs: f64) -> Self {
+        RunMetrics {
+            generated: 0,
+            delivered: 0,
+            sink_receptions: 0,
+            delay: RunningStats::new(),
+            delay_hist: Histogram::new(0.0, max_delay_secs.max(1.0), 100),
+            drops_overflow: 0,
+            drops_rejected: 0,
+            drops_ftd: 0,
+            attempts: 0,
+            failed_attempts: 0,
+            multicasts: 0,
+            copies_sent: 0,
+            frames_by_kind: [0; 6],
+            control_bits: 0,
+            data_bits: 0,
+        }
+    }
+
+    /// Records a first-copy delivery with the given end-to-end delay.
+    pub fn record_delivery(&mut self, delay_secs: f64) {
+        self.delivered += 1;
+        self.delay.record(delay_secs);
+        self.delay_hist.record(delay_secs);
+    }
+
+    /// Index into `frames_by_kind` for a frame tag.
+    #[must_use]
+    pub fn kind_index(tag: &str) -> usize {
+        match tag {
+            "PRE" => 0,
+            "RTS" => 1,
+            "CTS" => 2,
+            "SCHD" => 3,
+            "DATA" => 4,
+            _ => 5,
+        }
+    }
+}
+
+/// The summary of one finished simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Variant label (OPT, NOOPT, …).
+    pub protocol: String,
+    /// Run seed.
+    pub seed: u64,
+    /// Simulated seconds.
+    pub duration_secs: f64,
+    /// Sensor count.
+    pub sensors: usize,
+    /// Sink count.
+    pub sinks: usize,
+    /// Messages generated.
+    pub generated: u64,
+    /// Unique messages delivered to a sink.
+    pub delivered: u64,
+    /// Total sink data receptions (with duplicates).
+    pub sink_receptions: u64,
+    /// Mean first-copy delivery delay (s); 0 when nothing was delivered.
+    pub mean_delay_secs: f64,
+    /// 95th-percentile delivery delay (s).
+    pub p95_delay_secs: f64,
+    /// Average sensor power consumption rate (mW) — the paper's Fig. 2(b)
+    /// metric.
+    pub avg_sensor_power_mw: f64,
+    /// Total energy consumed by all sensors (J).
+    pub total_sensor_energy_j: f64,
+    /// Sensor energy per radio state `[sleep, idle, rx, tx]` (J),
+    /// excluding switch costs.
+    pub energy_by_state_j: [f64; 4],
+    /// Control bits transmitted.
+    pub control_bits: u64,
+    /// Data bits transmitted.
+    pub data_bits: u64,
+    /// Frames transmitted in total.
+    pub frames_sent: u64,
+    /// (frame, receiver) losses to collisions.
+    pub collisions: u64,
+    /// Queue drop-tail evictions.
+    pub drops_overflow: u64,
+    /// Full-queue rejections.
+    pub drops_rejected: u64,
+    /// FTD-threshold purges.
+    pub drops_ftd: u64,
+    /// Entries into the asynchronous listening phase (including
+    /// busy-channel re-listens).
+    pub attempts: u64,
+    /// Attempts with no acknowledged receiver.
+    pub failed_attempts: u64,
+    /// Successful multicasts.
+    pub multicasts: u64,
+    /// Acknowledged copies transferred.
+    pub copies_sent: u64,
+    /// Mean sensor delivery probability at the end of the run.
+    pub mean_final_xi: f64,
+    /// Mean handovers per delivered message (1 = handed straight to a
+    /// sink).
+    pub mean_hops: f64,
+    /// Full delay statistics.
+    pub delay_stats: RunningStats,
+    /// Delay distribution.
+    pub delay_hist: Histogram,
+    /// Every first-copy delivery (origin, timing, sink).
+    pub deliveries: Vec<DeliveryRecord>,
+    /// Per-sensor end-of-run summaries (sinks excluded).
+    pub node_summaries: Vec<NodeSummary>,
+}
+
+impl SimReport {
+    /// Delivery ratio: unique deliveries over generated messages, in
+    /// `[0, 1]` (0 when nothing was generated).
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.generated as f64
+        }
+    }
+
+    /// Control-plane overhead: control bits per delivered data bit
+    /// (infinite-ish when nothing was delivered; reported as raw ratio of
+    /// control to total transmitted data bits if undelivered).
+    #[must_use]
+    pub fn control_overhead(&self) -> f64 {
+        if self.data_bits == 0 {
+            return 0.0;
+        }
+        self.control_bits as f64 / self.data_bits as f64
+    }
+
+    /// Acknowledged copies per unique delivery — the replication factor.
+    #[must_use]
+    pub fn copies_per_delivery(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.copies_sent as f64 / self.delivered as f64
+        }
+    }
+
+    /// Exports the headline metrics (and per-node summaries) as a JSON
+    /// object for external plotting pipelines.
+    #[must_use]
+    pub fn to_json(&self) -> dftmsn_metrics::json::Json {
+        use dftmsn_metrics::json::Json;
+        let nodes: Vec<Json> = self
+            .node_summaries
+            .iter()
+            .map(|n| {
+                Json::object()
+                    .field("id", n.id.index())
+                    .field("final_metric", n.final_metric)
+                    .field("energy_j", n.energy_j)
+                    .field("queue_len", n.queue_len)
+                    .field("switches", n.switches)
+            })
+            .collect();
+        Json::object()
+            .field("protocol", self.protocol.as_str())
+            .field("seed", self.seed)
+            .field("duration_secs", self.duration_secs)
+            .field("sensors", self.sensors)
+            .field("sinks", self.sinks)
+            .field("generated", self.generated)
+            .field("delivered", self.delivered)
+            .field("delivery_ratio", self.delivery_ratio())
+            .field("sink_receptions", self.sink_receptions)
+            .field("mean_delay_secs", self.mean_delay_secs)
+            .field("p95_delay_secs", self.p95_delay_secs)
+            .field("avg_sensor_power_mw", self.avg_sensor_power_mw)
+            .field("total_sensor_energy_j", self.total_sensor_energy_j)
+            .field(
+                "energy_by_state_j",
+                Json::Arr(self.energy_by_state_j.iter().map(|&x| Json::Num(x)).collect()),
+            )
+            .field("control_bits", self.control_bits)
+            .field("data_bits", self.data_bits)
+            .field("frames_sent", self.frames_sent)
+            .field("collisions", self.collisions)
+            .field("drops_overflow", self.drops_overflow)
+            .field("drops_rejected", self.drops_rejected)
+            .field("drops_ftd", self.drops_ftd)
+            .field("attempts", self.attempts)
+            .field("multicasts", self.multicasts)
+            .field("copies_sent", self.copies_sent)
+            .field("mean_final_xi", self.mean_final_xi)
+            .field("mean_hops", self.mean_hops)
+            .field("nodes", Json::Arr(nodes))
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: ratio {:.1}% ({} / {}), power {:.3} mW, delay {:.0} s, collisions {}",
+            self.protocol,
+            self.delivery_ratio() * 100.0,
+            self.delivered,
+            self.generated,
+            self.avg_sensor_power_mw,
+            self.mean_delay_secs,
+            self.collisions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(generated: u64, delivered: u64) -> SimReport {
+        SimReport {
+            protocol: "OPT".into(),
+            seed: 1,
+            duration_secs: 100.0,
+            sensors: 10,
+            sinks: 1,
+            generated,
+            delivered,
+            sink_receptions: delivered,
+            mean_delay_secs: 10.0,
+            p95_delay_secs: 20.0,
+            avg_sensor_power_mw: 1.0,
+            total_sensor_energy_j: 1.0,
+            energy_by_state_j: [0.0; 4],
+            control_bits: 500,
+            data_bits: 1000,
+            frames_sent: 10,
+            collisions: 0,
+            drops_overflow: 0,
+            drops_rejected: 0,
+            drops_ftd: 0,
+            attempts: 5,
+            failed_attempts: 1,
+            multicasts: 4,
+            copies_sent: 8,
+            mean_final_xi: 0.4,
+            mean_hops: 1.0,
+            delay_stats: RunningStats::new(),
+            delay_hist: Histogram::new(0.0, 100.0, 10),
+            deliveries: Vec::new(),
+            node_summaries: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn delivery_ratio_handles_zero_generation() {
+        assert_eq!(report(0, 0).delivery_ratio(), 0.0);
+        assert_eq!(report(10, 5).delivery_ratio(), 0.5);
+    }
+
+    #[test]
+    fn overhead_and_copies() {
+        let r = report(10, 4);
+        assert!((r.control_overhead() - 0.5).abs() < 1e-12);
+        assert!((r.copies_per_delivery() - 2.0).abs() < 1e-12);
+        assert_eq!(report(10, 0).copies_per_delivery(), 0.0);
+    }
+
+    #[test]
+    fn summary_mentions_protocol_and_ratio() {
+        let s = report(10, 5).summary();
+        assert!(s.contains("OPT"));
+        assert!(s.contains("50.0%"));
+    }
+
+    #[test]
+    fn run_metrics_record_delivery() {
+        let mut m = RunMetrics::new(1000.0);
+        m.record_delivery(10.0);
+        m.record_delivery(30.0);
+        assert_eq!(m.delivered, 2);
+        assert_eq!(m.delay.count(), 2);
+        assert_eq!(m.delay.mean(), 20.0);
+        assert_eq!(m.delay_hist.total(), 2);
+    }
+
+    #[test]
+    fn kind_indices_are_distinct() {
+        let tags = ["PRE", "RTS", "CTS", "SCHD", "DATA", "ACK"];
+        let idx: std::collections::HashSet<usize> =
+            tags.iter().map(|t| RunMetrics::kind_index(t)).collect();
+        assert_eq!(idx.len(), 6);
+    }
+}

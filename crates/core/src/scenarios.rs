@@ -1,0 +1,149 @@
+//! Named scenario presets.
+//!
+//! [`ScenarioParams::paper_default`] is the evaluation setup; the presets
+//! here are the other deployments the paper's applications imply, ready
+//! for examples, tests and downstream exploration.
+
+use crate::params::ScenarioParams;
+
+/// A named preset with a one-line description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Preset {
+    /// Short identifier (kebab-case).
+    pub name: &'static str,
+    /// What the deployment models.
+    pub description: &'static str,
+    /// The parameters.
+    pub params: ScenarioParams,
+}
+
+/// The paper's Sec. 5 evaluation setup.
+#[must_use]
+pub fn paper() -> Preset {
+    Preset {
+        name: "paper",
+        description: "ICDCS'07 evaluation: 100 sensors, 3 sinks, 150 m square, 25 000 s",
+        params: ScenarioParams::paper_default(),
+    }
+}
+
+/// Dense urban district: more people, more hubs, heavier sampling.
+#[must_use]
+pub fn dense_urban() -> Preset {
+    let mut p = ScenarioParams::paper_default()
+        .with_sensors(200)
+        .with_sinks(6);
+    p.data_interval_secs = 60.0;
+    Preset {
+        name: "dense-urban",
+        description: "200 commuters, 6 transit hubs, 1-minute sampling",
+        params: p,
+    }
+}
+
+/// Sparse rural deployment: wide area, few slow carriers, one sink.
+#[must_use]
+pub fn sparse_rural() -> Preset {
+    let mut p = ScenarioParams::paper_default()
+        .with_sensors(40)
+        .with_sinks(1)
+        .with_max_speed(2.0);
+    p.area_width_m = 300.0;
+    p.area_height_m = 300.0;
+    Preset {
+        name: "sparse-rural",
+        description: "40 slow carriers across 300 m, a single collection point",
+        params: p,
+    }
+}
+
+/// Campus: moderate density, brisk walking, strategic sinks at both gates.
+#[must_use]
+pub fn campus() -> Preset {
+    let mut p = ScenarioParams::paper_default()
+        .with_sensors(80)
+        .with_sinks(2);
+    p.speed_min_mps = 0.5;
+    p.speed_max_mps = 2.0;
+    p.zone_exit_prob = 0.4;
+    Preset {
+        name: "campus",
+        description: "80 students at walking pace, 2 gate sinks, busier zone crossings",
+        params: p,
+    }
+}
+
+/// Stress preset: heavy traffic into tiny buffers — exercises every drop
+/// path.
+#[must_use]
+pub fn overload() -> Preset {
+    let mut p = ScenarioParams::paper_default().with_sensors(60);
+    p.data_interval_secs = 15.0;
+    p.queue_capacity = 20;
+    Preset {
+        name: "overload",
+        description: "8x traffic into 1/10th buffers: queue-pressure stress test",
+        params: p,
+    }
+}
+
+/// Every built-in preset.
+#[must_use]
+pub fn all() -> Vec<Preset> {
+    vec![paper(), dense_urban(), sparse_rural(), campus(), overload()]
+}
+
+/// Looks a preset up by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Preset> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_is_valid() {
+        for preset in all() {
+            preset
+                .params
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", preset.name));
+            assert!(!preset.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let presets = all();
+        let names: std::collections::HashSet<&str> =
+            presets.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), presets.len());
+        for p in &presets {
+            assert_eq!(by_name(p.name).unwrap().params, p.params);
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn presets_differ_meaningfully() {
+        assert!(dense_urban().params.sensors > paper().params.sensors);
+        assert!(sparse_rural().params.area_width_m > paper().params.area_width_m);
+        assert!(overload().params.queue_capacity < paper().params.queue_capacity);
+        assert!(campus().params.speed_max_mps < paper().params.speed_max_mps);
+    }
+
+    #[test]
+    fn presets_run() {
+        use crate::variants::ProtocolKind;
+        use crate::world::Simulation;
+        for preset in all() {
+            let mut params = preset.params.clone();
+            params.duration_secs = 120;
+            params.sensors = params.sensors.min(15);
+            let report = Simulation::new(params, ProtocolKind::Opt, 1).run();
+            assert!(report.generated > 0, "{} generated nothing", preset.name);
+        }
+    }
+}

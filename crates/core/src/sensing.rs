@@ -1,0 +1,420 @@
+//! The sensing layer: what the network is *for*.
+//!
+//! The paper motivates DFT-MSN with statistical field monitoring — air
+//! quality inhaled by commuters, flu prevalence across a population
+//! (Sec. 1) — where the information base is rebuilt periodically from
+//! whatever samples arrive. This module closes that loop: it defines
+//! synthetic scalar fields, attributes each generated message to a sample
+//! of the field, and scores a run by how well the delivered samples
+//! reconstruct the per-zone field means.
+//!
+//! Sensors are home-zone-biased (see
+//! [`ZoneMobility`](dftmsn_mobility::models::ZoneMobility)), so a sample
+//! is attributed to the origin sensor's home-zone centre at its sensing
+//! time — the deterministic assignment used by the world
+//! ([`home_zone_assignment`]).
+
+use crate::params::ScenarioParams;
+use crate::report::SimReport;
+use dftmsn_mobility::geom::{Bounds, Vec2};
+use dftmsn_mobility::zones::{ZoneGrid, ZoneId};
+use serde::{Deserialize, Serialize};
+
+/// The deterministic home-zone rule used when the world creates sensors:
+/// round-robin over the zone grid.
+#[must_use]
+pub fn home_zone_assignment(sensor_index: usize, zone_count: usize) -> ZoneId {
+    ZoneId(sensor_index % zone_count.max(1))
+}
+
+/// A scalar field over space and time.
+pub trait ScalarField: std::fmt::Debug {
+    /// The field value at position `p` and time `t_secs`.
+    fn value_at(&self, p: Vec2, t_secs: f64) -> f64;
+}
+
+/// One Gaussian source of a plume field.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlumeSource {
+    /// Source centre.
+    pub center: Vec2,
+    /// Peak intensity at the centre.
+    pub intensity: f64,
+    /// Spatial spread (m).
+    pub sigma_m: f64,
+}
+
+/// A sum-of-Gaussians pollution field with an optional diurnal swing.
+///
+/// # Examples
+///
+/// ```
+/// use dftmsn_core::sensing::{GaussianPlumeField, PlumeSource, ScalarField};
+/// use dftmsn_mobility::geom::Vec2;
+///
+/// let field = GaussianPlumeField::new(
+///     vec![PlumeSource { center: Vec2::new(75.0, 75.0), intensity: 10.0, sigma_m: 30.0 }],
+///     0.0,
+/// );
+/// let at_source = field.value_at(Vec2::new(75.0, 75.0), 0.0);
+/// let far = field.value_at(Vec2::new(0.0, 0.0), 0.0);
+/// assert!(at_source > far);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianPlumeField {
+    sources: Vec<PlumeSource>,
+    /// Relative diurnal modulation amplitude in `[0, 1]` (0 = static
+    /// field); the cycle period is 24 h.
+    diurnal_amplitude: f64,
+}
+
+impl GaussianPlumeField {
+    /// Period of the diurnal modulation (s).
+    pub const DAY_SECS: f64 = 86_400.0;
+
+    /// Creates a field from its sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diurnal_amplitude` is outside `[0, 1]` or any source has
+    /// a non-positive spread.
+    #[must_use]
+    pub fn new(sources: Vec<PlumeSource>, diurnal_amplitude: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&diurnal_amplitude),
+            "diurnal amplitude outside [0,1]"
+        );
+        assert!(
+            sources.iter().all(|s| s.sigma_m > 0.0),
+            "source spread must be positive"
+        );
+        GaussianPlumeField {
+            sources,
+            diurnal_amplitude,
+        }
+    }
+
+    /// A ready-made two-source field spanning `area` — a "traffic artery"
+    /// hotspot and a weaker industrial corner.
+    #[must_use]
+    pub fn demo(area: Bounds) -> Self {
+        let w = area.width();
+        let h = area.height();
+        GaussianPlumeField::new(
+            vec![
+                PlumeSource {
+                    center: Vec2::new(area.x0 + 0.5 * w, area.y0 + 0.5 * h),
+                    intensity: 100.0,
+                    sigma_m: 0.25 * w,
+                },
+                PlumeSource {
+                    center: Vec2::new(area.x0 + 0.85 * w, area.y0 + 0.15 * h),
+                    intensity: 60.0,
+                    sigma_m: 0.15 * w,
+                },
+            ],
+            0.3,
+        )
+    }
+}
+
+impl ScalarField for GaussianPlumeField {
+    fn value_at(&self, p: Vec2, t_secs: f64) -> f64 {
+        let spatial: f64 = self
+            .sources
+            .iter()
+            .map(|s| {
+                let d2 = p.distance_sq(s.center);
+                s.intensity * (-d2 / (2.0 * s.sigma_m * s.sigma_m)).exp()
+            })
+            .sum();
+        let phase = t_secs / Self::DAY_SECS * std::f64::consts::TAU;
+        spatial * (1.0 + self.diurnal_amplitude * phase.sin())
+    }
+}
+
+/// A uniform field (every sample carries the same value) — useful as a
+/// control in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformField(pub f64);
+
+impl ScalarField for UniformField {
+    fn value_at(&self, _p: Vec2, _t: f64) -> f64 {
+        self.0
+    }
+}
+
+/// Per-zone reconstruction quality of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Zones with at least one delivered sample.
+    pub zones_covered: usize,
+    /// Total zones.
+    pub zones_total: usize,
+    /// Delivered samples used.
+    pub samples_used: usize,
+    /// Root-mean-square error of the per-zone mean estimates, over covered
+    /// zones.
+    pub rmse_covered: f64,
+    /// RMSE over all zones, charging uncovered zones their full truth
+    /// magnitude (estimating 0 there).
+    pub rmse_all: f64,
+    /// Mean absolute truth value across zones (for normalizing the RMSE).
+    pub truth_scale: f64,
+}
+
+impl CoverageReport {
+    /// Fraction of zones with at least one delivered sample.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.zones_total == 0 {
+            0.0
+        } else {
+            self.zones_covered as f64 / self.zones_total as f64
+        }
+    }
+
+    /// RMSE over all zones, relative to the truth scale.
+    #[must_use]
+    pub fn normalized_rmse(&self) -> f64 {
+        if self.truth_scale == 0.0 {
+            0.0
+        } else {
+            self.rmse_all / self.truth_scale
+        }
+    }
+}
+
+/// Scores how well a run's delivered samples reconstruct the per-zone
+/// time-averaged field.
+#[derive(Debug)]
+pub struct CoverageAnalysis<'a> {
+    grid: ZoneGrid,
+    sensors: usize,
+    duration_secs: f64,
+    field: &'a dyn ScalarField,
+}
+
+impl<'a> CoverageAnalysis<'a> {
+    /// Builds an analysis for the given scenario and ground-truth field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails validation.
+    #[must_use]
+    pub fn new(scenario: &ScenarioParams, field: &'a dyn ScalarField) -> Self {
+        scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+        let area = Bounds::new(scenario.area_width_m, scenario.area_height_m);
+        CoverageAnalysis {
+            grid: ZoneGrid::new(area, scenario.zone_cols, scenario.zone_rows),
+            sensors: scenario.sensors,
+            duration_secs: scenario.duration_secs as f64,
+            field,
+        }
+    }
+
+    /// The sample value attributed to a message: the field at the origin's
+    /// home-zone centre at sensing time.
+    #[must_use]
+    pub fn sample_value(&self, origin_index: usize, created_secs: f64) -> f64 {
+        let zone = home_zone_assignment(origin_index, self.grid.zone_count());
+        self.field.value_at(self.grid.zone_center(zone), created_secs)
+    }
+
+    /// Time-averaged truth at a zone centre (midpoint rule, 100 steps).
+    fn zone_truth(&self, zone: ZoneId) -> f64 {
+        let c = self.grid.zone_center(zone);
+        let steps = 100;
+        let dt = self.duration_secs / steps as f64;
+        (0..steps)
+            .map(|k| self.field.value_at(c, (k as f64 + 0.5) * dt))
+            .sum::<f64>()
+            / steps as f64
+    }
+
+    /// Scores the run.
+    #[must_use]
+    pub fn evaluate(&self, report: &SimReport) -> CoverageReport {
+        let zones = self.grid.zone_count();
+        let mut sums = vec![0.0f64; zones];
+        let mut counts = vec![0usize; zones];
+        let mut used = 0usize;
+        for d in &report.deliveries {
+            let idx = d.origin.index();
+            if idx >= self.sensors {
+                continue;
+            }
+            let zone = home_zone_assignment(idx, zones);
+            sums[zone.0] += self.sample_value(idx, d.created_secs);
+            counts[zone.0] += 1;
+            used += 1;
+        }
+        let mut se_covered = 0.0;
+        let mut se_all = 0.0;
+        let mut covered = 0usize;
+        let mut truth_abs = 0.0;
+        for z in 0..zones {
+            let truth = self.zone_truth(ZoneId(z));
+            truth_abs += truth.abs();
+            if counts[z] > 0 {
+                let est = sums[z] / counts[z] as f64;
+                let err = est - truth;
+                se_covered += err * err;
+                se_all += err * err;
+                covered += 1;
+            } else {
+                se_all += truth * truth;
+            }
+        }
+        CoverageReport {
+            zones_covered: covered,
+            zones_total: zones,
+            samples_used: used,
+            rmse_covered: if covered > 0 {
+                (se_covered / covered as f64).sqrt()
+            } else {
+                0.0
+            },
+            rmse_all: (se_all / zones as f64).sqrt(),
+            truth_scale: truth_abs / zones as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::DeliveryRecord;
+    use crate::message::MessageId;
+    use dftmsn_radio::ids::NodeId;
+    use dftmsn_metrics::histogram::Histogram;
+    use dftmsn_metrics::stats::RunningStats;
+
+    fn scenario() -> ScenarioParams {
+        ScenarioParams::paper_default().with_duration_secs(1_000)
+    }
+
+    fn fake_report(deliveries: Vec<DeliveryRecord>) -> SimReport {
+        SimReport {
+            protocol: "OPT".into(),
+            seed: 0,
+            duration_secs: 1_000.0,
+            sensors: 100,
+            sinks: 3,
+            generated: deliveries.len() as u64,
+            delivered: deliveries.len() as u64,
+            sink_receptions: deliveries.len() as u64,
+            mean_delay_secs: 0.0,
+            p95_delay_secs: 0.0,
+            avg_sensor_power_mw: 0.0,
+            total_sensor_energy_j: 0.0,
+            energy_by_state_j: [0.0; 4],
+            control_bits: 0,
+            data_bits: 0,
+            frames_sent: 0,
+            collisions: 0,
+            drops_overflow: 0,
+            drops_rejected: 0,
+            drops_ftd: 0,
+            attempts: 0,
+            failed_attempts: 0,
+            multicasts: 0,
+            copies_sent: 0,
+            mean_final_xi: 0.0,
+            mean_hops: 0.0,
+            delay_stats: RunningStats::new(),
+            delay_hist: Histogram::new(0.0, 1.0, 2),
+            deliveries,
+            node_summaries: Vec::new(),
+        }
+    }
+
+    fn delivery(origin: usize, created: f64) -> DeliveryRecord {
+        DeliveryRecord {
+            msg: MessageId(origin as u64 * 1000 + created as u64),
+            origin: NodeId(origin),
+            created_secs: created,
+            delay_secs: 1.0,
+            sink: NodeId(100),
+            hops: 1,
+        }
+    }
+
+    #[test]
+    fn home_zone_rule_is_round_robin() {
+        assert_eq!(home_zone_assignment(0, 25), ZoneId(0));
+        assert_eq!(home_zone_assignment(26, 25), ZoneId(1));
+        assert_eq!(home_zone_assignment(7, 1), ZoneId(0));
+    }
+
+    #[test]
+    fn plume_decays_with_distance_and_modulates_in_time() {
+        let f = GaussianPlumeField::demo(Bounds::new(150.0, 150.0));
+        let near = f.value_at(Vec2::new(75.0, 75.0), 0.0);
+        let far = f.value_at(Vec2::new(5.0, 145.0), 0.0);
+        assert!(near > 4.0 * far);
+        let morning = f.value_at(Vec2::new(75.0, 75.0), 0.25 * GaussianPlumeField::DAY_SECS);
+        let evening = f.value_at(Vec2::new(75.0, 75.0), 0.75 * GaussianPlumeField::DAY_SECS);
+        assert!(morning > evening, "diurnal swing missing");
+    }
+
+    #[test]
+    fn uniform_field_reconstructs_perfectly_with_any_coverage() {
+        let s = scenario();
+        let field = UniformField(5.0);
+        let analysis = CoverageAnalysis::new(&s, &field);
+        // One sample per zone (sensors 0..25 have distinct home zones).
+        let deliveries: Vec<DeliveryRecord> =
+            (0..25).map(|i| delivery(i, 10.0 * i as f64)).collect();
+        let c = analysis.evaluate(&fake_report(deliveries));
+        assert_eq!(c.zones_covered, 25);
+        assert!(c.rmse_covered < 1e-9);
+        assert!(c.normalized_rmse() < 1e-9);
+    }
+
+    #[test]
+    fn missing_zones_hurt_global_rmse() {
+        let s = scenario();
+        let field = GaussianPlumeField::demo(Bounds::new(150.0, 150.0));
+        let analysis = CoverageAnalysis::new(&s, &field);
+        let full: Vec<DeliveryRecord> = (0..100).map(|i| delivery(i, 100.0)).collect();
+        let partial: Vec<DeliveryRecord> = (0..8).map(|i| delivery(i, 100.0)).collect();
+        let full_cov = analysis.evaluate(&fake_report(full));
+        let part_cov = analysis.evaluate(&fake_report(partial));
+        assert_eq!(full_cov.zones_covered, 25);
+        assert!(part_cov.zones_covered < 25);
+        assert!(part_cov.rmse_all > full_cov.rmse_all);
+        assert!(part_cov.coverage() < full_cov.coverage());
+    }
+
+    #[test]
+    fn empty_report_scores_zero_coverage() {
+        let s = scenario();
+        let field = UniformField(2.0);
+        let analysis = CoverageAnalysis::new(&s, &field);
+        let c = analysis.evaluate(&fake_report(Vec::new()));
+        assert_eq!(c.zones_covered, 0);
+        assert_eq!(c.samples_used, 0);
+        assert!(c.rmse_all > 0.0, "uncovered zones must be charged");
+    }
+
+    #[test]
+    fn end_to_end_coverage_tracks_delivery_ratio() {
+        use crate::variants::ProtocolKind;
+        use crate::world::Simulation;
+        let s = ScenarioParams {
+            sensors: 30,
+            sinks: 3,
+            duration_secs: 3_000,
+            ..ScenarioParams::paper_default()
+        };
+        let field = GaussianPlumeField::demo(Bounds::new(150.0, 150.0));
+        let analysis = CoverageAnalysis::new(&s, &field);
+        let good = Simulation::new(s.clone(), ProtocolKind::Opt, 1).run();
+        let cov = analysis.evaluate(&good);
+        assert!(cov.samples_used as u64 == good.delivered);
+        assert!(cov.coverage() > 0.3, "coverage {:.2}", cov.coverage());
+    }
+}

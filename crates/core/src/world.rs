@@ -1,0 +1,1546 @@
+//! The simulation world: nodes + mobility + medium + the event loop that
+//! drives the two-phase protocol of Sec. 3.2 with the Sec. 4 optimizations.
+//!
+//! # Event architecture
+//!
+//! A single deterministic event queue drives everything:
+//!
+//! * `MobilityTick` — advances every mobility model and rebuilds the
+//!   spatial index;
+//! * `DataGen(i)` — Poisson sensing at sensor *i*;
+//! * `MetricTimeout(i)` — the Δ-timer of Eq. 1;
+//! * `TxEnd(i, handle)` — a frame finished; reception outcomes fan out;
+//! * `Timer(i, epoch, kind)` — node-local deadlines (wakeups, listen
+//!   periods, contention windows, guards). Every node state change bumps
+//!   the node's epoch, so a timer whose epoch no longer matches is stale
+//!   and ignored; this makes cancellation implicit and cheap.
+//!
+//! # Liveness
+//!
+//! Every non-`Passive`/`Sleeping` state is entered together with a pending
+//! timer (or an unguarded `TxEnd`) that eventually ends the cycle, so no
+//! node can wedge: see the state table in `node.rs`.
+
+use crate::contention::{optimize_cts_window, optimize_tau_max, sigma};
+use crate::delivery::DeliveryProb;
+use crate::frames::MacPayload;
+use crate::ftd::Ftd;
+use crate::message::{Message, MessageId, MessageIdAllocator};
+use crate::neighbor::{select_receivers, Candidate, Selection};
+use crate::node::{MacState, Node, NodeRole, ReceiverCtx, SenderCtx, TxPlan};
+use crate::params::{MobilityKind, ProtocolParams, ScenarioParams};
+use crate::queue::InsertOutcome;
+use crate::report::{DeliveryRecord, NodeSummary, RunMetrics, SimReport};
+use crate::trace::{DropReason, TraceEvent, TraceSink};
+use crate::variants::{MetricKind, ProtocolKind, SelectionKind, VariantConfig};
+use dftmsn_mobility::geom::{Bounds, Vec2};
+use dftmsn_mobility::grid_index::SpatialGrid;
+use dftmsn_mobility::models::{
+    MobilityModel, RandomWalk, RandomWaypoint, Stationary, ZoneMobility,
+};
+use dftmsn_mobility::zones::{ZoneGrid, ZoneId};
+use dftmsn_radio::energy::RadioState;
+use dftmsn_radio::ids::NodeId;
+use dftmsn_radio::medium::{Frame, Medium, TxHandle};
+use dftmsn_sim::event::EventQueue;
+use dftmsn_sim::rng::SimRng;
+use dftmsn_sim::time::{SimDuration, SimTime};
+use std::collections::HashSet;
+
+/// Node-local timer kinds; all are epoch-guarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Timer {
+    /// Leave `Sleeping`/`Passive` and start a new working cycle.
+    WakeUp,
+    /// The sender's carrier-sense listening period ended.
+    ListenDone,
+    /// Time for a qualified receiver to transmit its CTS.
+    CtsSlot,
+    /// The sender's CTS contention window closed.
+    CtsWindowEnd,
+    /// Time for a scheduled receiver to transmit its ACK.
+    AckSlot,
+    /// The sender's ACK collection window closed.
+    AckWindowEnd,
+    /// Deadline guard for receiver-side waiting states and passive
+    /// windows; ends the cycle as inactive.
+    Guard,
+}
+
+#[derive(Debug)]
+enum Event {
+    MobilityTick,
+    DataGen(NodeId),
+    MetricTimeout(NodeId),
+    TxEnd(NodeId, TxHandle),
+    Timer(NodeId, u64, Timer),
+}
+
+/// Precomputed frame timings.
+#[derive(Debug, Clone, Copy)]
+struct Timing {
+    ctrl: SimDuration,
+    data: SimDuration,
+    gap: SimDuration,
+    listen_slot: SimDuration,
+    cts_slot: SimDuration,
+    ack_slot: SimDuration,
+}
+
+impl Timing {
+    fn new(scenario: &ScenarioParams, protocol: &ProtocolParams) -> Self {
+        let ctrl = scenario.channel.airtime(scenario.control_bits);
+        let data = scenario.channel.airtime(scenario.data_bits);
+        let gap = SimDuration::from_secs_f64(protocol.proc_gap_secs);
+        Timing {
+            ctrl,
+            data,
+            gap,
+            listen_slot: ctrl,
+            cts_slot: ctrl + gap,
+            ack_slot: ctrl + gap,
+        }
+    }
+
+    /// Conservative duration of the remainder of an exchange overheard at
+    /// the RTS: full CTS window + schedule + data + a few ACK slots.
+    fn nav_after_rts(&self, window_slots: u32) -> SimDuration {
+        self.cts_slot * u64::from(window_slots)
+            + self.ctrl
+            + self.data
+            + self.ack_slot * 3
+            + self.gap * 4
+    }
+
+    /// NAV for a CTS/SCHEDULE overheard mid-exchange.
+    fn nav_overheard(&self) -> SimDuration {
+        self.ctrl + self.data + self.ack_slot * 3 + self.gap * 4
+    }
+}
+
+/// A configured, runnable simulation.
+///
+/// # Examples
+///
+/// ```
+/// use dftmsn_core::params::ScenarioParams;
+/// use dftmsn_core::variants::ProtocolKind;
+/// use dftmsn_core::world::Simulation;
+///
+/// let params = ScenarioParams::smoke_test().with_duration_secs(200);
+/// let report = Simulation::new(params, ProtocolKind::Opt, 42).run();
+/// assert!(report.generated > 0);
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    scenario: ScenarioParams,
+    protocol: ProtocolParams,
+    config: VariantConfig,
+    seed: u64,
+    timing: Timing,
+    end: SimTime,
+
+    events: EventQueue<Event>,
+    nodes: Vec<Node>,
+    mobility: Vec<Box<dyn MobilityModel>>,
+    mobility_rng: SimRng,
+    positions: Vec<Vec2>,
+    grid: SpatialGrid,
+    medium: Medium<MacPayload>,
+
+    ids: MessageIdAllocator,
+    delivered_ids: HashSet<MessageId>,
+    metrics: RunMetrics,
+    deliveries: Vec<DeliveryRecord>,
+
+    scratch_idx: Vec<usize>,
+    scratch_ids: Vec<NodeId>,
+    trace: Option<Box<dyn TraceSink>>,
+}
+
+impl Simulation {
+    /// Builds a simulation of the named protocol variant with the default
+    /// protocol constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scenario` fails validation.
+    #[must_use]
+    pub fn new(scenario: ScenarioParams, kind: ProtocolKind, seed: u64) -> Self {
+        Self::with_config(scenario, ProtocolParams::paper_default(), kind.config(), seed)
+    }
+
+    /// Builds a simulation with explicit protocol constants and a custom
+    /// variant configuration (for ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter set fails validation.
+    #[must_use]
+    pub fn with_config(
+        scenario: ScenarioParams,
+        protocol: ProtocolParams,
+        config: VariantConfig,
+        seed: u64,
+    ) -> Self {
+        scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+        protocol
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid protocol params: {e}"));
+
+        let root = SimRng::seed_from(seed);
+        let mut mobility_rng = root.fork(0x4d4f_4249); // "MOBI"
+        let area = Bounds::new(scenario.area_width_m, scenario.area_height_m);
+        let zones = ZoneGrid::new(area, scenario.zone_cols, scenario.zone_rows);
+        let n = scenario.node_count();
+
+        let mut nodes = Vec::with_capacity(n);
+        let mut mobility: Vec<Box<dyn MobilityModel>> = Vec::with_capacity(n);
+        for i in 0..scenario.sensors {
+            let model: Box<dyn MobilityModel> = match scenario.mobility {
+                MobilityKind::ZoneBased => Box::new(ZoneMobility::new(
+                    zones.clone(),
+                    ZoneId(i % zones.zone_count()),
+                    scenario.speed_min_mps,
+                    scenario.speed_max_mps,
+                    scenario.zone_exit_prob,
+                    &mut mobility_rng,
+                )),
+                MobilityKind::RandomWaypoint => Box::new(RandomWaypoint::new(
+                    area,
+                    scenario.speed_min_mps.max(0.1),
+                    scenario.speed_max_mps.max(0.2),
+                    0.0,
+                    &mut mobility_rng,
+                )),
+                MobilityKind::RandomWalk => Box::new(RandomWalk::new(
+                    area,
+                    scenario.speed_min_mps,
+                    scenario.speed_max_mps,
+                    20.0,
+                    &mut mobility_rng,
+                )),
+            };
+            mobility.push(model);
+            nodes.push(Node::new(
+                NodeId(i),
+                NodeRole::Sensor,
+                scenario.queue_capacity,
+                protocol.history_window_s,
+                root.fork(1000 + i as u64),
+            ));
+        }
+        // Sinks sit at "strategic locations" (zone centres spread evenly
+        // across the grid); the last `mobile_sinks` of them are carried by
+        // people instead and move like sensors (paper Sec. 1).
+        for j in 0..scenario.sinks {
+            let zone = ZoneId(((2 * j + 1) * zones.zone_count()) / (2 * scenario.sinks));
+            if j >= scenario.sinks - scenario.mobile_sinks {
+                mobility.push(Box::new(ZoneMobility::new(
+                    zones.clone(),
+                    zone,
+                    scenario.speed_min_mps,
+                    scenario.speed_max_mps,
+                    scenario.zone_exit_prob,
+                    &mut mobility_rng,
+                )));
+            } else {
+                mobility.push(Box::new(Stationary::new(zones.zone_center(zone))));
+            }
+            let i = scenario.sensors + j;
+            nodes.push(Node::new(
+                NodeId(i),
+                NodeRole::Sink,
+                scenario.queue_capacity,
+                protocol.history_window_s,
+                root.fork(1000 + i as u64),
+            ));
+        }
+
+        let positions: Vec<Vec2> = mobility.iter().map(|m| m.position()).collect();
+        let mut grid = SpatialGrid::new(area, scenario.channel.range_m.max(1.0));
+        grid.rebuild(&positions);
+
+        let mut medium = Medium::new(n);
+        for node in &nodes {
+            // Everyone starts awake and listening.
+            medium.set_listening(node.id, true);
+        }
+
+        let timing = Timing::new(&scenario, &protocol);
+        let end = SimTime::from_secs(scenario.duration_secs);
+        let metrics = RunMetrics::new(scenario.duration_secs as f64);
+
+        let mut sim = Simulation {
+            scenario,
+            protocol,
+            config,
+            seed,
+            timing,
+            end,
+            events: EventQueue::new(),
+            nodes,
+            mobility,
+            mobility_rng,
+            positions,
+            grid,
+            medium,
+            ids: MessageIdAllocator::new(),
+            delivered_ids: HashSet::new(),
+            metrics,
+            deliveries: Vec::new(),
+            scratch_idx: Vec::new(),
+            scratch_ids: Vec::new(),
+            trace: None,
+        };
+        sim.schedule_initial_events();
+        sim
+    }
+
+    fn schedule_initial_events(&mut self) {
+        let tick = SimDuration::from_secs_f64(self.scenario.mobility_tick_secs);
+        self.events.schedule_after(tick, Event::MobilityTick);
+        for i in 0..self.scenario.sensors {
+            let id = NodeId(i);
+            // Desynchronize first wakeups.
+            let jitter = {
+                let node = &mut self.nodes[i];
+                SimDuration::from_secs_f64(node.rng.gen_range_f64(0.0, 2.0))
+            };
+            self.schedule_timer(id, jitter, Timer::WakeUp);
+            let first_gen = {
+                let node = &mut self.nodes[i];
+                SimDuration::from_secs_f64(node.rng.gen_exp(self.scenario.data_interval_secs))
+            };
+            self.events.schedule_after(first_gen, Event::DataGen(id));
+            let delta = SimDuration::from_secs_f64(self.protocol.xi_timeout_secs);
+            self.events.schedule_after(delta, Event::MetricTimeout(id));
+        }
+    }
+
+    /// The configured variant.
+    #[must_use]
+    pub fn variant(&self) -> VariantConfig {
+        self.config
+    }
+
+    /// Attaches a trace sink observing MAC-level events during the run.
+    ///
+    /// Use a [`crate::trace::SharedTrace`] clone to read the trace back
+    /// after [`run`](Self::run) consumed the simulation.
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(event);
+        }
+    }
+
+    /// Runs the simulation to its configured end and produces the report.
+    #[must_use]
+    pub fn run(mut self) -> SimReport {
+        while let Some(t) = self.events.peek_time() {
+            if t > self.end {
+                break;
+            }
+            let (now, ev) = self.events.pop().expect("peeked event exists");
+            self.handle(now, ev);
+        }
+        self.finish_report()
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::MobilityTick => self.on_mobility_tick(now),
+            Event::DataGen(i) => self.on_data_gen(now, i),
+            Event::MetricTimeout(i) => self.on_metric_timeout(now, i),
+            Event::TxEnd(i, handle) => self.on_tx_end(now, i, handle),
+            Event::Timer(i, epoch, timer) => {
+                if self.nodes[i.index()].epoch == epoch {
+                    self.on_timer(now, i, timer);
+                }
+            }
+        }
+    }
+
+    fn schedule_timer(&mut self, i: NodeId, delay: SimDuration, timer: Timer) {
+        let epoch = self.nodes[i.index()].epoch;
+        self.events
+            .schedule_after(delay, Event::Timer(i, epoch, timer));
+    }
+
+    fn on_mobility_tick(&mut self, _now: SimTime) {
+        let dt = self.scenario.mobility_tick_secs;
+        for (m, p) in self.mobility.iter_mut().zip(self.positions.iter_mut()) {
+            m.advance(dt, &mut self.mobility_rng);
+            *p = m.position();
+        }
+        self.grid.rebuild(&self.positions);
+        let tick = SimDuration::from_secs_f64(dt);
+        self.events.schedule_after(tick, Event::MobilityTick);
+    }
+
+    fn on_data_gen(&mut self, now: SimTime, i: NodeId) {
+        let id = self.ids.allocate();
+        let msg = Message::sensed(id, i, now);
+        self.metrics.generated += 1;
+        self.insert_into_queue(now, i, msg);
+        let next = {
+            let node = &mut self.nodes[i.index()];
+            SimDuration::from_secs_f64(node.rng.gen_exp(self.scenario.data_interval_secs))
+        };
+        self.events.schedule_after(next, Event::DataGen(i));
+    }
+
+    fn on_metric_timeout(&mut self, now: SimTime, i: NodeId) {
+        let delta = SimDuration::from_secs_f64(self.protocol.xi_timeout_secs);
+        let node = &mut self.nodes[i.index()];
+        let due = node.last_tx + delta;
+        if now >= due {
+            node.metric.on_timeout(self.protocol.alpha);
+            self.events.schedule_after(delta, Event::MetricTimeout(i));
+        } else {
+            self.events.schedule_at(due, Event::MetricTimeout(i));
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, i: NodeId, timer: Timer) {
+        match timer {
+            Timer::WakeUp => self.start_cycle(now, i),
+            Timer::ListenDone => self.on_listen_done(now, i),
+            Timer::CtsSlot => self.on_cts_slot(now, i),
+            Timer::CtsWindowEnd => self.on_cts_window_end(now, i),
+            Timer::AckSlot => self.on_ack_slot(now, i),
+            Timer::AckWindowEnd => self.finalize_multicast(now, i),
+            Timer::Guard => self.end_cycle(now, i, false),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cycle control
+    // ------------------------------------------------------------------
+
+    fn start_cycle(&mut self, now: SimTime, i: NodeId) {
+        if self.nodes[i.index()].is_sink() {
+            return;
+        }
+        {
+            let node = &mut self.nodes[i.index()];
+            if node.state == MacState::Sleeping {
+                node.meter.set_state(now, RadioState::Idle, &self.scenario.energy);
+                self.medium.set_listening(i, true);
+            }
+            node.clear_ctx();
+        }
+        if self.nodes[i.index()].queue.is_empty() {
+            // Nothing to send: stay available as a receiver for a window,
+            // then re-evaluate the sleeping policy.
+            let window = SimDuration::from_secs_f64(self.protocol.receiver_window_secs);
+            self.nodes[i.index()].transition(MacState::Passive);
+            self.schedule_timer(i, window, Timer::Guard);
+        } else {
+            self.enter_sender_listen(now, i);
+        }
+    }
+
+    fn enter_sender_listen(&mut self, now: SimTime, i: NodeId) {
+        let tau_max = self.tau_max_for(now, i);
+        let node = &mut self.nodes[i.index()];
+        // Eq. 9's ξ-scaled listening period is part of the Sec. 4.2
+        // optimization; the unoptimized protocol draws uniformly over the
+        // whole fixed window.
+        let sig = if self.config.adaptive_tau {
+            sigma(node.metric.value(), tau_max)
+        } else {
+            tau_max
+        };
+        let tau_slots = node.rng.gen_range_inclusive(1, sig);
+        node.transition(MacState::SenderListen);
+        self.metrics.attempts += 1;
+        let listen = self.timing.listen_slot * tau_slots;
+        self.schedule_timer(i, listen, Timer::ListenDone);
+    }
+
+    fn on_listen_done(&mut self, now: SimTime, i: NodeId) {
+        debug_assert_eq!(self.nodes[i.index()].state, MacState::SenderListen);
+        // Carrier sense with a one-slot turnaround blind window: energy
+        // that appeared less than a listening slot ago is not yet
+        // detectable, so contenders whose listening periods end in the
+        // same slot collide — the regime Eqs. 10–12 analyse.
+        let detected_busy = match self.medium.busy_since(i) {
+            Some(t0) => now.saturating_since(t0) >= self.timing.listen_slot,
+            None => false,
+        };
+        if detected_busy {
+            // Busy channel: restart the asynchronous phase (bounded).
+            let node = &mut self.nodes[i.index()];
+            node.listen_retries += 1;
+            if node.listen_retries > 3 {
+                self.end_cycle(now, i, false);
+            } else {
+                self.enter_sender_listen(now, i);
+            }
+            return;
+        }
+        let Some(head) = self.nodes[i.index()].queue.peek_head().copied() else {
+            self.end_cycle(now, i, false);
+            return;
+        };
+        let window = self.window_for(now, i);
+        self.nodes[i.index()].sender_ctx = Some(SenderCtx {
+            msg: head,
+            window_slots: window,
+            candidates: Vec::new(),
+            selection: None,
+            acked: Vec::new(),
+        });
+        self.begin_frame(
+            now,
+            i,
+            MacPayload::Preamble,
+            self.scenario.control_bits,
+            TxPlan::Preamble,
+        );
+    }
+
+    fn on_cts_slot(&mut self, now: SimTime, i: NodeId) {
+        debug_assert_eq!(self.nodes[i.index()].state, MacState::CtsPending);
+        let (metric, space, msg) = {
+            let node = &self.nodes[i.index()];
+            let ctx = node.receiver_ctx.as_ref().expect("CTS slot without ctx");
+            let space = if node.is_sink() {
+                u32::MAX
+            } else {
+                // Advertise the buffer space available for the FTD class
+                // the sender announced in its RTS (Sec. 3.2.1).
+                node.queue
+                    .available_space_for(Ftd::new(ctx.rts_ftd.clamp(0.0, 1.0)))
+                    .min(u32::MAX as usize) as u32
+            };
+            (node.metric.value(), space, ctx.msg)
+        };
+        self.begin_frame(
+            now,
+            i,
+            MacPayload::Cts {
+                xi: metric,
+                buffer_space: space,
+                msg,
+            },
+            self.scenario.control_bits,
+            TxPlan::Cts,
+        );
+    }
+
+    fn on_cts_window_end(&mut self, now: SimTime, i: NodeId) {
+        debug_assert_eq!(self.nodes[i.index()].state, MacState::CollectCts);
+        let selection = {
+            let node = &self.nodes[i.index()];
+            let ctx = node.sender_ctx.as_ref().expect("window end without ctx");
+            self.select_for(node.metric.value(), ctx.msg.ftd, &ctx.candidates)
+        };
+        if selection.is_empty() {
+            self.end_cycle(now, i, false);
+            return;
+        }
+        let payload = {
+            let node = &mut self.nodes[i.index()];
+            let ctx = node.sender_ctx.as_mut().expect("window end without ctx");
+            let receivers: Vec<(NodeId, f64)> = selection
+                .receivers
+                .iter()
+                .map(|&(id, f)| (id, f.value()))
+                .collect();
+            let payload = MacPayload::Schedule {
+                receivers,
+                msg: ctx.msg.id,
+            };
+            ctx.selection = Some(selection);
+            payload
+        };
+        self.begin_frame(now, i, payload, self.scenario.control_bits, TxPlan::Schedule);
+    }
+
+    fn on_ack_slot(&mut self, now: SimTime, i: NodeId) {
+        debug_assert_eq!(self.nodes[i.index()].state, MacState::AckPending);
+        let msg = self.nodes[i.index()]
+            .receiver_ctx
+            .as_ref()
+            .expect("ACK slot without ctx")
+            .msg;
+        self.begin_frame(
+            now,
+            i,
+            MacPayload::Ack { msg },
+            self.scenario.control_bits,
+            TxPlan::Ack,
+        );
+    }
+
+    /// Applies the variant's receiver-selection rule to the CTS repliers.
+    fn select_for(&self, sender_metric: f64, msg_ftd: Ftd, candidates: &[Candidate]) -> Selection {
+        match self.config.selection {
+            SelectionKind::FtdThreshold => select_receivers(
+                sender_metric,
+                msg_ftd,
+                candidates,
+                self.protocol.delivery_threshold_r,
+            ),
+            SelectionKind::SingleBest | SelectionKind::SinkOnly => {
+                let best = candidates
+                    .iter()
+                    .filter(|c| c.buffer_space > 0)
+                    .max_by(|a, b| {
+                        a.xi.partial_cmp(&b.xi)
+                            .expect("finite ξ")
+                            .then_with(|| b.id.cmp(&a.id))
+                    });
+                match best {
+                    Some(c) => Selection {
+                        receivers: vec![(c.id, msg_ftd.receiver_copy(sender_metric, &[]))],
+                        receiver_xis: vec![c.xi],
+                        combined_delivery: msg_ftd.combined_delivery(&[c.xi]),
+                    },
+                    None => Selection {
+                        receivers: Vec::new(),
+                        receiver_xis: Vec::new(),
+                        combined_delivery: 0.0,
+                    },
+                }
+            }
+            SelectionKind::AllResponders => {
+                let chosen: Vec<&Candidate> = candidates
+                    .iter()
+                    .filter(|c| c.buffer_space > 0)
+                    .collect();
+                let xis: Vec<f64> = chosen.iter().map(|c| c.xi).collect();
+                Selection {
+                    receivers: chosen.iter().map(|c| (c.id, Ftd::NEW)).collect(),
+                    receiver_xis: xis.clone(),
+                    combined_delivery: msg_ftd.combined_delivery(&xis),
+                }
+            }
+        }
+    }
+
+    fn finalize_multicast(&mut self, now: SimTime, i: NodeId) {
+        debug_assert_eq!(self.nodes[i.index()].state, MacState::AwaitAcks);
+        let ctx = self.nodes[i.index()]
+            .sender_ctx
+            .take()
+            .expect("finalize without ctx");
+        let selection = ctx.selection.as_ref().expect("finalize without selection");
+
+        let mut confirmed_xis = Vec::new();
+        let mut any_sink = false;
+        for (k, &(id, _)) in selection.receivers.iter().enumerate() {
+            if ctx.acked.contains(&id) {
+                confirmed_xis.push(selection.receiver_xis[k]);
+                if self.nodes[id.index()].is_sink() {
+                    any_sink = true;
+                }
+            }
+        }
+        if confirmed_xis.is_empty() {
+            self.metrics.failed_attempts += 1;
+            self.end_cycle(now, i, false);
+            return;
+        }
+        self.metrics.multicasts += 1;
+        self.metrics.copies_sent += confirmed_xis.len() as u64;
+
+        // Eq. 1 (or the ZBR history rule) on a successful transmission.
+        let alpha = self.protocol.alpha;
+        {
+            let node = &mut self.nodes[i.index()];
+            node.last_tx = now;
+            match self.config.metric {
+                MetricKind::DeliveryProb => {
+                    let best = confirmed_xis.iter().copied().fold(0.0f64, f64::max);
+                    node.metric
+                        .on_transmission(DeliveryProb::new(best.clamp(0.0, 1.0)), alpha);
+                }
+                MetricKind::SinkHistory => {
+                    if any_sink {
+                        node.metric.on_transmission(DeliveryProb::SINK, alpha);
+                    }
+                }
+            }
+        }
+
+        // Queue bookkeeping for the transmitted message.
+        let msg_id = ctx.msg.id;
+        match self.config.selection {
+            SelectionKind::FtdThreshold => {
+                if any_sink {
+                    // Highest possible FTD: drop immediately (delivered).
+                    self.nodes[i.index()].queue.remove(msg_id);
+                } else {
+                    let new_ftd = ctx.msg.ftd.after_multicast(&confirmed_xis);
+                    if new_ftd.value() > self.protocol.ftd_drop_threshold {
+                        if self.nodes[i.index()].queue.remove(msg_id).is_some() {
+                            self.metrics.drops_ftd += 1;
+                            self.emit(TraceEvent::Dropped {
+                                at: now,
+                                node: i,
+                                msg: msg_id,
+                                reason: DropReason::FtdThreshold,
+                            });
+                        }
+                    } else {
+                        self.nodes[i.index()].queue.update_ftd(msg_id, new_ftd);
+                    }
+                }
+            }
+            SelectionKind::SingleBest | SelectionKind::SinkOnly => {
+                // Single-copy transfer: the message moved.
+                self.nodes[i.index()].queue.remove(msg_id);
+            }
+            SelectionKind::AllResponders => {
+                if any_sink {
+                    self.nodes[i.index()].queue.remove(msg_id);
+                }
+            }
+        }
+        self.end_cycle(now, i, true);
+    }
+
+    fn end_cycle(&mut self, now: SimTime, i: NodeId, active: bool) {
+        if self.nodes[i.index()].is_sink() {
+            let node = &mut self.nodes[i.index()];
+            node.clear_ctx();
+            node.transition(MacState::Passive);
+            return;
+        }
+        let urgency_bound = Ftd::new(self.protocol.urgency_ftd_bound);
+        let (go_sleep, backoff) = {
+            let node = &mut self.nodes[i.index()];
+            node.sleep.record_cycle(active);
+            if active {
+                node.cycles_inactive = 0;
+            } else {
+                node.cycles_inactive += 1;
+            }
+            node.clear_ctx();
+            let go_sleep = self.config.sleeps
+                && node.cycles_inactive >= self.protocol.inactivity_cycles_l;
+            // A node in work mode "repeats the two-phase process" (Sec. 3.2):
+            // after a successful cycle the next one starts immediately; only
+            // failed attempts back off before retrying.
+            let backoff = if active {
+                self.timing.gap
+            } else {
+                SimDuration::from_secs_f64(node.rng.gen_range_f64(
+                    self.protocol.backoff_min_secs,
+                    self.protocol.backoff_max_secs,
+                ))
+            };
+            (go_sleep, backoff)
+        };
+        if go_sleep {
+            let duration = if self.config.adaptive_sleep {
+                let node = &self.nodes[i.index()];
+                node.sleep
+                    .sleep_duration(node.queue.urgency(urgency_bound), &self.protocol)
+            } else {
+                SimDuration::from_secs_f64(self.protocol.fixed_sleep_secs)
+            };
+            let node = &mut self.nodes[i.index()];
+            node.transition(MacState::Sleeping);
+            node.meter.set_state(now, RadioState::Sleep, &self.scenario.energy);
+            self.medium.set_listening(i, false);
+            self.emit(TraceEvent::Slept {
+                at: now,
+                node: i,
+                secs: duration.as_secs_f64(),
+            });
+            self.schedule_timer(i, duration, Timer::WakeUp);
+        } else {
+            self.nodes[i.index()].transition(MacState::Passive);
+            self.schedule_timer(i, backoff, Timer::WakeUp);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptive parameters (Sec. 4)
+    // ------------------------------------------------------------------
+
+    /// τ_max for node `i`: Eq. 13 over the fresh neighbor table (plus the
+    /// node itself), or the fixed NOOPT value. The Eq. 13 search is
+    /// memoized for a few seconds per node — the neighborhood changes on
+    /// mobility timescales, not per attempt.
+    fn tau_max_for(&mut self, now: SimTime, i: NodeId) -> u64 {
+        if !self.config.adaptive_tau {
+            return self.protocol.tau_max_fixed_slots;
+        }
+        const TAU_CACHE_SECS: u64 = 5;
+        if let Some((at, tau)) = self.nodes[i.index()].cached_tau {
+            if now.saturating_since(at) < SimDuration::from_secs(TAU_CACHE_SECS) {
+                return tau;
+            }
+        }
+        let node = &self.nodes[i.index()];
+        let ttl = SimDuration::from_secs_f64(self.protocol.neighbor_ttl_secs);
+        let mut xis = node.table.fresh_xis(now, ttl);
+        xis.push(node.metric.value());
+        let tau = optimize_tau_max(
+            &xis,
+            self.protocol.tau_collision_target,
+            self.protocol.tau_max_cap_slots,
+        );
+        self.nodes[i.index()].cached_tau = Some((now, tau));
+        tau
+    }
+
+    /// Contention window for node `i`: Eq. 14 over the expected replier
+    /// count, or the fixed NOOPT value.
+    fn window_for(&self, now: SimTime, i: NodeId) -> u32 {
+        if !self.config.adaptive_window {
+            return self.protocol.cts_window_fixed as u32;
+        }
+        let node = &self.nodes[i.index()];
+        let ttl = SimDuration::from_secs_f64(self.protocol.neighbor_ttl_secs);
+        // Expected repliers: fresh higher-metric neighbors, plus one for a
+        // possibly-unknown sink in range.
+        let n_hat = (node.table.qualified_count(node.metric.value(), now, ttl) as u64 + 1).max(1);
+        optimize_cts_window(
+            n_hat,
+            self.protocol.cts_collision_target,
+            self.protocol.cts_window_cap,
+        ) as u32
+    }
+
+    // ------------------------------------------------------------------
+    // Radio plumbing
+    // ------------------------------------------------------------------
+
+    fn fill_neighbors(&mut self, i: NodeId) {
+        self.grid.query_within(
+            &self.positions,
+            i.index(),
+            self.scenario.channel.range_m,
+            &mut self.scratch_idx,
+        );
+        self.scratch_ids.clear();
+        self.scratch_ids
+            .extend(self.scratch_idx.iter().map(|&j| NodeId(j)));
+    }
+
+    fn begin_frame(
+        &mut self,
+        now: SimTime,
+        i: NodeId,
+        payload: MacPayload,
+        bits: u64,
+        plan: TxPlan,
+    ) {
+        self.fill_neighbors(i);
+        self.emit(TraceEvent::FrameSent {
+            at: now,
+            node: i,
+            tag: payload.tag(),
+            bits,
+        });
+        self.metrics.frames_by_kind[RunMetrics::kind_index(payload.tag())] += 1;
+        if payload.is_control() {
+            self.metrics.control_bits += bits;
+        } else {
+            self.metrics.data_bits += bits;
+        }
+        {
+            let node = &mut self.nodes[i.index()];
+            node.transition(MacState::Transmitting(plan));
+            node.meter.set_state(now, RadioState::Tx, &self.scenario.energy);
+        }
+        self.medium.set_listening(i, false);
+        let handle = self.medium.begin_tx(
+            now,
+            Frame {
+                src: i,
+                bits,
+                payload,
+            },
+            &self.scratch_ids,
+        );
+        let airtime = self.scenario.channel.airtime(bits);
+        self.events
+            .schedule_after(airtime, Event::TxEnd(i, handle));
+    }
+
+    fn on_tx_end(&mut self, now: SimTime, i: NodeId, handle: TxHandle) {
+        let mut outcome = self.medium.end_tx(now, handle);
+        let plan = match self.nodes[i.index()].state {
+            MacState::Transmitting(p) => p,
+            other => unreachable!("TxEnd in state {other:?}"),
+        };
+        // Half-duplex turnaround: back to listening.
+        {
+            let node = &mut self.nodes[i.index()];
+            node.meter.set_state(now, RadioState::Idle, &self.scenario.energy);
+        }
+        self.medium.set_listening(i, true);
+
+        // Sender-side progression first (receivers are driven by the
+        // deliveries below and by their own timers).
+        match plan {
+            TxPlan::Preamble => {
+                let (xi, ftd, window, msg) = {
+                    let node = &self.nodes[i.index()];
+                    let ctx = node.sender_ctx.as_ref().expect("preamble without ctx");
+                    (
+                        node.metric.value(),
+                        ctx.msg.ftd.value(),
+                        ctx.window_slots,
+                        ctx.msg.id,
+                    )
+                };
+                self.begin_frame(
+                    now,
+                    i,
+                    MacPayload::Rts {
+                        xi,
+                        ftd,
+                        window_slots: window,
+                        msg,
+                    },
+                    self.scenario.control_bits,
+                    TxPlan::Rts,
+                );
+            }
+            TxPlan::Rts => {
+                let window = self.nodes[i.index()]
+                    .sender_ctx
+                    .as_ref()
+                    .expect("RTS without ctx")
+                    .window_slots;
+                self.nodes[i.index()].transition(MacState::CollectCts);
+                let wait = self.timing.cts_slot * u64::from(window) + self.timing.gap;
+                self.schedule_timer(i, wait, Timer::CtsWindowEnd);
+            }
+            TxPlan::Cts => {
+                let ctx = self.nodes[i.index()]
+                    .receiver_ctx
+                    .expect("CTS without ctx");
+                self.nodes[i.index()].transition(MacState::AwaitSchedule);
+                let deadline = ctx.rts_end
+                    + self.timing.cts_slot * u64::from(ctx.window_slots)
+                    + self.timing.ctrl
+                    + self.timing.gap * 3;
+                let delay = deadline.saturating_since(now).max(self.timing.gap);
+                self.schedule_timer(i, delay, Timer::Guard);
+            }
+            TxPlan::Schedule => {
+                let msg = {
+                    let node = &self.nodes[i.index()];
+                    node.sender_ctx.as_ref().expect("schedule without ctx").msg
+                };
+                self.begin_frame(
+                    now,
+                    i,
+                    MacPayload::Data { msg },
+                    self.scenario.data_bits,
+                    TxPlan::Data,
+                );
+            }
+            TxPlan::Data => {
+                let receivers = {
+                    let node = &self.nodes[i.index()];
+                    node.sender_ctx
+                        .as_ref()
+                        .and_then(|c| c.selection.as_ref())
+                        .map_or(0, |s| s.receivers.len() as u64)
+                };
+                self.nodes[i.index()].transition(MacState::AwaitAcks);
+                let wait = self.timing.ack_slot * receivers + self.timing.gap * 2;
+                self.schedule_timer(i, wait, Timer::AckWindowEnd);
+            }
+            TxPlan::Ack => {
+                // Receive exchange complete on the receiver side.
+                self.end_cycle(now, i, true);
+            }
+        }
+
+        // Deliveries and collision losses.
+        if self.trace.is_some() {
+            let tag = outcome.frame.payload.tag();
+            let from = outcome.frame.src;
+            for &r in &outcome.delivered_to {
+                self.emit(TraceEvent::FrameDelivered { at: now, from, to: r, tag });
+            }
+            for &r in &outcome.collided_at {
+                self.emit(TraceEvent::Collision { at: now, at_node: r });
+            }
+        }
+        let delivered_to = std::mem::take(&mut outcome.delivered_to);
+        for r in delivered_to {
+            self.handle_rx(now, r, &outcome.frame);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reception
+    // ------------------------------------------------------------------
+
+    /// Does node `r` qualify as a receiver for the advertised RTS?
+    fn qualified(&self, r: NodeId, sender_xi: f64, ftd: f64, msg: MessageId) -> bool {
+        let node = &self.nodes[r.index()];
+        if node.is_sink() {
+            // Sinks always qualify: ξ = 1 and effectively infinite buffer.
+            return true;
+        }
+        match self.config.selection {
+            SelectionKind::FtdThreshold => {
+                node.metric.value() > sender_xi
+                    && node.queue.available_space_for(Ftd::new(ftd)) > 0
+                    && !node.queue.contains(msg)
+            }
+            SelectionKind::SingleBest => {
+                node.metric.value() > sender_xi
+                    && !node.queue.is_full()
+                    && !node.queue.contains(msg)
+            }
+            SelectionKind::SinkOnly => false,
+            SelectionKind::AllResponders => !node.queue.is_full() && !node.queue.contains(msg),
+        }
+    }
+
+    fn handle_rx(&mut self, now: SimTime, r: NodeId, frame: &Frame<MacPayload>) {
+        let src = frame.src;
+        match &frame.payload {
+            MacPayload::Preamble => {
+                if self.nodes[r.index()].state.receptive() {
+                    self.nodes[r.index()].transition(MacState::AwaitRts);
+                    let deadline = self.timing.ctrl + self.timing.gap * 2;
+                    self.schedule_timer(r, deadline, Timer::Guard);
+                }
+            }
+            MacPayload::Rts {
+                xi,
+                ftd,
+                window_slots,
+                msg,
+            } => {
+                self.nodes[r.index()].table.observe(src, *xi, now);
+                let state = self.nodes[r.index()].state;
+                if !(state == MacState::AwaitRts || state.receptive()) {
+                    return;
+                }
+                if self.qualified(r, *xi, *ftd, *msg) {
+                    let slot = {
+                        let node = &mut self.nodes[r.index()];
+                        node.rng.gen_range_inclusive(1, u64::from(*window_slots).max(1)) as u32
+                    };
+                    self.nodes[r.index()].receiver_ctx = Some(ReceiverCtx {
+                        sender: src,
+                        msg: *msg,
+                        rts_ftd: *ftd,
+                        window_slots: *window_slots,
+                        rts_end: now,
+                        assigned_ftd: None,
+                        ack_slot: 0,
+                    });
+                    self.nodes[r.index()].transition(MacState::CtsPending);
+                    let delay = self.timing.cts_slot * u64::from(slot - 1) + self.timing.gap;
+                    self.schedule_timer(r, delay, Timer::CtsSlot);
+                } else {
+                    // NAV: defer until the overheard exchange finishes.
+                    self.nodes[r.index()].transition(MacState::Passive);
+                    let nav = self.timing.nav_after_rts(*window_slots);
+                    self.schedule_timer(r, nav, Timer::Guard);
+                }
+            }
+            MacPayload::Cts {
+                xi,
+                buffer_space,
+                msg,
+            } => {
+                self.nodes[r.index()].table.observe(src, *xi, now);
+                let state = self.nodes[r.index()].state;
+                if state == MacState::CollectCts {
+                    let node = &mut self.nodes[r.index()];
+                    let ctx = node.sender_ctx.as_mut().expect("CollectCts without ctx");
+                    if ctx.msg.id == *msg {
+                        ctx.candidates.push(Candidate {
+                            id: src,
+                            xi: *xi,
+                            buffer_space: *buffer_space as usize,
+                        });
+                    }
+                } else if state.receptive() {
+                    // Third party: stay out of the way (NAV).
+                    self.nodes[r.index()].transition(MacState::Passive);
+                    let nav = self.timing.nav_overheard();
+                    self.schedule_timer(r, nav, Timer::Guard);
+                }
+            }
+            MacPayload::Schedule { receivers, msg } => {
+                let state = self.nodes[r.index()].state;
+                if state == MacState::AwaitSchedule {
+                    let ctx = self.nodes[r.index()]
+                        .receiver_ctx
+                        .expect("AwaitSchedule without ctx");
+                    if ctx.msg != *msg || ctx.sender != src {
+                        return;
+                    }
+                    if let Some(k) = receivers.iter().position(|&(id, _)| id == r) {
+                        {
+                            let node = &mut self.nodes[r.index()];
+                            let ctx = node.receiver_ctx.as_mut().expect("ctx vanished");
+                            ctx.assigned_ftd = Some(Ftd::new(receivers[k].1.clamp(0.0, 1.0)));
+                            ctx.ack_slot = k as u32;
+                        }
+                        self.nodes[r.index()].transition(MacState::AwaitData);
+                        let deadline = self.timing.data + self.timing.gap * 2;
+                        self.schedule_timer(r, deadline, Timer::Guard);
+                    } else {
+                        // Replied but not selected: wait out the exchange.
+                        self.nodes[r.index()].transition(MacState::Passive);
+                        let nav = self.timing.data
+                            + self.timing.ack_slot * receivers.len() as u64
+                            + self.timing.gap * 3;
+                        self.schedule_timer(r, nav, Timer::Guard);
+                    }
+                } else if state.receptive() {
+                    self.nodes[r.index()].transition(MacState::Passive);
+                    let nav = self.timing.nav_overheard();
+                    self.schedule_timer(r, nav, Timer::Guard);
+                }
+            }
+            MacPayload::Data { msg } => {
+                if self.nodes[r.index()].state != MacState::AwaitData {
+                    return;
+                }
+                let ctx = self.nodes[r.index()]
+                    .receiver_ctx
+                    .expect("AwaitData without ctx");
+                if ctx.msg != msg.id || ctx.sender != src {
+                    return;
+                }
+                if self.nodes[r.index()].is_sink() {
+                    self.record_sink_reception(now, r, &msg.hopped());
+                } else {
+                    let assigned = ctx.assigned_ftd.unwrap_or(msg.ftd);
+                    self.insert_into_queue(now, r, msg.hopped().with_ftd(assigned));
+                }
+                self.nodes[r.index()].transition(MacState::AckPending);
+                let delay = self.timing.ack_slot * u64::from(ctx.ack_slot) + self.timing.gap;
+                self.schedule_timer(r, delay, Timer::AckSlot);
+            }
+            MacPayload::Ack { msg } => {
+                if self.nodes[r.index()].state != MacState::AwaitAcks {
+                    return;
+                }
+                let node = &mut self.nodes[r.index()];
+                if let Some(ctx) = node.sender_ctx.as_mut() {
+                    if ctx.msg.id == *msg && !ctx.acked.contains(&src) {
+                        ctx.acked.push(src);
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_sink_reception(&mut self, now: SimTime, sink: NodeId, msg: &Message) {
+        self.metrics.sink_receptions += 1;
+        if self.delivered_ids.insert(msg.id) {
+            let delay = now.saturating_since(msg.created).as_secs_f64();
+            self.metrics.record_delivery(delay);
+            self.deliveries.push(DeliveryRecord {
+                msg: msg.id,
+                origin: msg.origin,
+                created_secs: msg.created.as_secs_f64(),
+                delay_secs: delay,
+                sink,
+                hops: msg.hops,
+            });
+            self.emit(TraceEvent::Delivered {
+                at: now,
+                msg: msg.id,
+                sink,
+                delay_secs: delay,
+            });
+        }
+    }
+
+    fn insert_into_queue(&mut self, now: SimTime, i: NodeId, msg: Message) {
+        // The FTD-threshold purge (Sec. 3.1.2's second drop occasion)
+        // applies to the sender's retained copy after Eq. 3 — see
+        // `finalize_multicast`. A copy a receiver just agreed to take is
+        // stored even at a high FTD: it ranks last in the queue and is the
+        // first eviction victim, but it still delivers if its carrier
+        // reaches a sink. Purging such copies at insert would let a single
+        // multicast annihilate every copy of a message.
+        let outcome = self.nodes[i.index()].queue.insert(msg);
+        match outcome {
+            InsertOutcome::Inserted
+            | InsertOutcome::ReplacedDuplicate
+            | InsertOutcome::RejectedDuplicate => {}
+            InsertOutcome::InsertedEvicting(evicted) => {
+                self.metrics.drops_overflow += 1;
+                self.emit(TraceEvent::Dropped {
+                    at: now,
+                    node: i,
+                    msg: evicted.id,
+                    reason: DropReason::Overflow,
+                });
+            }
+            InsertOutcome::RejectedFull => {
+                self.metrics.drops_rejected += 1;
+                self.emit(TraceEvent::Dropped {
+                    at: now,
+                    node: i,
+                    msg: msg.id,
+                    reason: DropReason::QueueFull,
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    fn finish_report(mut self) -> SimReport {
+        let duration = SimTime::from_secs(self.scenario.duration_secs);
+        let energy_model = &self.scenario.energy;
+        let mut total_energy = 0.0;
+        let mut xi_sum = 0.0;
+        let mut energy_by_state = [0.0f64; 4];
+        let mut node_summaries = Vec::with_capacity(self.scenario.sensors);
+        for node in &mut self.nodes {
+            if node.is_sink() {
+                continue;
+            }
+            // Close the meter's open interval so the per-state figures
+            // include it.
+            let final_state = node.meter.state();
+            node.meter.set_state(duration, final_state, energy_model);
+            let energy = node.meter.total_energy_j(duration, energy_model);
+            total_energy += energy;
+            xi_sum += node.metric.value();
+            let by_state = [
+                node.meter.energy_in_state_j(RadioState::Sleep),
+                node.meter.energy_in_state_j(RadioState::Idle),
+                node.meter.energy_in_state_j(RadioState::Rx),
+                node.meter.energy_in_state_j(RadioState::Tx),
+            ];
+            for (acc, v) in energy_by_state.iter_mut().zip(by_state) {
+                *acc += v;
+            }
+            node_summaries.push(NodeSummary {
+                id: node.id,
+                final_metric: node.metric.value(),
+                energy_j: energy,
+                queue_len: node.queue.len(),
+                switches: node.meter.switch_count(),
+                energy_by_state_j: by_state,
+            });
+        }
+        let sensors = self.scenario.sensors;
+        let secs = duration.as_secs_f64();
+        let counters = self.medium.counters();
+        let m = self.metrics;
+        SimReport {
+            protocol: self.config.kind.label().to_owned(),
+            seed: self.seed,
+            duration_secs: secs,
+            sensors,
+            sinks: self.scenario.sinks,
+            generated: m.generated,
+            delivered: m.delivered,
+            sink_receptions: m.sink_receptions,
+            mean_delay_secs: m.delay.mean(),
+            p95_delay_secs: m.delay_hist.quantile(0.95).unwrap_or(0.0),
+            avg_sensor_power_mw: total_energy / (sensors as f64 * secs) * 1_000.0,
+            total_sensor_energy_j: total_energy,
+            energy_by_state_j: energy_by_state,
+            control_bits: m.control_bits,
+            data_bits: m.data_bits,
+            frames_sent: counters.frames_sent,
+            collisions: counters.collisions,
+            drops_overflow: m.drops_overflow,
+            drops_rejected: m.drops_rejected,
+            drops_ftd: m.drops_ftd,
+            attempts: m.attempts,
+            failed_attempts: m.failed_attempts,
+            multicasts: m.multicasts,
+            copies_sent: m.copies_sent,
+            mean_final_xi: xi_sum / sensors as f64,
+            mean_hops: if self.deliveries.is_empty() {
+                0.0
+            } else {
+                self.deliveries.iter().map(|d| f64::from(d.hops)).sum::<f64>()
+                    / self.deliveries.len() as f64
+            },
+            delay_stats: m.delay,
+            delay_hist: m.delay_hist,
+            deliveries: self.deliveries,
+            node_summaries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScenarioParams {
+        ScenarioParams {
+            sensors: 12,
+            sinks: 1,
+            duration_secs: 400,
+            ..ScenarioParams::paper_default()
+        }
+    }
+
+    #[test]
+    fn simulation_runs_and_generates_traffic() {
+        let report = Simulation::new(tiny(), ProtocolKind::Opt, 1).run();
+        assert!(report.generated > 0, "no traffic generated");
+        assert!(report.attempts > 0, "no sender attempts");
+        assert!(report.delivered <= report.generated);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = Simulation::new(tiny(), ProtocolKind::Opt, 7).run();
+        let b = Simulation::new(tiny(), ProtocolKind::Opt, 7).run();
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.frames_sent, b.frames_sent);
+        assert_eq!(a.collisions, b.collisions);
+        assert!((a.total_sensor_energy_j - b.total_sensor_energy_j).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Simulation::new(tiny(), ProtocolKind::Opt, 1).run();
+        let b = Simulation::new(tiny(), ProtocolKind::Opt, 2).run();
+        // Traffic schedules differ almost surely.
+        assert!(a.frames_sent != b.frames_sent || a.generated != b.generated);
+    }
+
+    #[test]
+    fn nosleep_burns_more_power_than_opt() {
+        let opt = Simulation::new(tiny(), ProtocolKind::Opt, 3).run();
+        let nosleep = Simulation::new(tiny(), ProtocolKind::NoSleep, 3).run();
+        assert!(
+            nosleep.avg_sensor_power_mw > 2.0 * opt.avg_sensor_power_mw,
+            "NOSLEEP {} mW should dwarf OPT {} mW",
+            nosleep.avg_sensor_power_mw,
+            opt.avg_sensor_power_mw
+        );
+    }
+
+    #[test]
+    fn all_variants_run_clean() {
+        for kind in ProtocolKind::ALL {
+            let report = Simulation::new(
+                ScenarioParams {
+                    sensors: 8,
+                    sinks: 1,
+                    duration_secs: 200,
+                    ..ScenarioParams::paper_default()
+                },
+                kind,
+                5,
+            )
+            .run();
+            assert!(report.generated > 0, "{kind}: nothing generated");
+        }
+    }
+
+    #[test]
+    fn sinks_never_generate_or_sleep() {
+        let scenario = tiny();
+        let sim = Simulation::new(scenario.clone(), ProtocolKind::Opt, 9);
+        for node in &sim.nodes[scenario.sensors..] {
+            assert!(node.is_sink());
+            assert_eq!(node.state, MacState::Passive);
+        }
+        let report = sim.run();
+        // All generated messages come from sensors (sink ids never appear
+        // as origins because sinks get no DataGen events).
+        assert!(report.generated > 0);
+    }
+
+    #[test]
+    fn timing_derives_from_channel_and_gap() {
+        let scenario = ScenarioParams::paper_default();
+        let protocol = ProtocolParams::paper_default();
+        let t = Timing::new(&scenario, &protocol);
+        assert_eq!(t.ctrl, SimDuration::from_millis(5));
+        assert_eq!(t.data, SimDuration::from_millis(100));
+        assert_eq!(t.cts_slot, t.ctrl + t.gap);
+        assert_eq!(t.listen_slot, t.ctrl);
+        // NAV must outlast the worst-case exchange it defers to.
+        let nav = t.nav_after_rts(8);
+        assert!(nav > t.cts_slot * 8 + t.data);
+        assert!(t.nav_overheard() > t.data);
+    }
+
+    #[test]
+    fn qualification_follows_the_variant_rules() {
+        let scenario = tiny();
+        let mk = |kind: ProtocolKind| Simulation::new(scenario.clone(), kind, 1);
+
+        // FtdThreshold: strict metric ordering + space for the class.
+        let mut sim = mk(ProtocolKind::Opt);
+        let r = NodeId(0);
+        sim.nodes[r.index()].metric = DeliveryProb::new(0.5);
+        assert!(sim.qualified(r, 0.4, 0.0, MessageId(9)));
+        assert!(!sim.qualified(r, 0.5, 0.0, MessageId(9)), "ties do not qualify");
+        assert!(!sim.qualified(r, 0.6, 0.0, MessageId(9)));
+
+        // Holding a copy disqualifies.
+        let msg = Message::sensed(MessageId(9), NodeId(3), SimTime::ZERO);
+        sim.nodes[r.index()].queue.insert(msg);
+        assert!(!sim.qualified(r, 0.1, 0.0, MessageId(9)));
+        assert!(sim.qualified(r, 0.1, 0.0, MessageId(10)), "other ids fine");
+
+        // Sinks always qualify.
+        let sink = NodeId(scenario.sensors);
+        assert!(sim.nodes[sink.index()].is_sink());
+        assert!(sim.qualified(sink, 0.99, 0.99, MessageId(9)));
+
+        // SinkOnly: sensors never qualify.
+        let sim = mk(ProtocolKind::Direct);
+        assert!(!sim.qualified(r, 0.0, 0.0, MessageId(9)));
+        assert!(sim.qualified(sink, 0.9, 0.0, MessageId(9)));
+
+        // AllResponders: metric ignored, only space matters.
+        let sim = mk(ProtocolKind::Epidemic);
+        assert!(sim.qualified(r, 0.99, 0.0, MessageId(9)));
+    }
+
+    #[test]
+    fn select_for_respects_variant_semantics() {
+        let scenario = tiny();
+        let cands = vec![
+            Candidate { id: NodeId(1), xi: 0.9, buffer_space: 4 },
+            Candidate { id: NodeId(2), xi: 0.7, buffer_space: 4 },
+            Candidate { id: NodeId(3), xi: 0.5, buffer_space: 0 },
+        ];
+
+        let sim = Simulation::new(scenario.clone(), ProtocolKind::Zbr, 1);
+        let sel = sim.select_for(0.1, Ftd::NEW, &cands);
+        assert_eq!(sel.receivers.len(), 1, "ZBR moves a single copy");
+        assert_eq!(sel.receivers[0].0, NodeId(1), "to the best replier");
+
+        let sim = Simulation::new(scenario.clone(), ProtocolKind::Epidemic, 1);
+        let sel = sim.select_for(0.1, Ftd::NEW, &cands);
+        assert_eq!(sel.receivers.len(), 2, "flooding takes all with space");
+
+        let sim = Simulation::new(scenario, ProtocolKind::Opt, 1);
+        let sel = sim.select_for(0.1, Ftd::NEW, &cands);
+        assert!(!sel.is_empty());
+        assert!(sel.combined_delivery > 0.9);
+    }
+
+    #[test]
+    fn tau_cache_avoids_resolving_within_the_window() {
+        let mut sim = Simulation::new(tiny(), ProtocolKind::Opt, 1);
+        let i = NodeId(0);
+        let t0 = SimTime::from_secs(100);
+        let tau1 = sim.tau_max_for(t0, i);
+        let (cached_at, cached) = sim.nodes[i.index()].cached_tau.expect("cache filled");
+        assert_eq!(cached_at, t0);
+        assert_eq!(cached, tau1);
+        // A call within the cache window returns the memo even if the
+        // table changed.
+        sim.nodes[i.index()].table.observe(NodeId(5), 0.9, t0);
+        let tau2 = sim.tau_max_for(t0 + SimDuration::from_secs(1), i);
+        assert_eq!(tau2, tau1);
+        // After the window it re-solves and refreshes the cache stamp.
+        let _ = sim.tau_max_for(t0 + SimDuration::from_secs(60), i);
+        assert_eq!(
+            sim.nodes[i.index()].cached_tau.unwrap().0,
+            t0 + SimDuration::from_secs(60)
+        );
+    }
+
+    #[test]
+    fn fixed_parameters_ignore_the_table() {
+        let mut sim = Simulation::new(tiny(), ProtocolKind::NoOpt, 1);
+        let i = NodeId(0);
+        sim.nodes[i.index()].table.observe(NodeId(5), 0.9, SimTime::ZERO);
+        let p = ProtocolParams::paper_default();
+        assert_eq!(sim.tau_max_for(SimTime::from_secs(5), i), p.tau_max_fixed_slots);
+        assert_eq!(
+            u64::from(sim.window_for(SimTime::from_secs(5), i)),
+            p.cts_window_fixed
+        );
+    }
+
+    #[test]
+    fn alternative_mobility_models_run_and_differ() {
+        use crate::params::MobilityKind;
+        let mut base = tiny();
+        base.duration_secs = 300;
+        let mut reports = Vec::new();
+        for kind in [
+            MobilityKind::ZoneBased,
+            MobilityKind::RandomWaypoint,
+            MobilityKind::RandomWalk,
+        ] {
+            let mut scenario = base.clone();
+            scenario.mobility = kind;
+            let r = Simulation::new(scenario, ProtocolKind::Opt, 5).run();
+            assert!(r.generated > 0, "{kind:?} generated nothing");
+            reports.push(r);
+        }
+        // Different contact patterns change the MAC's behaviour (node RNG
+        // streams interleave traffic and protocol draws, so even the
+        // generation counts may drift slightly).
+        assert!(
+            reports[0].frames_sent != reports[1].frames_sent
+                || reports[1].frames_sent != reports[2].frames_sent,
+            "mobility model had no effect on the MAC"
+        );
+    }
+
+    #[test]
+    fn sink_placement_is_spread_and_stationary() {
+        let scenario = ScenarioParams::paper_default().with_sinks(3);
+        let sim = Simulation::new(scenario.clone(), ProtocolKind::Opt, 1);
+        let sinks: Vec<Vec2> = (0..3)
+            .map(|j| sim.positions[scenario.sensors + j])
+            .collect();
+        // Spread: pairwise distances well above a transmission range.
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                assert!(
+                    sinks[a].distance(sinks[b]) > 30.0,
+                    "sinks {a} and {b} clumped"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delivery_happens_in_a_dense_network() {
+        // A dense, slow scenario around one sink: deliveries must occur.
+        let scenario = ScenarioParams {
+            sensors: 20,
+            sinks: 4,
+            duration_secs: 1200,
+            ..ScenarioParams::paper_default()
+        };
+        let report = Simulation::new(scenario, ProtocolKind::Opt, 11).run();
+        assert!(
+            report.delivered > 0,
+            "no deliveries: {}",
+            report.summary()
+        );
+        assert!(report.mean_delay_secs >= 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Fixed-bucket histograms for delay and queue-occupancy distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// A linear fixed-bucket histogram over `[lo, hi)` with overflow/underflow
+/// buckets.
+///
+/// # Examples
+///
+/// ```
+/// use dftmsn_metrics::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 100.0, 10);
+/// h.record(5.0);
+/// h.record(15.0);
+/// h.record(150.0); // overflow
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(1), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n` equal buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`, the bounds are not finite, or `n == 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range");
+        assert!(n > 0, "need at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Number of regular buckets.
+    #[must_use]
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The `[lo, hi)` half-open range of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bucket_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.buckets.len(), "bucket {i} out of range");
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// Records one observation (NaN counts as overflow, pessimistically).
+    pub fn record(&mut self, x: f64) {
+        if x.is_nan() || x >= self.hi {
+            self.overflow += 1;
+        } else if x < self.lo {
+            self.underflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.buckets.len() as f64;
+            let i = (((x - self.lo) / w) as usize).min(self.buckets.len() - 1);
+            self.buckets[i] += 1;
+        }
+    }
+
+    /// Count in regular bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Observations below the range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the top of the range (and NaNs).
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of observations, including under/overflow.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]` by linear interpolation inside the
+    /// containing bucket. Under/overflow observations clamp to the range
+    /// ends. Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = q * total as f64;
+        let mut seen = self.underflow as f64;
+        if target <= seen {
+            return Some(self.lo);
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let next = seen + c as f64;
+            if target <= next && c > 0 {
+                let (b_lo, b_hi) = self.bucket_range(i);
+                let frac = (target - seen) / c as f64;
+                return Some(b_lo + frac * (b_hi - b_lo));
+            }
+            seen = next;
+        }
+        Some(self.hi)
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranges or bucket counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.buckets.len() == other.buckets.len(),
+            "histogram geometry mismatch"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_correct_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(0.0);
+        h.record(1.99);
+        h.record(2.0);
+        h.record(9.99);
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(4), 1);
+    }
+
+    #[test]
+    fn out_of_range_goes_to_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(-0.1);
+        h.record(10.0);
+        h.record(f64::NAN);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() < 1.5, "median {median}");
+        assert_eq!(h.quantile(0.0).unwrap(), 0.0);
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 > 95.0);
+    }
+
+    #[test]
+    fn empty_quantile_is_none() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 10.0, 2);
+        let mut b = Histogram::new(0.0, 10.0, 2);
+        a.record(1.0);
+        b.record(1.0);
+        b.record(6.0);
+        a.merge(&b);
+        assert_eq!(a.bucket_count(0), 2);
+        assert_eq!(a.bucket_count(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(0.0, 10.0, 2);
+        let b = Histogram::new(0.0, 10.0, 3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn bucket_ranges_tile_the_domain() {
+        let h = Histogram::new(2.0, 12.0, 5);
+        let mut expected_lo = 2.0;
+        for i in 0..5 {
+            let (lo, hi) = h.bucket_range(i);
+            assert!((lo - expected_lo).abs() < 1e-12);
+            assert!((hi - lo - 2.0).abs() < 1e-12);
+            expected_lo = hi;
+        }
+    }
+}

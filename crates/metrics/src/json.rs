@@ -1,0 +1,212 @@
+//! A minimal JSON value builder and writer.
+//!
+//! The workspace deliberately avoids a JSON dependency; this module
+//! provides just enough — objects, arrays, strings, numbers, booleans,
+//! null, correct escaping — to export reports and tables for external
+//! plotting. Output is deterministic: object keys keep insertion order.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`, the common
+    /// convention).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    #[must_use]
+    pub fn object() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds (or appends) a field to an object, builder-style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_owned(), value.into())),
+            other => panic!("field() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders compact JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        let _ = write!(out, "{}", *x as i64);
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => Self::write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Self::write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_escaped(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(items: Vec<T>) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::from(true).render(), "true");
+        assert_eq!(Json::from(3u64).render(), "3");
+        assert_eq!(Json::from(3.5).render(), "3.5");
+        assert_eq!(Json::from("hi").render(), "\"hi\"");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn objects_keep_order_and_nest() {
+        let j = Json::object()
+            .field("b", 1u64)
+            .field("a", Json::from(vec![1.0, 2.0]))
+            .field("c", Json::object().field("x", "y"));
+        assert_eq!(j.render(), r#"{"b":1,"a":[1,2],"c":{"x":"y"}}"#);
+    }
+
+    #[test]
+    fn strings_escape_correctly() {
+        let j = Json::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Json::from(100.0).render(), "100");
+        assert_eq!(Json::from(0.25).render(), "0.25");
+        assert_eq!(Json::from(-2.0).render(), "-2");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let j = Json::from(vec!["x", "y"]);
+        assert_eq!(format!("{j}"), j.render());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn field_on_array_panics() {
+        let _ = Json::Arr(vec![]).field("k", 1u64);
+    }
+}

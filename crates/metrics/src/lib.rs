@@ -1,0 +1,42 @@
+//! # dftmsn-metrics — measurement substrate for the DFT-MSN reproduction
+//!
+//! Small, dependency-light building blocks for collecting and reporting
+//! simulation results:
+//!
+//! * [`stats`] — streaming mean/variance/min/max with mergeable state and
+//!   normal-approximation confidence intervals;
+//! * [`histogram`] — fixed-bucket histograms with approximate quantiles;
+//! * [`timeseries`] — monotone `(t, v)` series with step interpolation;
+//! * [`table`] — titled result tables rendered as aligned text or CSV,
+//!   the output format of every regenerated figure/table;
+//! * [`viz`] — terminal sparklines, bar charts and grid heatmaps;
+//! * [`json`] — a minimal dependency-free JSON writer for exports.
+//!
+//! # Examples
+//!
+//! ```
+//! use dftmsn_metrics::stats::RunningStats;
+//!
+//! let mut delays = RunningStats::new();
+//! for d in [120.0, 340.0, 95.0] {
+//!     delays.record(d);
+//! }
+//! println!("mean delay {:.1} ± {:.1}", delays.mean(), delays.ci95_half_width());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod json;
+pub mod stats;
+pub mod table;
+pub mod timeseries;
+pub mod viz;
+
+pub use histogram::Histogram;
+pub use json::Json;
+pub use stats::RunningStats;
+pub use table::{Cell, Table};
+pub use timeseries::TimeSeries;
+pub use viz::{bar_chart, heatmap, sparkline};

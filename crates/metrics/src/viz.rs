@@ -1,0 +1,169 @@
+//! Terminal visualizations: sparklines, horizontal bar charts and grid
+//! heatmaps — enough to eyeball a ξ gradient or a delay distribution
+//! without leaving the terminal.
+
+/// The eight-level block ramp used by sparklines and heatmaps.
+const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn level(x: f64, lo: f64, hi: f64) -> usize {
+    if !x.is_finite() || hi <= lo {
+        return 0;
+    }
+    let t = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+    ((t * (RAMP.len() - 1) as f64).round()) as usize
+}
+
+/// Renders a one-line sparkline of the values, auto-scaled to their range.
+///
+/// Empty input renders an empty string; non-finite values render as the
+/// lowest level.
+///
+/// # Examples
+///
+/// ```
+/// use dftmsn_metrics::viz::sparkline;
+///
+/// let s = sparkline(&[0.0, 0.5, 1.0]);
+/// assert_eq!(s.chars().count(), 3);
+/// assert!(s.ends_with('█'));
+/// ```
+#[must_use]
+pub fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    values.iter().map(|&v| RAMP[level(v, lo, hi)]).collect()
+}
+
+/// Renders labelled horizontal bars, scaled so the largest value spans
+/// `width` characters. Values must be non-negative; the numeric value is
+/// appended after each bar.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or any value is negative/non-finite.
+#[must_use]
+pub fn bar_chart(rows: &[(&str, f64)], width: usize) -> String {
+    assert!(width > 0, "width must be positive");
+    assert!(
+        rows.iter().all(|&(_, v)| v.is_finite() && v >= 0.0),
+        "bar values must be non-negative"
+    );
+    let max = rows.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let mut out = String::new();
+    for &(label, v) in rows {
+        let n = if max > 0.0 {
+            ((v / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$}  {}{} {v:.3}\n",
+            "█".repeat(n),
+            " ".repeat(width - n)
+        ));
+    }
+    out
+}
+
+/// Renders a row-major grid of values as a block heatmap, auto-scaled;
+/// row 0 is printed at the bottom (matching map coordinates where y grows
+/// upward).
+///
+/// # Panics
+///
+/// Panics if `cols == 0` or `values.len()` is not a multiple of `cols`.
+#[must_use]
+pub fn heatmap(values: &[f64], cols: usize) -> String {
+    assert!(cols > 0, "cols must be positive");
+    assert!(
+        values.len() % cols == 0,
+        "value count {} not a multiple of {} columns",
+        values.len(),
+        cols
+    );
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let rows = values.len() / cols;
+    let mut out = String::new();
+    for r in (0..rows).rev() {
+        for c in 0..cols {
+            let ch = RAMP[level(values[r * cols + c], lo, hi)];
+            out.push(ch);
+            out.push(ch); // double width ≈ square cells
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_spans_the_ramp() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+    }
+
+    #[test]
+    fn sparkline_of_constants_is_flat() {
+        let s = sparkline(&[3.0, 3.0, 3.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert!(chars.iter().all(|&c| c == chars[0]));
+    }
+
+    #[test]
+    fn sparkline_handles_empty_and_nan() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[f64::NAN, 1.0, 2.0]);
+        assert_eq!(s.chars().count(), 3);
+    }
+
+    #[test]
+    fn bars_scale_to_width() {
+        let chart = bar_chart(&[("a", 10.0), ("bb", 5.0)], 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].matches('█').count(), 10);
+        assert_eq!(lines[1].matches('█').count(), 5);
+        assert!(lines[0].contains("10.000"));
+    }
+
+    #[test]
+    fn zero_bars_render_empty() {
+        let chart = bar_chart(&[("x", 0.0)], 8);
+        assert_eq!(chart.lines().next().unwrap().matches('█').count(), 0);
+    }
+
+    #[test]
+    fn heatmap_dimensions() {
+        let vals: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let map = heatmap(&vals, 4);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.chars().count() == 8));
+        // The largest value (index 11, top row) renders full blocks on the
+        // first printed line.
+        assert!(lines[0].ends_with("██"));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn ragged_heatmap_panics() {
+        let _ = heatmap(&[1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_bars_panic() {
+        let _ = bar_chart(&[("x", -1.0)], 5);
+    }
+}

@@ -1,0 +1,203 @@
+//! A uniform spatial hash grid for neighbour queries.
+//!
+//! The medium needs "who is within transmission range of node *i*" on every
+//! frame transmission. A brute-force scan is O(n) per query; the
+//! [`SpatialGrid`] buckets positions into cells of the query radius so a
+//! query touches at most nine cells.
+
+use crate::geom::{Bounds, Vec2};
+
+/// A rebuildable uniform grid over node positions.
+///
+/// # Examples
+///
+/// ```
+/// use dftmsn_mobility::geom::{Bounds, Vec2};
+/// use dftmsn_mobility::grid_index::SpatialGrid;
+///
+/// let positions = vec![Vec2::new(1.0, 1.0), Vec2::new(2.0, 2.0), Vec2::new(90.0, 90.0)];
+/// let mut grid = SpatialGrid::new(Bounds::new(100.0, 100.0), 10.0);
+/// grid.rebuild(&positions);
+/// let mut out = Vec::new();
+/// grid.query_within(&positions, 0, 10.0, &mut out);
+/// assert_eq!(out, vec![1]); // node 2 is far away; the centre itself is excluded
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    area: Bounds,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    /// `buckets[cell]` lists the node indices inside that cell.
+    buckets: Vec<Vec<usize>>,
+    /// Cached cell index per node from the last `rebuild`.
+    node_cell: Vec<usize>,
+}
+
+impl SpatialGrid {
+    /// Creates a grid over `area` with cells of side `cell` metres.
+    ///
+    /// For correct `query_within(..., r, ...)` results `r` must be ≤ `cell`;
+    /// the query asserts this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not positive and finite.
+    #[must_use]
+    pub fn new(area: Bounds, cell: f64) -> Self {
+        assert!(cell.is_finite() && cell > 0.0, "invalid cell size {cell}");
+        let cols = (area.width() / cell).ceil().max(1.0) as usize;
+        let rows = (area.height() / cell).ceil().max(1.0) as usize;
+        SpatialGrid {
+            area,
+            cell,
+            cols,
+            rows,
+            buckets: vec![Vec::new(); cols * rows],
+            node_cell: Vec::new(),
+        }
+    }
+
+    fn cell_of(&self, p: Vec2) -> usize {
+        let cx = (((p.x - self.area.x0) / self.cell) as isize).clamp(0, self.cols as isize - 1);
+        let cy = (((p.y - self.area.y0) / self.cell) as isize).clamp(0, self.rows as isize - 1);
+        cy as usize * self.cols + cx as usize
+    }
+
+    /// Rebuilds the index from scratch for the given positions.
+    pub fn rebuild(&mut self, positions: &[Vec2]) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.node_cell.clear();
+        self.node_cell.reserve(positions.len());
+        for (i, &p) in positions.iter().enumerate() {
+            let c = self.cell_of(p);
+            self.buckets[c].push(i);
+            self.node_cell.push(c);
+        }
+    }
+
+    /// Collects into `out` the indices of all nodes within distance `r` of
+    /// node `center` (excluding `center` itself), in ascending index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` exceeds the cell size (the 3×3 neighbourhood would
+    /// miss nodes), if `center` is out of range, or if the index is stale
+    /// (fewer indexed nodes than `positions`).
+    pub fn query_within(
+        &self,
+        positions: &[Vec2],
+        center: usize,
+        r: f64,
+        out: &mut Vec<usize>,
+    ) {
+        assert!(r <= self.cell + 1e-9, "query radius {r} exceeds cell {}", self.cell);
+        assert!(
+            self.node_cell.len() == positions.len(),
+            "index built for {} nodes, queried with {}",
+            self.node_cell.len(),
+            positions.len()
+        );
+        out.clear();
+        let p = positions[center];
+        let c = self.node_cell[center];
+        let cx = (c % self.cols) as isize;
+        let cy = (c / self.cols) as isize;
+        let r2 = r * r;
+        for dy in -1..=1 {
+            let ny = cy + dy;
+            if ny < 0 || ny >= self.rows as isize {
+                continue;
+            }
+            for dx in -1..=1 {
+                let nx = cx + dx;
+                if nx < 0 || nx >= self.cols as isize {
+                    continue;
+                }
+                let bucket = &self.buckets[ny as usize * self.cols + nx as usize];
+                for &j in bucket {
+                    if j != center && positions[j].distance_sq(p) <= r2 {
+                        out.push(j);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftmsn_sim::rng::SimRng;
+
+    fn brute_force(positions: &[Vec2], center: usize, r: f64) -> Vec<usize> {
+        let p = positions[center];
+        (0..positions.len())
+            .filter(|&j| j != center && positions[j].distance(p) <= r)
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_layouts() {
+        let mut rng = SimRng::seed_from(11);
+        let area = Bounds::new(150.0, 150.0);
+        for trial in 0..20 {
+            let n = 50 + trial;
+            let positions: Vec<Vec2> = (0..n)
+                .map(|_| Vec2::new(rng.gen_range_f64(0.0, 150.0), rng.gen_range_f64(0.0, 150.0)))
+                .collect();
+            let mut grid = SpatialGrid::new(area, 10.0);
+            grid.rebuild(&positions);
+            let mut out = Vec::new();
+            for i in 0..n {
+                grid.query_within(&positions, i, 10.0, &mut out);
+                assert_eq!(out, brute_force(&positions, i, 10.0), "node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_positions_are_indexed() {
+        let area = Bounds::new(100.0, 100.0);
+        let positions = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(100.0, 100.0),
+            Vec2::new(99.0, 99.5),
+        ];
+        let mut grid = SpatialGrid::new(area, 10.0);
+        grid.rebuild(&positions);
+        let mut out = Vec::new();
+        grid.query_within(&positions, 1, 10.0, &mut out);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn empty_rebuild_is_fine() {
+        let mut grid = SpatialGrid::new(Bounds::new(10.0, 10.0), 10.0);
+        grid.rebuild(&[]);
+        // No nodes, nothing to query; just ensure no panic on rebuild.
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cell")]
+    fn oversized_radius_panics() {
+        let positions = vec![Vec2::ZERO, Vec2::new(1.0, 1.0)];
+        let mut grid = SpatialGrid::new(Bounds::new(10.0, 10.0), 2.0);
+        grid.rebuild(&positions);
+        let mut out = Vec::new();
+        grid.query_within(&positions, 0, 5.0, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "index built for")]
+    fn stale_index_panics() {
+        let positions = vec![Vec2::ZERO, Vec2::new(1.0, 1.0)];
+        let mut grid = SpatialGrid::new(Bounds::new(10.0, 10.0), 5.0);
+        grid.rebuild(&positions[..1]);
+        let mut out = Vec::new();
+        grid.query_within(&positions, 0, 5.0, &mut out);
+    }
+}

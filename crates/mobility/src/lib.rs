@@ -1,0 +1,42 @@
+//! # dftmsn-mobility — mobility substrate for the DFT-MSN reproduction
+//!
+//! Node movement is what creates (and breaks) communication opportunities
+//! in a DFT-MSN, so the mobility model is a first-class substrate:
+//!
+//! * [`geom`] — planar points/vectors and reflecting rectangular bounds;
+//! * [`zones`] — the paper's zone grid over the deployment area;
+//! * [`models`] — the paper's [`ZoneMobility`](models::ZoneMobility) model
+//!   plus [`RandomWaypoint`](models::RandomWaypoint),
+//!   [`RandomWalk`](models::RandomWalk) and
+//!   [`Stationary`](models::Stationary) for sensitivity studies;
+//! * [`grid_index`] — a spatial hash grid for O(1)-ish range queries;
+//! * [`trace`] — trace-replay mobility and pairwise contact extraction.
+//!
+//! # Examples
+//!
+//! ```
+//! use dftmsn_mobility::geom::Bounds;
+//! use dftmsn_mobility::models::{MobilityModel, ZoneMobility};
+//! use dftmsn_mobility::zones::{ZoneGrid, ZoneId};
+//! use dftmsn_sim::rng::SimRng;
+//!
+//! let grid = ZoneGrid::new(Bounds::new(150.0, 150.0), 5, 5);
+//! let mut rng = SimRng::seed_from(7);
+//! let mut node = ZoneMobility::new(grid, ZoneId(0), 0.0, 5.0, 0.2, &mut rng);
+//! node.advance(0.5, &mut rng);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod geom;
+pub mod grid_index;
+pub mod models;
+pub mod trace;
+pub mod zones;
+
+pub use geom::{Bounds, Vec2};
+pub use grid_index::SpatialGrid;
+pub use models::{MobilityModel, RandomWalk, RandomWaypoint, Stationary, ZoneMobility};
+pub use trace::{extract_contacts, Contact, TraceMobility};
+pub use zones::{ZoneGrid, ZoneId};

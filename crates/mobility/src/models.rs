@@ -1,0 +1,505 @@
+//! Mobility models.
+//!
+//! The paper's evaluation uses a **zone-based** model ([`ZoneMobility`]):
+//! each sensor has a home zone, moves with a uniformly random speed, bounces
+//! back from its current zone's boundary with probability 80% (crosses with
+//! 20%), and always crosses a boundary leading back into its home zone.
+//! [`RandomWaypoint`], [`RandomWalk`] and [`Stationary`] are provided for
+//! sensitivity studies and tests.
+//!
+//! Models advance in discrete ticks: the simulation calls
+//! [`MobilityModel::advance`] with a small `dt` (0.5 s by default) and reads
+//! back the position. All randomness comes from the caller-supplied
+//! [`SimRng`], keeping runs deterministic.
+
+use crate::geom::{Bounds, Vec2};
+use crate::zones::{ZoneGrid, ZoneId};
+use dftmsn_sim::rng::SimRng;
+
+/// A point process generating node positions over time.
+///
+/// Implementations must keep the position inside the model's area at all
+/// times.
+pub trait MobilityModel: std::fmt::Debug + Send {
+    /// The current position.
+    fn position(&self) -> Vec2;
+
+    /// Advances the model by `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `dt` is not a positive finite number.
+    fn advance(&mut self, dt: f64, rng: &mut SimRng);
+}
+
+fn assert_dt(dt: f64) {
+    assert!(dt.is_finite() && dt > 0.0, "dt must be positive, got {dt}");
+}
+
+/// The paper's zone-based mobility model (Sec. 5).
+///
+/// # Examples
+///
+/// ```
+/// use dftmsn_mobility::geom::Bounds;
+/// use dftmsn_mobility::models::{MobilityModel, ZoneMobility};
+/// use dftmsn_mobility::zones::{ZoneGrid, ZoneId};
+/// use dftmsn_sim::rng::SimRng;
+///
+/// let grid = ZoneGrid::new(Bounds::new(150.0, 150.0), 5, 5);
+/// let mut rng = SimRng::seed_from(1);
+/// let mut m = ZoneMobility::new(grid.clone(), ZoneId(12), 0.0, 5.0, 0.2, &mut rng);
+/// for _ in 0..100 {
+///     m.advance(0.5, &mut rng);
+///     assert!(grid.area().contains(m.position()));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZoneMobility {
+    grid: ZoneGrid,
+    home: ZoneId,
+    pos: Vec2,
+    dir: Vec2,
+    speed: f64,
+    v_min: f64,
+    v_max: f64,
+    exit_prob: f64,
+    /// Seconds left on the current straight-line leg before the node
+    /// re-draws its heading and speed.
+    leg_remaining: f64,
+}
+
+impl ZoneMobility {
+    /// Mean straight-line leg duration before re-drawing heading/speed (s).
+    const MEAN_LEG_SECS: f64 = 20.0;
+
+    /// Creates a node homed in zone `home`, placed uniformly inside it.
+    ///
+    /// `exit_prob` is the probability of crossing a non-home zone boundary
+    /// (the paper uses 0.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the speed range is invalid or `exit_prob` is outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn new(
+        grid: ZoneGrid,
+        home: ZoneId,
+        v_min: f64,
+        v_max: f64,
+        exit_prob: f64,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(
+            v_min >= 0.0 && v_max >= v_min && v_max.is_finite(),
+            "invalid speed range [{v_min}, {v_max}]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&exit_prob),
+            "exit_prob must be a probability, got {exit_prob}"
+        );
+        let zb = grid.zone_bounds(home);
+        let pos = Vec2::new(
+            rng.gen_range_f64(zb.x0, zb.x1),
+            rng.gen_range_f64(zb.y0, zb.y1),
+        );
+        let mut m = ZoneMobility {
+            grid,
+            home,
+            pos,
+            dir: Vec2::new(1.0, 0.0),
+            speed: 0.0,
+            v_min,
+            v_max,
+            exit_prob,
+            leg_remaining: 0.0,
+        };
+        m.redraw_leg(rng);
+        m
+    }
+
+    /// The node's home zone.
+    #[must_use]
+    pub fn home_zone(&self) -> ZoneId {
+        self.home
+    }
+
+    /// The zone currently containing the node.
+    #[must_use]
+    pub fn current_zone(&self) -> ZoneId {
+        self.grid.zone_of(self.pos)
+    }
+
+    fn redraw_leg(&mut self, rng: &mut SimRng) {
+        self.dir = Vec2::from_angle(rng.gen_range_f64(0.0, std::f64::consts::TAU));
+        self.speed = rng.gen_range_f64(self.v_min, self.v_max);
+        self.leg_remaining = rng.gen_exp(Self::MEAN_LEG_SECS);
+    }
+}
+
+impl MobilityModel for ZoneMobility {
+    fn position(&self) -> Vec2 {
+        self.pos
+    }
+
+    fn advance(&mut self, dt: f64, rng: &mut SimRng) {
+        assert_dt(dt);
+        self.leg_remaining -= dt;
+        if self.leg_remaining <= 0.0 {
+            self.redraw_leg(rng);
+        }
+
+        let tentative = self.pos + self.dir * (self.speed * dt);
+        // Reflect off the outer area first: walls are always hard.
+        let (tentative, dir) = self.grid.area().reflect(tentative, self.dir);
+        self.dir = dir;
+
+        let cur = self.grid.zone_of(self.pos);
+        let nxt = self.grid.zone_of(tentative);
+        if nxt == cur {
+            self.pos = tentative;
+            return;
+        }
+        // Reached a zone boundary: cross into the home zone with probability
+        // 1, otherwise cross with `exit_prob` and bounce back with the
+        // complement (paper Sec. 5).
+        let crosses = nxt == self.home || rng.gen_bool(self.exit_prob);
+        if crosses {
+            self.pos = tentative;
+        } else {
+            let (p, d) = self.grid.zone_bounds(cur).reflect(tentative, self.dir);
+            self.pos = p;
+            self.dir = d;
+        }
+    }
+}
+
+/// Classic random-waypoint mobility over a rectangular area.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    area: Bounds,
+    pos: Vec2,
+    target: Vec2,
+    speed: f64,
+    v_min: f64,
+    v_max: f64,
+    pause_remaining: f64,
+    max_pause: f64,
+}
+
+impl RandomWaypoint {
+    /// Creates a walker at a uniformly random position.
+    ///
+    /// `max_pause` is the upper bound of the uniformly distributed pause at
+    /// each waypoint (0 for no pauses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the speed range is invalid (`v_min` must be positive so a
+    /// leg always finishes) or `max_pause` is negative.
+    #[must_use]
+    pub fn new(area: Bounds, v_min: f64, v_max: f64, max_pause: f64, rng: &mut SimRng) -> Self {
+        assert!(
+            v_min > 0.0 && v_max >= v_min && v_max.is_finite(),
+            "invalid speed range [{v_min}, {v_max}]"
+        );
+        assert!(max_pause >= 0.0, "negative pause bound");
+        let pos = Vec2::new(
+            rng.gen_range_f64(area.x0, area.x1),
+            rng.gen_range_f64(area.y0, area.y1),
+        );
+        let mut w = RandomWaypoint {
+            area,
+            pos,
+            target: pos,
+            speed: v_min,
+            v_min,
+            v_max,
+            pause_remaining: 0.0,
+            max_pause,
+        };
+        w.pick_waypoint(rng);
+        w
+    }
+
+    fn pick_waypoint(&mut self, rng: &mut SimRng) {
+        self.target = Vec2::new(
+            rng.gen_range_f64(self.area.x0, self.area.x1),
+            rng.gen_range_f64(self.area.y0, self.area.y1),
+        );
+        self.speed = rng.gen_range_f64(self.v_min, self.v_max);
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn position(&self) -> Vec2 {
+        self.pos
+    }
+
+    fn advance(&mut self, dt: f64, rng: &mut SimRng) {
+        assert_dt(dt);
+        let mut budget = dt;
+        if self.pause_remaining > 0.0 {
+            let used = self.pause_remaining.min(budget);
+            self.pause_remaining -= used;
+            budget -= used;
+            if budget <= 0.0 {
+                return;
+            }
+        }
+        while budget > 0.0 {
+            let to_target = self.target - self.pos;
+            let dist = to_target.length();
+            let reach = self.speed * budget;
+            if reach < dist {
+                self.pos += to_target.normalized() * reach;
+                return;
+            }
+            // Arrive, pause, then head for a fresh waypoint.
+            self.pos = self.target;
+            budget -= if self.speed > 0.0 { dist / self.speed } else { budget };
+            self.pick_waypoint(rng);
+            if self.max_pause > 0.0 {
+                self.pause_remaining = rng.gen_range_f64(0.0, self.max_pause);
+                let used = self.pause_remaining.min(budget.max(0.0));
+                self.pause_remaining -= used;
+                budget -= used;
+            }
+        }
+    }
+}
+
+/// Random-walk (random direction) mobility: straight legs with reflection
+/// at the area boundary and a fresh heading each epoch.
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    area: Bounds,
+    pos: Vec2,
+    dir: Vec2,
+    speed: f64,
+    v_min: f64,
+    v_max: f64,
+    epoch: f64,
+    epoch_remaining: f64,
+}
+
+impl RandomWalk {
+    /// Creates a walker at a uniformly random position with legs of
+    /// `epoch` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the speed range or `epoch` is invalid.
+    #[must_use]
+    pub fn new(area: Bounds, v_min: f64, v_max: f64, epoch: f64, rng: &mut SimRng) -> Self {
+        assert!(
+            v_min >= 0.0 && v_max >= v_min && v_max.is_finite(),
+            "invalid speed range [{v_min}, {v_max}]"
+        );
+        assert!(epoch > 0.0 && epoch.is_finite(), "invalid epoch {epoch}");
+        let pos = Vec2::new(
+            rng.gen_range_f64(area.x0, area.x1),
+            rng.gen_range_f64(area.y0, area.y1),
+        );
+        let mut w = RandomWalk {
+            area,
+            pos,
+            dir: Vec2::new(1.0, 0.0),
+            speed: 0.0,
+            v_min,
+            v_max,
+            epoch,
+            epoch_remaining: 0.0,
+        };
+        w.redraw(rng);
+        w
+    }
+
+    fn redraw(&mut self, rng: &mut SimRng) {
+        self.dir = Vec2::from_angle(rng.gen_range_f64(0.0, std::f64::consts::TAU));
+        self.speed = rng.gen_range_f64(self.v_min, self.v_max);
+        self.epoch_remaining = self.epoch;
+    }
+}
+
+impl MobilityModel for RandomWalk {
+    fn position(&self) -> Vec2 {
+        self.pos
+    }
+
+    fn advance(&mut self, dt: f64, rng: &mut SimRng) {
+        assert_dt(dt);
+        self.epoch_remaining -= dt;
+        if self.epoch_remaining <= 0.0 {
+            self.redraw(rng);
+        }
+        let tentative = self.pos + self.dir * (self.speed * dt);
+        let (p, d) = self.area.reflect(tentative, self.dir);
+        self.pos = p;
+        self.dir = d;
+    }
+}
+
+/// A node that never moves (sinks at strategic locations, anchors in tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stationary {
+    pos: Vec2,
+}
+
+impl Stationary {
+    /// Creates a fixed node at `pos`.
+    #[must_use]
+    pub const fn new(pos: Vec2) -> Self {
+        Stationary { pos }
+    }
+}
+
+impl MobilityModel for Stationary {
+    fn position(&self) -> Vec2 {
+        self.pos
+    }
+
+    fn advance(&mut self, _dt: f64, _rng: &mut SimRng) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> ZoneGrid {
+        ZoneGrid::new(Bounds::new(150.0, 150.0), 5, 5)
+    }
+
+    #[test]
+    fn zone_mobility_starts_in_home_zone() {
+        let mut rng = SimRng::seed_from(1);
+        for zone in 0..25 {
+            let m = ZoneMobility::new(grid(), ZoneId(zone), 0.0, 5.0, 0.2, &mut rng);
+            assert_eq!(m.current_zone(), ZoneId(zone));
+        }
+    }
+
+    #[test]
+    fn zone_mobility_stays_in_area() {
+        let mut rng = SimRng::seed_from(2);
+        let g = grid();
+        let mut m = ZoneMobility::new(g.clone(), ZoneId(0), 0.0, 5.0, 0.2, &mut rng);
+        for _ in 0..20_000 {
+            m.advance(0.5, &mut rng);
+            assert!(g.area().contains(m.position()), "escaped at {}", m.position());
+        }
+    }
+
+    #[test]
+    fn zero_exit_probability_pins_node_to_home_zone() {
+        let mut rng = SimRng::seed_from(3);
+        let mut m = ZoneMobility::new(grid(), ZoneId(12), 1.0, 5.0, 0.0, &mut rng);
+        for _ in 0..5_000 {
+            m.advance(0.5, &mut rng);
+            assert_eq!(m.current_zone(), ZoneId(12));
+        }
+    }
+
+    #[test]
+    fn unit_exit_probability_lets_node_roam() {
+        let mut rng = SimRng::seed_from(4);
+        let mut m = ZoneMobility::new(grid(), ZoneId(12), 2.0, 5.0, 1.0, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            m.advance(0.5, &mut rng);
+            seen.insert(m.current_zone());
+        }
+        assert!(seen.len() > 5, "only visited {} zones", seen.len());
+    }
+
+    #[test]
+    fn home_bias_keeps_node_near_home() {
+        // With a 20% exit probability the node should spend far more time
+        // in its home zone than the uniform share (1/25 = 4%).
+        let mut rng = SimRng::seed_from(5);
+        let mut m = ZoneMobility::new(grid(), ZoneId(12), 0.0, 5.0, 0.2, &mut rng);
+        let mut at_home = 0usize;
+        let steps = 40_000;
+        for _ in 0..steps {
+            m.advance(0.5, &mut rng);
+            if m.current_zone() == ZoneId(12) {
+                at_home += 1;
+            }
+        }
+        let frac = at_home as f64 / steps as f64;
+        assert!(frac > 0.10, "home fraction only {frac:.3}");
+    }
+
+    #[test]
+    fn waypoint_reaches_targets_and_stays_in_bounds() {
+        let mut rng = SimRng::seed_from(6);
+        let area = Bounds::new(100.0, 100.0);
+        let mut m = RandomWaypoint::new(area, 1.0, 5.0, 2.0, &mut rng);
+        let start = m.position();
+        for _ in 0..10_000 {
+            m.advance(0.5, &mut rng);
+            assert!(area.contains(m.position()));
+        }
+        assert!(m.position().distance(start) > 0.0 || start == m.position());
+    }
+
+    #[test]
+    fn waypoint_moves_on_average() {
+        let mut rng = SimRng::seed_from(7);
+        let area = Bounds::new(100.0, 100.0);
+        let mut m = RandomWaypoint::new(area, 2.0, 5.0, 0.0, &mut rng);
+        let mut moved = 0.0;
+        let mut last = m.position();
+        for _ in 0..1_000 {
+            m.advance(1.0, &mut rng);
+            moved += m.position().distance(last);
+            last = m.position();
+        }
+        assert!(moved > 1_000.0, "moved only {moved:.1} m");
+    }
+
+    #[test]
+    fn random_walk_stays_in_bounds() {
+        let mut rng = SimRng::seed_from(8);
+        let area = Bounds::new(50.0, 80.0);
+        let mut m = RandomWalk::new(area, 0.0, 10.0, 10.0, &mut rng);
+        for _ in 0..20_000 {
+            m.advance(0.5, &mut rng);
+            assert!(area.contains(m.position()));
+        }
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let mut rng = SimRng::seed_from(9);
+        let p = Vec2::new(7.0, 7.0);
+        let mut m = Stationary::new(p);
+        for _ in 0..100 {
+            m.advance(10.0, &mut rng);
+        }
+        assert_eq!(m.position(), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn non_positive_dt_panics() {
+        let mut rng = SimRng::seed_from(10);
+        let mut m = RandomWalk::new(Bounds::new(10.0, 10.0), 0.0, 1.0, 5.0, &mut rng);
+        m.advance(0.0, &mut rng);
+    }
+
+    #[test]
+    fn models_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut rng = SimRng::seed_from(seed);
+            let mut m = ZoneMobility::new(grid(), ZoneId(3), 0.0, 5.0, 0.2, &mut rng);
+            for _ in 0..500 {
+                m.advance(0.5, &mut rng);
+            }
+            m.position()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -1,0 +1,301 @@
+//! Trace-driven mobility and contact extraction.
+//!
+//! [`TraceMobility`] replays a recorded waypoint track (piecewise-linear
+//! interpolation), which lets the simulator run on measured human-mobility
+//! traces instead of synthetic models. [`extract_contacts`] derives the
+//! contact log — the `(pair, start, end)` intervals two nodes spend within
+//! range — which is the standard DTN-evaluation artefact.
+
+use crate::geom::Vec2;
+use crate::models::MobilityModel;
+use dftmsn_sim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A mobility model replaying `(t_secs, position)` waypoints with linear
+/// interpolation; the node holds its last position after the final
+/// waypoint.
+///
+/// # Examples
+///
+/// ```
+/// use dftmsn_mobility::geom::Vec2;
+/// use dftmsn_mobility::models::MobilityModel;
+/// use dftmsn_mobility::trace::TraceMobility;
+/// use dftmsn_sim::rng::SimRng;
+///
+/// let mut m = TraceMobility::new(vec![
+///     (0.0, Vec2::new(0.0, 0.0)),
+///     (10.0, Vec2::new(10.0, 0.0)),
+/// ]);
+/// let mut rng = SimRng::seed_from(1);
+/// m.advance(5.0, &mut rng);
+/// assert_eq!(m.position(), Vec2::new(5.0, 0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceMobility {
+    waypoints: Vec<(f64, Vec2)>,
+    now: f64,
+}
+
+impl TraceMobility {
+    /// Creates a replayer from waypoints sorted by time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waypoints` is empty or timestamps are not
+    /// non-decreasing and finite.
+    #[must_use]
+    pub fn new(waypoints: Vec<(f64, Vec2)>) -> Self {
+        assert!(!waypoints.is_empty(), "a trace needs at least one waypoint");
+        assert!(
+            waypoints.iter().all(|(t, _)| t.is_finite()),
+            "non-finite waypoint time"
+        );
+        assert!(
+            waypoints.windows(2).all(|w| w[0].0 <= w[1].0),
+            "waypoints must be sorted by time"
+        );
+        let start = waypoints[0].0;
+        TraceMobility {
+            waypoints,
+            now: start,
+        }
+    }
+
+    /// The replay clock (seconds in trace time).
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    fn position_at(&self, t: f64) -> Vec2 {
+        let wps = &self.waypoints;
+        if t <= wps[0].0 {
+            return wps[0].1;
+        }
+        if t >= wps[wps.len() - 1].0 {
+            return wps[wps.len() - 1].1;
+        }
+        let i = wps.partition_point(|&(wt, _)| wt <= t);
+        let (t0, p0) = wps[i - 1];
+        let (t1, p1) = wps[i];
+        if t1 <= t0 {
+            return p1;
+        }
+        let f = (t - t0) / (t1 - t0);
+        p0 + (p1 - p0) * f
+    }
+}
+
+impl MobilityModel for TraceMobility {
+    fn position(&self) -> Vec2 {
+        self.position_at(self.now)
+    }
+
+    fn advance(&mut self, dt: f64, _rng: &mut SimRng) {
+        assert!(dt.is_finite() && dt > 0.0, "dt must be positive, got {dt}");
+        self.now += dt;
+    }
+}
+
+/// One contact: nodes `a < b` were within range from `start` to `end`
+/// (trace seconds; `end` is exclusive and aligned to the sampling step).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Contact {
+    /// Lower node index.
+    pub a: usize,
+    /// Higher node index.
+    pub b: usize,
+    /// Contact start (s).
+    pub start: f64,
+    /// Contact end (s).
+    pub end: f64,
+}
+
+impl Contact {
+    /// Contact duration (s).
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Samples a set of mobility models every `dt` seconds for `duration`
+/// seconds and extracts the pairwise contact log at transmission range
+/// `range`.
+///
+/// Contacts open at the first sample two nodes are within range and close
+/// at the first sample they are not; contacts still open at the end are
+/// closed at `duration`.
+///
+/// # Panics
+///
+/// Panics if `dt` or `duration` is not positive, or `range` is negative.
+pub fn extract_contacts(
+    models: &mut [Box<dyn MobilityModel>],
+    range: f64,
+    duration: f64,
+    dt: f64,
+    rng: &mut SimRng,
+) -> Vec<Contact> {
+    assert!(dt > 0.0 && duration > 0.0, "dt and duration must be positive");
+    assert!(range >= 0.0, "negative range");
+    let n = models.len();
+    let mut open: Vec<Vec<Option<f64>>> = vec![vec![None; n]; n];
+    let mut contacts = Vec::new();
+    let steps = (duration / dt).ceil() as u64;
+    let mut positions: Vec<Vec2> = models.iter().map(|m| m.position()).collect();
+    let r2 = range * range;
+    for step in 0..=steps {
+        let t = step as f64 * dt;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let within = positions[a].distance_sq(positions[b]) <= r2;
+                match (open[a][b], within) {
+                    (None, true) => open[a][b] = Some(t),
+                    (Some(start), false) => {
+                        contacts.push(Contact { a, b, start, end: t });
+                        open[a][b] = None;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if step < steps {
+            for (m, p) in models.iter_mut().zip(positions.iter_mut()) {
+                m.advance(dt, rng);
+                *p = m.position();
+            }
+        }
+    }
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if let Some(start) = open[a][b] {
+                contacts.push(Contact {
+                    a,
+                    b,
+                    start,
+                    end: duration,
+                });
+            }
+        }
+    }
+    contacts.sort_by(|x, y| {
+        x.start
+            .partial_cmp(&y.start)
+            .expect("finite times")
+            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+    });
+    contacts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Bounds;
+    use crate::models::Stationary;
+    use crate::zones::{ZoneGrid, ZoneId};
+    use crate::ZoneMobility;
+
+    #[test]
+    fn trace_interpolates_linearly() {
+        let m = TraceMobility::new(vec![
+            (0.0, Vec2::new(0.0, 0.0)),
+            (10.0, Vec2::new(20.0, 10.0)),
+            (20.0, Vec2::new(20.0, 10.0)),
+        ]);
+        assert_eq!(m.position_at(0.0), Vec2::new(0.0, 0.0));
+        assert_eq!(m.position_at(5.0), Vec2::new(10.0, 5.0));
+        assert_eq!(m.position_at(15.0), Vec2::new(20.0, 10.0));
+        assert_eq!(m.position_at(99.0), Vec2::new(20.0, 10.0));
+    }
+
+    #[test]
+    fn trace_holds_before_first_waypoint() {
+        let m = TraceMobility::new(vec![(5.0, Vec2::new(3.0, 3.0))]);
+        assert_eq!(m.position_at(0.0), Vec2::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn advance_moves_the_replay_clock() {
+        let mut m = TraceMobility::new(vec![
+            (0.0, Vec2::new(0.0, 0.0)),
+            (10.0, Vec2::new(10.0, 0.0)),
+        ]);
+        let mut rng = SimRng::seed_from(1);
+        m.advance(2.5, &mut rng);
+        m.advance(2.5, &mut rng);
+        assert_eq!(m.position(), Vec2::new(5.0, 0.0));
+        assert_eq!(m.now(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by time")]
+    fn unsorted_waypoints_panic() {
+        let _ = TraceMobility::new(vec![
+            (5.0, Vec2::ZERO),
+            (1.0, Vec2::new(1.0, 1.0)),
+        ]);
+    }
+
+    #[test]
+    fn contacts_of_crossing_traces() {
+        // Node 1 walks past stationary node 0: one contact while within
+        // 10 m of it.
+        let mut models: Vec<Box<dyn MobilityModel>> = vec![
+            Box::new(Stationary::new(Vec2::new(50.0, 0.0))),
+            Box::new(TraceMobility::new(vec![
+                (0.0, Vec2::new(0.0, 0.0)),
+                (100.0, Vec2::new(100.0, 0.0)), // 1 m/s
+            ])),
+        ];
+        let mut rng = SimRng::seed_from(1);
+        let contacts = extract_contacts(&mut models, 10.0, 100.0, 1.0, &mut rng);
+        assert_eq!(contacts.len(), 1);
+        let c = contacts[0];
+        assert_eq!((c.a, c.b), (0, 1));
+        // Within range from x=40 (t=40) to x=60 (t=60); sampling grid may
+        // shift the edges by one step.
+        assert!((c.start - 40.0).abs() <= 1.0, "start {}", c.start);
+        assert!((c.end - 61.0).abs() <= 1.0, "end {}", c.end);
+        assert!(c.duration() > 15.0);
+    }
+
+    #[test]
+    fn contacts_open_at_end_are_closed() {
+        let mut models: Vec<Box<dyn MobilityModel>> = vec![
+            Box::new(Stationary::new(Vec2::new(0.0, 0.0))),
+            Box::new(Stationary::new(Vec2::new(5.0, 0.0))),
+        ];
+        let mut rng = SimRng::seed_from(1);
+        let contacts = extract_contacts(&mut models, 10.0, 50.0, 1.0, &mut rng);
+        assert_eq!(contacts.len(), 1);
+        assert_eq!(contacts[0].start, 0.0);
+        assert_eq!(contacts[0].end, 50.0);
+    }
+
+    #[test]
+    fn zone_mobility_contact_log_is_plausible() {
+        let grid = ZoneGrid::new(Bounds::new(150.0, 150.0), 5, 5);
+        let mut rng = SimRng::seed_from(9);
+        let mut models: Vec<Box<dyn MobilityModel>> = (0..20)
+            .map(|i| {
+                Box::new(ZoneMobility::new(
+                    grid.clone(),
+                    ZoneId(i % 25),
+                    0.5,
+                    5.0,
+                    0.2,
+                    &mut rng,
+                )) as Box<dyn MobilityModel>
+            })
+            .collect();
+        let contacts = extract_contacts(&mut models, 10.0, 2_000.0, 0.5, &mut rng);
+        assert!(!contacts.is_empty(), "20 nodes over 2000 s must meet");
+        for c in &contacts {
+            assert!(c.a < c.b);
+            assert!(c.duration() > 0.0);
+            assert!(c.end <= 2_000.0);
+        }
+    }
+}

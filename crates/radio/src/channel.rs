@@ -1,0 +1,96 @@
+//! Channel parameters and frame airtime.
+//!
+//! The paper's setup uses a 10 kbps shared channel, 1000-bit data messages,
+//! 50-bit control packets and a 10 m maximum transmission range.
+
+use dftmsn_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of the shared wireless channel.
+///
+/// # Examples
+///
+/// ```
+/// use dftmsn_radio::channel::ChannelParams;
+/// use dftmsn_sim::time::SimDuration;
+///
+/// let ch = ChannelParams::paper_default();
+/// assert_eq!(ch.airtime(1000), SimDuration::from_millis(100));
+/// assert_eq!(ch.airtime(50), SimDuration::from_millis(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelParams {
+    /// Channel bit rate (bits per second).
+    pub bandwidth_bps: u64,
+    /// Maximum transmission range (metres); reception beyond it is
+    /// impossible (unit-disk model).
+    pub range_m: f64,
+}
+
+impl ChannelParams {
+    /// The paper's default channel: 10 kbps, 10 m range.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ChannelParams {
+            bandwidth_bps: 10_000,
+            range_m: 10.0,
+        }
+    }
+
+    /// Time on air for a frame of `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel bandwidth is zero.
+    #[must_use]
+    pub fn airtime(&self, bits: u64) -> SimDuration {
+        assert!(self.bandwidth_bps > 0, "zero-bandwidth channel");
+        // Round up to the next microsecond so a frame never takes zero time.
+        let micros = (bits as u128 * 1_000_000u128).div_ceil(self.bandwidth_bps as u128);
+        SimDuration::from_micros(micros as u64)
+    }
+}
+
+impl Default for ChannelParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_airtime_values() {
+        let ch = ChannelParams::paper_default();
+        assert_eq!(ch.airtime(1000), SimDuration::from_millis(100));
+        assert_eq!(ch.airtime(50), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn airtime_rounds_up() {
+        let ch = ChannelParams {
+            bandwidth_bps: 3,
+            range_m: 10.0,
+        };
+        // 1 bit at 3 bps = 333333.3 µs → 333334 µs.
+        assert_eq!(ch.airtime(1), SimDuration::from_micros(333_334));
+    }
+
+    #[test]
+    fn zero_bits_take_zero_time() {
+        let ch = ChannelParams::paper_default();
+        assert_eq!(ch.airtime(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-bandwidth")]
+    fn zero_bandwidth_panics() {
+        let ch = ChannelParams {
+            bandwidth_bps: 0,
+            range_m: 10.0,
+        };
+        let _ = ch.airtime(10);
+    }
+}

@@ -1,0 +1,274 @@
+//! Radio power states and energy accounting.
+//!
+//! The paper models four transceiver states — transmitting, receiving,
+//! (idle) listening and sleeping — with the Berkeley-mote power figures:
+//! 24.75 mW transmit, 13.5 mW receive, idle listening equal to receive,
+//! 15 µW sleep, and a radio on/off switch cost of four times the listening
+//! power (Sec. 5 and Eq. 7).
+
+use dftmsn_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The four transceiver power states (Sec. 4.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RadioState {
+    /// Radio powered down.
+    Sleep,
+    /// Radio on, listening to an idle channel.
+    Idle,
+    /// Actively receiving a frame.
+    Rx,
+    /// Actively transmitting a frame.
+    Tx,
+}
+
+impl RadioState {
+    /// All states, for iteration in reports.
+    pub const ALL: [RadioState; 4] = [
+        RadioState::Sleep,
+        RadioState::Idle,
+        RadioState::Rx,
+        RadioState::Tx,
+    ];
+
+    /// True when the radio is powered (any state but [`RadioState::Sleep`]).
+    #[must_use]
+    pub fn is_awake(self) -> bool {
+        !matches!(self, RadioState::Sleep)
+    }
+
+    /// Dense index for per-state arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            RadioState::Sleep => 0,
+            RadioState::Idle => 1,
+            RadioState::Rx => 2,
+            RadioState::Tx => 3,
+        }
+    }
+}
+
+/// Power draw per radio state plus the energy cost of waking/sleeping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Transmit power (W).
+    pub p_tx_w: f64,
+    /// Receive power (W).
+    pub p_rx_w: f64,
+    /// Idle-listening power (W); equals receive power for short-range
+    /// radios (Sec. 4.1).
+    pub p_idle_w: f64,
+    /// Sleep power (W).
+    pub p_sleep_w: f64,
+    /// Energy consumed by one radio on/off transition (J).
+    ///
+    /// The paper states the transition draws four times the listening
+    /// power; we integrate that over a 2 ms switch time (see DESIGN.md).
+    pub e_switch_j: f64,
+}
+
+impl EnergyModel {
+    /// The Berkeley-mote model used in the paper's evaluation.
+    #[must_use]
+    pub fn berkeley_mote() -> Self {
+        let p_idle_w = 13.5e-3;
+        EnergyModel {
+            p_tx_w: 24.75e-3,
+            p_rx_w: 13.5e-3,
+            p_idle_w,
+            p_sleep_w: 15e-6,
+            e_switch_j: 4.0 * p_idle_w * 0.002,
+        }
+    }
+
+    /// Power draw (W) in the given state.
+    #[must_use]
+    pub fn power_w(&self, state: RadioState) -> f64 {
+        match state {
+            RadioState::Sleep => self.p_sleep_w,
+            RadioState::Idle => self.p_idle_w,
+            RadioState::Rx => self.p_rx_w,
+            RadioState::Tx => self.p_tx_w,
+        }
+    }
+
+    /// The minimum worthwhile sleep period of Eq. 7:
+    /// `T_min ≥ 2·E_switch / (P_idle − P_sleep)`.
+    ///
+    /// Sleeping shorter than this costs more in switch energy than it saves
+    /// in idle power.
+    #[must_use]
+    pub fn min_sleep(&self) -> SimDuration {
+        let denom = self.p_idle_w - self.p_sleep_w;
+        if denom <= 0.0 {
+            return SimDuration::MAX;
+        }
+        SimDuration::from_secs_f64(2.0 * self.e_switch_j / denom)
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::berkeley_mote()
+    }
+}
+
+/// Integrates a node's energy use over time as its radio changes state.
+///
+/// # Examples
+///
+/// ```
+/// use dftmsn_radio::energy::{EnergyMeter, EnergyModel, RadioState};
+/// use dftmsn_sim::time::SimTime;
+///
+/// let model = EnergyModel::berkeley_mote();
+/// let mut meter = EnergyMeter::new(RadioState::Idle);
+/// meter.set_state(SimTime::from_secs(10), RadioState::Sleep, &model);
+/// let total = meter.total_energy_j(SimTime::from_secs(10), &model);
+/// // Ten seconds of idle listening plus one switch.
+/// assert!((total - (0.0135 * 10.0 + model.e_switch_j)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    state: RadioState,
+    since: SimTime,
+    per_state_j: [f64; 4],
+    switch_j: f64,
+    switches: u64,
+}
+
+impl EnergyMeter {
+    /// Creates a meter with the radio in `initial` state at time zero.
+    #[must_use]
+    pub fn new(initial: RadioState) -> Self {
+        EnergyMeter {
+            state: initial,
+            since: SimTime::ZERO,
+            per_state_j: [0.0; 4],
+            switch_j: 0.0,
+            switches: 0,
+        }
+    }
+
+    /// The current radio state.
+    #[must_use]
+    pub fn state(&self) -> RadioState {
+        self.state
+    }
+
+    /// Moves the radio to `next` at instant `now`, charging the elapsed
+    /// interval at the old state's power and, on a sleep/wake boundary, the
+    /// switch energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last recorded transition.
+    pub fn set_state(&mut self, now: SimTime, next: RadioState, model: &EnergyModel) {
+        assert!(now >= self.since, "energy meter time went backwards");
+        let dt = (now - self.since).as_secs_f64();
+        self.per_state_j[self.state.index()] += dt * model.power_w(self.state);
+        if self.state.is_awake() != next.is_awake() {
+            self.switch_j += model.e_switch_j;
+            self.switches += 1;
+        }
+        self.state = next;
+        self.since = now;
+    }
+
+    /// Energy (J) accumulated in `state` so far, excluding the currently
+    /// open interval.
+    #[must_use]
+    pub fn energy_in_state_j(&self, state: RadioState) -> f64 {
+        self.per_state_j[state.index()]
+    }
+
+    /// Number of sleep/wake transitions so far.
+    #[must_use]
+    pub fn switch_count(&self) -> u64 {
+        self.switches
+    }
+
+    /// Total energy (J) consumed up to `now`, including the open interval
+    /// and all switch costs.
+    #[must_use]
+    pub fn total_energy_j(&self, now: SimTime, model: &EnergyModel) -> f64 {
+        let open = now.saturating_since(self.since).as_secs_f64() * model.power_w(self.state);
+        self.per_state_j.iter().sum::<f64>() + self.switch_j + open
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mote_figures_match_paper() {
+        let m = EnergyModel::berkeley_mote();
+        assert_eq!(m.p_tx_w, 24.75e-3);
+        assert_eq!(m.p_rx_w, 13.5e-3);
+        assert_eq!(m.p_idle_w, m.p_rx_w, "idle listening costs as much as rx");
+        assert_eq!(m.p_sleep_w, 15e-6);
+        assert!((m.e_switch_j - 1.08e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq7_min_sleep_is_positive_and_small() {
+        let m = EnergyModel::berkeley_mote();
+        let t = m.min_sleep().as_secs_f64();
+        // 2 * 1.08e-4 / (0.0135 - 1.5e-5) ≈ 16 ms.
+        assert!((t - 0.016018).abs() < 1e-4, "got {t}");
+    }
+
+    #[test]
+    fn meter_integrates_state_time() {
+        let m = EnergyModel::berkeley_mote();
+        let mut meter = EnergyMeter::new(RadioState::Idle);
+        meter.set_state(SimTime::from_secs(2), RadioState::Tx, &m); // 2 s idle
+        meter.set_state(SimTime::from_secs(3), RadioState::Idle, &m); // 1 s tx
+        assert!((meter.energy_in_state_j(RadioState::Idle) - 2.0 * m.p_idle_w).abs() < 1e-12);
+        assert!((meter.energy_in_state_j(RadioState::Tx) - m.p_tx_w).abs() < 1e-12);
+        assert_eq!(meter.switch_count(), 0, "idle<->tx is not a power switch");
+    }
+
+    #[test]
+    fn switch_energy_charged_on_sleep_boundary() {
+        let m = EnergyModel::berkeley_mote();
+        let mut meter = EnergyMeter::new(RadioState::Idle);
+        meter.set_state(SimTime::from_secs(1), RadioState::Sleep, &m);
+        meter.set_state(SimTime::from_secs(2), RadioState::Idle, &m);
+        assert_eq!(meter.switch_count(), 2);
+        let expected = m.p_idle_w + m.p_sleep_w + 2.0 * m.e_switch_j;
+        assert!((meter.total_energy_j(SimTime::from_secs(2), &m) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_includes_open_interval() {
+        let m = EnergyModel::berkeley_mote();
+        let meter = EnergyMeter::new(RadioState::Idle);
+        let total = meter.total_energy_j(SimTime::from_secs(100), &m);
+        assert!((total - 100.0 * m.p_idle_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sleeping_beats_idling_beyond_min_sleep() {
+        // Sanity-check the Eq. 7 economics: sleeping for 2×T_min costs less
+        // than idling for the same period, but sleeping for T_min/4 costs
+        // more (switches dominate).
+        let m = EnergyModel::berkeley_mote();
+        let sleep_cost = |secs: f64| 2.0 * m.e_switch_j + secs * m.p_sleep_w;
+        let idle_cost = |secs: f64| secs * m.p_idle_w;
+        let tmin = m.min_sleep().as_secs_f64();
+        assert!(sleep_cost(2.0 * tmin) < idle_cost(2.0 * tmin));
+        assert!(sleep_cost(tmin / 4.0) > idle_cost(tmin / 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn meter_rejects_time_regression() {
+        let m = EnergyModel::berkeley_mote();
+        let mut meter = EnergyMeter::new(RadioState::Idle);
+        meter.set_state(SimTime::from_secs(5), RadioState::Tx, &m);
+        meter.set_state(SimTime::from_secs(4), RadioState::Idle, &m);
+    }
+}

@@ -1,0 +1,40 @@
+//! # dftmsn-radio — PHY/radio substrate for the DFT-MSN reproduction
+//!
+//! Everything between the antenna and the MAC:
+//!
+//! * [`ids`] — dense node identifiers;
+//! * [`channel`] — bit rate, transmission range, frame airtime;
+//! * [`medium`] — the shared half-duplex broadcast channel with unit-disk
+//!   propagation and collision-on-overlap reception, generic over the MAC
+//!   payload;
+//! * [`energy`] — the four radio power states and per-node energy metering
+//!   with the Berkeley-mote figures used in the paper's evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use dftmsn_radio::channel::ChannelParams;
+//! use dftmsn_radio::energy::{EnergyMeter, EnergyModel, RadioState};
+//!
+//! let ch = ChannelParams::paper_default();
+//! let data_airtime = ch.airtime(1000);
+//! assert_eq!(data_airtime.as_secs_f64(), 0.1);
+//!
+//! let model = EnergyModel::berkeley_mote();
+//! assert!(model.p_tx_w > model.p_rx_w);
+//! assert!(model.min_sleep().as_secs_f64() < 0.1);
+//! # let _ = EnergyMeter::new(RadioState::Idle);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod energy;
+pub mod ids;
+pub mod medium;
+
+pub use channel::ChannelParams;
+pub use energy::{EnergyMeter, EnergyModel, RadioState};
+pub use ids::NodeId;
+pub use medium::{Frame, Medium, MediumCounters, TxHandle, TxOutcome};

@@ -1,0 +1,141 @@
+//! Property-based tests of the radio substrate: conservation laws of the
+//! medium and consistency of the energy meter.
+
+use dftmsn_radio::channel::ChannelParams;
+use dftmsn_radio::energy::{EnergyMeter, EnergyModel, RadioState};
+use dftmsn_radio::ids::NodeId;
+use dftmsn_radio::medium::{Frame, Medium};
+use dftmsn_sim::rng::SimRng;
+use dftmsn_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Under an arbitrary schedule of overlapping broadcasts, every frame's
+    /// outcome partitions its audible set: delivered ∪ collided ⊆ audible,
+    /// disjoint, and only listeners ever appear.
+    #[test]
+    fn medium_outcomes_partition_audible_sets(
+        seed in any::<u64>(),
+        n_nodes in 2usize..10,
+        n_frames in 1usize..30,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut medium: Medium<u32> = Medium::new(n_nodes);
+        let mut listening = vec![false; n_nodes];
+        for (i, l) in listening.iter_mut().enumerate() {
+            *l = rng.gen_bool(0.7);
+            medium.set_listening(NodeId(i), *l);
+        }
+
+        let mut active: Vec<(dftmsn_radio::medium::TxHandle, Vec<NodeId>, SimTime)> = Vec::new();
+        let mut now = SimTime::ZERO;
+        for f in 0..n_frames {
+            now = now + SimDuration::from_millis(rng.gen_range_inclusive(0, 4));
+            // Sometimes finish an active frame first.
+            if !active.is_empty() && rng.gen_bool(0.5) {
+                let (handle, audible, _start) = active.remove(0);
+                let out = medium.end_tx(now, handle);
+                let delivered: std::collections::HashSet<_> =
+                    out.delivered_to.iter().copied().collect();
+                let collided: std::collections::HashSet<_> =
+                    out.collided_at.iter().copied().collect();
+                prop_assert!(delivered.is_disjoint(&collided));
+                for r in delivered.iter().chain(collided.iter()) {
+                    prop_assert!(audible.contains(r), "outcome outside audible set");
+                }
+                for r in &delivered {
+                    prop_assert!(listening[r.index()], "non-listener decoded a frame");
+                }
+            }
+            let src = NodeId(rng.gen_range_u64(n_nodes as u64) as usize);
+            let audible: Vec<NodeId> = (0..n_nodes)
+                .filter(|&j| j != src.index() && rng.gen_bool(0.5))
+                .map(NodeId)
+                .collect();
+            let handle = medium.begin_tx(
+                now,
+                Frame { src, bits: 50, payload: f as u32 },
+                &audible,
+            );
+            active.push((handle, audible, now));
+        }
+        // Drain the rest.
+        for (handle, audible, _start) in active {
+            now = now + SimDuration::from_millis(5);
+            let out = medium.end_tx(now, handle);
+            for r in out.delivered_to.iter().chain(out.collided_at.iter()) {
+                prop_assert!(audible.contains(r));
+            }
+        }
+        // All transmissions ended: no residual carrier anywhere.
+        for i in 0..n_nodes {
+            prop_assert!(!medium.carrier_sensed(NodeId(i)));
+            prop_assert!(!medium.is_receiving(NodeId(i)));
+        }
+    }
+
+    /// A lone transmission to always-listening receivers is always
+    /// delivered to all of them.
+    #[test]
+    fn lone_frames_always_deliver(seed in any::<u64>(), n in 2usize..12) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut medium: Medium<u8> = Medium::new(n);
+        for i in 1..n {
+            medium.set_listening(NodeId(i), true);
+        }
+        for round in 0..10u8 {
+            let audible: Vec<NodeId> = (1..n).map(NodeId).collect();
+            let start = SimTime::from_ticks(u64::from(round) * 10_000 + rng.gen_range_u64(100));
+            let tx = medium.begin_tx(
+                start,
+                Frame { src: NodeId(0), bits: 50, payload: round },
+                &audible,
+            );
+            let out = medium.end_tx(start + SimDuration::from_millis(5), tx);
+            prop_assert_eq!(out.delivered_to.len(), n - 1);
+            prop_assert!(out.collided_at.is_empty());
+        }
+    }
+
+    /// The energy meter is additive: total equals the sum over state
+    /// intervals plus switch costs, for any state schedule.
+    #[test]
+    fn meter_total_is_sum_of_parts(
+        seed in any::<u64>(),
+        steps in proptest::collection::vec((0u8..4, 1u64..10_000), 1..40),
+    ) {
+        let model = EnergyModel::berkeley_mote();
+        let mut meter = EnergyMeter::new(RadioState::Idle);
+        let mut now = SimTime::ZERO;
+        let mut expected = 0.0;
+        let mut prev = RadioState::Idle;
+        let _ = seed;
+        for (s, dur) in steps {
+            let next = RadioState::ALL[s as usize % 4];
+            let dt = SimDuration::from_millis(dur);
+            expected += dt.as_secs_f64() * model.power_w(prev);
+            if prev.is_awake() != next.is_awake() {
+                expected += model.e_switch_j;
+            }
+            now = now + dt;
+            meter.set_state(now, next, &model);
+            prev = next;
+        }
+        let total = meter.total_energy_j(now, &model);
+        prop_assert!((total - expected).abs() < 1e-9, "total {total} vs {expected}");
+    }
+
+    /// Airtime is linear in bits (up to rounding) and inversely
+    /// proportional to bandwidth.
+    #[test]
+    fn airtime_scaling_laws(bits in 1u64..100_000, bw in 1u64..1_000_000) {
+        let ch = ChannelParams { bandwidth_bps: bw, range_m: 10.0 };
+        let one = ch.airtime(bits);
+        let two = ch.airtime(bits * 2);
+        // Doubling bits at most doubles airtime (+1 µs rounding).
+        prop_assert!(two.ticks() <= one.ticks() * 2 + 1);
+        prop_assert!(two.ticks() + 1 >= one.ticks() * 2);
+        let faster = ChannelParams { bandwidth_bps: bw * 2, range_m: 10.0 };
+        prop_assert!(faster.airtime(bits) <= one);
+    }
+}

@@ -1,0 +1,293 @@
+//! The event queue at the heart of the discrete-event engine.
+//!
+//! [`EventQueue`] is a priority queue ordered by firing time with a
+//! monotonically increasing sequence number as tiebreak, so events scheduled
+//! at the same instant fire in scheduling order. That property is what keeps
+//! runs deterministic: the simulator never depends on hash ordering or heap
+//! internals.
+//!
+//! Events can be cancelled cheaply by token without touching the heap
+//! (lazy deletion): see [`EventQueue::cancel`].
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Identifies a scheduled event so it can be cancelled later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventToken(u64);
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap but we want the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// # Examples
+///
+/// ```
+/// use dftmsn_sim::event::EventQueue;
+/// use dftmsn_sim::time::{SimDuration, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_at(SimTime::from_secs(2), "second");
+/// q.schedule_at(SimTime::from_secs(1), "first");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (SimTime::from_secs(1), "first"));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    /// Sequence numbers currently live in the heap.
+    pending: HashSet<u64>,
+    /// Sequence numbers cancelled but not yet physically removed.
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation instant (the firing time of the most recently
+    /// popped event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (not cancelled) scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no live events remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `payload` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`now`](Self::now)); scheduling
+    /// exactly at `now` is allowed and fires after already-queued events at
+    /// the same instant.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventToken {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+        self.pending.insert(seq);
+        EventToken(seq)
+    }
+
+    /// Schedules `payload` after the relative delay `after`.
+    pub fn schedule_after(&mut self, after: SimDuration, payload: E) -> EventToken {
+        let at = self.now + after;
+        self.schedule_at(at, payload)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending. Cancellation is lazy:
+    /// the entry stays in the heap and is skipped when reached.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if !self.pending.remove(&token.0) {
+            // Already fired, already cancelled, or never issued by us.
+            return false;
+        }
+        self.cancelled.insert(token.0);
+        true
+    }
+
+    /// Pops the earliest live event, advancing the clock to its instant.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.pending.remove(&ev.seq);
+            debug_assert!(ev.at >= self.now, "event time regression");
+            self.now = ev.at;
+            return Some((ev.at, ev.payload));
+        }
+        None
+    }
+
+    /// The instant of the next live event without popping it.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(ev) = self.heap.peek() {
+            if self.cancelled.contains(&ev.seq) {
+                let seq = ev.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(ev.at);
+        }
+        None
+    }
+
+    /// Removes every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+        self.cancelled.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(3), 3u32);
+        q.schedule_at(SimTime::from_secs(1), 1u32);
+        q.schedule_at(SimTime::from_secs(2), 2u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..10u32 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(4), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), "a");
+        q.pop();
+        q.schedule_after(SimDuration::from_secs(5), "b");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn cancelled_events_are_skipped() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule_at(SimTime::from_secs(1), "keep");
+        let drop = q.schedule_at(SimTime::from_secs(2), "drop");
+        let _ = keep;
+        assert!(q.cancel(drop));
+        assert!(!q.cancel(drop), "double-cancel reports false");
+        let all: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(all, vec!["keep"]);
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), ());
+        q.schedule_at(SimTime::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), ());
+        q.schedule_at(SimTime::from_secs(2), ());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(2), ());
+        q.pop();
+        q.schedule_at(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn cancelling_a_fired_event_is_a_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), ());
+        q.schedule_at(SimTime::from_secs(2), ());
+        q.pop();
+        assert!(!q.cancel(a), "token for fired event");
+        assert_eq!(q.len(), 1, "len unaffected by stale cancel");
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,306 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic decision in the simulator flows through [`SimRng`], a
+//! self-contained xoshiro256++ generator seeded through SplitMix64. Two runs
+//! with the same seed produce bit-identical traces on every platform, which
+//! is what makes the experiment harness and the failure-injection tests
+//! reproducible.
+//!
+//! The generator supports cheap [`fork`](SimRng::fork)ing so each simulated
+//! node can own an independent stream derived from the run seed; adding or
+//! removing one node does not perturb the streams of the others.
+
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 step, used for seeding and stream derivation.
+///
+/// Reference: Steele, Lea, Flood, "Fast Splittable Pseudorandom Number
+/// Generators" (OOPSLA 2014).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use dftmsn_sim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The full 256-bit state is expanded from the seed with SplitMix64, so
+    /// nearby seeds still yield statistically independent streams.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SimRng { s }
+    }
+
+    /// Derives an independent child stream identified by `stream`.
+    ///
+    /// Forking is deterministic: the same parent seed and stream id always
+    /// produce the same child, regardless of how much the parent has been
+    /// used (the fork mixes the parent's *current* state with the id, so
+    /// fork all children before drawing from the parent when strict
+    /// insertion-order independence matters).
+    #[must_use]
+    pub fn fork(&self, stream: u64) -> SimRng {
+        let mut sm = self.s[0]
+            ^ self.s[1].rotate_left(17)
+            ^ self.s[2].rotate_left(31)
+            ^ self.s[3].rotate_left(47)
+            ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        SimRng { s }
+    }
+
+    /// Next raw 64 bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// Uses Lemire's nearly-divisionless rejection method, so the result is
+    /// unbiased for every `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn gen_range_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_range_u64 called with n = 0");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform integer in the **inclusive** range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "inverted range [{lo}, {hi}]");
+        if lo == hi {
+            return lo;
+        }
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.gen_range_u64(span + 1)
+    }
+
+    /// A uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite(), "non-finite range bound");
+        assert!(lo <= hi, "inverted range [{lo}, {hi}]");
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// An exponentially distributed value with the given `mean` (> 0).
+    ///
+    /// Used for Poisson-process inter-arrival times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not a positive finite number.
+    pub fn gen_exp(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        // Map u in (0, 1]: avoid ln(0).
+        let u = 1.0 - self.next_f64();
+        -mean * u.ln()
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range_u64(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element, or `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.gen_range_u64(xs.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forks_are_deterministic_and_distinct() {
+        let root = SimRng::seed_from(99);
+        let mut a1 = root.fork(1);
+        let mut a2 = root.fork(1);
+        let mut b = root.fork(2);
+        assert_eq!(a1.next_u64(), a2.next_u64());
+        assert_ne!(a1.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..10_000 {
+            let v = rng.gen_range_inclusive(3, 9);
+            assert!((3..=9).contains(&v));
+            let f = rng.gen_range_f64(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = SimRng::seed_from(5);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range_u64(10) as usize] += 1;
+        }
+        for &c in &counts {
+            // Each bucket expects 10_000; allow ±5%.
+            assert!((9_500..=10_500).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn exp_mean_converges() {
+        let mut rng = SimRng::seed_from(6);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_exp(120.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 120.0).abs() < 2.0, "sample mean {mean}");
+    }
+
+    #[test]
+    fn bool_probability_converges() {
+        let mut rng = SimRng::seed_from(8);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.2)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.2).abs() < 0.01, "empirical p {p}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(9);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = SimRng::seed_from(10);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        assert_eq!(rng.choose(&[42]), Some(&42));
+    }
+
+    #[test]
+    #[should_panic(expected = "n = 0")]
+    fn zero_range_panics() {
+        SimRng::seed_from(1).gen_range_u64(0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Pervasive air-quality monitoring — the paper's first motivating
+//! application (Sec. 1).
+//!
+//! Wearable sensors carried by commuters sample the toxic-gas exposure of
+//! their carriers; a few sinks sit at high-traffic locations (transit
+//! hubs). The information base is statistical: what matters is how well
+//! the *delivered* samples reconstruct the pollution field, and at what
+//! energy cost per sensor.
+//!
+//! This example builds a two-source Gaussian plume over the district,
+//! runs the full cross-layer protocol (OPT) against naive direct
+//! transmission (DIRECT), and scores both with the sensing layer's
+//! per-zone reconstruction error.
+
+use dftmsn::core::sensing::{CoverageAnalysis, GaussianPlumeField};
+use dftmsn::mobility::geom::Bounds;
+use dftmsn::prelude::*;
+
+fn main() {
+    // A district of 150 commuters, 4 hubs, sampling every 2 minutes,
+    // over a commute-length window (3 000 s).
+    let params = ScenarioParams::paper_default()
+        .with_sensors(150)
+        .with_sinks(4)
+        .with_duration_secs(3_000);
+    let area = Bounds::new(params.area_width_m, params.area_height_m);
+    let field = GaussianPlumeField::demo(area);
+    let analysis = CoverageAnalysis::new(&params, &field);
+
+    println!("air-quality monitoring: 150 wearables, 4 transit-hub sinks\n");
+    println!(
+        "{:<8} {:>9} {:>9} {:>11} {:>11} {:>12}",
+        "scheme", "delivery", "coverage", "field NRMSE", "power (mW)", "J per sample"
+    );
+    for kind in [ProtocolKind::Opt, ProtocolKind::Direct] {
+        let report = Simulation::new(params.clone(), kind, 7).run();
+        let coverage = analysis.evaluate(&report);
+        let joules_per_sample = if report.delivered > 0 {
+            report.total_sensor_energy_j / report.delivered as f64
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{:<8} {:>8.1}% {:>8.0}% {:>11.3} {:>11.3} {:>12.3}",
+            report.protocol,
+            report.delivery_ratio() * 100.0,
+            coverage.coverage() * 100.0,
+            coverage.normalized_rmse(),
+            report.avg_sensor_power_mw,
+            joules_per_sample
+        );
+    }
+    println!(
+        "\nOPT relays samples through better-connected commuters: more zones \
+         \nreport in, the reconstructed field error drops, and the per-sample \
+         \nenergy stays in the same range — the Sec. 1 tradeoff, quantified."
+    );
+}

@@ -1,0 +1,58 @@
+//! Explore the Sec. 4 optimizers interactively-ish: prints how the Eq. 13
+//! τ_max search and the Eq. 14 contention-window search react to the
+//! neighborhood, and how the Eq. 6 sleep period reacts to activity.
+
+use dftmsn::core::contention::{
+    cts_collision_probability, optimize_cts_window, optimize_tau_max,
+    rts_collision_probability, sigma,
+};
+use dftmsn::core::params::ProtocolParams;
+use dftmsn::core::sleep::SleepController;
+
+fn main() {
+    let p = ProtocolParams::paper_default();
+
+    println!("== Eq. 13: minimal tau_max per neighborhood (target γ ≤ {}) ==", p.tau_collision_target);
+    let neighborhoods: [(&str, Vec<f64>); 4] = [
+        ("lone node", vec![0.3]),
+        ("two mid-ξ contenders", vec![0.3, 0.4]),
+        ("crowded mixed cell", vec![0.2, 0.3, 0.5, 0.7, 0.9]),
+        ("cold-start cell (all ξ≈0)", vec![0.01, 0.01, 0.01]),
+    ];
+    for (name, xis) in &neighborhoods {
+        let tau = optimize_tau_max(xis, p.tau_collision_target, p.tau_max_cap_slots);
+        let sigmas: Vec<u64> = xis.iter().map(|&x| sigma(x, tau)).collect();
+        let gamma = rts_collision_probability(&sigmas);
+        println!(
+            "  {name:<28} τ_max = {tau:>2} slots  →  γ = {gamma:.3}{}",
+            if gamma > p.tau_collision_target { "  (cap hit: infeasible)" } else { "" }
+        );
+    }
+
+    println!("\n== Eq. 14: minimal contention window per expected repliers ==");
+    for n in 1..=8u64 {
+        let w = optimize_cts_window(n, p.cts_collision_target, p.cts_window_cap);
+        println!(
+            "  n = {n}  →  W = {w:>2} slots  (γo = {:.3})",
+            cts_collision_probability(n, w)
+        );
+    }
+
+    println!("\n== Eq. 6: sleep period vs recent success (urgency α = 0) ==");
+    for successes in (0..=10).rev() {
+        let mut ctl = SleepController::new(p.history_window_s);
+        for i in 0..p.history_window_s {
+            ctl.record_cycle(i < successes);
+        }
+        println!(
+            "  ρ = {:>4.2}  →  T = {:>6.2} s",
+            ctl.rho(),
+            ctl.sleep_duration(0.0, &p).as_secs_f64()
+        );
+    }
+    println!(
+        "\nbounds: T_min = {} s, T_max = {:.1} s (Eq. 8)",
+        p.t_min_secs,
+        p.t_max().as_secs_f64()
+    );
+}

@@ -1,0 +1,18 @@
+//! Quickstart: run one short DFT-MSN simulation and print the headline
+//! metrics the paper evaluates.
+
+use dftmsn::prelude::*;
+
+fn main() {
+    let params = ScenarioParams::paper_default().with_duration_secs(2000);
+    println!("running OPT on the paper's default scenario (shortened)...");
+    let report = Simulation::new(params, ProtocolKind::Opt, 42).run();
+    println!("{}", report.summary());
+    println!("delivery ratio : {:.1}%", report.delivery_ratio() * 100.0);
+    println!("avg power      : {:.3} mW", report.avg_sensor_power_mw);
+    println!("mean delay     : {:.0} s", report.mean_delay_secs);
+    println!("attempts       : {}", report.attempts);
+    println!("multicasts     : {}", report.multicasts);
+    println!("collisions     : {}", report.collisions);
+    println!("mean final xi  : {:.3}", report.mean_final_xi);
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerates every experiment table into results/ (full fig2; trend
+# studies at 15000 s x 2 seeds to bound single-core wall time).
+set -e
+cd "$(dirname "$0")"
+./target/release/fig2                          > results/fig2_run.log 2>&1
+./target/release/ablation --seeds 2           > results/ablation_run.log 2>&1
+./target/release/density --seeds 2 --duration 15000 > results/density_run.log 2>&1
+./target/release/speed   --seeds 2 --duration 15000 > results/speed_run.log 2>&1
+./target/release/opt_tables                   > results/opt_tables_run.log 2>&1
+echo DONE > results/ALL_DONE

@@ -1,0 +1,228 @@
+//! Property-based tests of the protocol's core invariants (Eqs. 1–14 and
+//! the queue discipline), run on arbitrary inputs via proptest.
+
+use dftmsn::core::contention::{
+    cts_collision_probability, optimize_cts_window, optimize_tau_max,
+    rts_collision_probability, sigma,
+};
+use dftmsn::core::delivery::DeliveryProb;
+use dftmsn::core::ftd::Ftd;
+use dftmsn::core::message::{Message, MessageId};
+use dftmsn::core::neighbor::{select_receivers, Candidate};
+use dftmsn::core::params::ProtocolParams;
+use dftmsn::core::queue::FtdQueue;
+use dftmsn::core::sleep::SleepController;
+use dftmsn::radio::ids::NodeId;
+use dftmsn::sim::time::SimTime;
+use proptest::prelude::*;
+
+fn prob() -> impl Strategy<Value = f64> {
+    (0u32..=1000).prop_map(|x| x as f64 / 1000.0)
+}
+
+proptest! {
+    /// Eq. 1 keeps ξ in [0, 1] under any sequence of transmissions and
+    /// timeouts.
+    #[test]
+    fn xi_stays_in_unit_interval(
+        alpha in prob(),
+        ops in proptest::collection::vec((any::<bool>(), prob()), 0..200),
+    ) {
+        let mut xi = DeliveryProb::ZERO;
+        for (is_tx, peer) in ops {
+            if is_tx {
+                xi.on_transmission(DeliveryProb::new(peer), alpha);
+            } else {
+                xi.on_timeout(alpha);
+            }
+            prop_assert!((0.0..=1.0).contains(&xi.value()));
+        }
+    }
+
+    /// Eq. 3 never decreases a copy's FTD, whatever the receiver set.
+    #[test]
+    fn ftd_monotone_under_multicast(
+        start in prob(),
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(prob(), 0..5), 0..20),
+    ) {
+        let mut f = Ftd::new(start);
+        for xis in rounds {
+            let next = f.after_multicast(&xis);
+            prop_assert!(next.value() >= f.value());
+            prop_assert!(next.value() <= 1.0);
+            f = next;
+        }
+    }
+
+    /// Eq. 2: a receiver's copy FTD is bounded by the full-set combined
+    /// delivery probability, and never below the sender's retained share.
+    #[test]
+    fn receiver_copy_is_bounded(
+        base in prob(),
+        sender_xi in prob(),
+        xis in proptest::collection::vec(prob(), 1..6),
+    ) {
+        let f = Ftd::new(base);
+        for j in 0..xis.len() {
+            let others: Vec<f64> = xis
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != j)
+                .map(|(_, &x)| x)
+                .collect();
+            let copy = f.receiver_copy(sender_xi, &others);
+            prop_assert!((0.0..=1.0).contains(&copy.value()));
+            // At least as redundant as the no-co-receiver case.
+            let lone = f.receiver_copy(sender_xi, &[]);
+            prop_assert!(copy.value() >= lone.value() - 1e-12);
+        }
+    }
+
+    /// The queue respects capacity and keeps ascending-FTD order under
+    /// arbitrary insert/pop/update churn.
+    #[test]
+    fn queue_order_and_capacity_hold(
+        capacity in 1usize..20,
+        ops in proptest::collection::vec((0u64..40, prob(), any::<bool>()), 0..200),
+    ) {
+        let mut q = FtdQueue::new(capacity);
+        for (id, ftd, pop) in ops {
+            if pop {
+                let _ = q.pop_head();
+            } else {
+                let m = Message::sensed(MessageId(id), NodeId(0), SimTime::ZERO)
+                    .with_ftd(Ftd::new(ftd));
+                let _ = q.insert(m);
+            }
+            prop_assert!(q.len() <= capacity);
+            let ftds: Vec<f64> = q.iter().map(|m| m.ftd.value()).collect();
+            for w in ftds.windows(2) {
+                prop_assert!(w[0] <= w[1], "queue out of order: {ftds:?}");
+            }
+        }
+    }
+
+    /// `available_space_for` is consistent with its definition:
+    /// capacity − |{m : m.ftd ≤ f}|, and monotone decreasing in f.
+    #[test]
+    fn available_space_matches_definition(
+        capacity in 1usize..20,
+        inserts in proptest::collection::vec((0u64..100, prob()), 0..30),
+        f in prob(),
+    ) {
+        let mut q = FtdQueue::new(capacity);
+        for (id, ftd) in inserts {
+            let _ = q.insert(
+                Message::sensed(MessageId(id), NodeId(0), SimTime::ZERO)
+                    .with_ftd(Ftd::new(ftd)),
+            );
+        }
+        let le = q.iter().filter(|m| m.ftd.value() <= f).count();
+        prop_assert_eq!(q.available_space_for(Ftd::new(f)), capacity - le);
+        if f + 0.1 <= 1.0 {
+            prop_assert!(
+                q.available_space_for(Ftd::new(f + 0.1))
+                    <= q.available_space_for(Ftd::new(f))
+            );
+        }
+    }
+
+    /// Eq. 12 is a probability and single contenders never collide.
+    #[test]
+    fn rts_collision_is_probability(
+        sigmas in proptest::collection::vec(1u64..40, 1..6),
+    ) {
+        let gamma = rts_collision_probability(&sigmas);
+        prop_assert!((0.0..=1.0).contains(&gamma));
+        if sigmas.len() == 1 {
+            prop_assert_eq!(gamma, 0.0);
+        }
+    }
+
+    /// Eq. 13's result is feasible (or the cap) and minimal.
+    #[test]
+    fn tau_optimizer_minimal_and_feasible(
+        xis in proptest::collection::vec(prob(), 1..5),
+        target in 1u32..50,
+    ) {
+        let target = target as f64 / 100.0;
+        let cap = 64;
+        let best = optimize_tau_max(&xis, target, cap);
+        prop_assert!((1..=cap).contains(&best));
+        let gamma_at = |t: u64| {
+            let s: Vec<u64> = xis.iter().map(|&x| sigma(x, t)).collect();
+            rts_collision_probability(&s)
+        };
+        if best < cap {
+            prop_assert!(gamma_at(best) <= target);
+        }
+        if best > 1 && gamma_at(best) <= target {
+            prop_assert!(gamma_at(best - 1) > target, "not minimal at {best}");
+        }
+    }
+
+    /// Eq. 14 is a probability, monotone in n and anti-monotone in w; the
+    /// window search is minimal-feasible.
+    #[test]
+    fn cts_window_math_is_sound(n in 0u64..12, w in 1u64..64, target in 1u32..50) {
+        let target = target as f64 / 100.0;
+        let p = cts_collision_probability(n, w);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(cts_collision_probability(n + 1, w) >= p);
+        prop_assert!(cts_collision_probability(n, w + 1) <= p);
+
+        let best = optimize_cts_window(n, target, 4096);
+        if best < 4096 {
+            prop_assert!(cts_collision_probability(n, best) <= target);
+            if best > 1 {
+                prop_assert!(cts_collision_probability(n, best - 1) > target);
+            }
+        }
+    }
+
+    /// Eq. 6's sleeping period always lands in [T_min, T_max].
+    #[test]
+    fn sleep_duration_is_bounded(
+        history in proptest::collection::vec(any::<bool>(), 0..40),
+        urgency in prob(),
+    ) {
+        let p = ProtocolParams::paper_default();
+        let mut ctl = SleepController::new(p.history_window_s);
+        for h in history {
+            ctl.record_cycle(h);
+        }
+        let t = ctl.sleep_duration(urgency, &p);
+        prop_assert!(t.as_secs_f64() >= p.t_min_secs - 1e-9);
+        prop_assert!(t <= p.t_max());
+    }
+
+    /// Receiver selection only picks qualified candidates and orders them
+    /// by descending ξ.
+    #[test]
+    fn selection_picks_only_qualified(
+        sender_xi in prob(),
+        ftd in prob(),
+        cands in proptest::collection::vec((prob(), 0usize..5), 0..8),
+        r in prob(),
+    ) {
+        // Each neighbor replies with at most one CTS, so ids are distinct.
+        let candidates: Vec<Candidate> = cands
+            .iter()
+            .enumerate()
+            .map(|(id, &(xi, space))| Candidate { id: NodeId(id), xi, buffer_space: space })
+            .collect();
+        let sel = select_receivers(sender_xi, Ftd::new(ftd), &candidates, r);
+        prop_assert_eq!(sel.receivers.len(), sel.receiver_xis.len());
+        for (k, &(id, copy_ftd)) in sel.receivers.iter().enumerate() {
+            let c = candidates.iter().find(|c| c.id == id).unwrap();
+            prop_assert!(c.xi > sender_xi, "unqualified ξ selected");
+            prop_assert!(c.buffer_space > 0, "no-space candidate selected");
+            prop_assert!((0.0..=1.0).contains(&copy_ftd.value()));
+            if k > 0 {
+                prop_assert!(sel.receiver_xis[k - 1] >= sel.receiver_xis[k]);
+            }
+        }
+        prop_assert!((0.0..=1.0).contains(&sel.combined_delivery));
+    }
+}
