@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, the tier-1 test suite, and a perf
+# smoke run. Everything here must pass before a change lands.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 tests (release build + root test suite)"
+cargo build --release
+cargo test -q
+
+echo "==> full workspace tests"
+cargo test --workspace --release -q
+
+echo "==> perf baseline smoke (--quick; discards output)"
+cargo run --release -p dftmsn-bench --bin perf_baseline -- --quick --out target/BENCH_engine.quick.json
+
+echo "CI OK"

@@ -27,9 +27,13 @@ fn bench_variants(c: &mut Criterion) {
         ProtocolKind::Direct,
         ProtocolKind::Epidemic,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| black_box(Simulation::new(scenario(300), kind, 1).run()));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| black_box(Simulation::new(scenario(300), kind, 1).run()));
+            },
+        );
     }
     // NOSLEEP generates far more events; bench it shorter so the suite
     // stays fast.

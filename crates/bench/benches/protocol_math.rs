@@ -4,8 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dftmsn_core::contention::{
-    cts_collision_probability, optimize_cts_window, optimize_tau_max,
-    rts_collision_probability,
+    cts_collision_probability, optimize_cts_window, optimize_tau_max, rts_collision_probability,
 };
 use dftmsn_core::delivery::DeliveryProb;
 use dftmsn_core::ftd::Ftd;

@@ -74,7 +74,7 @@ fn bench_sleep(c: &mut Criterion) {
         let mut i = 0u32;
         b.iter(|| {
             i += 1;
-            ctl.record_cycle(i % 3 == 0);
+            ctl.record_cycle(i.is_multiple_of(3));
             ctl.sleep_duration(black_box(0.2), &p)
         });
     });

@@ -28,6 +28,25 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(sum)
         });
     });
+    // The protocol's epoch-guard pattern cancels most timers it schedules;
+    // this exercises the slab queue's O(1) cancellation path.
+    c.bench_function("event_queue_schedule_cancel_10k", |b| {
+        let mut rng = SimRng::seed_from(6);
+        b.iter(|| {
+            let mut q: EventQueue<u32> = EventQueue::new();
+            let tokens: Vec<_> = (0..10_000u32)
+                .map(|i| q.schedule_at(SimTime::from_ticks(rng.gen_range_u64(1_000_000)), i))
+                .collect();
+            for t in tokens {
+                q.cancel(t);
+            }
+            let mut fired = 0u64;
+            while q.pop().is_some() {
+                fired += 1;
+            }
+            black_box(fired)
+        });
+    });
 }
 
 fn bench_rng(c: &mut Criterion) {
@@ -79,6 +98,21 @@ fn bench_spatial_grid(c: &mut Criterion) {
         let mut grid = SpatialGrid::new(area, 10.0);
         b.iter(|| grid.rebuild(black_box(&positions)));
     });
+    // Mobility-tick shape: most nodes drift within their cell, a few cross
+    // a boundary — the case the incremental update is built for.
+    c.bench_function("spatial_grid_update_100_small_motion", |b| {
+        let mut grid = SpatialGrid::new(area, 10.0);
+        grid.rebuild(&positions);
+        let mut moved = positions.clone();
+        let mut jiggle = SimRng::seed_from(7);
+        b.iter(|| {
+            for p in &mut moved {
+                p.x = (p.x + jiggle.gen_range_f64(-1.0, 1.0)).clamp(0.0, 150.0);
+                p.y = (p.y + jiggle.gen_range_f64(-1.0, 1.0)).clamp(0.0, 150.0);
+            }
+            grid.update(black_box(&moved));
+        });
+    });
     c.bench_function("spatial_grid_query_100", |b| {
         let mut grid = SpatialGrid::new(area, 10.0);
         grid.rebuild(&positions);
@@ -104,7 +138,11 @@ fn bench_medium(c: &mut Criterion) {
             now += SimDuration::from_millis(6);
             let tx = medium.begin_tx(
                 now,
-                Frame { src: NodeId(0), bits: 50, payload: 1 },
+                Frame {
+                    src: NodeId(0),
+                    bits: 50,
+                    payload: 1,
+                },
                 &audible,
             );
             black_box(medium.end_tx(now + SimDuration::from_millis(5), tx))

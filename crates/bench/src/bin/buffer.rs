@@ -54,9 +54,7 @@ fn main() {
     for (ci, &cap) in capacities.iter().enumerate() {
         let base = ci * per_cap;
         let opt = average(&reports[base..base + opts.seeds as usize]);
-        let epi = average(
-            &reports[base + opts.seeds as usize..base + 2 * opts.seeds as usize],
-        );
+        let epi = average(&reports[base + opts.seeds as usize..base + 2 * opts.seeds as usize]);
         let drops = |slice: &[dftmsn_core::report::SimReport]| -> f64 {
             slice
                 .iter()

@@ -7,7 +7,11 @@ use dftmsn_bench::experiments::{optimization_tables, write_table};
 
 fn main() {
     let tables = optimization_tables();
-    let slugs = ["opt1_rts_collisions", "opt2_cts_collisions", "opt3_sleep_surface"];
+    let slugs = [
+        "opt1_rts_collisions",
+        "opt2_cts_collisions",
+        "opt3_sleep_surface",
+    ];
     for (table, slug) in tables.iter().zip(slugs) {
         println!("{}", write_table("results", slug, table));
     }

@@ -1,0 +1,158 @@
+//! Engine performance baseline: times the simulation hot paths and writes
+//! `BENCH_engine.json` so perf-sensitive PRs have a tracked before/after
+//! figure (see EXPERIMENTS.md § Performance for the schema).
+//!
+//! Two measurements:
+//!
+//! * **engine** — every protocol variant run serially on one pinned
+//!   scenario; reports wall time and events/second (the discrete-event
+//!   core's throughput, from `SimReport::events_processed`);
+//! * **sweep** — a batch of runs through [`dftmsn_bench::run_all`]'s
+//!   work-stealing scheduler; reports runs/second (harness throughput).
+//!
+//! Usage: `cargo run --release -p dftmsn-bench --bin perf_baseline
+//! [--quick] [--out PATH]`. `--quick` shrinks both workloads to a smoke
+//! size for CI; numbers from different machines (or `--quick` and full
+//! runs) are not comparable with each other.
+
+use dftmsn_bench::sweep::{run_all, RunSpec};
+use dftmsn_core::params::{ProtocolParams, ScenarioParams};
+use dftmsn_core::variants::ProtocolKind;
+use dftmsn_core::world::Simulation;
+use dftmsn_metrics::json::Json;
+use std::time::Instant;
+
+struct EngineRow {
+    protocol: &'static str,
+    runs: u64,
+    wall_ms: f64,
+    events: u64,
+    frames: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_engine.json", String::as_str);
+
+    // Pinned workloads: big enough that per-event costs dominate startup,
+    // small enough to finish in seconds. Changing them invalidates
+    // comparisons against previously recorded baselines.
+    let (engine_secs, engine_seeds, sweep_secs, sweep_seeds) = if quick {
+        (1_000, 1, 500, 1)
+    } else {
+        (10_000, 3, 2_000, 4)
+    };
+    let scenario = ScenarioParams {
+        sensors: 30,
+        sinks: 2,
+        duration_secs: engine_secs,
+        ..ScenarioParams::paper_default()
+    };
+
+    // Serial per-variant engine timing.
+    let mut rows: Vec<EngineRow> = Vec::new();
+    for kind in ProtocolKind::ALL {
+        let mut wall_ms = 0.0;
+        let mut events = 0;
+        let mut frames = 0;
+        for seed in 1..=engine_seeds {
+            let sim = Simulation::new(scenario.clone(), kind, seed);
+            let t0 = Instant::now();
+            let report = sim.run();
+            wall_ms += t0.elapsed().as_secs_f64() * 1_000.0;
+            events += report.events_processed;
+            frames += report.frames_sent;
+        }
+        eprintln!(
+            "{:<9} {:>8.1} ms  {:>9} events  {:>6.0} kev/s",
+            kind.label(),
+            wall_ms,
+            events,
+            events as f64 / wall_ms
+        );
+        rows.push(EngineRow {
+            protocol: kind.label(),
+            runs: engine_seeds,
+            wall_ms,
+            events,
+            frames,
+        });
+    }
+    let total_ms: f64 = rows.iter().map(|r| r.wall_ms).sum();
+    let total_events: u64 = rows.iter().map(|r| r.events).sum();
+
+    // Parallel sweep timing (work-stealing run_all, all cores).
+    let specs: Vec<RunSpec> = ProtocolKind::ALL
+        .into_iter()
+        .flat_map(|kind| {
+            (1..=sweep_seeds).map(move |seed| RunSpec {
+                scenario: ScenarioParams {
+                    sensors: 30,
+                    sinks: 2,
+                    duration_secs: sweep_secs,
+                    ..ScenarioParams::paper_default()
+                },
+                protocol: ProtocolParams::paper_default(),
+                config: kind.config(),
+                seed,
+            })
+        })
+        .collect();
+    let t0 = Instant::now();
+    let reports = run_all(&specs, 0);
+    let sweep_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+    eprintln!(
+        "sweep     {:>8.1} ms  {:>9} runs    {:>6.2} runs/s",
+        sweep_ms,
+        reports.len(),
+        reports.len() as f64 / (sweep_ms / 1_000.0)
+    );
+
+    let engine_rows: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::object()
+                .field("protocol", r.protocol)
+                .field("runs", r.runs)
+                .field("wall_ms", r.wall_ms)
+                .field("events", r.events)
+                .field("frames_sent", r.frames)
+                .field("events_per_sec", r.events as f64 / (r.wall_ms / 1_000.0))
+        })
+        .collect();
+    let json = Json::object()
+        .field("schema", "dftmsn-perf-baseline/1")
+        .field("quick", quick)
+        .field(
+            "scenario",
+            Json::object()
+                .field("sensors", scenario.sensors)
+                .field("sinks", scenario.sinks)
+                .field("duration_secs", engine_secs)
+                .field("seeds_per_variant", engine_seeds),
+        )
+        .field("engine", Json::Arr(engine_rows))
+        .field(
+            "engine_totals",
+            Json::object()
+                .field("wall_ms", total_ms)
+                .field("events", total_events)
+                .field("events_per_sec", total_events as f64 / (total_ms / 1_000.0)),
+        )
+        .field(
+            "sweep",
+            Json::object()
+                .field("runs", specs.len())
+                .field("threads", 0usize)
+                .field("duration_secs", sweep_secs)
+                .field("wall_ms", sweep_ms)
+                .field("runs_per_sec", specs.len() as f64 / (sweep_ms / 1_000.0)),
+        );
+    std::fs::write(out_path, json.render() + "\n").expect("write baseline json");
+    eprintln!("wrote {out_path}");
+}

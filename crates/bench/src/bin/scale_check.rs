@@ -8,7 +8,9 @@ fn main() {
     let area: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(150.0);
     let sinks: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(3);
     for kind in ProtocolKind::ALL {
-        let mut params = ScenarioParams::paper_default().with_duration_secs(dur).with_sinks(sinks);
+        let mut params = ScenarioParams::paper_default()
+            .with_duration_secs(dur)
+            .with_sinks(sinks);
         params.area_width_m = area;
         params.area_height_m = area;
         let t = std::time::Instant::now();
@@ -16,6 +18,14 @@ fn main() {
         println!("{:9} ratio {:5.1}% power {:7.3} mW delay {:6.0}s coll {:6} att {:7} mcast {:6} xi {:.3} [{:?}]",
             kind.label(), r.delivery_ratio()*100.0, r.avg_sensor_power_mw, r.mean_delay_secs,
             r.collisions, r.attempts, r.multicasts, r.mean_final_xi, t.elapsed());
-        println!("          drops: ovf {} rej {} ftd {} | copies {} sinkrx {} ctrl_bits {}", r.drops_overflow, r.drops_rejected, r.drops_ftd, r.copies_sent, r.sink_receptions, r.control_bits);
+        println!(
+            "          drops: ovf {} rej {} ftd {} | copies {} sinkrx {} ctrl_bits {}",
+            r.drops_overflow,
+            r.drops_rejected,
+            r.drops_ftd,
+            r.copies_sent,
+            r.sink_receptions,
+            r.control_bits
+        );
     }
 }

@@ -16,36 +16,50 @@ fn main() {
     let opts = ExperimentOpts::from_args();
     let base = ProtocolParams::paper_default();
 
-    let mut cases: Vec<(String, ProtocolParams)> =
-        vec![("default".into(), base.clone())];
+    let mut cases: Vec<(String, ProtocolParams)> = vec![("default".into(), base.clone())];
     for alpha in [0.1, 0.5] {
         cases.push((
             format!("alpha={alpha}"),
-            ProtocolParams { alpha, ..base.clone() },
+            ProtocolParams {
+                alpha,
+                ..base.clone()
+            },
         ));
     }
     for delta in [15.0, 60.0, 120.0] {
         cases.push((
             format!("Delta={delta}s"),
-            ProtocolParams { xi_timeout_secs: delta, ..base.clone() },
+            ProtocolParams {
+                xi_timeout_secs: delta,
+                ..base.clone()
+            },
         ));
     }
     for r in [0.8, 0.99] {
         cases.push((
             format!("R={r}"),
-            ProtocolParams { delivery_threshold_r: r, ..base.clone() },
+            ProtocolParams {
+                delivery_threshold_r: r,
+                ..base.clone()
+            },
         ));
     }
     for th in [0.9, 0.95, 1.0] {
         cases.push((
             format!("ftd_drop={th}"),
-            ProtocolParams { ftd_drop_threshold: th, ..base.clone() },
+            ProtocolParams {
+                ftd_drop_threshold: th,
+                ..base.clone()
+            },
         ));
     }
     for t_min in [1.0, 2.0] {
         cases.push((
             format!("T_min={t_min}s"),
-            ProtocolParams { t_min_secs: t_min, ..base.clone() },
+            ProtocolParams {
+                t_min_secs: t_min,
+                ..base.clone()
+            },
         ));
     }
 
@@ -60,8 +74,7 @@ fn main() {
     for (_, protocol) in &cases {
         for seed in 0..opts.seeds {
             specs.push(RunSpec {
-                scenario: ScenarioParams::paper_default()
-                    .with_duration_secs(opts.duration_secs),
+                scenario: ScenarioParams::paper_default().with_duration_secs(opts.duration_secs),
                 protocol: protocol.clone(),
                 config: ProtocolKind::Opt.config(),
                 seed: seed + 1,
@@ -72,7 +85,13 @@ fn main() {
 
     let mut table = Table::new(
         "Sensitivity of OPT (3 sinks) to the calibrated protocol constants",
-        &["setting", "ratio (%)", "power (mW)", "delay (s)", "collisions"],
+        &[
+            "setting",
+            "ratio (%)",
+            "power (mW)",
+            "delay (s)",
+            "collisions",
+        ],
     );
     for (ci, (name, _)) in cases.iter().enumerate() {
         let start = ci * opts.seeds as usize;

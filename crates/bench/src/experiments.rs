@@ -3,8 +3,8 @@
 
 use crate::sweep::{average, run_all, RunSpec};
 use dftmsn_core::contention::{
-    cts_collision_probability, optimize_cts_window, optimize_tau_max,
-    rts_collision_probability, sigma,
+    cts_collision_probability, optimize_cts_window, optimize_tau_max, rts_collision_probability,
+    sigma,
 };
 use dftmsn_core::params::{ProtocolParams, ScenarioParams};
 use dftmsn_core::sleep::SleepController;
@@ -72,7 +72,11 @@ impl ExperimentOpts {
     }
 }
 
-fn averaged_cell(spec_base: &ScenarioParams, kind: ProtocolKind, opts: &ExperimentOpts) -> Vec<RunSpec> {
+fn averaged_cell(
+    spec_base: &ScenarioParams,
+    kind: ProtocolKind,
+    opts: &ExperimentOpts,
+) -> Vec<RunSpec> {
     (0..opts.seeds)
         .map(|seed| RunSpec {
             scenario: spec_base.clone().with_duration_secs(opts.duration_secs),
@@ -159,12 +163,7 @@ pub fn fig2(opts: &ExperimentOpts) -> Vec<Table> {
 pub fn density(opts: &ExperimentOpts) -> Vec<Table> {
     let points: Vec<(f64, ScenarioParams)> = [50usize, 100, 150, 200, 250]
         .iter()
-        .map(|&n| {
-            (
-                n as f64,
-                ScenarioParams::paper_default().with_sensors(n),
-            )
-        })
+        .map(|&n| (n as f64, ScenarioParams::paper_default().with_sensors(n)))
         .collect();
     grid_tables(
         "Density study",
@@ -199,9 +198,27 @@ pub fn ablation(opts: &ExperimentOpts) -> Vec<Table> {
     let base = ProtocolKind::Opt.config();
     let cases: Vec<(&str, VariantConfig)> = vec![
         ("OPT (all)", base),
-        ("no adaptive tau", VariantConfig { adaptive_tau: false, ..base }),
-        ("no adaptive W", VariantConfig { adaptive_window: false, ..base }),
-        ("fixed sleep", VariantConfig { adaptive_sleep: false, ..base }),
+        (
+            "no adaptive tau",
+            VariantConfig {
+                adaptive_tau: false,
+                ..base
+            },
+        ),
+        (
+            "no adaptive W",
+            VariantConfig {
+                adaptive_window: false,
+                ..base
+            },
+        ),
+        (
+            "fixed sleep",
+            VariantConfig {
+                adaptive_sleep: false,
+                ..base
+            },
+        ),
         ("NOOPT (none)", ProtocolKind::NoOpt.config()),
         ("NOSLEEP", ProtocolKind::NoSleep.config()),
     ];
@@ -253,7 +270,14 @@ pub fn optimization_tables() -> Vec<Table> {
     // contenders, plus the Eq. 13 minimal τ_max at H = 0.1.
     let mut t1 = Table::new(
         "Opt-1: RTS collision probability vs tau_max (xi = 0.5 contenders, Eqs. 10-13)",
-        &["tau_max", "m=2", "m=3", "m=5", "m=8", "min tau (m=3, H=0.1)"],
+        &[
+            "tau_max",
+            "m=2",
+            "m=3",
+            "m=5",
+            "m=8",
+            "min tau (m=3, H=0.1)",
+        ],
     );
     let min_tau_m3 = optimize_tau_max(&[0.5, 0.5, 0.5], 0.1, 64);
     for tau_max in [2u64, 4, 8, 16, 32, 64] {
@@ -364,10 +388,13 @@ mod tests {
             duration_secs: 120,
             threads: 0,
         };
-        let points = vec![(1.0, ScenarioParams {
-            sensors: 8,
-            ..ScenarioParams::paper_default()
-        })];
+        let points = vec![(
+            1.0,
+            ScenarioParams {
+                sensors: 8,
+                ..ScenarioParams::paper_default()
+            },
+        )];
         let tables = grid_tables("t", "sinks", &points, &[ProtocolKind::Opt], &opts);
         assert_eq!(tables.len(), 5);
         assert_eq!(tables[0].row_count(), 1);

@@ -9,7 +9,8 @@ use dftmsn_core::report::SimReport;
 use dftmsn_core::variants::VariantConfig;
 use dftmsn_core::world::Simulation;
 use dftmsn_metrics::stats::RunningStats;
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::thread;
 
 /// One simulation to run.
@@ -46,6 +47,9 @@ pub fn run_all(specs: &[RunSpec], threads: usize) -> Vec<SimReport> {
     if specs.is_empty() {
         return Vec::new();
     }
+    // `available_parallelism` can fail in restricted environments
+    // (containers without cpuset information, some sandboxes); a modest
+    // fixed fan-out beats silently degrading to a serial sweep there.
     let threads = if threads == 0 {
         thread::available_parallelism().map_or(4, |n| n.get())
     } else {
@@ -57,33 +61,27 @@ pub fn run_all(specs: &[RunSpec], threads: usize) -> Vec<SimReport> {
         return specs.iter().map(RunSpec::run).collect();
     }
 
-    let (tx, rx) = mpsc::channel::<(usize, SimReport)>();
+    // Work stealing via a shared cursor: each worker claims the next
+    // unstarted spec as soon as it finishes its current one, so a few
+    // expensive runs (a NOSLEEP variant, a long duration) cannot strand
+    // the other workers idle the way fixed index striping could. Each
+    // result lands in the pre-sized slot for its spec index, which keeps
+    // the output in spec order with no channel traffic or re-sorting.
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<SimReport>> = (0..specs.len()).map(|_| OnceLock::new()).collect();
     thread::scope(|scope| {
-        for t in 0..threads {
-            let tx = tx.clone();
-            let chunk: Vec<(usize, &RunSpec)> = specs
-                .iter()
-                .enumerate()
-                .skip(t)
-                .step_by(threads)
-                .collect();
-            scope.spawn(move || {
-                for (idx, spec) in chunk {
-                    let report = spec.run();
-                    // The receiver lives until the scope ends.
-                    let _ = tx.send((idx, report));
-                }
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(idx) else { break };
+                let stored = slots[idx].set(spec.run()).is_ok();
+                assert!(stored, "spec index {idx} claimed twice");
             });
         }
-        drop(tx);
     });
-    let mut slots: Vec<Option<SimReport>> = (0..specs.len()).map(|_| None).collect();
-    while let Ok((idx, report)) = rx.recv() {
-        slots[idx] = Some(report);
-    }
     slots
         .into_iter()
-        .map(|s| s.expect("every spec produced a report"))
+        .map(|s| s.into_inner().expect("every spec produced a report"))
         .collect()
 }
 
@@ -166,6 +164,28 @@ mod tests {
         let reports = run_all(&specs, 3);
         for (i, r) in reports.iter().enumerate() {
             assert_eq!(r.seed, i as u64);
+        }
+    }
+
+    #[test]
+    fn stealing_keeps_spec_order_with_uneven_runs() {
+        // Alternate long and short runs so workers finish out of submission
+        // order and the cursor hands indices to whichever thread is free:
+        // results must still come back in spec order, matching serial.
+        let specs: Vec<RunSpec> = (0..6)
+            .map(|i| {
+                let mut s = spec(i);
+                s.scenario.duration_secs = if i % 2 == 0 { 400 } else { 50 };
+                s
+            })
+            .collect();
+        let serial = run_all(&specs, 1);
+        let parallel = run_all(&specs, 3);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(p.seed, i as u64, "slot {i} holds the wrong run");
+            assert_eq!(s.frames_sent, p.frames_sent);
+            assert_eq!(s.duration_secs, p.duration_secs);
         }
     }
 

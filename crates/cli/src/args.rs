@@ -223,10 +223,22 @@ mod tests {
             .unwrap_err()
             .0
             .contains("unknown protocol"));
-        assert!(parse(&["run", "--sensors"]).unwrap_err().0.contains("needs a value"));
-        assert!(parse(&["run", "--sensors", "x"]).unwrap_err().0.contains("invalid value"));
-        assert!(parse(&["frobnicate"]).unwrap_err().0.contains("unknown command"));
-        assert!(parse(&["run", "--wat"]).unwrap_err().0.contains("unknown flag"));
+        assert!(parse(&["run", "--sensors"])
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
+        assert!(parse(&["run", "--sensors", "x"])
+            .unwrap_err()
+            .0
+            .contains("invalid value"));
+        assert!(parse(&["frobnicate"])
+            .unwrap_err()
+            .0
+            .contains("unknown command"));
+        assert!(parse(&["run", "--wat"])
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
     }
 
     #[test]

@@ -54,10 +54,16 @@ fn run_one(protocol: ProtocolKind, scenario: ScenarioParams, seed: u64, csv: boo
         return;
     }
     println!("{}", report.summary());
-    println!("  delivery ratio   : {:>8.2} %", report.delivery_ratio() * 100.0);
+    println!(
+        "  delivery ratio   : {:>8.2} %",
+        report.delivery_ratio() * 100.0
+    );
     println!("  mean delay       : {:>8.0} s", report.mean_delay_secs);
     println!("  p95 delay        : {:>8.0} s", report.p95_delay_secs);
-    println!("  avg power        : {:>8.3} mW", report.avg_sensor_power_mw);
+    println!(
+        "  avg power        : {:>8.3} mW",
+        report.avg_sensor_power_mw
+    );
     println!("  attempts         : {:>8}", report.attempts);
     println!("  multicasts       : {:>8}", report.multicasts);
     println!("  copies sent      : {:>8}", report.copies_sent);
@@ -66,14 +72,23 @@ fn run_one(protocol: ProtocolKind, scenario: ScenarioParams, seed: u64, csv: boo
         "  drops (ovf/rej/ftd): {} / {} / {}",
         report.drops_overflow, report.drops_rejected, report.drops_ftd
     );
-    println!("  control overhead : {:>8.2} ctrl/data bits", report.control_overhead());
+    println!(
+        "  control overhead : {:>8.2} ctrl/data bits",
+        report.control_overhead()
+    );
     println!("  mean final xi    : {:>8.3}", report.mean_final_xi);
 }
 
 fn compare(scenario: ScenarioParams, seed: u64) {
     let mut table = Table::new(
         "variant comparison",
-        &["variant", "ratio (%)", "power (mW)", "delay (s)", "collisions"],
+        &[
+            "variant",
+            "ratio (%)",
+            "power (mW)",
+            "delay (s)",
+            "collisions",
+        ],
     );
     for kind in ProtocolKind::ALL {
         eprintln!("running {kind}...");
@@ -114,7 +129,10 @@ fn analyze(scenario: &ScenarioParams) {
         direct_average_ratio(contacts.lambda_node_sink, scenario.sinks, horizon) * 100.0
     );
     println!("flooding:");
-    println!("  expected delay             : {:.0} s", epidemic.expected_delay());
+    println!(
+        "  expected delay             : {:.0} s",
+        epidemic.expected_delay()
+    );
     println!(
         "  P(delivered by {horizon:.0} s)     : {:.1} %",
         epidemic.delivery_probability_by(horizon, 1.0) * 100.0

@@ -58,7 +58,8 @@ impl ContactModel {
     /// Panics if the scenario fails validation.
     #[must_use]
     pub fn from_scenario(s: &ScenarioParams) -> Self {
-        s.validate().unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+        s.validate()
+            .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
         let area = s.area_width_m * s.area_height_m;
         let v_mean = (s.speed_min_mps + s.speed_max_mps) / 2.0;
         let r = s.channel.range_m;
@@ -203,7 +204,11 @@ impl EpidemicModel {
         let max_rate = (1..=n)
             .map(|i| self.birth_rate(i) + self.absorb_rate(i))
             .fold(0.0f64, f64::max);
-        let dt = dt_secs.min(if max_rate > 0.0 { 0.5 / max_rate } else { dt_secs });
+        let dt = dt_secs.min(if max_rate > 0.0 {
+            0.5 / max_rate
+        } else {
+            dt_secs
+        });
         let substeps = (dt_secs / dt).ceil() as u64;
         let dt = dt_secs / substeps as f64;
         for _ in 0..steps * substeps {
@@ -303,7 +308,10 @@ mod tests {
             assert!(p >= prev - 1e-9, "CDF decreased at {h}");
             prev = p;
         }
-        assert!(prev > 0.9, "flooding should almost surely deliver by 5000 s");
+        assert!(
+            prev > 0.9,
+            "flooding should almost surely deliver by 5000 s"
+        );
     }
 
     #[test]

@@ -73,9 +73,7 @@ pub fn rts_collision_probability(sigmas: &[u64]) -> f64 {
         // A lone contender (or an empty cell) cannot collide.
         return 0.0;
     }
-    let total: f64 = (0..sigmas.len())
-        .map(|i| grab_probability(sigmas, i))
-        .sum();
+    let total: f64 = (0..sigmas.len()).map(|i| grab_probability(sigmas, i)).sum();
     (1.0 - total).clamp(0.0, 1.0)
 }
 
@@ -207,15 +205,14 @@ mod tests {
                 .map(|&s| rng.gen_range_inclusive(1, s))
                 .collect();
             let min = *draws.iter().min().unwrap();
-            let winners: Vec<usize> =
-                (0..3).filter(|&i| draws[i] == min).collect();
+            let winners: Vec<usize> = (0..3).filter(|&i| draws[i] == min).collect();
             if winners.len() == 1 {
                 wins[winners[0]] += 1;
             }
         }
-        for i in 0..3 {
+        for (i, &won) in wins.iter().enumerate() {
             let analytic = grab_probability(&sigmas, i);
-            let empirical = wins[i] as f64 / trials as f64;
+            let empirical = won as f64 / trials as f64;
             assert!(
                 (analytic - empirical).abs() < 0.005,
                 "node {i}: analytic {analytic} vs empirical {empirical}"
@@ -271,14 +268,10 @@ mod tests {
     #[test]
     fn eq14_monotone_in_n_and_w() {
         for n in 1..6u64 {
-            assert!(
-                cts_collision_probability(n + 1, 12) >= cts_collision_probability(n, 12)
-            );
+            assert!(cts_collision_probability(n + 1, 12) >= cts_collision_probability(n, 12));
         }
         for w in 4..20u64 {
-            assert!(
-                cts_collision_probability(4, w + 1) <= cts_collision_probability(4, w)
-            );
+            assert!(cts_collision_probability(4, w + 1) <= cts_collision_probability(4, w));
         }
     }
 
@@ -288,7 +281,10 @@ mod tests {
             let w = optimize_cts_window(n, 0.1, 1024);
             assert!(cts_collision_probability(n, w) <= 0.1, "n={n}");
             if w > 1 {
-                assert!(cts_collision_probability(n, w - 1) > 0.1, "n={n} not minimal");
+                assert!(
+                    cts_collision_probability(n, w - 1) > 0.1,
+                    "n={n} not minimal"
+                );
             }
         }
     }
@@ -307,8 +303,7 @@ mod tests {
         let trials = 100_000;
         let mut collided = 0u64;
         for _ in 0..trials {
-            let mut slots: Vec<u64> =
-                (0..n).map(|_| rng.gen_range_inclusive(1, w)).collect();
+            let mut slots: Vec<u64> = (0..n).map(|_| rng.gen_range_inclusive(1, w)).collect();
             slots.sort_unstable();
             slots.dedup();
             if slots.len() < n as usize {

@@ -115,8 +115,7 @@ mod tests {
             },
             MacPayload::Ack { msg: MessageId(0) },
         ];
-        let tags: std::collections::HashSet<&str> =
-            frames.iter().map(|f| f.tag()).collect();
+        let tags: std::collections::HashSet<&str> = frames.iter().map(|f| f.tag()).collect();
         assert_eq!(tags.len(), frames.len());
     }
 }

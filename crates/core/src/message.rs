@@ -7,9 +7,7 @@ use serde::{Deserialize, Serialize};
 
 /// Globally unique message identity (copies of the same sensed datum share
 /// the id).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MessageId(pub u64);
 
 /// One copy of a sensed data message.

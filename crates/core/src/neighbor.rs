@@ -59,7 +59,8 @@ impl NeighborTable {
             xi.is_finite() && (0.0..=1.0).contains(&xi),
             "ξ {xi} outside [0,1]"
         );
-        self.entries.insert(id, NeighborEntry { xi, last_seen: now });
+        self.entries
+            .insert(id, NeighborEntry { xi, last_seen: now });
     }
 
     /// Number of entries, stale or not.
@@ -125,7 +126,7 @@ pub struct Candidate {
 
 /// The outcome of receiver selection: the chosen subset Φ with the FTD to
 /// attach to each receiver's copy (Eq. 2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Selection {
     /// Chosen receivers in transmission-schedule order (descending ξ) with
     /// their copy FTDs.
@@ -142,6 +143,23 @@ impl Selection {
     pub fn is_empty(&self) -> bool {
         self.receivers.is_empty()
     }
+
+    /// Empties the selection, keeping the vector capacity for reuse.
+    pub fn clear(&mut self) {
+        self.receivers.clear();
+        self.receiver_xis.clear();
+        self.combined_delivery = 0.0;
+    }
+}
+
+/// Working memory for [`select_receivers_into`], reused across cycles so
+/// steady-state selection performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct SelectionScratch {
+    /// Candidate indices in greedy (descending-ξ) walk order.
+    order: Vec<u32>,
+    /// ξ of Φ \ {j} while computing receiver j's copy FTD.
+    others: Vec<f64>,
 }
 
 /// The greedy receiver-selection algorithm of Sec. 3.2.2.
@@ -165,6 +183,35 @@ pub fn select_receivers(
     candidates: &[Candidate],
     threshold_r: f64,
 ) -> Selection {
+    let mut scratch = SelectionScratch::default();
+    let mut out = Selection::default();
+    select_receivers_into(
+        sender_xi,
+        msg_ftd,
+        candidates,
+        threshold_r,
+        &mut scratch,
+        &mut out,
+    );
+    out
+}
+
+/// Allocation-free form of [`select_receivers`]: writes the chosen set into
+/// `out` (cleared first), using `scratch` as working memory. The simulation
+/// hot path calls this with pooled buffers so steady-state selection never
+/// touches the heap.
+///
+/// # Panics
+///
+/// Panics if `sender_xi` or `threshold_r` is outside `[0, 1]`.
+pub fn select_receivers_into(
+    sender_xi: f64,
+    msg_ftd: Ftd,
+    candidates: &[Candidate],
+    threshold_r: f64,
+    scratch: &mut SelectionScratch,
+    out: &mut Selection,
+) {
     assert!(
         sender_xi.is_finite() && (0.0..=1.0).contains(&sender_xi),
         "sender ξ {sender_xi} outside [0,1]"
@@ -173,45 +220,37 @@ pub fn select_receivers(
         (0.0..=1.0).contains(&threshold_r),
         "threshold R {threshold_r} outside [0,1]"
     );
-    let mut sorted: Vec<&Candidate> = candidates.iter().collect();
+    out.clear();
+    scratch.order.clear();
+    scratch.order.extend(0..candidates.len() as u32);
     // Descending ξ; ties broken by id for determinism.
-    sorted.sort_by(|a, b| {
-        b.xi
-            .partial_cmp(&a.xi)
+    scratch.order.sort_by(|&a, &b| {
+        let (a, b) = (&candidates[a as usize], &candidates[b as usize]);
+        b.xi.partial_cmp(&a.xi)
             .expect("ξ is always finite")
             .then_with(|| a.id.cmp(&b.id))
     });
 
-    let mut chosen: Vec<&Candidate> = Vec::new();
-    for c in sorted {
+    // Greedy admission; the copy FTDs are placeholders until Φ is final.
+    for &ci in &scratch.order {
+        let c = &candidates[ci as usize];
         if c.xi > sender_xi && c.buffer_space > 0 {
-            chosen.push(c);
+            out.receivers.push((c.id, Ftd::NEW));
+            out.receiver_xis.push(c.xi);
         }
-        let xis: Vec<f64> = chosen.iter().map(|c| c.xi).collect();
-        if msg_ftd.combined_delivery(&xis) > threshold_r {
+        if msg_ftd.combined_delivery(&out.receiver_xis) > threshold_r {
             break;
         }
     }
 
-    let xis: Vec<f64> = chosen.iter().map(|c| c.xi).collect();
-    let receivers: Vec<(NodeId, Ftd)> = chosen
-        .iter()
-        .enumerate()
-        .map(|(j, c)| {
-            let others: Vec<f64> = xis
-                .iter()
-                .enumerate()
-                .filter(|&(k, _)| k != j)
-                .map(|(_, &x)| x)
-                .collect();
-            (c.id, msg_ftd.receiver_copy(sender_xi, &others))
-        })
-        .collect();
-    Selection {
-        combined_delivery: msg_ftd.combined_delivery(&xis),
-        receiver_xis: xis,
-        receivers,
+    // Eq. 2 over the final set Φ.
+    for j in 0..out.receivers.len() {
+        scratch.others.clear();
+        scratch.others.extend_from_slice(&out.receiver_xis[..j]);
+        scratch.others.extend_from_slice(&out.receiver_xis[j + 1..]);
+        out.receivers[j].1 = msg_ftd.receiver_copy(sender_xi, &scratch.others);
     }
+    out.combined_delivery = msg_ftd.combined_delivery(&out.receiver_xis);
 }
 
 #[cfg(test)]

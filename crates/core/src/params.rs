@@ -325,11 +325,15 @@ impl ProtocolParams {
             ("cts_collision_target", self.cts_collision_target),
         ] {
             if !(0.0..=1.0).contains(&p) {
-                return Err(InvalidParams::new(format!("{name} must be in [0,1], got {p}")));
+                return Err(InvalidParams::new(format!(
+                    "{name} must be in [0,1], got {p}"
+                )));
             }
         }
         if self.sleep_h <= 0.0 {
-            return Err(InvalidParams::new("sleep_h must be positive (Eq. 8 divides by it)"));
+            return Err(InvalidParams::new(
+                "sleep_h must be positive (Eq. 8 divides by it)",
+            ));
         }
         if self.history_window_s < 2 {
             return Err(InvalidParams::new("history window S must be at least 2"));

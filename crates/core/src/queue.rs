@@ -193,7 +193,8 @@ impl FtdQueue {
     /// urgent-message count `K_F` of Eq. 5.
     #[must_use]
     pub fn count_ftd_below(&self, bound: Ftd) -> usize {
-        self.items.partition_point(|x| x.ftd.value() < bound.value())
+        self.items
+            .partition_point(|x| x.ftd.value() < bound.value())
     }
 
     /// The buffer-urgency ratio αᵢ of Eq. 5: `K_F / K`.

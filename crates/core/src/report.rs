@@ -186,6 +186,9 @@ pub struct SimReport {
     pub multicasts: u64,
     /// Acknowledged copies transferred.
     pub copies_sent: u64,
+    /// Discrete events the engine processed to complete the run — the
+    /// denominator for events/second throughput figures.
+    pub events_processed: u64,
     /// Mean sensor delivery probability at the end of the run.
     pub mean_final_xi: f64,
     /// Mean handovers per delivered message (1 = handed straight to a
@@ -267,7 +270,12 @@ impl SimReport {
             .field("total_sensor_energy_j", self.total_sensor_energy_j)
             .field(
                 "energy_by_state_j",
-                Json::Arr(self.energy_by_state_j.iter().map(|&x| Json::Num(x)).collect()),
+                Json::Arr(
+                    self.energy_by_state_j
+                        .iter()
+                        .map(|&x| Json::Num(x))
+                        .collect(),
+                ),
             )
             .field("control_bits", self.control_bits)
             .field("data_bits", self.data_bits)
@@ -279,6 +287,7 @@ impl SimReport {
             .field("attempts", self.attempts)
             .field("multicasts", self.multicasts)
             .field("copies_sent", self.copies_sent)
+            .field("events_processed", self.events_processed)
             .field("mean_final_xi", self.mean_final_xi)
             .field("mean_hops", self.mean_hops)
             .field("nodes", Json::Arr(nodes))
@@ -330,6 +339,7 @@ mod tests {
             failed_attempts: 1,
             multicasts: 4,
             copies_sent: 8,
+            events_processed: 100,
             mean_final_xi: 0.4,
             mean_hops: 1.0,
             delay_stats: RunningStats::new(),

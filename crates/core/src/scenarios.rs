@@ -117,8 +117,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_resolvable() {
         let presets = all();
-        let names: std::collections::HashSet<&str> =
-            presets.iter().map(|p| p.name).collect();
+        let names: std::collections::HashSet<&str> = presets.iter().map(|p| p.name).collect();
         assert_eq!(names.len(), presets.len());
         for p in &presets {
             assert_eq!(by_name(p.name).unwrap().params, p.params);

@@ -220,7 +220,8 @@ impl<'a> CoverageAnalysis<'a> {
     #[must_use]
     pub fn sample_value(&self, origin_index: usize, created_secs: f64) -> f64 {
         let zone = home_zone_assignment(origin_index, self.grid.zone_count());
-        self.field.value_at(self.grid.zone_center(zone), created_secs)
+        self.field
+            .value_at(self.grid.zone_center(zone), created_secs)
     }
 
     /// Time-averaged truth at a zone centre (midpoint rule, 100 steps).
@@ -286,11 +287,11 @@ impl<'a> CoverageAnalysis<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::report::DeliveryRecord;
     use crate::message::MessageId;
-    use dftmsn_radio::ids::NodeId;
+    use crate::report::DeliveryRecord;
     use dftmsn_metrics::histogram::Histogram;
     use dftmsn_metrics::stats::RunningStats;
+    use dftmsn_radio::ids::NodeId;
 
     fn scenario() -> ScenarioParams {
         ScenarioParams::paper_default().with_duration_secs(1_000)
@@ -322,6 +323,7 @@ mod tests {
             failed_attempts: 0,
             multicasts: 0,
             copies_sent: 0,
+            events_processed: 0,
             mean_final_xi: 0.0,
             mean_hops: 0.0,
             delay_stats: RunningStats::new(),

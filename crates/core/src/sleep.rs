@@ -108,10 +108,7 @@ impl SleepController {
         let t_min = params.t_min_secs;
         let raw = t_min * (1.0 / rho - 1.0) / (1.0 - params.sleep_h + urgency);
         let t = raw.max(t_min);
-        SimDuration::from_secs_f64(t).clamp(
-            SimDuration::from_secs_f64(t_min),
-            params.t_max(),
-        )
+        SimDuration::from_secs_f64(t).clamp(SimDuration::from_secs_f64(t_min), params.t_max())
     }
 }
 

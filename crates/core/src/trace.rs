@@ -219,7 +219,11 @@ impl SharedTrace {
     /// Panics if a previous holder of the lock panicked.
     #[must_use]
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.inner.lock().expect("trace lock poisoned").events().to_vec()
+        self.inner
+            .lock()
+            .expect("trace lock poisoned")
+            .events()
+            .to_vec()
     }
 
     /// The tags of sent frames, in order.

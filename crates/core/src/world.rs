@@ -26,7 +26,7 @@ use crate::delivery::DeliveryProb;
 use crate::frames::MacPayload;
 use crate::ftd::Ftd;
 use crate::message::{Message, MessageId, MessageIdAllocator};
-use crate::neighbor::{select_receivers, Candidate, Selection};
+use crate::neighbor::{select_receivers_into, Candidate, Selection, SelectionScratch};
 use crate::node::{MacState, Node, NodeRole, ReceiverCtx, SenderCtx, TxPlan};
 use crate::params::{MobilityKind, ProtocolParams, ScenarioParams};
 use crate::queue::InsertOutcome;
@@ -74,6 +74,76 @@ enum Event {
     MetricTimeout(NodeId),
     TxEnd(NodeId, TxHandle),
     Timer(NodeId, u64, Timer),
+}
+
+/// Reusable working memory for the per-cycle hot paths.
+///
+/// Every buffer is cleared before use; the pools recycle the vectors that
+/// used to be freshly allocated each protocol cycle (CTS candidate lists,
+/// ACK lists, selections, SCHEDULE payloads), so once capacities settle the
+/// steady-state multicast path performs no heap allocation.
+#[derive(Debug, Default)]
+struct CycleScratch {
+    /// Spatial-query output: node indices in range.
+    idx: Vec<usize>,
+    /// The same set as `NodeId`s, fed to the medium.
+    ids: Vec<NodeId>,
+    /// Receiver-selection working memory.
+    sel: SelectionScratch,
+    /// ξ of the receivers whose ACK arrived (Eqs. 1/3 inputs).
+    confirmed_xis: Vec<f64>,
+    /// Retired `Selection`s awaiting reuse.
+    selections: Vec<Selection>,
+    /// Retired CTS candidate lists awaiting reuse.
+    candidate_bufs: Vec<Vec<Candidate>>,
+    /// Retired ACK lists awaiting reuse.
+    acked_bufs: Vec<Vec<NodeId>>,
+    /// Retired SCHEDULE receiver lists awaiting reuse.
+    schedule_bufs: Vec<Vec<(NodeId, f64)>>,
+}
+
+impl CycleScratch {
+    fn take_selection(&mut self) -> Selection {
+        self.selections.pop().unwrap_or_default()
+    }
+
+    fn take_candidates(&mut self) -> Vec<Candidate> {
+        self.candidate_bufs.pop().unwrap_or_default()
+    }
+
+    fn take_acked(&mut self) -> Vec<NodeId> {
+        self.acked_bufs.pop().unwrap_or_default()
+    }
+
+    fn take_schedule(&mut self) -> Vec<(NodeId, f64)> {
+        self.schedule_bufs.pop().unwrap_or_default()
+    }
+
+    fn recycle_selection(&mut self, mut s: Selection) {
+        s.clear();
+        self.selections.push(s);
+    }
+
+    fn recycle_schedule(&mut self, mut v: Vec<(NodeId, f64)>) {
+        v.clear();
+        self.schedule_bufs.push(v);
+    }
+
+    fn recycle_sender_ctx(&mut self, ctx: SenderCtx) {
+        let SenderCtx {
+            mut candidates,
+            mut acked,
+            selection,
+            ..
+        } = ctx;
+        candidates.clear();
+        self.candidate_bufs.push(candidates);
+        acked.clear();
+        self.acked_bufs.push(acked);
+        if let Some(s) = selection {
+            self.recycle_selection(s);
+        }
+    }
 }
 
 /// Precomputed frame timings.
@@ -153,8 +223,7 @@ pub struct Simulation {
     metrics: RunMetrics,
     deliveries: Vec<DeliveryRecord>,
 
-    scratch_idx: Vec<usize>,
-    scratch_ids: Vec<NodeId>,
+    scratch: CycleScratch,
     trace: Option<Box<dyn TraceSink>>,
 }
 
@@ -167,7 +236,12 @@ impl Simulation {
     /// Panics if `scenario` fails validation.
     #[must_use]
     pub fn new(scenario: ScenarioParams, kind: ProtocolKind, seed: u64) -> Self {
-        Self::with_config(scenario, ProtocolParams::paper_default(), kind.config(), seed)
+        Self::with_config(
+            scenario,
+            ProtocolParams::paper_default(),
+            kind.config(),
+            seed,
+        )
     }
 
     /// Builds a simulation with explicit protocol constants and a custom
@@ -291,8 +365,7 @@ impl Simulation {
             delivered_ids: HashSet::new(),
             metrics,
             deliveries: Vec::new(),
-            scratch_idx: Vec::new(),
-            scratch_ids: Vec::new(),
+            scratch: CycleScratch::default(),
             trace: None,
         };
         sim.schedule_initial_events();
@@ -384,7 +457,10 @@ impl Simulation {
             m.advance(dt, &mut self.mobility_rng);
             *p = m.position();
         }
-        self.grid.rebuild(&self.positions);
+        // Incremental: only nodes that crossed a cell boundary are moved;
+        // stationary sinks and slow nodes are near-free (the node count is
+        // fixed for a run, so the full rebuild stays construction-only).
+        self.grid.update(&self.positions);
         let tick = SimDuration::from_secs_f64(dt);
         self.events.schedule_after(tick, Event::MobilityTick);
     }
@@ -436,10 +512,15 @@ impl Simulation {
         {
             let node = &mut self.nodes[i.index()];
             if node.state == MacState::Sleeping {
-                node.meter.set_state(now, RadioState::Idle, &self.scenario.energy);
+                node.meter
+                    .set_state(now, RadioState::Idle, &self.scenario.energy);
                 self.medium.set_listening(i, true);
             }
-            node.clear_ctx();
+            if let Some(ctx) = node.sender_ctx.take() {
+                self.scratch.recycle_sender_ctx(ctx);
+            }
+            node.receiver_ctx = None;
+            node.listen_retries = 0;
         }
         if self.nodes[i.index()].queue.is_empty() {
             // Nothing to send: stay available as a receiver for a window,
@@ -496,12 +577,14 @@ impl Simulation {
             return;
         };
         let window = self.window_for(now, i);
+        let candidates = self.scratch.take_candidates();
+        let acked = self.scratch.take_acked();
         self.nodes[i.index()].sender_ctx = Some(SenderCtx {
             msg: head,
             window_slots: window,
-            candidates: Vec::new(),
+            candidates,
             selection: None,
-            acked: Vec::new(),
+            acked,
         });
         self.begin_frame(
             now,
@@ -543,23 +626,30 @@ impl Simulation {
 
     fn on_cts_window_end(&mut self, now: SimTime, i: NodeId) {
         debug_assert_eq!(self.nodes[i.index()].state, MacState::CollectCts);
-        let selection = {
+        let mut selection = self.scratch.take_selection();
+        {
             let node = &self.nodes[i.index()];
             let ctx = node.sender_ctx.as_ref().expect("window end without ctx");
-            self.select_for(node.metric.value(), ctx.msg.ftd, &ctx.candidates)
-        };
+            Self::select_into(
+                &self.config,
+                self.protocol.delivery_threshold_r,
+                node.metric.value(),
+                ctx.msg.ftd,
+                &ctx.candidates,
+                &mut self.scratch.sel,
+                &mut selection,
+            );
+        }
         if selection.is_empty() {
+            self.scratch.recycle_selection(selection);
             self.end_cycle(now, i, false);
             return;
         }
+        let mut receivers = self.scratch.take_schedule();
+        receivers.extend(selection.receivers.iter().map(|&(id, f)| (id, f.value())));
         let payload = {
             let node = &mut self.nodes[i.index()];
             let ctx = node.sender_ctx.as_mut().expect("window end without ctx");
-            let receivers: Vec<(NodeId, f64)> = selection
-                .receivers
-                .iter()
-                .map(|&(id, f)| (id, f.value()))
-                .collect();
             let payload = MacPayload::Schedule {
                 receivers,
                 msg: ctx.msg.id,
@@ -567,7 +657,13 @@ impl Simulation {
             ctx.selection = Some(selection);
             payload
         };
-        self.begin_frame(now, i, payload, self.scenario.control_bits, TxPlan::Schedule);
+        self.begin_frame(
+            now,
+            i,
+            payload,
+            self.scenario.control_bits,
+            TxPlan::Schedule,
+        );
     }
 
     fn on_ack_slot(&mut self, now: SimTime, i: NodeId) {
@@ -586,14 +682,29 @@ impl Simulation {
         );
     }
 
-    /// Applies the variant's receiver-selection rule to the CTS repliers.
-    fn select_for(&self, sender_metric: f64, msg_ftd: Ftd, candidates: &[Candidate]) -> Selection {
-        match self.config.selection {
-            SelectionKind::FtdThreshold => select_receivers(
+    /// Applies the variant's receiver-selection rule to the CTS repliers,
+    /// writing the result into `out` (cleared first).
+    ///
+    /// An associated function rather than a method so callers can hold
+    /// disjoint borrows of the node array and the scratch buffers.
+    fn select_into(
+        config: &VariantConfig,
+        threshold_r: f64,
+        sender_metric: f64,
+        msg_ftd: Ftd,
+        candidates: &[Candidate],
+        scratch: &mut SelectionScratch,
+        out: &mut Selection,
+    ) {
+        out.clear();
+        match config.selection {
+            SelectionKind::FtdThreshold => select_receivers_into(
                 sender_metric,
                 msg_ftd,
                 candidates,
-                self.protocol.delivery_threshold_r,
+                threshold_r,
+                scratch,
+                out,
             ),
             SelectionKind::SingleBest | SelectionKind::SinkOnly => {
                 let best = candidates
@@ -604,32 +715,39 @@ impl Simulation {
                             .expect("finite ξ")
                             .then_with(|| b.id.cmp(&a.id))
                     });
-                match best {
-                    Some(c) => Selection {
-                        receivers: vec![(c.id, msg_ftd.receiver_copy(sender_metric, &[]))],
-                        receiver_xis: vec![c.xi],
-                        combined_delivery: msg_ftd.combined_delivery(&[c.xi]),
-                    },
-                    None => Selection {
-                        receivers: Vec::new(),
-                        receiver_xis: Vec::new(),
-                        combined_delivery: 0.0,
-                    },
+                if let Some(c) = best {
+                    out.receivers
+                        .push((c.id, msg_ftd.receiver_copy(sender_metric, &[])));
+                    out.receiver_xis.push(c.xi);
+                    out.combined_delivery = msg_ftd.combined_delivery(&out.receiver_xis);
                 }
             }
             SelectionKind::AllResponders => {
-                let chosen: Vec<&Candidate> = candidates
-                    .iter()
-                    .filter(|c| c.buffer_space > 0)
-                    .collect();
-                let xis: Vec<f64> = chosen.iter().map(|c| c.xi).collect();
-                Selection {
-                    receivers: chosen.iter().map(|c| (c.id, Ftd::NEW)).collect(),
-                    receiver_xis: xis.clone(),
-                    combined_delivery: msg_ftd.combined_delivery(&xis),
+                for c in candidates.iter().filter(|c| c.buffer_space > 0) {
+                    out.receivers.push((c.id, Ftd::NEW));
+                    out.receiver_xis.push(c.xi);
                 }
+                out.combined_delivery = msg_ftd.combined_delivery(&out.receiver_xis);
             }
         }
+    }
+
+    /// Convenience form of [`Self::select_into`] returning a fresh
+    /// `Selection` (test and inspection use; the hot path reuses buffers).
+    #[cfg(test)]
+    fn select_for(&self, sender_metric: f64, msg_ftd: Ftd, candidates: &[Candidate]) -> Selection {
+        let mut scratch = SelectionScratch::default();
+        let mut out = Selection::default();
+        Self::select_into(
+            &self.config,
+            self.protocol.delivery_threshold_r,
+            sender_metric,
+            msg_ftd,
+            candidates,
+            &mut scratch,
+            &mut out,
+        );
+        out
     }
 
     fn finalize_multicast(&mut self, now: SimTime, i: NodeId) {
@@ -640,23 +758,24 @@ impl Simulation {
             .expect("finalize without ctx");
         let selection = ctx.selection.as_ref().expect("finalize without selection");
 
-        let mut confirmed_xis = Vec::new();
+        self.scratch.confirmed_xis.clear();
         let mut any_sink = false;
         for (k, &(id, _)) in selection.receivers.iter().enumerate() {
             if ctx.acked.contains(&id) {
-                confirmed_xis.push(selection.receiver_xis[k]);
+                self.scratch.confirmed_xis.push(selection.receiver_xis[k]);
                 if self.nodes[id.index()].is_sink() {
                     any_sink = true;
                 }
             }
         }
-        if confirmed_xis.is_empty() {
+        if self.scratch.confirmed_xis.is_empty() {
             self.metrics.failed_attempts += 1;
+            self.scratch.recycle_sender_ctx(ctx);
             self.end_cycle(now, i, false);
             return;
         }
         self.metrics.multicasts += 1;
-        self.metrics.copies_sent += confirmed_xis.len() as u64;
+        self.metrics.copies_sent += self.scratch.confirmed_xis.len() as u64;
 
         // Eq. 1 (or the ZBR history rule) on a successful transmission.
         let alpha = self.protocol.alpha;
@@ -665,7 +784,12 @@ impl Simulation {
             node.last_tx = now;
             match self.config.metric {
                 MetricKind::DeliveryProb => {
-                    let best = confirmed_xis.iter().copied().fold(0.0f64, f64::max);
+                    let best = self
+                        .scratch
+                        .confirmed_xis
+                        .iter()
+                        .copied()
+                        .fold(0.0f64, f64::max);
                     node.metric
                         .on_transmission(DeliveryProb::new(best.clamp(0.0, 1.0)), alpha);
                 }
@@ -685,7 +809,7 @@ impl Simulation {
                     // Highest possible FTD: drop immediately (delivered).
                     self.nodes[i.index()].queue.remove(msg_id);
                 } else {
-                    let new_ftd = ctx.msg.ftd.after_multicast(&confirmed_xis);
+                    let new_ftd = ctx.msg.ftd.after_multicast(&self.scratch.confirmed_xis);
                     if new_ftd.value() > self.protocol.ftd_drop_threshold {
                         if self.nodes[i.index()].queue.remove(msg_id).is_some() {
                             self.metrics.drops_ftd += 1;
@@ -711,13 +835,18 @@ impl Simulation {
                 }
             }
         }
+        self.scratch.recycle_sender_ctx(ctx);
         self.end_cycle(now, i, true);
     }
 
     fn end_cycle(&mut self, now: SimTime, i: NodeId, active: bool) {
         if self.nodes[i.index()].is_sink() {
             let node = &mut self.nodes[i.index()];
-            node.clear_ctx();
+            if let Some(ctx) = node.sender_ctx.take() {
+                self.scratch.recycle_sender_ctx(ctx);
+            }
+            node.receiver_ctx = None;
+            node.listen_retries = 0;
             node.transition(MacState::Passive);
             return;
         }
@@ -730,9 +859,13 @@ impl Simulation {
             } else {
                 node.cycles_inactive += 1;
             }
-            node.clear_ctx();
-            let go_sleep = self.config.sleeps
-                && node.cycles_inactive >= self.protocol.inactivity_cycles_l;
+            if let Some(ctx) = node.sender_ctx.take() {
+                self.scratch.recycle_sender_ctx(ctx);
+            }
+            node.receiver_ctx = None;
+            node.listen_retries = 0;
+            let go_sleep =
+                self.config.sleeps && node.cycles_inactive >= self.protocol.inactivity_cycles_l;
             // A node in work mode "repeats the two-phase process" (Sec. 3.2):
             // after a successful cycle the next one starts immediately; only
             // failed attempts back off before retrying.
@@ -756,7 +889,8 @@ impl Simulation {
             };
             let node = &mut self.nodes[i.index()];
             node.transition(MacState::Sleeping);
-            node.meter.set_state(now, RadioState::Sleep, &self.scenario.energy);
+            node.meter
+                .set_state(now, RadioState::Sleep, &self.scenario.energy);
             self.medium.set_listening(i, false);
             self.emit(TraceEvent::Slept {
                 at: now,
@@ -828,11 +962,12 @@ impl Simulation {
             &self.positions,
             i.index(),
             self.scenario.channel.range_m,
-            &mut self.scratch_idx,
+            &mut self.scratch.idx,
         );
-        self.scratch_ids.clear();
-        self.scratch_ids
-            .extend(self.scratch_idx.iter().map(|&j| NodeId(j)));
+        self.scratch.ids.clear();
+        self.scratch
+            .ids
+            .extend(self.scratch.idx.iter().map(|&j| NodeId(j)));
     }
 
     fn begin_frame(
@@ -859,7 +994,8 @@ impl Simulation {
         {
             let node = &mut self.nodes[i.index()];
             node.transition(MacState::Transmitting(plan));
-            node.meter.set_state(now, RadioState::Tx, &self.scenario.energy);
+            node.meter
+                .set_state(now, RadioState::Tx, &self.scenario.energy);
         }
         self.medium.set_listening(i, false);
         let handle = self.medium.begin_tx(
@@ -869,11 +1005,10 @@ impl Simulation {
                 bits,
                 payload,
             },
-            &self.scratch_ids,
+            &self.scratch.ids,
         );
         let airtime = self.scenario.channel.airtime(bits);
-        self.events
-            .schedule_after(airtime, Event::TxEnd(i, handle));
+        self.events.schedule_after(airtime, Event::TxEnd(i, handle));
     }
 
     fn on_tx_end(&mut self, now: SimTime, i: NodeId, handle: TxHandle) {
@@ -885,7 +1020,8 @@ impl Simulation {
         // Half-duplex turnaround: back to listening.
         {
             let node = &mut self.nodes[i.index()];
-            node.meter.set_state(now, RadioState::Idle, &self.scenario.energy);
+            node.meter
+                .set_state(now, RadioState::Idle, &self.scenario.energy);
         }
         self.medium.set_listening(i, true);
 
@@ -927,9 +1063,7 @@ impl Simulation {
                 self.schedule_timer(i, wait, Timer::CtsWindowEnd);
             }
             TxPlan::Cts => {
-                let ctx = self.nodes[i.index()]
-                    .receiver_ctx
-                    .expect("CTS without ctx");
+                let ctx = self.nodes[i.index()].receiver_ctx.expect("CTS without ctx");
                 self.nodes[i.index()].transition(MacState::AwaitSchedule);
                 let deadline = ctx.rts_end
                     + self.timing.cts_slot * u64::from(ctx.window_slots)
@@ -974,15 +1108,28 @@ impl Simulation {
             let tag = outcome.frame.payload.tag();
             let from = outcome.frame.src;
             for &r in &outcome.delivered_to {
-                self.emit(TraceEvent::FrameDelivered { at: now, from, to: r, tag });
+                self.emit(TraceEvent::FrameDelivered {
+                    at: now,
+                    from,
+                    to: r,
+                    tag,
+                });
             }
             for &r in &outcome.collided_at {
-                self.emit(TraceEvent::Collision { at: now, at_node: r });
+                self.emit(TraceEvent::Collision {
+                    at: now,
+                    at_node: r,
+                });
             }
         }
         let delivered_to = std::mem::take(&mut outcome.delivered_to);
         for r in delivered_to {
             self.handle_rx(now, r, &outcome.frame);
+        }
+        // The SCHEDULE payload carries a pooled receiver list; now that the
+        // frame is fully processed, reclaim it for the next multicast.
+        if let MacPayload::Schedule { receivers, .. } = outcome.frame.payload {
+            self.scratch.recycle_schedule(receivers);
         }
     }
 
@@ -1037,7 +1184,9 @@ impl Simulation {
                 if self.qualified(r, *xi, *ftd, *msg) {
                     let slot = {
                         let node = &mut self.nodes[r.index()];
-                        node.rng.gen_range_inclusive(1, u64::from(*window_slots).max(1)) as u32
+                        node.rng
+                            .gen_range_inclusive(1, u64::from(*window_slots).max(1))
+                            as u32
                     };
                     self.nodes[r.index()].receiver_ctx = Some(ReceiverCtx {
                         sender: src,
@@ -1274,11 +1423,15 @@ impl Simulation {
             failed_attempts: m.failed_attempts,
             multicasts: m.multicasts,
             copies_sent: m.copies_sent,
+            events_processed: self.events.popped(),
             mean_final_xi: xi_sum / sensors as f64,
             mean_hops: if self.deliveries.is_empty() {
                 0.0
             } else {
-                self.deliveries.iter().map(|d| f64::from(d.hops)).sum::<f64>()
+                self.deliveries
+                    .iter()
+                    .map(|d| f64::from(d.hops))
+                    .sum::<f64>()
                     / self.deliveries.len() as f64
             },
             delay_stats: m.delay,
@@ -1398,7 +1551,10 @@ mod tests {
         let r = NodeId(0);
         sim.nodes[r.index()].metric = DeliveryProb::new(0.5);
         assert!(sim.qualified(r, 0.4, 0.0, MessageId(9)));
-        assert!(!sim.qualified(r, 0.5, 0.0, MessageId(9)), "ties do not qualify");
+        assert!(
+            !sim.qualified(r, 0.5, 0.0, MessageId(9)),
+            "ties do not qualify"
+        );
         assert!(!sim.qualified(r, 0.6, 0.0, MessageId(9)));
 
         // Holding a copy disqualifies.
@@ -1426,9 +1582,21 @@ mod tests {
     fn select_for_respects_variant_semantics() {
         let scenario = tiny();
         let cands = vec![
-            Candidate { id: NodeId(1), xi: 0.9, buffer_space: 4 },
-            Candidate { id: NodeId(2), xi: 0.7, buffer_space: 4 },
-            Candidate { id: NodeId(3), xi: 0.5, buffer_space: 0 },
+            Candidate {
+                id: NodeId(1),
+                xi: 0.9,
+                buffer_space: 4,
+            },
+            Candidate {
+                id: NodeId(2),
+                xi: 0.7,
+                buffer_space: 4,
+            },
+            Candidate {
+                id: NodeId(3),
+                xi: 0.5,
+                buffer_space: 0,
+            },
         ];
 
         let sim = Simulation::new(scenario.clone(), ProtocolKind::Zbr, 1);
@@ -1472,9 +1640,14 @@ mod tests {
     fn fixed_parameters_ignore_the_table() {
         let mut sim = Simulation::new(tiny(), ProtocolKind::NoOpt, 1);
         let i = NodeId(0);
-        sim.nodes[i.index()].table.observe(NodeId(5), 0.9, SimTime::ZERO);
+        sim.nodes[i.index()]
+            .table
+            .observe(NodeId(5), 0.9, SimTime::ZERO);
         let p = ProtocolParams::paper_default();
-        assert_eq!(sim.tau_max_for(SimTime::from_secs(5), i), p.tau_max_fixed_slots);
+        assert_eq!(
+            sim.tau_max_for(SimTime::from_secs(5), i),
+            p.tau_max_fixed_slots
+        );
         assert_eq!(
             u64::from(sim.window_for(SimTime::from_secs(5), i)),
             p.cts_window_fixed
@@ -1536,11 +1709,7 @@ mod tests {
             ..ScenarioParams::paper_default()
         };
         let report = Simulation::new(scenario, ProtocolKind::Opt, 11).run();
-        assert!(
-            report.delivered > 0,
-            "no deliveries: {}",
-            report.summary()
-        );
+        assert!(report.delivered > 0, "no deliveries: {}", report.summary());
         assert!(report.mean_delay_secs >= 0.0);
     }
 }

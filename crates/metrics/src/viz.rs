@@ -53,7 +53,11 @@ pub fn bar_chart(rows: &[(&str, f64)], width: usize) -> String {
         "bar values must be non-negative"
     );
     let max = rows.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
-    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     let mut out = String::new();
     for &(label, v) in rows {
         let n = if max > 0.0 {
@@ -81,7 +85,7 @@ pub fn bar_chart(rows: &[(&str, f64)], width: usize) -> String {
 pub fn heatmap(values: &[f64], cols: usize) -> String {
     assert!(cols > 0, "cols must be positive");
     assert!(
-        values.len() % cols == 0,
+        values.len().is_multiple_of(cols),
         "value count {} not a multiple of {} columns",
         values.len(),
         cols

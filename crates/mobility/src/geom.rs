@@ -147,7 +147,10 @@ impl Bounds {
     #[must_use]
     pub fn new(width: f64, height: f64) -> Self {
         assert!(width.is_finite() && width > 0.0, "width must be positive");
-        assert!(height.is_finite() && height > 0.0, "height must be positive");
+        assert!(
+            height.is_finite() && height > 0.0,
+            "height must be positive"
+        );
         Bounds {
             x0: 0.0,
             y0: 0.0,

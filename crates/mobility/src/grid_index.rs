@@ -4,6 +4,16 @@
 //! frame transmission. A brute-force scan is O(n) per query; the
 //! [`SpatialGrid`] buckets positions into cells of the query radius so a
 //! query touches at most nine cells.
+//!
+//! Two properties keep the hot path cheap:
+//!
+//! * every bucket stores its node indices in ascending order, so
+//!   [`query_within`](SpatialGrid::query_within) produces sorted output by
+//!   merging the 3×3 neighbourhood instead of sorting per query;
+//! * [`update`](SpatialGrid::update) moves only the nodes whose cell
+//!   changed since the last indexing — stationary sinks and slow nodes
+//!   cost nothing per mobility tick, where a full
+//!   [`rebuild`](SpatialGrid::rebuild) used to reclear every bucket.
 
 use crate::geom::{Bounds, Vec2};
 
@@ -28,9 +38,9 @@ pub struct SpatialGrid {
     cell: f64,
     cols: usize,
     rows: usize,
-    /// `buckets[cell]` lists the node indices inside that cell.
+    /// `buckets[cell]` lists the node indices inside that cell, ascending.
     buckets: Vec<Vec<usize>>,
-    /// Cached cell index per node from the last `rebuild`.
+    /// Cached cell index per node from the last `rebuild`/`update`.
     node_cell: Vec<usize>,
 }
 
@@ -73,27 +83,65 @@ impl SpatialGrid {
         self.node_cell.reserve(positions.len());
         for (i, &p) in positions.iter().enumerate() {
             let c = self.cell_of(p);
+            // Ascending i keeps every bucket sorted by construction.
             self.buckets[c].push(i);
             self.node_cell.push(c);
+        }
+    }
+
+    /// Incrementally refreshes the index: only nodes whose cell changed
+    /// since the last `rebuild`/`update` are moved. Equivalent to (but
+    /// much cheaper than) a full [`rebuild`](Self::rebuild) over the same
+    /// positions — nodes that stayed inside their cell cost one
+    /// `cell_of` computation and nothing else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node count changed since the last indexing (the
+    /// incremental path tracks movement, not membership; `rebuild` after
+    /// adding or removing nodes).
+    pub fn update(&mut self, positions: &[Vec2]) {
+        assert!(
+            self.node_cell.len() == positions.len(),
+            "index built for {} nodes, updated with {} (rebuild after membership changes)",
+            self.node_cell.len(),
+            positions.len()
+        );
+        for (i, &p) in positions.iter().enumerate() {
+            let new_cell = self.cell_of(p);
+            let old_cell = self.node_cell[i];
+            if new_cell == old_cell {
+                continue;
+            }
+            let old = &mut self.buckets[old_cell];
+            let at = old.binary_search(&i).expect("node indexed in its cell");
+            old.remove(at);
+            let new = &mut self.buckets[new_cell];
+            let at = new
+                .binary_search(&i)
+                .expect_err("node absent from new cell");
+            new.insert(at, i);
+            self.node_cell[i] = new_cell;
         }
     }
 
     /// Collects into `out` the indices of all nodes within distance `r` of
     /// node `center` (excluding `center` itself), in ascending index order.
     ///
+    /// The 3×3 neighbourhood buckets are merged by node index (each bucket
+    /// is kept sorted), so no per-query sort is needed.
+    ///
     /// # Panics
     ///
     /// Panics if `r` exceeds the cell size (the 3×3 neighbourhood would
     /// miss nodes), if `center` is out of range, or if the index is stale
     /// (fewer indexed nodes than `positions`).
-    pub fn query_within(
-        &self,
-        positions: &[Vec2],
-        center: usize,
-        r: f64,
-        out: &mut Vec<usize>,
-    ) {
-        assert!(r <= self.cell + 1e-9, "query radius {r} exceeds cell {}", self.cell);
+    pub fn query_within(&self, positions: &[Vec2], center: usize, r: f64, out: &mut Vec<usize>) {
+        assert!(
+            r <= self.cell + 1e-9,
+            "query radius {r} exceeds cell {}",
+            self.cell
+        );
         assert!(
             self.node_cell.len() == positions.len(),
             "index built for {} nodes, queried with {}",
@@ -106,6 +154,10 @@ impl SpatialGrid {
         let cx = (c % self.cols) as isize;
         let cy = (c / self.cols) as isize;
         let r2 = r * r;
+
+        // Gather the up-to-9 bucket cursors of the neighbourhood.
+        let mut lanes: [&[usize]; 9] = [&[]; 9];
+        let mut lane_count = 0;
         for dy in -1..=1 {
             let ny = cy + dy;
             if ny < 0 || ny >= self.rows as isize {
@@ -117,14 +169,31 @@ impl SpatialGrid {
                     continue;
                 }
                 let bucket = &self.buckets[ny as usize * self.cols + nx as usize];
-                for &j in bucket {
-                    if j != center && positions[j].distance_sq(p) <= r2 {
-                        out.push(j);
-                    }
+                if !bucket.is_empty() {
+                    lanes[lane_count] = bucket;
+                    lane_count += 1;
                 }
             }
         }
-        out.sort_unstable();
+        let lanes = &mut lanes[..lane_count];
+
+        // K-way merge by node index (buckets are disjoint and sorted, so
+        // the minimum head across lanes walks the union in order).
+        loop {
+            let mut best: Option<(usize, usize)> = None; // (node, lane)
+            for (l, lane) in lanes.iter().enumerate() {
+                if let Some(&j) = lane.first() {
+                    if best.is_none_or(|(bj, _)| j < bj) {
+                        best = Some((j, l));
+                    }
+                }
+            }
+            let Some((j, l)) = best else { break };
+            lanes[l] = &lanes[l][1..];
+            if j != center && positions[j].distance_sq(p) <= r2 {
+                out.push(j);
+            }
+        }
     }
 }
 
@@ -160,6 +229,64 @@ mod tests {
     }
 
     #[test]
+    fn incremental_update_matches_full_rebuild() {
+        // Random walks with a mix of still, slow, and cell-hopping nodes:
+        // after every step the incrementally maintained index must answer
+        // queries identically to a freshly rebuilt one.
+        let mut rng = SimRng::seed_from(23);
+        let area = Bounds::new(120.0, 120.0);
+        let n = 60;
+        let mut positions: Vec<Vec2> = (0..n)
+            .map(|_| Vec2::new(rng.gen_range_f64(0.0, 120.0), rng.gen_range_f64(0.0, 120.0)))
+            .collect();
+        let mut inc = SpatialGrid::new(area, 10.0);
+        inc.rebuild(&positions);
+        let mut out_inc = Vec::new();
+        let mut out_full = Vec::new();
+        for _step in 0..40 {
+            for (i, p) in positions.iter_mut().enumerate() {
+                // A third of the nodes are stationary; the rest jitter by
+                // up to a cell so some hop cells and some do not.
+                if i % 3 == 0 {
+                    continue;
+                }
+                let step = if i % 5 == 0 { 12.0 } else { 2.0 };
+                p.x = (p.x + rng.gen_range_f64(-step, step)).clamp(0.0, 120.0);
+                p.y = (p.y + rng.gen_range_f64(-step, step)).clamp(0.0, 120.0);
+            }
+            inc.update(&positions);
+            let mut full = SpatialGrid::new(area, 10.0);
+            full.rebuild(&positions);
+            for i in 0..n {
+                inc.query_within(&positions, i, 10.0, &mut out_inc);
+                full.query_within(&positions, i, 10.0, &mut out_full);
+                assert_eq!(out_inc, out_full, "node {i} diverged");
+                assert_eq!(out_inc, brute_force(&positions, i, 10.0), "node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_without_movement_is_identity() {
+        let positions = vec![Vec2::new(5.0, 5.0), Vec2::new(6.0, 6.0)];
+        let mut grid = SpatialGrid::new(Bounds::new(100.0, 100.0), 10.0);
+        grid.rebuild(&positions);
+        let before = grid.clone();
+        grid.update(&positions);
+        assert_eq!(grid.buckets, before.buckets);
+        assert_eq!(grid.node_cell, before.node_cell);
+    }
+
+    #[test]
+    #[should_panic(expected = "rebuild after membership changes")]
+    fn update_with_changed_node_count_panics() {
+        let positions = vec![Vec2::ZERO, Vec2::new(1.0, 1.0)];
+        let mut grid = SpatialGrid::new(Bounds::new(10.0, 10.0), 5.0);
+        grid.rebuild(&positions[..1]);
+        grid.update(&positions);
+    }
+
+    #[test]
     fn boundary_positions_are_indexed() {
         let area = Bounds::new(100.0, 100.0);
         let positions = vec![
@@ -178,7 +305,8 @@ mod tests {
     fn empty_rebuild_is_fine() {
         let mut grid = SpatialGrid::new(Bounds::new(10.0, 10.0), 10.0);
         grid.rebuild(&[]);
-        // No nodes, nothing to query; just ensure no panic on rebuild.
+        grid.update(&[]);
+        // No nodes, nothing to query; just ensure no panic.
     }
 
     #[test]

@@ -258,7 +258,11 @@ impl MobilityModel for RandomWaypoint {
             }
             // Arrive, pause, then head for a fresh waypoint.
             self.pos = self.target;
-            budget -= if self.speed > 0.0 { dist / self.speed } else { budget };
+            budget -= if self.speed > 0.0 {
+                dist / self.speed
+            } else {
+                budget
+            };
             self.pick_waypoint(rng);
             if self.max_pause > 0.0 {
                 self.pause_remaining = rng.gen_range_f64(0.0, self.max_pause);
@@ -387,7 +391,11 @@ mod tests {
         let mut m = ZoneMobility::new(g.clone(), ZoneId(0), 0.0, 5.0, 0.2, &mut rng);
         for _ in 0..20_000 {
             m.advance(0.5, &mut rng);
-            assert!(g.area().contains(m.position()), "escaped at {}", m.position());
+            assert!(
+                g.area().contains(m.position()),
+                "escaped at {}",
+                m.position()
+            );
         }
     }
 

@@ -138,7 +138,10 @@ pub fn extract_contacts(
     dt: f64,
     rng: &mut SimRng,
 ) -> Vec<Contact> {
-    assert!(dt > 0.0 && duration > 0.0, "dt and duration must be positive");
+    assert!(
+        dt > 0.0 && duration > 0.0,
+        "dt and duration must be positive"
+    );
     assert!(range >= 0.0, "negative range");
     let n = models.len();
     let mut open: Vec<Vec<Option<f64>>> = vec![vec![None; n]; n];
@@ -154,7 +157,12 @@ pub fn extract_contacts(
                 match (open[a][b], within) {
                     (None, true) => open[a][b] = Some(t),
                     (Some(start), false) => {
-                        contacts.push(Contact { a, b, start, end: t });
+                        contacts.push(Contact {
+                            a,
+                            b,
+                            start,
+                            end: t,
+                        });
                         open[a][b] = None;
                     }
                     _ => {}
@@ -168,9 +176,9 @@ pub fn extract_contacts(
             }
         }
     }
-    for a in 0..n {
-        for b in (a + 1)..n {
-            if let Some(start) = open[a][b] {
+    for (a, row) in open.iter().enumerate() {
+        for (b, slot) in row.iter().enumerate().skip(a + 1) {
+            if let Some(start) = *slot {
                 contacts.push(Contact {
                     a,
                     b,
@@ -232,10 +240,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "sorted by time")]
     fn unsorted_waypoints_panic() {
-        let _ = TraceMobility::new(vec![
-            (5.0, Vec2::ZERO),
-            (1.0, Vec2::new(1.0, 1.0)),
-        ]);
+        let _ = TraceMobility::new(vec![(5.0, Vec2::ZERO), (1.0, Vec2::new(1.0, 1.0))]);
     }
 
     #[test]

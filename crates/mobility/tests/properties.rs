@@ -93,6 +93,44 @@ proptest! {
         }
     }
 
+    /// The incrementally maintained index is indistinguishable from a
+    /// full rebuild after arbitrary movement histories.
+    #[test]
+    fn grid_incremental_update_equals_rebuild(
+        seed in any::<u64>(),
+        n in 1usize..60,
+        cell in 5.0f64..40.0,
+        steps in 1usize..12,
+        max_step in 0.5f64..50.0,
+    ) {
+        let area = Bounds::new(200.0, 200.0);
+        let mut rng = SimRng::seed_from(seed);
+        let mut positions: Vec<Vec2> = (0..n)
+            .map(|_| Vec2::new(rng.gen_range_f64(0.0, 200.0), rng.gen_range_f64(0.0, 200.0)))
+            .collect();
+        let mut inc = SpatialGrid::new(area, cell);
+        inc.rebuild(&positions);
+        let mut out_inc = Vec::new();
+        let mut out_full = Vec::new();
+        for _ in 0..steps {
+            for (i, p) in positions.iter_mut().enumerate() {
+                if i % 4 == 0 {
+                    continue; // a quarter of the fleet never moves
+                }
+                p.x = (p.x + rng.gen_range_f64(-max_step, max_step)).clamp(0.0, 200.0);
+                p.y = (p.y + rng.gen_range_f64(-max_step, max_step)).clamp(0.0, 200.0);
+            }
+            inc.update(&positions);
+            let mut full = SpatialGrid::new(area, cell);
+            full.rebuild(&positions);
+            for i in 0..n {
+                inc.query_within(&positions, i, cell, &mut out_inc);
+                full.query_within(&positions, i, cell, &mut out_full);
+                prop_assert_eq!(&out_inc, &out_full, "node {} after movement", i);
+            }
+        }
+    }
+
     /// Reflection always lands inside and preserves speed direction
     /// magnitude.
     #[test]

@@ -7,9 +7,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// `NodeId`s are dense indices assigned at network construction, so they
 /// double as positions into per-node arrays throughout the simulator.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub usize);
 
 impl NodeId {

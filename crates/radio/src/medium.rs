@@ -98,6 +98,9 @@ pub struct Medium<P> {
     active: HashMap<u64, ActiveTx<P>>,
     /// Number of active transmissions audible at each node.
     audible_count: Vec<u32>,
+    /// Retired audible lists, reused so `begin_tx` stops allocating once
+    /// capacities settle (at most a handful of frames are ever in flight).
+    spare_audible: Vec<Vec<NodeId>>,
     next_id: u64,
     counters: MediumCounters,
 }
@@ -111,6 +114,7 @@ impl<P: Clone> Medium<P> {
             rx: vec![None; n],
             active: HashMap::new(),
             audible_count: vec![0; n],
+            spare_audible: Vec::new(),
             next_id: 0,
             counters: MediumCounters::default(),
         }
@@ -211,11 +215,13 @@ impl<P: Clone> Medium<P> {
                 }
             }
         }
+        let mut audible_list = self.spare_audible.pop().unwrap_or_default();
+        audible_list.extend_from_slice(audible);
         self.active.insert(
             id,
             ActiveTx {
                 frame,
-                audible: audible.to_vec(),
+                audible: audible_list,
                 start: now,
             },
         );
@@ -252,6 +258,9 @@ impl<P: Clone> Medium<P> {
         self.counters.bits_sent += tx.frame.bits;
         self.counters.deliveries += delivered_to.len() as u64;
         self.counters.collisions += collided_at.len() as u64;
+        let mut audible = tx.audible;
+        audible.clear();
+        self.spare_audible.push(audible);
         TxOutcome {
             frame: tx.frame,
             delivered_to,

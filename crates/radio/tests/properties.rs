@@ -30,7 +30,7 @@ proptest! {
         let mut active: Vec<(dftmsn_radio::medium::TxHandle, Vec<NodeId>, SimTime)> = Vec::new();
         let mut now = SimTime::ZERO;
         for f in 0..n_frames {
-            now = now + SimDuration::from_millis(rng.gen_range_inclusive(0, 4));
+            now += SimDuration::from_millis(rng.gen_range_inclusive(0, 4));
             // Sometimes finish an active frame first.
             if !active.is_empty() && rng.gen_bool(0.5) {
                 let (handle, audible, _start) = active.remove(0);
@@ -61,7 +61,7 @@ proptest! {
         }
         // Drain the rest.
         for (handle, audible, _start) in active {
-            now = now + SimDuration::from_millis(5);
+            now += SimDuration::from_millis(5);
             let out = medium.end_tx(now, handle);
             for r in out.delivered_to.iter().chain(out.collided_at.iter()) {
                 prop_assert!(audible.contains(r));
@@ -117,7 +117,7 @@ proptest! {
             if prev.is_awake() != next.is_awake() {
                 expected += model.e_switch_j;
             }
-            now = now + dt;
+            now += dt;
             meter.set_state(now, next, &model);
             prev = next;
         }

@@ -6,41 +6,83 @@
 //! runs deterministic: the simulator never depends on hash ordering or heap
 //! internals.
 //!
-//! Events can be cancelled cheaply by token without touching the heap
-//! (lazy deletion): see [`EventQueue::cancel`].
+//! # Implementation
+//!
+//! Payloads live in a generation-tagged slab; the binary heap holds only
+//! compact `(time, seq, slot, gen)` entries. Scheduling is a slab write
+//! plus a heap push, popping is a heap pop plus a generation check, and
+//! cancellation ([`EventQueue::cancel`]) is an O(1) slot invalidation —
+//! the heap entry stays behind and is skipped when reached (lazy
+//! deletion). No hashing happens anywhere on the hot path; the previous
+//! implementation paid two `HashSet` operations per scheduled event.
+//!
+//! A slot's generation is bumped every time the slot dies (fires, is
+//! cancelled, or is cleared), so a stale [`EventToken`] can never touch a
+//! recycled slot: tokens embed the generation they were issued under.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 /// Identifies a scheduled event so it can be cancelled later.
+///
+/// Encodes the slab slot and the slot generation the event was issued
+/// under; a token outlives its event harmlessly (cancel just returns
+/// `false`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventToken(u64);
 
-#[derive(Debug)]
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    payload: E,
+impl EventToken {
+    fn new(slot: u32, gen: u32) -> Self {
+        EventToken(u64::from(slot) << 32 | u64::from(gen))
+    }
+
+    fn slot(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    fn generation(self) -> u32 {
+        self.0 as u32
+    }
 }
 
-impl<E> PartialEq for Scheduled<E> {
+/// One slab slot: the payload of a live event, tagged with a reuse
+/// generation.
+#[derive(Debug)]
+struct Slot<E> {
+    /// Bumped whenever the slot dies; tokens and heap entries carrying an
+    /// older generation are stale.
+    gen: u32,
+    /// `Some` while the event is live.
+    payload: Option<E>,
+}
+
+/// Compact heap entry; the payload stays in the slab.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+    gen: u32,
+}
+
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<E> Eq for Scheduled<E> {}
+impl Eq for HeapEntry {}
 
-impl<E> PartialOrd for Scheduled<E> {
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Scheduled<E> {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap but we want the earliest event.
+        // Reverse: BinaryHeap is a max-heap but we want the earliest event;
+        // equal instants fire in scheduling (seq) order.
         other
             .at
             .cmp(&self.at)
@@ -64,11 +106,15 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    /// Sequence numbers currently live in the heap.
-    pending: HashSet<u64>,
-    /// Sequence numbers cancelled but not yet physically removed.
-    cancelled: HashSet<u64>,
+    heap: BinaryHeap<HeapEntry>,
+    slots: Vec<Slot<E>>,
+    /// Slots whose payload has died and may be reused.
+    free: Vec<u32>,
+    /// Number of live (schedulable, not cancelled) events.
+    live: usize,
+    /// Total events popped over the queue's lifetime (for throughput
+    /// reporting).
+    popped: u64,
     next_seq: u64,
     now: SimTime,
 }
@@ -85,8 +131,10 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            popped: 0,
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -102,13 +150,19 @@ impl<E> EventQueue<E> {
     /// Number of live (not cancelled) scheduled events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// True when no live events remain.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
+    }
+
+    /// Total events popped (fired) over the queue's lifetime.
+    #[must_use]
+    pub fn popped(&self) -> u64 {
+        self.popped
     }
 
     /// Schedules `payload` at the absolute instant `at`.
@@ -126,9 +180,24 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, payload });
-        self.pending.insert(seq);
-        EventToken(seq)
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].payload = Some(payload);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("slab overflow");
+                self.slots.push(Slot {
+                    gen: 0,
+                    payload: Some(payload),
+                });
+                s
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        self.heap.push(HeapEntry { at, seq, slot, gen });
+        self.live += 1;
+        EventToken::new(slot, gen)
     }
 
     /// Schedules `payload` after the relative delay `after`.
@@ -137,29 +206,51 @@ impl<E> EventQueue<E> {
         self.schedule_at(at, payload)
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event in O(1).
     ///
-    /// Returns `true` if the event was still pending. Cancellation is lazy:
-    /// the entry stays in the heap and is skipped when reached.
+    /// Returns `true` if the event was still pending. The payload is
+    /// dropped immediately; the heap entry stays behind (lazy deletion)
+    /// and is skipped when reached. Tokens for events that already fired,
+    /// were already cancelled, or whose slot has since been reused by a
+    /// newer generation all return `false`.
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        if !self.pending.remove(&token.0) {
-            // Already fired, already cancelled, or never issued by us.
+        let Some(slot) = self.slots.get_mut(token.slot() as usize) else {
+            return false;
+        };
+        if slot.gen != token.generation() || slot.payload.is_none() {
+            // Already fired / cancelled / recycled, or never ours.
             return false;
         }
-        self.cancelled.insert(token.0);
+        slot.payload = None;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(token.slot());
+        self.live -= 1;
         true
+    }
+
+    /// Frees the slot behind a heap entry and returns its payload (the
+    /// entry must be live: generations matched).
+    fn retire(&mut self, entry: HeapEntry) -> E {
+        let slot = &mut self.slots[entry.slot as usize];
+        let payload = slot.payload.take().expect("live slot has a payload");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(entry.slot);
+        self.live -= 1;
+        payload
     }
 
     /// Pops the earliest live event, advancing the clock to its instant.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(ev) = self.heap.pop() {
-            if self.cancelled.remove(&ev.seq) {
+        while let Some(entry) = self.heap.pop() {
+            if self.slots[entry.slot as usize].gen != entry.gen {
+                // Cancelled (slot died) or recycled under a newer token.
                 continue;
             }
-            self.pending.remove(&ev.seq);
-            debug_assert!(ev.at >= self.now, "event time regression");
-            self.now = ev.at;
-            return Some((ev.at, ev.payload));
+            let payload = self.retire(entry);
+            debug_assert!(entry.at >= self.now, "event time regression");
+            self.now = entry.at;
+            self.popped += 1;
+            return Some((entry.at, payload));
         }
         None
     }
@@ -167,23 +258,29 @@ impl<E> EventQueue<E> {
     /// The instant of the next live event without popping it.
     #[must_use]
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(ev) = self.heap.peek() {
-            if self.cancelled.contains(&ev.seq) {
-                let seq = ev.seq;
+        while let Some(entry) = self.heap.peek() {
+            if self.slots[entry.slot as usize].gen != entry.gen {
                 self.heap.pop();
-                self.cancelled.remove(&seq);
                 continue;
             }
-            return Some(ev.at);
+            return Some(entry.at);
         }
         None
     }
 
     /// Removes every pending event.
+    ///
+    /// Slots are invalidated, not deallocated, so tokens issued before the
+    /// clear can never cancel events scheduled after it.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.pending.clear();
-        self.cancelled.clear();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.payload.take().is_some() {
+                slot.gen = slot.gen.wrapping_add(1);
+                self.free.push(i as u32);
+            }
+        }
+        self.live = 0;
     }
 }
 
@@ -210,6 +307,24 @@ mod tests {
         }
         let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order_across_slot_reuse() {
+        // Interleave cancellations so later events land in recycled slots
+        // with *lower* slot indices; the tie order must still follow the
+        // scheduling sequence, not slab layout.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        let a = q.schedule_at(t, 100u32); // slot 0
+        let b = q.schedule_at(t, 101u32); // slot 1
+        assert!(q.cancel(a));
+        assert!(q.cancel(b));
+        for i in 0..6u32 {
+            q.schedule_at(t, i); // first two reuse slots 1, 0
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..6).collect::<Vec<_>>());
     }
 
     #[test]
@@ -280,6 +395,68 @@ mod tests {
         q.pop();
         assert!(!q.cancel(a), "token for fired event");
         assert_eq!(q.len(), 1, "len unaffected by stale cancel");
+    }
+
+    #[test]
+    fn stale_token_cannot_cancel_a_recycled_slot() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), "a");
+        assert!(q.cancel(a));
+        // "b" reuses a's slot under a newer generation.
+        let b = q.schedule_at(SimTime::from_secs(2), "b");
+        assert!(!q.cancel(a), "stale token must be rejected across reuse");
+        assert_eq!(q.len(), 1);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (SimTime::from_secs(2), "b"));
+        assert!(!q.cancel(b), "token for fired event after reuse");
+    }
+
+    #[test]
+    fn token_from_before_clear_cannot_touch_later_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), "old");
+        q.clear();
+        assert!(q.is_empty());
+        let b = q.schedule_at(SimTime::from_secs(2), "new");
+        assert!(!q.cancel(a), "pre-clear token must be dead");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(b));
+    }
+
+    #[test]
+    fn cancelled_payloads_are_dropped_eagerly() {
+        use std::rc::Rc;
+        let marker = Rc::new(());
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), Rc::clone(&marker));
+        assert_eq!(Rc::strong_count(&marker), 2);
+        q.cancel(a);
+        // O(1) cancel still frees the payload immediately, not at pop time.
+        assert_eq!(Rc::strong_count(&marker), 1);
+    }
+
+    #[test]
+    fn slots_are_reused_instead_of_growing() {
+        let mut q = EventQueue::new();
+        for round in 0..100u64 {
+            let t = SimTime::from_secs(round + 1);
+            let a = q.schedule_at(t, 0u8);
+            let b = q.schedule_at(t, 1u8);
+            q.cancel(a);
+            q.pop();
+            let _ = b;
+        }
+        assert!(q.slots.len() <= 4, "slab grew to {} slots", q.slots.len());
+    }
+
+    #[test]
+    fn popped_counts_fired_events_only() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), ());
+        q.schedule_at(SimTime::from_secs(2), ());
+        q.cancel(a);
+        while q.pop().is_some() {}
+        assert_eq!(q.popped(), 1);
     }
 
     #[test]

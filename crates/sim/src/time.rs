@@ -274,11 +274,11 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2000));
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3000));
         assert_eq!(
-            SimDuration::from_millis(3),
-            SimDuration::from_micros(3000)
+            SimDuration::from_secs_f64(0.005),
+            SimDuration::from_millis(5)
         );
-        assert_eq!(SimDuration::from_secs_f64(0.005), SimDuration::from_millis(5));
     }
 
     #[test]

@@ -11,7 +11,10 @@ use dftmsn::prelude::*;
 
 fn main() {
     let target = 0.90;
-    println!("flu tracking: sinks needed for ≥{:.0}% sample coverage\n", target * 100.0);
+    println!(
+        "flu tracking: sinks needed for ≥{:.0}% sample coverage\n",
+        target * 100.0
+    );
     println!(
         "{:>5} {:>10} {:>12} {:>12}",
         "sinks", "coverage", "delay (s)", "power (mW)"

@@ -3,8 +3,8 @@
 //! neighborhood, and how the Eq. 6 sleep period reacts to activity.
 
 use dftmsn::core::contention::{
-    cts_collision_probability, optimize_cts_window, optimize_tau_max,
-    rts_collision_probability, sigma,
+    cts_collision_probability, optimize_cts_window, optimize_tau_max, rts_collision_probability,
+    sigma,
 };
 use dftmsn::core::params::ProtocolParams;
 use dftmsn::core::sleep::SleepController;
@@ -12,7 +12,10 @@ use dftmsn::core::sleep::SleepController;
 fn main() {
     let p = ProtocolParams::paper_default();
 
-    println!("== Eq. 13: minimal tau_max per neighborhood (target γ ≤ {}) ==", p.tau_collision_target);
+    println!(
+        "== Eq. 13: minimal tau_max per neighborhood (target γ ≤ {}) ==",
+        p.tau_collision_target
+    );
     let neighborhoods: [(&str, Vec<f64>); 4] = [
         ("lone node", vec![0.3]),
         ("two mid-ξ contenders", vec![0.3, 0.4]),
@@ -25,7 +28,11 @@ fn main() {
         let gamma = rts_collision_probability(&sigmas);
         println!(
             "  {name:<28} τ_max = {tau:>2} slots  →  γ = {gamma:.3}{}",
-            if gamma > p.tau_collision_target { "  (cap hit: infeasible)" } else { "" }
+            if gamma > p.tau_collision_target {
+                "  (cap hit: infeasible)"
+            } else {
+                ""
+            }
         );
     }
 

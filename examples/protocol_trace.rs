@@ -36,35 +36,54 @@ fn main() {
             .map(|(_, &x)| x)
             .collect();
         let copy = fresh.receiver_copy(sender_xi, &others);
-        println!("  copy at receiver {j} (ξ={xi_j}): FTD = {:.4}  (Eq. 2)", copy.value());
+        println!(
+            "  copy at receiver {j} (ξ={xi_j}): FTD = {:.4}  (Eq. 2)",
+            copy.value()
+        );
     }
     let retained = fresh.after_multicast(&phi);
-    println!("  sender's retained copy:      FTD = {:.4}  (Eq. 3)", retained.value());
+    println!(
+        "  sender's retained copy:      FTD = {:.4}  (Eq. 3)",
+        retained.value()
+    );
 
     // --- Sec. 3.1.2: FTD queue management --------------------------------
     println!("\n== FTD-ordered queue (Sec. 3.1.2) ==");
     let mut q = FtdQueue::new(4);
     for (id, ftd) in [(0u64, 0.6), (1, 0.1), (2, 0.9), (3, 0.3)] {
-        q.insert(
-            Message::sensed(MessageId(id), NodeId(0), SimTime::ZERO).with_ftd(Ftd::new(ftd)),
-        );
+        q.insert(Message::sensed(MessageId(id), NodeId(0), SimTime::ZERO).with_ftd(Ftd::new(ftd)));
     }
     println!("queue after four inserts (head = most important):");
     for m in q.iter() {
         println!("  msg {:?}  FTD {:.2}", m.id, m.ftd.value());
     }
-    let evicted = q.insert(
-        Message::sensed(MessageId(4), NodeId(0), SimTime::ZERO).with_ftd(Ftd::new(0.2)),
-    );
+    let evicted =
+        q.insert(Message::sensed(MessageId(4), NodeId(0), SimTime::ZERO).with_ftd(Ftd::new(0.2)));
     println!("inserting FTD 0.20 into the full queue → {evicted:?}");
 
     // --- Sec. 3.2.2: receiver selection ----------------------------------
     println!("\n== greedy receiver selection (Sec. 3.2.2, R = 0.95) ==");
     let candidates = [
-        Candidate { id: NodeId(10), xi: 0.9, buffer_space: 12 },
-        Candidate { id: NodeId(11), xi: 0.8, buffer_space: 3 },
-        Candidate { id: NodeId(12), xi: 0.4, buffer_space: 40 },
-        Candidate { id: NodeId(13), xi: 0.2, buffer_space: 0 },
+        Candidate {
+            id: NodeId(10),
+            xi: 0.9,
+            buffer_space: 12,
+        },
+        Candidate {
+            id: NodeId(11),
+            xi: 0.8,
+            buffer_space: 3,
+        },
+        Candidate {
+            id: NodeId(12),
+            xi: 0.4,
+            buffer_space: 40,
+        },
+        Candidate {
+            id: NodeId(13),
+            xi: 0.2,
+            buffer_space: 0,
+        },
     ];
     let sel = select_receivers(0.3, Ftd::NEW, &candidates, 0.95);
     for (id, ftd) in &sel.receivers {

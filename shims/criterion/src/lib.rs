@@ -1,0 +1,271 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The container has no network access, so the real crate cannot be
+//! fetched. This shim keeps `cargo bench` working with the API subset the
+//! workspace's benches use — `Criterion::bench_function`,
+//! `benchmark_group`/`bench_with_input`, `BenchmarkId`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros — measuring with plain
+//! `std::time::Instant` and printing mean ns/iter per benchmark.
+//!
+//! It has no statistical machinery: each benchmark warms up briefly,
+//! sizes an iteration batch to a time target scaled by `sample_size`,
+//! and reports the mean over the fastest half of the samples (robust to
+//! scheduler noise). A name substring passed on the command line filters
+//! which benchmarks run, like the real harness.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample time target: `sample_size` samples of roughly this length
+/// are taken per benchmark.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+
+/// The bench harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes (builder-style).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Reads a benchmark-name filter from the command line (the harness
+    /// binaries are invoked as `bench --bench <file> [filter]`).
+    pub fn configure_from_args(&mut self) {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_owned(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named benchmark group (a prefix plus an optional sample-size
+/// override).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.0, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.0, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; for API compatibility).
+    pub fn finish(self) {}
+
+    fn run<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.parent.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let mut bencher = Bencher::new(samples);
+        f(&mut bencher);
+        bencher.report(&full);
+    }
+}
+
+/// Identifies a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id that is just the rendered parameter.
+    #[must_use]
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// A `name/parameter` id.
+    #[must_use]
+    pub fn new(name: impl Into<String>, p: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), p))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+/// Passed to the benchmark closure; its [`iter`](Bencher::iter) method
+/// times the workload.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean ns/iter of each sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `f`, storing per-sample mean iteration times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: grow the batch until one batch takes
+        // at least the sample target (or a single iteration dominates).
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || batch >= 1 << 20 {
+                break;
+            }
+            // Aim directly for the target with a safety factor of 2.
+            let scale = (SAMPLE_TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                .ceil()
+                .min(1024.0);
+            batch = (batch * scale as u64 * 2).clamp(batch + 1, 1 << 20);
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    fn report(mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("bench {name:<50} (no measurement)");
+            return;
+        }
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // Mean of the fastest half: robust against scheduler noise.
+        let half = &self.samples[..self.samples.len().div_ceil(2)];
+        let mean = half.iter().sum::<f64>() / half.len() as f64;
+        println!("bench {name:<50} {:>14} ns/iter", format_ns(mean));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else if ns >= 1_000.0 {
+        let v = ns as u64;
+        // Thousands separators for readability.
+        let s = v.to_string();
+        let mut out = String::new();
+        for (i, c) in s.chars().enumerate() {
+            if i > 0 && (s.len() - i).is_multiple_of(3) {
+                out.push(',');
+            }
+            out.push(c);
+        }
+        out
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            c.configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,99 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The container has no network access, so the real crate cannot be
+//! fetched. This shim implements the subset of the proptest API the
+//! workspace's property tests use — the `proptest!` macro with `arg in
+//! strategy` bindings, `#![proptest_config(..)]`, range/tuple/`any`
+//! strategies, `collection::vec`, `prop_map`, and the `prop_assert*`
+//! macros — on top of a small deterministic PRNG.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * cases are generated from a fixed seed derived from the test name, so
+//!   every run replays the same inputs (no `.proptest-regressions`
+//!   persistence and no flakiness);
+//! * there is no shrinking: a failing case reports its case number and
+//!   panics with the underlying assertion message;
+//! * `PROPTEST_CASES` in the environment overrides the per-test case
+//!   count, exactly like the real crate's env override.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The commonly used exports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property test (panics on failure, like
+/// `assert!`; the runner reports the failing case number).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]`-able function that evaluates `body` over
+/// deterministically generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let cases = $crate::test_runner::case_count(config.cases);
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(
+                            &($strat),
+                            &mut rng,
+                        );
+                    )+
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest shim: {} failed on case {}/{}",
+                            stringify!($name), case + 1, cases,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! This container builds without network access, so the real serde cannot
+//! be fetched. The workspace only uses serde as forward-looking derive
+//! annotations — every byte actually written to disk goes through
+//! `dftmsn-metrics::json` — so a marker-trait shim is enough to keep the
+//! annotations compiling. Swap the `[workspace.dependencies]` path back to
+//! the registry version to regain real serialization support.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+/// The `serde::de` module namespace, for `serde::de::DeserializeOwned`
+/// bounds.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

@@ -1,0 +1,235 @@
+//! Frozen determinism baseline for the engine hot-path overhaul.
+//!
+//! The slab event queue, the incremental spatial index, and the
+//! zero-allocation protocol cycle are all pure performance work: they must
+//! not change a single simulation outcome. These goldens were recorded
+//! from the engine BEFORE those changes (BinaryHeap + HashSet queue, full
+//! grid rebuild per mobility tick, per-cycle allocations) on a pinned
+//! scenario, and every variant must keep reproducing them bit-for-bit.
+//!
+//! If a future PR changes protocol *behaviour* on purpose, it must
+//! re-record these counters and say so in its change notes; a mismatch
+//! from a performance PR is a bug in that PR.
+
+use dftmsn::core::variants::ProtocolKind;
+use dftmsn::prelude::*;
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+struct Golden {
+    generated: u64,
+    delivered: u64,
+    sink_receptions: u64,
+    frames_sent: u64,
+    collisions: u64,
+    attempts: u64,
+    multicasts: u64,
+    copies_sent: u64,
+}
+
+/// The pinned workload: 20 sensors, 2 sinks, 2 000 s, paper defaults.
+fn pinned_scenario() -> ScenarioParams {
+    ScenarioParams {
+        sensors: 20,
+        sinks: 2,
+        duration_secs: 2000,
+        ..ScenarioParams::paper_default()
+    }
+}
+
+/// Counters recorded from the pre-overhaul engine (seed commit 3c150d5,
+/// with only the offline dependency shims applied).
+const GOLDENS: [(ProtocolKind, u64, Golden); 12] = [
+    (
+        ProtocolKind::Opt,
+        1,
+        Golden {
+            generated: 329,
+            delivered: 259,
+            sink_receptions: 323,
+            frames_sent: 18584,
+            collisions: 11,
+            attempts: 8514,
+            multicasts: 416,
+            copies_sent: 416,
+        },
+    ),
+    (
+        ProtocolKind::Opt,
+        42,
+        Golden {
+            generated: 348,
+            delivered: 230,
+            sink_receptions: 279,
+            frames_sent: 18110,
+            collisions: 3,
+            attempts: 8399,
+            multicasts: 347,
+            copies_sent: 349,
+        },
+    ),
+    (
+        ProtocolKind::NoOpt,
+        1,
+        Golden {
+            generated: 353,
+            delivered: 260,
+            sink_receptions: 295,
+            frames_sent: 14687,
+            collisions: 2,
+            attempts: 6706,
+            multicasts: 324,
+            copies_sent: 324,
+        },
+    ),
+    (
+        ProtocolKind::NoOpt,
+        42,
+        Golden {
+            generated: 345,
+            delivered: 198,
+            sink_receptions: 222,
+            frames_sent: 14260,
+            collisions: 2,
+            attempts: 6628,
+            multicasts: 255,
+            copies_sent: 255,
+        },
+    ),
+    (
+        ProtocolKind::NoSleep,
+        1,
+        Golden {
+            generated: 361,
+            delivered: 309,
+            sink_receptions: 1107,
+            frames_sent: 107444,
+            collisions: 77,
+            attempts: 49987,
+            multicasts: 2434,
+            copies_sent: 2444,
+        },
+    ),
+    (
+        ProtocolKind::NoSleep,
+        42,
+        Golden {
+            generated: 331,
+            delivered: 278,
+            sink_receptions: 849,
+            frames_sent: 101285,
+            collisions: 83,
+            attempts: 47593,
+            multicasts: 2038,
+            copies_sent: 2056,
+        },
+    ),
+    (
+        ProtocolKind::Zbr,
+        1,
+        Golden {
+            generated: 318,
+            delivered: 241,
+            sink_receptions: 249,
+            frames_sent: 17410,
+            collisions: 4,
+            attempts: 8058,
+            multicasts: 353,
+            copies_sent: 353,
+        },
+    ),
+    (
+        ProtocolKind::Zbr,
+        42,
+        Golden {
+            generated: 341,
+            delivered: 223,
+            sink_receptions: 223,
+            frames_sent: 16811,
+            collisions: 3,
+            attempts: 7888,
+            multicasts: 264,
+            copies_sent: 264,
+        },
+    ),
+    (
+        ProtocolKind::Direct,
+        1,
+        Golden {
+            generated: 332,
+            delivered: 240,
+            sink_receptions: 242,
+            frames_sent: 16598,
+            collisions: 2,
+            attempts: 7814,
+            multicasts: 240,
+            copies_sent: 240,
+        },
+    ),
+    (
+        ProtocolKind::Direct,
+        42,
+        Golden {
+            generated: 312,
+            delivered: 190,
+            sink_receptions: 191,
+            frames_sent: 15871,
+            collisions: 0,
+            attempts: 7551,
+            multicasts: 190,
+            copies_sent: 190,
+        },
+    ),
+    (
+        ProtocolKind::Epidemic,
+        1,
+        Golden {
+            generated: 331,
+            delivered: 240,
+            sink_receptions: 309,
+            frames_sent: 18265,
+            collisions: 26,
+            attempts: 8435,
+            multicasts: 345,
+            copies_sent: 370,
+        },
+    ),
+    (
+        ProtocolKind::Epidemic,
+        42,
+        Golden {
+            generated: 346,
+            delivered: 217,
+            sink_receptions: 275,
+            frames_sent: 17844,
+            collisions: 6,
+            attempts: 8289,
+            multicasts: 310,
+            copies_sent: 333,
+        },
+    ),
+];
+
+fn observed(kind: ProtocolKind, seed: u64) -> Golden {
+    let r = Simulation::new(pinned_scenario(), kind, seed).run();
+    Golden {
+        generated: r.generated,
+        delivered: r.delivered,
+        sink_receptions: r.sink_receptions,
+        frames_sent: r.frames_sent,
+        collisions: r.collisions,
+        attempts: r.attempts,
+        multicasts: r.multicasts,
+        copies_sent: r.copies_sent,
+    }
+}
+
+#[test]
+fn all_variants_reproduce_the_pre_overhaul_counters() {
+    for (kind, seed, golden) in GOLDENS {
+        let got = observed(kind, seed);
+        assert_eq!(
+            got, golden,
+            "{kind} seed {seed}: engine outcome drifted from the recorded baseline"
+        );
+    }
+}

@@ -151,8 +151,8 @@ fn custom_protocol_params_are_respected() {
     let mut protocol = ProtocolParams::paper_default();
     protocol.delivery_threshold_r = 0.5;
     let config = ProtocolKind::Opt.config();
-    let r = dftmsn::core::world::Simulation::with_config(small(15, 2, 600), protocol, config, 9)
-        .run();
+    let r =
+        dftmsn::core::world::Simulation::with_config(small(15, 2, 600), protocol, config, 9).run();
     assert!(r.generated > 0);
 }
 
@@ -184,7 +184,10 @@ fn trace_shows_the_two_phase_handshake() {
             }
         }
     }
-    assert!(next.is_none(), "handshake sequence incomplete; saw {tags:?}");
+    assert!(
+        next.is_none(),
+        "handshake sequence incomplete; saw {tags:?}"
+    );
 
     // Deliveries recorded in the trace match the report.
     let traced_deliveries = trace
@@ -217,8 +220,6 @@ fn counting_trace_matches_report_counters() {
             self.0.lock().unwrap().record(event);
         }
     }
-    use dftmsn::core::trace::TraceSink as _;
-
     let counter = SharedCounting::default();
     let mut sim = Simulation::new(small(15, 2, 600), ProtocolKind::Opt, 11);
     sim.set_trace(Box::new(counter.clone()));

@@ -21,7 +21,6 @@ fn mobility_from(ix: u8) -> MobilityKind {
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24, // each case is a full (small) simulation
-        ..ProptestConfig::default()
     })]
 
     #[test]

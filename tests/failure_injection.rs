@@ -19,7 +19,11 @@ fn lone_sensor_still_delivers_by_carrying() {
     p.zone_rows = 2;
     let r = Simulation::new(p, ProtocolKind::Opt, 1).run();
     assert!(r.generated > 0);
-    assert!(r.delivered > 0, "direct contact delivery failed: {}", r.summary());
+    assert!(
+        r.delivered > 0,
+        "direct contact delivery failed: {}",
+        r.summary()
+    );
 }
 
 #[test]
@@ -83,7 +87,11 @@ fn dense_cell_heavy_contention_stays_live() {
     p.zone_cols = 1;
     p.zone_rows = 1;
     let r = Simulation::new(p, ProtocolKind::NoSleep, 6).run();
-    assert!(r.delivered > 0, "contention wedged the channel: {}", r.summary());
+    assert!(
+        r.delivered > 0,
+        "contention wedged the channel: {}",
+        r.summary()
+    );
     assert!(r.collisions > 0, "a 25-node cell must collide sometimes");
 }
 

@@ -2,8 +2,8 @@
 //! the queue discipline), run on arbitrary inputs via proptest.
 
 use dftmsn::core::contention::{
-    cts_collision_probability, optimize_cts_window, optimize_tau_max,
-    rts_collision_probability, sigma,
+    cts_collision_probability, optimize_cts_window, optimize_tau_max, rts_collision_probability,
+    sigma,
 };
 use dftmsn::core::delivery::DeliveryProb;
 use dftmsn::core::ftd::Ftd;

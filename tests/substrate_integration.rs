@@ -60,7 +60,11 @@ fn scripted_exchange_delivers_and_meters_energy() {
     meters[0].set_state(t0, RadioState::Tx, &model);
     let tx = medium.begin_tx(
         t0,
-        Frame { src: a, bits: 50, payload: "rts" },
+        Frame {
+            src: a,
+            bits: 50,
+            payload: "rts",
+        },
         &[b, c],
     );
     let t1 = t0 + ch.airtime(50);
@@ -74,7 +78,11 @@ fn scripted_exchange_delivers_and_meters_energy() {
     meters[1].set_state(t1, RadioState::Tx, &model);
     let tx = medium.begin_tx(
         t1,
-        Frame { src: b, bits: 50, payload: "cts" },
+        Frame {
+            src: b,
+            bits: 50,
+            payload: "cts",
+        },
         &[a, c],
     );
     let t2 = t1 + ch.airtime(50);
@@ -106,16 +114,35 @@ fn hidden_terminal_collision_is_detected_at_the_victim() {
     medium.set_listening(b, true);
 
     let t0 = SimTime::ZERO;
-    let tx_a = medium.begin_tx(t0, Frame { src: a, bits: 50, payload: 1 }, &[b]);
+    let tx_a = medium.begin_tx(
+        t0,
+        Frame {
+            src: a,
+            bits: 50,
+            payload: 1,
+        },
+        &[b],
+    );
     // C starts mid-flight — it never heard A (out of range).
     let t_mid = t0 + SimDuration::from_millis(2);
-    let tx_c = medium.begin_tx(t_mid, Frame { src: c, bits: 50, payload: 2 }, &[b]);
+    let tx_c = medium.begin_tx(
+        t_mid,
+        Frame {
+            src: c,
+            bits: 50,
+            payload: 2,
+        },
+        &[b],
+    );
 
     let out_a = medium.end_tx(t0 + SimDuration::from_millis(5), tx_a);
     assert!(out_a.delivered_to.is_empty());
     assert_eq!(out_a.collided_at, vec![b]);
     let out_c = medium.end_tx(t_mid + SimDuration::from_millis(5), tx_c);
-    assert!(out_c.delivered_to.is_empty(), "late frame must not resurrect");
+    assert!(
+        out_c.delivered_to.is_empty(),
+        "late frame must not resurrect"
+    );
 }
 
 #[test]
