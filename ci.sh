@@ -17,6 +17,18 @@ cargo test -q
 echo "==> full workspace tests"
 cargo test --workspace --release -q
 
+echo "==> golden determinism baseline (empty fault plan must change nothing)"
+cargo test --release -q --test determinism_baseline
+
+echo "==> fault-injection smoke (crashes + link drops must register)"
+fault_json=$(cargo run --release -q -p dftmsn-cli -- run --protocol OPT \
+    --sensors 20 --sinks 2 --duration 2000 --seed 1 \
+    --fault-plan "crash=0.3;linkdrop=0.2" --json)
+echo "$fault_json" | grep -q '"crashes":[1-9]' \
+    || { echo "fault smoke: no crashes counted"; exit 1; }
+echo "$fault_json" | grep -q '"frames_dropped":[1-9]' \
+    || { echo "fault smoke: no frames dropped"; exit 1; }
+
 echo "==> perf baseline smoke (--quick; discards output)"
 cargo run --release -p dftmsn-bench --bin perf_baseline -- --quick --out target/BENCH_engine.quick.json
 

@@ -7,6 +7,7 @@
 
 use dftmsn_bench::experiments::{write_table, ExperimentOpts};
 use dftmsn_bench::sweep::{average, run_all, RunSpec};
+use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::{ProtocolParams, ScenarioParams};
 use dftmsn_core::variants::ProtocolKind;
 use dftmsn_metrics::table::Table;
@@ -34,6 +35,7 @@ fn main() {
                     protocol: ProtocolParams::paper_default(),
                     config: kind.config(),
                     seed: seed + 1,
+                    faults: FaultPlan::default(),
                 });
             }
         }

@@ -1,0 +1,78 @@
+//! Delivery ratio vs. node failure rate — the experiment behind the
+//! paper's fault-tolerance claim. A growing fraction of sensors suffers
+//! permanent battery death mid-run (the same seeded [`FaultPlan`] for
+//! every variant at each point, so the comparison is apples-to-apples),
+//! and OPT / NOOPT / ZBR are measured on what still gets through.
+//!
+//! Usage: `cargo run --release -p dftmsn-bench --bin fault_sweep [--quick]
+//! [--seeds N] [--duration SECS] [--threads N]`
+
+use dftmsn_bench::experiments::{write_table, ExperimentOpts};
+use dftmsn_bench::sweep::{average, run_all, RunSpec};
+use dftmsn_core::faults::FaultPlan;
+use dftmsn_core::params::{ProtocolParams, ScenarioParams};
+use dftmsn_core::variants::ProtocolKind;
+use dftmsn_metrics::table::Table;
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    let fractions = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let variants = [ProtocolKind::Opt, ProtocolKind::NoOpt, ProtocolKind::Zbr];
+
+    eprintln!(
+        "fault_sweep: failure fraction {{0..0.5}} x {{OPT,NOOPT,ZBR}} x {} seeds @ {} s",
+        opts.seeds, opts.duration_secs
+    );
+
+    let mut specs = Vec::new();
+    for &frac in &fractions {
+        for &kind in &variants {
+            for seed in 1..=opts.seeds {
+                let scenario =
+                    ScenarioParams::paper_default().with_duration_secs(opts.duration_secs);
+                // The plan depends only on (scenario, fraction, seed): every
+                // variant at this sweep point loses the same sensors at the
+                // same instants.
+                let faults = FaultPlan::node_failures(&scenario, frac, None, seed);
+                specs.push(RunSpec {
+                    scenario,
+                    protocol: ProtocolParams::paper_default(),
+                    config: kind.config(),
+                    seed,
+                    faults,
+                });
+            }
+        }
+    }
+    let reports = run_all(&specs, opts.threads);
+
+    let mut ratio = Table::new(
+        "Fault tolerance: delivery ratio (%) vs. fraction of sensors lost to battery death",
+        &["failed fraction", "OPT", "NOOPT", "ZBR"],
+    );
+    let mut delay = Table::new(
+        "Fault tolerance: mean delivery delay (s) vs. fraction of sensors lost",
+        &["failed fraction", "OPT", "NOOPT", "ZBR"],
+    );
+    let seeds = opts.seeds as usize;
+    let per_point = variants.len() * seeds;
+    for (fi, &frac) in fractions.iter().enumerate() {
+        let base = fi * per_point;
+        let cell = |vi: usize| average(&reports[base + vi * seeds..base + (vi + 1) * seeds]);
+        let cells: Vec<_> = (0..variants.len()).map(cell).collect();
+        ratio.row(vec![
+            frac.into(),
+            (cells[0].ratio.mean() * 100.0).into(),
+            (cells[1].ratio.mean() * 100.0).into(),
+            (cells[2].ratio.mean() * 100.0).into(),
+        ]);
+        delay.row(vec![
+            frac.into(),
+            cells[0].delay_secs.mean().into(),
+            cells[1].delay_secs.mean().into(),
+            cells[2].delay_secs.mean().into(),
+        ]);
+    }
+    println!("{}", write_table("results", "fault_sweep_delivery", &ratio));
+    println!("{}", write_table("results", "fault_sweep_delay", &delay));
+}

@@ -16,6 +16,7 @@
 //! runs) are not comparable with each other.
 
 use dftmsn_bench::sweep::{run_all, RunSpec};
+use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::{ProtocolParams, ScenarioParams};
 use dftmsn_core::variants::ProtocolKind;
 use dftmsn_core::world::Simulation;
@@ -100,6 +101,7 @@ fn main() {
                 protocol: ProtocolParams::paper_default(),
                 config: kind.config(),
                 seed,
+                faults: FaultPlan::default(),
             })
         })
         .collect();

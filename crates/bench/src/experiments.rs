@@ -6,6 +6,7 @@ use dftmsn_core::contention::{
     cts_collision_probability, optimize_cts_window, optimize_tau_max, rts_collision_probability,
     sigma,
 };
+use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::{ProtocolParams, ScenarioParams};
 use dftmsn_core::sleep::SleepController;
 use dftmsn_core::variants::{ProtocolKind, VariantConfig};
@@ -83,6 +84,7 @@ fn averaged_cell(
             protocol: ProtocolParams::paper_default(),
             config: kind.config(),
             seed: seed + 1,
+            faults: FaultPlan::default(),
         })
         .collect()
 }
@@ -230,6 +232,7 @@ pub fn ablation(opts: &ExperimentOpts) -> Vec<Table> {
                 protocol: ProtocolParams::paper_default(),
                 config: *config,
                 seed: seed + 1,
+                faults: FaultPlan::default(),
             });
         }
     }

@@ -4,6 +4,7 @@
 //! across OS threads — each simulation is single-threaded and
 //! deterministic, so parallelism across runs keeps results reproducible.
 
+use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::{ProtocolParams, ScenarioParams};
 use dftmsn_core::report::SimReport;
 use dftmsn_core::variants::VariantConfig;
@@ -24,19 +25,28 @@ pub struct RunSpec {
     pub config: VariantConfig,
     /// Run seed.
     pub seed: u64,
+    /// Fault events to inject (empty = fault-free run).
+    pub faults: FaultPlan,
 }
 
 impl RunSpec {
     /// Executes the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault plan does not validate against the scenario.
     #[must_use]
     pub fn run(&self) -> SimReport {
-        Simulation::with_config(
+        let mut sim = Simulation::with_config(
             self.scenario.clone(),
             self.protocol.clone(),
             self.config,
             self.seed,
-        )
-        .run()
+        );
+        if !self.faults.is_empty() {
+            sim.set_fault_plan(self.faults.clone());
+        }
+        sim.run()
     }
 }
 
@@ -142,6 +152,7 @@ mod tests {
             protocol: ProtocolParams::paper_default(),
             config: ProtocolKind::Opt.config(),
             seed,
+            faults: FaultPlan::default(),
         }
     }
 

@@ -1,5 +1,6 @@
 //! A small, dependency-free argument parser for the `dftmsn` CLI.
 
+use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::ScenarioParams;
 use dftmsn_core::variants::ProtocolKind;
 
@@ -14,6 +15,8 @@ pub enum Command {
         scenario: ScenarioParams,
         /// Seed.
         seed: u64,
+        /// Fault events to inject (empty = fault-free run).
+        faults: FaultPlan,
         /// Emit the delivery log as CSV on stdout instead of the summary.
         csv: bool,
         /// Emit the full report as JSON on stdout instead of the summary.
@@ -25,6 +28,8 @@ pub enum Command {
         scenario: ScenarioParams,
         /// Seed.
         seed: u64,
+        /// Fault events to inject into every variant's run.
+        faults: FaultPlan,
     },
     /// Print the analytic contact/delivery model values for a scenario.
     Analyze {
@@ -53,8 +58,9 @@ dftmsn — Delay/Fault-Tolerant Mobile Sensor Network simulator (ICDCS 2007)
 
 USAGE:
     dftmsn run      [--protocol OPT|NOOPT|NOSLEEP|ZBR|DIRECT|EPIDEMIC]
-                    [scenario flags] [--seed N] [--csv | --json]
-    dftmsn compare  [scenario flags] [--seed N]
+                    [scenario flags] [--seed N] [--fault-plan SPEC]
+                    [--csv | --json]
+    dftmsn compare  [scenario flags] [--seed N] [--fault-plan SPEC]
     dftmsn analyze  [scenario flags]
     dftmsn help
 
@@ -63,8 +69,16 @@ SCENARIO FLAGS (defaults = the paper's Sec. 5 setup):
     --sinks N          number of sink nodes              (3)
     --duration SECS    simulated seconds                 (25000)
     --speed-max M/S    maximum node speed                (5)
-    --area METERS      square area side                  (150)
     --seed N           run seed                          (1)
+    --area METERS      square area side                  (150)
+
+FAULT PLAN SPEC (';'-separated directives, e.g. \"crash=0.3;linkdrop=0.2\"):
+    none               explicit empty plan
+    crash=F            fraction F of sensors suffer battery death
+    churn=F@R          fraction F crash, each recovering after R seconds
+    linkdrop=P         every frame dropped with probability P
+    corrupt=P          received DATA frames corrupted with probability P
+    sinkout=I@T1-T2    sink number I (0-based) offline from T1 to T2 secs
 ";
 
 fn parse_protocol(s: &str) -> Result<ProtocolKind, ParseError> {
@@ -104,6 +118,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
     let mut scenario = ScenarioParams::paper_default();
     let mut protocol = ProtocolKind::Opt;
     let mut seed = 1u64;
+    let mut fault_spec: Option<&str> = None;
     let mut csv = false;
     let mut json = false;
 
@@ -129,6 +144,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 scenario.area_height_m = side;
             }
             "--seed" => seed = parse_num(flag, take_value(flag, &mut it)?)?,
+            "--fault-plan" => fault_spec = Some(take_value(flag, &mut it)?),
             "--csv" => csv = true,
             "--json" => json = true,
             other => return Err(ParseError(format!("unknown flag '{other}'"))),
@@ -137,16 +153,28 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
     scenario
         .validate()
         .map_err(|e| ParseError(format!("invalid scenario: {e}")))?;
+    // The plan is expanded only after every scenario override landed: the
+    // node-fraction and sink-ordinal directives target the final topology.
+    let faults = match fault_spec {
+        Some(spec) => FaultPlan::parse(spec, &scenario, seed)
+            .map_err(|e| ParseError(format!("invalid fault plan: {e}")))?,
+        None => FaultPlan::default(),
+    };
 
     match cmd {
         "run" => Ok(Command::Run {
             protocol,
             scenario,
             seed,
+            faults,
             csv,
             json,
         }),
-        "compare" => Ok(Command::Compare { scenario, seed }),
+        "compare" => Ok(Command::Compare {
+            scenario,
+            seed,
+            faults,
+        }),
         "analyze" => Ok(Command::Analyze { scenario }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseError(format!("unknown command '{other}'"))),
@@ -186,6 +214,7 @@ mod tests {
                 protocol,
                 scenario,
                 seed,
+                faults,
                 csv,
                 json,
             } => {
@@ -194,11 +223,50 @@ mod tests {
                 assert_eq!(scenario.sinks, 5);
                 assert_eq!(scenario.duration_secs, 1000);
                 assert_eq!(seed, 9);
+                assert!(faults.is_empty());
                 assert!(csv);
                 assert!(!json);
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn fault_plan_flag_expands_against_the_final_scenario() {
+        let Ok(Command::Run { faults, .. }) = parse(&[
+            "run",
+            "--fault-plan",
+            "crash=0.5;linkdrop=0.25",
+            "--sensors",
+            "10",
+            "--sinks",
+            "2",
+        ]) else {
+            panic!("parse failed");
+        };
+        // 50% of the *overridden* 10 sensors die, plus one global-link event,
+        // even though the flag came before the --sensors override.
+        assert_eq!(faults.len(), 6);
+    }
+
+    #[test]
+    fn fault_plan_flag_reaches_compare_too() {
+        let Ok(Command::Compare { faults, .. }) =
+            parse(&["compare", "--fault-plan", "linkdrop=0.1"])
+        else {
+            panic!("parse failed");
+        };
+        assert_eq!(faults.len(), 1);
+    }
+
+    #[test]
+    fn bad_fault_plans_are_parse_errors_not_panics() {
+        let err = parse(&["run", "--fault-plan", "explode=1"]).unwrap_err();
+        assert!(err.0.contains("invalid fault plan"), "{err}");
+        let err = parse(&["run", "--fault-plan", "linkdrop=1.5"]).unwrap_err();
+        assert!(err.0.contains("invalid fault plan"), "{err}");
+        let err = parse(&["run", "--fault-plan", "sinkout=9@0-10"]).unwrap_err();
+        assert!(err.0.contains("invalid fault plan"), "{err}");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use args::{parse, Command, USAGE};
 use dftmsn_core::analysis::{
     direct_average_ratio, direct_expected_delay, ContactModel, EpidemicModel,
 };
+use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::ScenarioParams;
 use dftmsn_core::variants::ProtocolKind;
 use dftmsn_core::world::Simulation;
@@ -20,10 +21,15 @@ fn main() {
             protocol,
             scenario,
             seed,
+            faults,
             csv,
             json,
-        }) => run_one(protocol, scenario, seed, csv, json),
-        Ok(Command::Compare { scenario, seed }) => compare(scenario, seed),
+        }) => run_one(protocol, scenario, seed, faults, csv, json),
+        Ok(Command::Compare {
+            scenario,
+            seed,
+            faults,
+        }) => compare(scenario, seed, &faults),
         Ok(Command::Analyze { scenario }) => analyze(&scenario),
         Err(e) => {
             eprintln!("error: {e}\n");
@@ -33,12 +39,22 @@ fn main() {
     }
 }
 
-fn run_one(protocol: ProtocolKind, scenario: ScenarioParams, seed: u64, csv: bool, json: bool) {
+fn run_one(
+    protocol: ProtocolKind,
+    scenario: ScenarioParams,
+    seed: u64,
+    faults: FaultPlan,
+    csv: bool,
+    json: bool,
+) {
     eprintln!(
-        "running {protocol} on {} sensors / {} sinks for {} s (seed {seed})...",
-        scenario.sensors, scenario.sinks, scenario.duration_secs
+        "running {protocol} on {} sensors / {} sinks for {} s (seed {seed}, {} fault events)...",
+        scenario.sensors,
+        scenario.sinks,
+        scenario.duration_secs,
+        faults.len()
     );
-    let report = Simulation::new(scenario, protocol, seed).run();
+    let report = Simulation::with_faults(scenario, protocol, seed, faults).run();
     if json {
         println!("{}", report.to_json());
         return;
@@ -77,9 +93,24 @@ fn run_one(protocol: ProtocolKind, scenario: ScenarioParams, seed: u64, csv: boo
         report.control_overhead()
     );
     println!("  mean final xi    : {:>8.3}", report.mean_final_xi);
+    if report.faults.any() {
+        let f = &report.faults;
+        println!(
+            "  faults           : {} crashes ({} battery), {} recoveries, {} sink outages",
+            f.crashes, f.battery_deaths, f.recoveries, f.sink_outages
+        );
+        println!(
+            "  fault losses     : {} queued msgs, {} frames dropped, {} corrupted",
+            f.messages_lost_to_crash, f.frames_dropped, f.data_corrupted
+        );
+        println!(
+            "  despite faults   : {:>8} deliveries",
+            f.deliveries_despite_faults
+        );
+    }
 }
 
-fn compare(scenario: ScenarioParams, seed: u64) {
+fn compare(scenario: ScenarioParams, seed: u64, faults: &FaultPlan) {
     let mut table = Table::new(
         "variant comparison",
         &[
@@ -92,7 +123,7 @@ fn compare(scenario: ScenarioParams, seed: u64) {
     );
     for kind in ProtocolKind::ALL {
         eprintln!("running {kind}...");
-        let r = Simulation::new(scenario.clone(), kind, seed).run();
+        let r = Simulation::with_faults(scenario.clone(), kind, seed, faults.clone()).run();
         table.row(vec![
             kind.label().into(),
             (r.delivery_ratio() * 100.0).into(),

@@ -35,18 +35,25 @@ impl DeliveryProb {
     /// definition).
     pub const SINK: DeliveryProb = DeliveryProb(1.0);
 
-    /// Wraps a raw probability.
+    /// Accumulated-rounding slack: values this close outside `[0, 1]` are
+    /// float drift from repeated Eq. 1/Eq. 3 products, not logic errors,
+    /// and are clamped instead of rejected.
+    pub const DRIFT_SLACK: f64 = 1e-9;
+
+    /// Wraps a raw probability. Values within [`Self::DRIFT_SLACK`] of the
+    /// unit interval are clamped onto it.
     ///
     /// # Panics
     ///
-    /// Panics if `p` is outside `[0, 1]` or not finite.
+    /// Panics if `p` is outside `[0, 1]` by more than the slack, or not
+    /// finite.
     #[must_use]
     pub fn new(p: f64) -> Self {
         assert!(
-            p.is_finite() && (0.0..=1.0).contains(&p),
+            p.is_finite() && (-Self::DRIFT_SLACK..=1.0 + Self::DRIFT_SLACK).contains(&p),
             "delivery probability {p} outside [0,1]"
         );
-        DeliveryProb(p)
+        DeliveryProb(p.clamp(0.0, 1.0))
     }
 
     /// The raw probability.
@@ -63,8 +70,10 @@ impl DeliveryProb {
     /// Panics if `alpha` is outside `[0, 1]`.
     pub fn on_transmission(&mut self, receiver: DeliveryProb, alpha: f64) {
         assert!((0.0..=1.0).contains(&alpha), "alpha {alpha} outside [0,1]");
-        self.0 = (1.0 - alpha) * self.0 + alpha * receiver.0;
-        debug_assert!((0.0..=1.0).contains(&self.0));
+        // The convex combination cannot leave [0, 1] mathematically, but an
+        // inexactly representable α can push the rounded result a few ulp
+        // above 1; clamp instead of letting the drift accumulate.
+        self.0 = ((1.0 - alpha) * self.0 + alpha * receiver.0).clamp(0.0, 1.0);
     }
 
     /// Eq. 1, timeout case: decays ξ multiplicatively.
@@ -75,6 +84,27 @@ impl DeliveryProb {
     pub fn on_timeout(&mut self, alpha: f64) {
         assert!((0.0..=1.0).contains(&alpha), "alpha {alpha} outside [0,1]");
         self.0 *= 1.0 - alpha;
+    }
+
+    /// Applies [`Self::on_timeout`] for `windows` consecutive Δ windows —
+    /// the catch-up a node owes after being unreachable (long sleep, crash)
+    /// across several of them.
+    ///
+    /// Implemented as the literal repeated product, not `powi`, so
+    /// `decay_windows(alpha, 1)` is bit-identical to one `on_timeout` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    pub fn decay_windows(&mut self, alpha: f64, windows: u64) {
+        assert!((0.0..=1.0).contains(&alpha), "alpha {alpha} outside [0,1]");
+        let keep = 1.0 - alpha;
+        for _ in 0..windows {
+            if self.0 == 0.0 {
+                break;
+            }
+            self.0 *= keep;
+        }
     }
 }
 
@@ -139,6 +169,47 @@ mod tests {
     #[should_panic(expected = "outside [0,1]")]
     fn out_of_range_probability_panics() {
         let _ = DeliveryProb::new(1.1);
+    }
+
+    #[test]
+    fn ulp_drift_is_clamped_not_rejected() {
+        let just_above = 1.0 + 1e-12;
+        assert_eq!(DeliveryProb::new(just_above).value(), 1.0);
+        let just_below = -1e-12;
+        assert_eq!(DeliveryProb::new(just_below).value(), 0.0);
+    }
+
+    #[test]
+    fn decay_windows_matches_repeated_timeouts_bitwise() {
+        // Awkward α (not exactly representable) to stress the rounding.
+        for alpha in [0.25, 0.1, 0.3333333333333333] {
+            let mut a = DeliveryProb::new(0.873);
+            let mut b = DeliveryProb::new(0.873);
+            a.decay_windows(alpha, 7);
+            for _ in 0..7 {
+                b.on_timeout(alpha);
+            }
+            assert_eq!(a.value().to_bits(), b.value().to_bits(), "alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn decay_windows_one_equals_on_timeout() {
+        let mut a = DeliveryProb::new(0.6);
+        let mut b = DeliveryProb::new(0.6);
+        a.decay_windows(0.25, 1);
+        b.on_timeout(0.25);
+        assert_eq!(a.value().to_bits(), b.value().to_bits());
+    }
+
+    #[test]
+    fn transmission_result_stays_in_unit_interval_for_awkward_alpha() {
+        let mut xi = DeliveryProb::SINK;
+        for _ in 0..1000 {
+            xi.on_transmission(DeliveryProb::SINK, 0.30000000000000004);
+            assert!((0.0..=1.0).contains(&xi.value()), "{}", xi.value());
+        }
+        assert!(xi.value() > 0.999_999);
     }
 
     #[test]

@@ -15,7 +15,20 @@
 //!   Fᵢ = 1 − (1 − Fᵢ)·∏_{m∈Φ} (1 − ξₘ)
 //! ```
 
+use crate::delivery::DeliveryProb;
 use serde::{Deserialize, Serialize};
+
+/// Validates a probability-like input, tolerating ulp-level drift: values
+/// within [`DeliveryProb::DRIFT_SLACK`] of the unit interval are clamped
+/// onto it, anything further out is a logic error and panics.
+fn unit_checked(x: f64, what: &str) -> f64 {
+    let slack = DeliveryProb::DRIFT_SLACK;
+    assert!(
+        x.is_finite() && (-slack..=1.0 + slack).contains(&x),
+        "{what} {x} outside [0,1]"
+    );
+    x.clamp(0.0, 1.0)
+}
 
 /// A fault-tolerance degree, invariantly in `[0, 1]`.
 ///
@@ -37,18 +50,16 @@ impl Ftd {
     /// FTD of a copy whose message has reached a sink.
     pub const DELIVERED: Ftd = Ftd(1.0);
 
-    /// Wraps a raw FTD.
+    /// Wraps a raw FTD. Ulp-level drift outside the unit interval (within
+    /// [`DeliveryProb::DRIFT_SLACK`]) is clamped rather than rejected.
     ///
     /// # Panics
     ///
-    /// Panics if `f` is outside `[0, 1]` or not finite.
+    /// Panics if `f` is outside `[0, 1]` beyond the drift slack, or not
+    /// finite.
     #[must_use]
     pub fn new(f: f64) -> Self {
-        assert!(
-            f.is_finite() && (0.0..=1.0).contains(&f),
-            "FTD {f} outside [0,1]"
-        );
-        Ftd(f)
+        Ftd(unit_checked(f, "FTD"))
     }
 
     /// The raw value.
@@ -71,11 +82,7 @@ impl Ftd {
     pub fn after_multicast(self, receiver_xis: &[f64]) -> Ftd {
         let mut others_miss = 1.0;
         for &xi in receiver_xis {
-            assert!(
-                xi.is_finite() && (0.0..=1.0).contains(&xi),
-                "receiver ξ {xi} outside [0,1]"
-            );
-            others_miss *= 1.0 - xi;
+            others_miss *= 1.0 - unit_checked(xi, "receiver ξ");
         }
         // Algebraically identical to 1 − (1 − F)·∏(1 − ξ) but exactly
         // monotone in floating point: the added term is non-negative.
@@ -96,17 +103,9 @@ impl Ftd {
     /// Panics if any probability is outside `[0, 1]`.
     #[must_use]
     pub fn receiver_copy(self, sender_xi: f64, other_receiver_xis: &[f64]) -> Ftd {
-        assert!(
-            sender_xi.is_finite() && (0.0..=1.0).contains(&sender_xi),
-            "sender ξ {sender_xi} outside [0,1]"
-        );
-        let mut survive = (1.0 - self.0) * (1.0 - sender_xi);
+        let mut survive = (1.0 - self.0) * (1.0 - unit_checked(sender_xi, "sender ξ"));
         for &xi in other_receiver_xis {
-            assert!(
-                xi.is_finite() && (0.0..=1.0).contains(&xi),
-                "receiver ξ {xi} outside [0,1]"
-            );
-            survive *= 1.0 - xi;
+            survive *= 1.0 - unit_checked(xi, "receiver ξ");
         }
         Ftd((1.0 - survive).clamp(0.0, 1.0))
     }
@@ -215,5 +214,27 @@ mod tests {
     #[should_panic(expected = "outside [0,1]")]
     fn bad_ftd_panics() {
         let _ = Ftd::new(f64::NAN);
+    }
+
+    #[test]
+    fn ulp_drift_inputs_are_clamped_not_rejected() {
+        // Accumulated float drift can push a probability a few ulp past the
+        // boundary; the math must absorb it instead of panicking.
+        let f = Ftd::new(1.0 + 1e-12);
+        assert_eq!(f.value(), 1.0);
+        let after = Ftd::NEW.after_multicast(&[1.0 + 1e-12, -1e-12]);
+        assert_eq!(after, Ftd::DELIVERED);
+        let copy = Ftd::new(-1e-12).receiver_copy(1.0 + 1e-12, &[]);
+        assert_eq!(copy, Ftd::DELIVERED);
+    }
+
+    #[test]
+    fn boundary_receiver_xis_are_exact() {
+        // ξ exactly 0 contributes nothing; ξ exactly 1 saturates.
+        let f = Ftd::new(0.4).after_multicast(&[0.0, 0.0]);
+        assert_eq!(f.value(), 0.4);
+        assert_eq!(Ftd::new(0.4).combined_delivery(&[1.0]), 1.0);
+        assert_eq!(Ftd::NEW.combined_delivery(&[]), 0.0);
+        assert_eq!(Ftd::DELIVERED.combined_delivery(&[]), 1.0);
     }
 }

@@ -15,6 +15,8 @@
 //!   a simulated shared medium;
 //! * [`variants`] — OPT / NOOPT / NOSLEEP / ZBR (+ DIRECT, EPIDEMIC)
 //!   baselines;
+//! * [`faults`] — deterministic fault injection (node crashes, link loss,
+//!   DATA corruption, sink outages);
 //! * [`params`], [`report`] — configuration and results.
 //!
 //! # Examples
@@ -38,6 +40,7 @@
 pub mod analysis;
 pub mod contention;
 pub mod delivery;
+pub mod faults;
 pub mod frames;
 pub mod ftd;
 pub mod message;
@@ -54,6 +57,7 @@ pub mod variants;
 pub mod world;
 
 pub use delivery::DeliveryProb;
+pub use faults::{FaultKind, FaultPlan};
 pub use ftd::Ftd;
 pub use message::{Message, MessageId};
 pub use params::{ProtocolParams, ScenarioParams};

@@ -221,26 +221,36 @@ pub fn select_receivers_into(
         "threshold R {threshold_r} outside [0,1]"
     );
     out.clear();
+    if candidates.is_empty() {
+        // Degenerate input: nothing replied, so there is nothing to walk.
+        // `out` stays empty with a combined delivery of exactly 0.
+        return;
+    }
     scratch.order.clear();
     scratch.order.extend(0..candidates.len() as u32);
-    // Descending ξ; ties broken by id for determinism.
+    // Descending ξ; ties broken by id for determinism. total_cmp so a
+    // NaN advertisement (a bug upstream) sorts deterministically instead
+    // of panicking mid-selection.
     scratch.order.sort_by(|&a, &b| {
         let (a, b) = (&candidates[a as usize], &candidates[b as usize]);
-        b.xi.partial_cmp(&a.xi)
-            .expect("ξ is always finite")
-            .then_with(|| a.id.cmp(&b.id))
+        b.xi.total_cmp(&a.xi).then_with(|| a.id.cmp(&b.id))
     });
 
     // Greedy admission; the copy FTDs are placeholders until Φ is final.
     for &ci in &scratch.order {
         let c = &candidates[ci as usize];
-        if c.xi > sender_xi && c.buffer_space > 0 {
+        if c.xi.is_finite() && c.xi > sender_xi && c.buffer_space > 0 {
             out.receivers.push((c.id, Ftd::NEW));
             out.receiver_xis.push(c.xi);
         }
         if msg_ftd.combined_delivery(&out.receiver_xis) > threshold_r {
             break;
         }
+    }
+    if out.receivers.is_empty() {
+        // No candidate qualified: report an empty selection with combined
+        // delivery 0 rather than the message's own FTD.
+        return;
     }
 
     // Eq. 2 over the final set Φ.
@@ -372,6 +382,37 @@ mod tests {
         assert_eq!(sel.receivers.len(), 1);
         assert_eq!(sel.receivers[0].0, NodeId(1));
         assert_eq!(sel.combined_delivery, 1.0);
+    }
+
+    #[test]
+    fn empty_selection_reports_zero_combined_even_for_redundant_messages() {
+        // A hopeless candidate set yields an empty Φ whose combined
+        // delivery is 0 — a non-event, not the message's own FTD.
+        let sel = select_receivers(0.9, Ftd::new(0.8), &[cand(1, 0.5, 5)], 0.95);
+        assert!(sel.is_empty());
+        assert_eq!(sel.combined_delivery, 0.0);
+        let sel = select_receivers(0.5, Ftd::new(0.8), &[], 0.95);
+        assert!(sel.is_empty());
+        assert_eq!(sel.combined_delivery, 0.0);
+    }
+
+    #[test]
+    fn non_finite_candidate_xi_is_skipped_not_fatal() {
+        let candidates = [cand(1, f64::NAN, 5), cand(2, 0.6, 5)];
+        let sel = select_receivers(0.1, Ftd::NEW, &candidates, 0.95);
+        let ids: Vec<NodeId> = sel.receivers.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![NodeId(2)], "NaN replier must be ignored");
+    }
+
+    #[test]
+    fn boundary_receiver_xis_select_cleanly() {
+        // ξ exactly 1.0 saturates immediately; ξ exactly 0.0 never
+        // qualifies against a 0-ξ sender (strict inequality).
+        let sel = select_receivers(0.0, Ftd::NEW, &[cand(1, 1.0, 1)], 0.95);
+        assert_eq!(sel.receivers.len(), 1);
+        assert_eq!(sel.combined_delivery, 1.0);
+        let sel = select_receivers(0.0, Ftd::NEW, &[cand(1, 0.0, 1)], 0.95);
+        assert!(sel.is_empty());
     }
 
     #[test]

@@ -144,6 +144,19 @@ pub struct Node {
     /// Last instant this node transmitted a data message (drives the Δ
     /// metric timeout of Eq. 1).
     pub last_tx: SimTime,
+    /// False while the node is crashed or battery-dead: the radio is dark,
+    /// no events are acted on, and queued copies were lost.
+    pub alive: bool,
+    /// A permanent crash: the node never recovers.
+    pub battery_dead: bool,
+    /// Injected fault: probability an arriving DATA frame is corrupted and
+    /// discarded before the protocol sees it.
+    pub corrupt_rx_prob: f64,
+    /// High-water mark of applied Eq. 1 Δ-decay windows: the instant up to
+    /// which timeout decay has been accounted for (max'ed with `last_tx`).
+    /// Lets a node that slept or was crashed across several Δ windows catch
+    /// up on every missed decay instead of decaying once per wakeup.
+    pub xi_anchor: SimTime,
     /// Memoized Eq. 13 result: `(computed_at, τ_max)`. The optimizer is
     /// O(τ·m²), so attempts reuse a recent value instead of re-solving.
     pub cached_tau: Option<(SimTime, u64)>,
@@ -186,6 +199,10 @@ impl Node {
             cycles_inactive: 0,
             listen_retries: 0,
             last_tx: SimTime::ZERO,
+            alive: true,
+            battery_dead: false,
+            corrupt_rx_prob: 0.0,
+            xi_anchor: SimTime::ZERO,
             cached_tau: None,
             meter: EnergyMeter::new(RadioState::Idle),
             rng,

@@ -50,6 +50,44 @@ pub struct NodeSummary {
     pub energy_by_state_j: [f64; 4],
 }
 
+/// Fault-attributed counters.
+///
+/// All zero on a fault-free run (an empty
+/// [`FaultPlan`](crate::faults::FaultPlan) injects nothing), so any nonzero
+/// field is directly attributable to injected faults.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Node crash events applied (including sink outages).
+    pub crashes: u64,
+    /// Node recovery events applied (including sinks coming back).
+    pub recoveries: u64,
+    /// Permanent battery deaths applied.
+    pub battery_deaths: u64,
+    /// Sink-down events applied (also counted in `crashes`).
+    pub sink_outages: u64,
+    /// Queued message copies destroyed by crashes.
+    pub messages_lost_to_crash: u64,
+    /// (frame, receiver) receptions suppressed by link faults or because
+    /// the receiver was dead.
+    pub frames_dropped: u64,
+    /// DATA frames corrupted at a receiver and discarded.
+    pub data_corrupted: u64,
+    /// Lost or corrupted DATA receptions the sender must retry: the copy
+    /// stays queued, so a later multicast re-transmits it.
+    pub retransmissions_triggered: u64,
+    /// First-copy sink deliveries after the first fault fired — the
+    /// "delivered despite faults" numerator.
+    pub deliveries_despite_faults: u64,
+}
+
+impl FaultCounters {
+    /// True when any fault left a trace in this run.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        *self != FaultCounters::default()
+    }
+}
+
 /// Live counters updated during a run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunMetrics {
@@ -85,6 +123,8 @@ pub struct RunMetrics {
     pub control_bits: u64,
     /// Data bits put on the air.
     pub data_bits: u64,
+    /// Fault-attributed counters (all zero without injected faults).
+    pub faults: FaultCounters,
 }
 
 impl RunMetrics {
@@ -108,6 +148,7 @@ impl RunMetrics {
             frames_by_kind: [0; 6],
             control_bits: 0,
             data_bits: 0,
+            faults: FaultCounters::default(),
         }
     }
 
@@ -194,6 +235,8 @@ pub struct SimReport {
     /// Mean handovers per delivered message (1 = handed straight to a
     /// sink).
     pub mean_hops: f64,
+    /// Fault-attributed counters (all zero without injected faults).
+    pub faults: FaultCounters,
     /// Full delay statistics.
     pub delay_stats: RunningStats,
     /// Delay distribution.
@@ -290,6 +333,25 @@ impl SimReport {
             .field("events_processed", self.events_processed)
             .field("mean_final_xi", self.mean_final_xi)
             .field("mean_hops", self.mean_hops)
+            .field(
+                "faults",
+                Json::object()
+                    .field("crashes", self.faults.crashes)
+                    .field("recoveries", self.faults.recoveries)
+                    .field("battery_deaths", self.faults.battery_deaths)
+                    .field("sink_outages", self.faults.sink_outages)
+                    .field("messages_lost_to_crash", self.faults.messages_lost_to_crash)
+                    .field("frames_dropped", self.faults.frames_dropped)
+                    .field("data_corrupted", self.faults.data_corrupted)
+                    .field(
+                        "retransmissions_triggered",
+                        self.faults.retransmissions_triggered,
+                    )
+                    .field(
+                        "deliveries_despite_faults",
+                        self.faults.deliveries_despite_faults,
+                    ),
+            )
             .field("nodes", Json::Arr(nodes))
     }
 
@@ -342,6 +404,7 @@ mod tests {
             events_processed: 100,
             mean_final_xi: 0.4,
             mean_hops: 1.0,
+            faults: FaultCounters::default(),
             delay_stats: RunningStats::new(),
             delay_hist: Histogram::new(0.0, 100.0, 10),
             deliveries: Vec::new(),
@@ -379,6 +442,19 @@ mod tests {
         assert_eq!(m.delay.count(), 2);
         assert_eq!(m.delay.mean(), 20.0);
         assert_eq!(m.delay_hist.total(), 2);
+    }
+
+    #[test]
+    fn fault_counters_default_to_quiet_and_render_in_json() {
+        let mut r = report(10, 5);
+        assert!(!r.faults.any(), "fresh counters must read as fault-free");
+        r.faults.crashes = 2;
+        r.faults.frames_dropped = 7;
+        assert!(r.faults.any());
+        let js = r.to_json().render();
+        assert!(js.contains("\"faults\""), "{js}");
+        assert!(js.contains("\"crashes\":2"), "{js}");
+        assert!(js.contains("\"frames_dropped\":7"), "{js}");
     }
 
     #[test]

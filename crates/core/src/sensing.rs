@@ -330,6 +330,7 @@ mod tests {
             delay_hist: Histogram::new(0.0, 1.0, 2),
             deliveries,
             node_summaries: Vec::new(),
+            faults: crate::report::FaultCounters::default(),
         }
     }
 

@@ -73,8 +73,13 @@ impl SleepController {
     }
 
     /// ρᵢ of Eq. 4: the success fraction over the last S cycles, floored
-    /// at `1/S` so Eq. 6 stays finite. Before any cycle completes the
-    /// controller optimistically reports 1 (no reason to sleep long yet).
+    /// at `1/S` so Eq. 6 stays finite.
+    ///
+    /// **Documented prior:** before any cycle completes (zero recorded
+    /// cycles) the controller reports exactly 1 — an optimistic "fully
+    /// busy" estimate that makes Eq. 6 yield `T_min`, so a fresh node never
+    /// oversleeps its first contacts. This branch exists so the zero-cycle
+    /// case never reaches the 0/0-adjacent `successes/S` division below.
     #[must_use]
     pub fn rho(&self) -> f64 {
         if self.history.is_empty() {
@@ -90,7 +95,10 @@ impl SleepController {
     }
 
     /// The sleeping period Tᵢ of Eq. 6, clamped to `[T_min, T_max]`
-    /// (Eq. 8).
+    /// (Eq. 8) and never below the event-queue tick granularity: a
+    /// degenerate `T_min` of zero must still schedule a wake-up strictly in
+    /// the future, or the sleep/wake cycle would livelock at the current
+    /// simulation instant.
     ///
     /// `urgency` is αᵢ of Eq. 5 (fraction of buffer slots holding messages
     /// below the urgency FTD bound).
@@ -108,7 +116,9 @@ impl SleepController {
         let t_min = params.t_min_secs;
         let raw = t_min * (1.0 / rho - 1.0) / (1.0 - params.sleep_h + urgency);
         let t = raw.max(t_min);
-        SimDuration::from_secs_f64(t).clamp(SimDuration::from_secs_f64(t_min), params.t_max())
+        SimDuration::from_secs_f64(t)
+            .clamp(SimDuration::from_secs_f64(t_min), params.t_max())
+            .max(SimDuration::from_ticks(1))
     }
 }
 
@@ -210,6 +220,36 @@ mod tests {
                 assert!(t <= p.t_max());
             }
         }
+    }
+
+    #[test]
+    fn fresh_controller_prior_yields_t_min() {
+        // The zero-cycle prior ρ = 1 must short-circuit Eq. 6 to T_min
+        // without touching the successes/S division.
+        let p = params();
+        let c = SleepController::new(p.history_window_s);
+        assert_eq!(c.rho(), 1.0);
+        assert_eq!(
+            c.sleep_duration(0.0, &p),
+            SimDuration::from_secs_f64(p.t_min_secs)
+        );
+    }
+
+    #[test]
+    fn degenerate_t_min_still_sleeps_one_tick() {
+        // T_min = 0 collapses Eq. 6 and Eq. 8 to zero; the controller must
+        // still return a strictly positive duration so the wake-up event
+        // lands in the future.
+        let p = ProtocolParams {
+            t_min_secs: 0.0,
+            ..params()
+        };
+        for succ in [0, 5, 10] {
+            let t = filled(succ, 10).sleep_duration(0.0, &p);
+            assert!(t >= SimDuration::from_ticks(1), "succ {succ}: {t}");
+        }
+        let fresh = SleepController::new(10).sleep_duration(1.0, &p);
+        assert_eq!(fresh, SimDuration::from_ticks(1));
     }
 
     #[test]

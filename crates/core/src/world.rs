@@ -14,6 +14,11 @@
 //!   periods, contention windows, guards). Every node state change bumps
 //!   the node's epoch, so a timer whose epoch no longer matches is stale
 //!   and ignored; this makes cancellation implicit and cheap.
+//! * `Fault(k)` — the *k*-th entry of the installed
+//!   [`FaultPlan`](crate::faults::FaultPlan) fires: crashes, recoveries,
+//!   link degradation, DATA corruption, sink outages. An empty plan
+//!   schedules nothing and draws nothing from any random stream, so
+//!   fault-free runs stay bit-for-bit identical to pre-fault builds.
 //!
 //! # Liveness
 //!
@@ -23,6 +28,7 @@
 
 use crate::contention::{optimize_cts_window, optimize_tau_max, sigma};
 use crate::delivery::DeliveryProb;
+use crate::faults::{FaultKind, FaultPlan};
 use crate::frames::MacPayload;
 use crate::ftd::Ftd;
 use crate::message::{Message, MessageId, MessageIdAllocator};
@@ -45,7 +51,7 @@ use dftmsn_radio::medium::{Frame, Medium, TxHandle};
 use dftmsn_sim::event::EventQueue;
 use dftmsn_sim::rng::SimRng;
 use dftmsn_sim::time::{SimDuration, SimTime};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Node-local timer kinds; all are epoch-guarded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +80,8 @@ enum Event {
     MetricTimeout(NodeId),
     TxEnd(NodeId, TxHandle),
     Timer(NodeId, u64, Timer),
+    /// Index into the installed fault plan's event list.
+    Fault(usize),
 }
 
 /// Reusable working memory for the per-cycle hot paths.
@@ -225,6 +233,20 @@ pub struct Simulation {
 
     scratch: CycleScratch,
     trace: Option<Box<dyn TraceSink>>,
+
+    fault_plan: FaultPlan,
+    /// Dedicated stream for fault coin flips; forked from the root seed but
+    /// never drawn from unless a fault makes a probabilistic decision, so an
+    /// empty plan perturbs nothing.
+    fault_rng: SimRng,
+    /// Per-frame drop probability applied to every link without a
+    /// per-pair entry.
+    global_link_drop: f64,
+    /// Per-pair drop probabilities, keyed by the ordered endpoint pair.
+    link_drop: HashMap<(NodeId, NodeId), f64>,
+    /// True once any fault event has fired (gates the
+    /// `deliveries_despite_faults` counter).
+    fault_regime: bool,
 }
 
 impl Simulation {
@@ -266,6 +288,7 @@ impl Simulation {
 
         let root = SimRng::seed_from(seed);
         let mut mobility_rng = root.fork(0x4d4f_4249); // "MOBI"
+        let fault_rng = root.fork(0x4641_554C); // "FAUL"
         let area = Bounds::new(scenario.area_width_m, scenario.area_height_m);
         let zones = ZoneGrid::new(area, scenario.zone_cols, scenario.zone_rows);
         let n = scenario.node_count();
@@ -367,9 +390,49 @@ impl Simulation {
             deliveries: Vec::new(),
             scratch: CycleScratch::default(),
             trace: None,
+            fault_plan: FaultPlan::default(),
+            fault_rng,
+            global_link_drop: 0.0,
+            link_drop: HashMap::new(),
+            fault_regime: false,
         };
         sim.schedule_initial_events();
         sim
+    }
+
+    /// Builds a simulation and installs a fault plan in one step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario or the plan fails validation.
+    #[must_use]
+    pub fn with_faults(
+        scenario: ScenarioParams,
+        kind: ProtocolKind,
+        seed: u64,
+        plan: FaultPlan,
+    ) -> Self {
+        let mut sim = Self::new(scenario, kind, seed);
+        sim.set_fault_plan(plan);
+        sim
+    }
+
+    /// Installs a fault plan, scheduling its events as first-class entries
+    /// in the ordinary event queue. An empty plan schedules nothing and
+    /// leaves the run bit-for-bit identical to a fault-free one; installing
+    /// the same nonempty plan with the same seed reproduces the same report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`] for this scenario.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        plan.validate(&self.scenario)
+            .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+        for (k, ev) in plan.events.iter().enumerate() {
+            let at = SimTime::ZERO + SimDuration::from_secs_f64(ev.at_secs);
+            self.events.schedule_at(at, Event::Fault(k));
+        }
+        self.fault_plan = plan;
     }
 
     fn schedule_initial_events(&mut self) {
@@ -442,7 +505,142 @@ impl Simulation {
                     self.on_timer(now, i, timer);
                 }
             }
+            Event::Fault(k) => self.on_fault(now, k),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    fn on_fault(&mut self, now: SimTime, k: usize) {
+        self.fault_regime = true;
+        match self.fault_plan.events[k].kind {
+            FaultKind::NodeCrash(i) => {
+                if self.crash_node(now, i, false) {
+                    self.metrics.faults.crashes += 1;
+                }
+            }
+            FaultKind::BatteryDeath(i) => {
+                if self.crash_node(now, i, true) {
+                    self.metrics.faults.crashes += 1;
+                    self.metrics.faults.battery_deaths += 1;
+                }
+            }
+            FaultKind::NodeRecover(i) => {
+                if self.recover_node(now, i) {
+                    self.metrics.faults.recoveries += 1;
+                }
+            }
+            FaultKind::SinkDown(i) => {
+                if self.crash_node(now, i, false) {
+                    self.metrics.faults.crashes += 1;
+                    self.metrics.faults.sink_outages += 1;
+                }
+            }
+            FaultKind::SinkUp(i) => {
+                if self.recover_node(now, i) {
+                    self.metrics.faults.recoveries += 1;
+                }
+            }
+            FaultKind::LinkDegrade { a, b, drop_prob } => {
+                let key = if a <= b { (a, b) } else { (b, a) };
+                if drop_prob > 0.0 {
+                    self.link_drop.insert(key, drop_prob.clamp(0.0, 1.0));
+                } else {
+                    self.link_drop.remove(&key);
+                }
+            }
+            FaultKind::GlobalLinkDegrade { drop_prob } => {
+                self.global_link_drop = drop_prob.clamp(0.0, 1.0);
+            }
+            FaultKind::DataCorruption { node, prob } => {
+                self.nodes[node.index()].corrupt_rx_prob = prob.clamp(0.0, 1.0);
+            }
+        }
+    }
+
+    /// Halts node `i`: the radio goes dark, queued copies are lost, all
+    /// pending timers are invalidated via the epoch bump, and any sender
+    /// context is reclaimed. Returns false if the node was already down.
+    fn crash_node(&mut self, now: SimTime, i: NodeId, permanent: bool) -> bool {
+        let idx = i.index();
+        if !self.nodes[idx].alive {
+            // Crashing a dead node is a no-op, but a battery death still
+            // pins it down so a later recovery is refused.
+            if permanent {
+                self.nodes[idx].battery_dead = true;
+            }
+            return false;
+        }
+        let mut lost = 0u64;
+        let taken_ctx = {
+            let node = &mut self.nodes[idx];
+            node.alive = false;
+            if permanent {
+                node.battery_dead = true;
+            }
+            while node.queue.pop_head().is_some() {
+                lost += 1;
+            }
+            // The epoch bump makes every pending timer stale, so the node
+            // cannot be revived by a leftover WakeUp or window deadline.
+            node.transition(MacState::Sleeping);
+            node.meter
+                .set_state(now, RadioState::Sleep, &self.scenario.energy);
+            node.receiver_ctx = None;
+            node.listen_retries = 0;
+            node.cycles_inactive = 0;
+            node.sender_ctx.take()
+        };
+        if let Some(ctx) = taken_ctx {
+            self.scratch.recycle_sender_ctx(ctx);
+        }
+        self.metrics.faults.messages_lost_to_crash += lost;
+        self.medium.set_listening(i, false);
+        true
+    }
+
+    /// Reboots a crashed node with an empty queue. Refused for nodes that
+    /// are alive or battery-dead. Sensors get a jittered first wakeup, like
+    /// at the start of the run; sinks simply resume listening.
+    fn recover_node(&mut self, now: SimTime, i: NodeId) -> bool {
+        let idx = i.index();
+        {
+            let node = &mut self.nodes[idx];
+            if node.alive || node.battery_dead {
+                return false;
+            }
+            node.alive = true;
+            node.transition(MacState::Passive);
+            node.meter
+                .set_state(now, RadioState::Idle, &self.scenario.energy);
+            node.cycles_inactive = 0;
+            node.listen_retries = 0;
+        }
+        self.medium.set_listening(i, true);
+        if !self.nodes[idx].is_sink() {
+            let jitter = {
+                let node = &mut self.nodes[idx];
+                SimDuration::from_secs_f64(node.rng.gen_range_f64(0.0, 2.0))
+            };
+            self.schedule_timer(i, jitter, Timer::WakeUp);
+        }
+        true
+    }
+
+    /// Effective per-frame drop probability on the (undirected) link
+    /// `a`–`b`: a per-pair entry overrides the global figure. Zero on every
+    /// link unless a fault plan degraded it.
+    fn link_drop_prob(&self, a: NodeId, b: NodeId) -> f64 {
+        if self.link_drop.is_empty() {
+            return self.global_link_drop;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.link_drop
+            .get(&key)
+            .copied()
+            .unwrap_or(self.global_link_drop)
     }
 
     fn schedule_timer(&mut self, i: NodeId, delay: SimDuration, timer: Timer) {
@@ -466,10 +664,14 @@ impl Simulation {
     }
 
     fn on_data_gen(&mut self, now: SimTime, i: NodeId) {
-        let id = self.ids.allocate();
-        let msg = Message::sensed(id, i, now);
-        self.metrics.generated += 1;
-        self.insert_into_queue(now, i, msg);
+        // A crashed sensor senses nothing, but its Poisson clock keeps
+        // ticking so generation resumes on recovery.
+        if self.nodes[i.index()].alive {
+            let id = self.ids.allocate();
+            let msg = Message::sensed(id, i, now);
+            self.metrics.generated += 1;
+            self.insert_into_queue(now, i, msg);
+        }
         let next = {
             let node = &mut self.nodes[i.index()];
             SimDuration::from_secs_f64(node.rng.gen_exp(self.scenario.data_interval_secs))
@@ -480,9 +682,24 @@ impl Simulation {
     fn on_metric_timeout(&mut self, now: SimTime, i: NodeId) {
         let delta = SimDuration::from_secs_f64(self.protocol.xi_timeout_secs);
         let node = &mut self.nodes[i.index()];
-        let due = node.last_tx + delta;
+        if !node.alive {
+            // ξ is frozen while the node is down; the anchor stays put, so
+            // the first timeout after recovery applies every missed window.
+            self.events.schedule_after(delta, Event::MetricTimeout(i));
+            return;
+        }
+        // Eq. 1 decays ξ once per *elapsed* Δ window since the last
+        // transmission (or the last applied decay), not once per event
+        // firing: a node that was unreachable across several windows —
+        // asleep past its timer or crashed — catches up on all of them
+        // here. In an undisturbed run exactly one window has elapsed at
+        // every firing, so this matches the one-decay-per-Δ schedule.
+        let anchor = node.last_tx.max(node.xi_anchor);
+        let due = anchor + delta;
         if now >= due {
-            node.metric.on_timeout(self.protocol.alpha);
+            let windows = (now.saturating_since(anchor).ticks() / delta.ticks().max(1)).max(1);
+            node.metric.decay_windows(self.protocol.alpha, windows);
+            node.xi_anchor = anchor + delta * windows;
             self.events.schedule_after(delta, Event::MetricTimeout(i));
         } else {
             self.events.schedule_at(due, Event::MetricTimeout(i));
@@ -506,7 +723,7 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn start_cycle(&mut self, now: SimTime, i: NodeId) {
-        if self.nodes[i.index()].is_sink() {
+        if self.nodes[i.index()].is_sink() || !self.nodes[i.index()].alive {
             return;
         }
         {
@@ -707,14 +924,12 @@ impl Simulation {
                 out,
             ),
             SelectionKind::SingleBest | SelectionKind::SinkOnly => {
+                // total_cmp instead of partial_cmp().expect: a NaN metric
+                // is a bug upstream, but selection must not panic on it.
                 let best = candidates
                     .iter()
-                    .filter(|c| c.buffer_space > 0)
-                    .max_by(|a, b| {
-                        a.xi.partial_cmp(&b.xi)
-                            .expect("finite ξ")
-                            .then_with(|| b.id.cmp(&a.id))
-                    });
+                    .filter(|c| c.buffer_space > 0 && c.xi.is_finite())
+                    .max_by(|a, b| a.xi.total_cmp(&b.xi).then_with(|| b.id.cmp(&a.id)));
                 if let Some(c) = best {
                     out.receivers
                         .push((c.id, msg_ftd.receiver_copy(sender_metric, &[])));
@@ -1013,6 +1228,16 @@ impl Simulation {
 
     fn on_tx_end(&mut self, now: SimTime, i: NodeId, handle: TxHandle) {
         let mut outcome = self.medium.end_tx(now, handle);
+        if !self.nodes[i.index()].alive {
+            // The transmitter crashed mid-frame: the frame is truncated on
+            // the air and nobody receives it. The crash already tore down
+            // the node's MAC state, so only the medium needed closing.
+            self.metrics.faults.frames_dropped += outcome.delivered_to.len() as u64;
+            if let MacPayload::Schedule { receivers, .. } = outcome.frame.payload {
+                self.scratch.recycle_schedule(receivers);
+            }
+            return;
+        }
         let plan = match self.nodes[i.index()].state {
             MacState::Transmitting(p) => p,
             other => unreachable!("TxEnd in state {other:?}"),
@@ -1123,7 +1348,36 @@ impl Simulation {
             }
         }
         let delivered_to = std::mem::take(&mut outcome.delivered_to);
+        let is_data = matches!(outcome.frame.payload, MacPayload::Data { .. });
+        let src = outcome.frame.src;
         for r in delivered_to {
+            // Fault filters. All of them are inert on a fault-free run:
+            // every node is alive, both drop tables are empty and every
+            // corruption probability is zero, so no branch is taken and no
+            // random number is drawn.
+            if !self.nodes[r.index()].alive {
+                self.metrics.faults.frames_dropped += 1;
+                if is_data {
+                    self.metrics.faults.retransmissions_triggered += 1;
+                }
+                continue;
+            }
+            let drop_p = self.link_drop_prob(src, r);
+            if drop_p > 0.0 && self.fault_rng.gen_bool(drop_p) {
+                self.metrics.faults.frames_dropped += 1;
+                if is_data {
+                    self.metrics.faults.retransmissions_triggered += 1;
+                }
+                continue;
+            }
+            if is_data {
+                let corrupt_p = self.nodes[r.index()].corrupt_rx_prob;
+                if corrupt_p > 0.0 && self.fault_rng.gen_bool(corrupt_p) {
+                    self.metrics.faults.data_corrupted += 1;
+                    self.metrics.faults.retransmissions_triggered += 1;
+                    continue;
+                }
+            }
             self.handle_rx(now, r, &outcome.frame);
         }
         // The SCHEDULE payload carries a pooled receiver list; now that the
@@ -1303,6 +1557,9 @@ impl Simulation {
         if self.delivered_ids.insert(msg.id) {
             let delay = now.saturating_since(msg.created).as_secs_f64();
             self.metrics.record_delivery(delay);
+            if self.fault_regime {
+                self.metrics.faults.deliveries_despite_faults += 1;
+            }
             self.deliveries.push(DeliveryRecord {
                 msg: msg.id,
                 origin: msg.origin,
@@ -1424,6 +1681,7 @@ impl Simulation {
             multicasts: m.multicasts,
             copies_sent: m.copies_sent,
             events_processed: self.events.popped(),
+            faults: m.faults,
             mean_final_xi: xi_sum / sensors as f64,
             mean_hops: if self.deliveries.is_empty() {
                 0.0
@@ -1697,6 +1955,121 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let base = Simulation::new(tiny(), ProtocolKind::Opt, 7).run();
+        let mut sim = Simulation::new(tiny(), ProtocolKind::Opt, 7);
+        sim.set_fault_plan(FaultPlan::default());
+        let faulted = sim.run();
+        assert_eq!(base.generated, faulted.generated);
+        assert_eq!(base.delivered, faulted.delivered);
+        assert_eq!(base.frames_sent, faulted.frames_sent);
+        assert_eq!(base.collisions, faulted.collisions);
+        assert!(!faulted.faults.any(), "{:?}", faulted.faults);
+    }
+
+    #[test]
+    fn battery_deaths_count_and_lose_queued_copies() {
+        let mut plan = FaultPlan::default();
+        for i in 0..6 {
+            plan.push(100.0, FaultKind::BatteryDeath(NodeId(i)));
+        }
+        let r = Simulation::with_faults(tiny(), ProtocolKind::Opt, 7, plan).run();
+        assert_eq!(r.faults.crashes, 6);
+        assert_eq!(r.faults.battery_deaths, 6);
+        assert_eq!(r.faults.recoveries, 0);
+        assert!(
+            r.faults.messages_lost_to_crash > 0,
+            "six sensors dying at t=100s must carry something: {:?}",
+            r.faults
+        );
+    }
+
+    #[test]
+    fn recovery_restores_a_crashed_node_but_not_a_dead_battery() {
+        let mut plan = FaultPlan::default();
+        plan.push(50.0, FaultKind::NodeCrash(NodeId(0)));
+        plan.push(150.0, FaultKind::NodeRecover(NodeId(0)));
+        plan.push(60.0, FaultKind::BatteryDeath(NodeId(1)));
+        plan.push(160.0, FaultKind::NodeRecover(NodeId(1)));
+        let r = Simulation::with_faults(tiny(), ProtocolKind::Opt, 3, plan).run();
+        assert_eq!(r.faults.crashes, 2);
+        assert_eq!(r.faults.recoveries, 1, "battery death must stay down");
+    }
+
+    #[test]
+    fn total_link_loss_stops_all_delivery() {
+        let mut sim = Simulation::new(tiny(), ProtocolKind::Opt, 7);
+        sim.set_fault_plan(FaultPlan::uniform_link_degradation(1.0));
+        let r = sim.run();
+        assert!(r.generated > 0);
+        assert_eq!(r.delivered, 0, "no frame crosses a fully dropped medium");
+        assert_eq!(r.multicasts, 0);
+        assert!(r.faults.frames_dropped > 0);
+    }
+
+    #[test]
+    fn full_corruption_blocks_data_but_not_control() {
+        let mut sim = Simulation::new(tiny(), ProtocolKind::Opt, 7);
+        sim.set_fault_plan(FaultPlan::data_corruption(&tiny(), 1.0));
+        let r = sim.run();
+        assert_eq!(r.delivered, 0);
+        assert_eq!(r.multicasts, 0, "corrupted DATA is never acknowledged");
+        assert!(r.faults.data_corrupted > 0, "{:?}", r.faults);
+        assert!(r.faults.retransmissions_triggered > 0);
+        assert!(r.frames_sent > 0, "control exchange still runs");
+    }
+
+    #[test]
+    fn sink_outage_suppresses_and_resumes_delivery() {
+        // The only sink down for the middle half of the run still counts.
+        let plan = FaultPlan::sink_outage(&tiny(), 0, 100.0, 300.0);
+        let r = Simulation::with_faults(tiny(), ProtocolKind::Opt, 7, plan).run();
+        assert_eq!(r.faults.sink_outages, 1);
+        assert_eq!(r.faults.recoveries, 1);
+        assert!(
+            r.faults.deliveries_despite_faults <= r.delivered,
+            "post-fault deliveries are a subset of all deliveries"
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_per_seed() {
+        let plan = FaultPlan::node_failures(&tiny(), 0.4, Some(120.0), 5);
+        let run = |p: FaultPlan| Simulation::with_faults(tiny(), ProtocolKind::Opt, 9, p).run();
+        let a = run(plan.clone());
+        let b = run(plan);
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.frames_sent, b.frames_sent);
+        assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn per_pair_link_degradation_beats_the_global_figure() {
+        let mut plan = FaultPlan::default();
+        plan.push(
+            0.0,
+            FaultKind::LinkDegrade {
+                a: NodeId(0),
+                b: NodeId(1),
+                drop_prob: 1.0,
+            },
+        );
+        let r = Simulation::with_faults(tiny(), ProtocolKind::Opt, 7, plan).run();
+        // Only one link is dead; the network routes around it.
+        assert!(r.delivered > 0, "one bad link must not kill the network");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn out_of_range_fault_plan_is_rejected() {
+        let mut plan = FaultPlan::default();
+        plan.push(1.0, FaultKind::NodeCrash(NodeId(999)));
+        let mut sim = Simulation::new(tiny(), ProtocolKind::Opt, 1);
+        sim.set_fault_plan(plan);
     }
 
     #[test]

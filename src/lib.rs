@@ -25,6 +25,7 @@ pub use dftmsn_sim as sim;
 
 /// The most commonly used items, re-exported in one place.
 pub mod prelude {
+    pub use dftmsn_core::faults::{FaultKind, FaultPlan};
     pub use dftmsn_core::params::{ProtocolParams, ScenarioParams};
     pub use dftmsn_core::report::SimReport;
     pub use dftmsn_core::variants::ProtocolKind;

@@ -1,0 +1,95 @@
+//! End-to-end fault-injection behavior through the public facade: an empty
+//! plan is a perfect no-op, a non-empty plan is deterministic per seed, and
+//! each fault class shows up in the counters it claims to drive.
+
+use dftmsn::prelude::*;
+
+fn scenario() -> ScenarioParams {
+    ScenarioParams {
+        sensors: 16,
+        sinks: 2,
+        duration_secs: 800,
+        ..ScenarioParams::paper_default()
+    }
+}
+
+/// The eight-counter fingerprint the golden determinism suite also uses.
+fn fingerprint(r: &SimReport) -> (u64, u64, u64, u64, u64, u64, u64, u64) {
+    (
+        r.generated,
+        r.delivered,
+        r.sink_receptions,
+        r.frames_sent,
+        r.collisions,
+        r.attempts,
+        r.multicasts,
+        r.copies_sent,
+    )
+}
+
+#[test]
+fn empty_plan_is_bit_identical_to_a_plain_run() {
+    for kind in [ProtocolKind::Opt, ProtocolKind::Zbr, ProtocolKind::Epidemic] {
+        let plain = Simulation::new(scenario(), kind, 7).run();
+        let with_plan = Simulation::with_faults(scenario(), kind, 7, FaultPlan::default()).run();
+        assert_eq!(fingerprint(&plain), fingerprint(&with_plan), "{kind}");
+        assert!(!with_plan.faults.any(), "{kind}: quiet run counted faults");
+    }
+}
+
+#[test]
+fn same_seed_and_plan_reproduce_the_same_report() {
+    let plan = FaultPlan::parse("crash=0.25;linkdrop=0.1", &scenario(), 7).unwrap();
+    let a = Simulation::with_faults(scenario(), ProtocolKind::Opt, 7, plan.clone()).run();
+    let b = Simulation::with_faults(scenario(), ProtocolKind::Opt, 7, plan).run();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.mean_delay_secs.to_bits(), b.mean_delay_secs.to_bits());
+}
+
+#[test]
+fn crashes_register_in_the_fault_counters() {
+    let plan = FaultPlan::parse("crash=0.5", &scenario(), 7).unwrap();
+    let r = Simulation::with_faults(scenario(), ProtocolKind::Opt, 7, plan).run();
+    assert_eq!(r.faults.crashes, 8, "half of 16 sensors");
+    assert_eq!(r.faults.battery_deaths, 8);
+    assert_eq!(r.faults.recoveries, 0);
+}
+
+#[test]
+fn total_link_loss_delivers_nothing() {
+    let plan = FaultPlan::parse("linkdrop=1.0", &scenario(), 7).unwrap();
+    let r = Simulation::with_faults(scenario(), ProtocolKind::Opt, 7, plan).run();
+    assert_eq!(r.delivered, 0);
+    assert!(r.generated > 0, "sensing itself must continue");
+    assert!(r.faults.frames_dropped > 0);
+}
+
+#[test]
+fn total_corruption_blocks_data_but_leaves_control_alive() {
+    let plan = FaultPlan::parse("corrupt=1.0", &scenario(), 7).unwrap();
+    let r = Simulation::with_faults(scenario(), ProtocolKind::Opt, 7, plan).run();
+    assert_eq!(r.delivered, 0, "no DATA frame survives");
+    assert!(r.faults.data_corrupted > 0);
+    assert!(
+        r.frames_sent > 0,
+        "RTS/CTS handshakes still run under corruption"
+    );
+}
+
+#[test]
+fn faults_degrade_but_rarely_destroy_delivery() {
+    let quiet = Simulation::new(scenario(), ProtocolKind::Opt, 7).run();
+    let plan = FaultPlan::parse("crash=0.3", &scenario(), 7).unwrap();
+    let faulty = Simulation::with_faults(scenario(), ProtocolKind::Opt, 7, plan).run();
+    assert!(
+        faulty.delivery_ratio() <= quiet.delivery_ratio() + 0.05,
+        "losing 30% of sensors should not help: {} vs {}",
+        faulty.delivery_ratio(),
+        quiet.delivery_ratio()
+    );
+    assert!(
+        faulty.faults.deliveries_despite_faults > 0,
+        "the surviving network still delivers"
+    );
+}

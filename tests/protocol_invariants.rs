@@ -20,6 +20,19 @@ fn prob() -> impl Strategy<Value = f64> {
     (0u32..=1000).prop_map(|x| x as f64 / 1000.0)
 }
 
+/// Like [`prob`], but heavily over-samples the boundaries where the
+/// protocol math degenerates: exactly 0, exactly 1, and one-ulp
+/// neighbours of both.
+fn prob_extreme() -> impl Strategy<Value = f64> {
+    (0u32..=1040).prop_map(|x| match x {
+        1001..=1010 => 0.0,
+        1011..=1020 => 1.0,
+        1021..=1030 => f64::EPSILON,
+        1031..=1040 => 1.0 - f64::EPSILON,
+        x => x as f64 / 1000.0,
+    })
+}
+
 proptest! {
     /// Eq. 1 keeps ξ in [0, 1] under any sequence of transmissions and
     /// timeouts.
@@ -224,5 +237,104 @@ proptest! {
             }
         }
         prop_assert!((0.0..=1.0).contains(&sel.combined_delivery));
+    }
+
+    /// Eq. 1 keeps ξ in [0, 1] even when α and the peer's ξ sit exactly on
+    /// (or one ulp inside) the unit-interval boundaries, interleaved with
+    /// multi-window Δ catch-up decay.
+    #[test]
+    fn xi_survives_extreme_boundary_sequences(
+        alpha in prob_extreme(),
+        ops in proptest::collection::vec(
+            (0u8..3, prob_extreme(), 0u64..5), 0..150),
+    ) {
+        let mut xi = DeliveryProb::ZERO;
+        for (op, peer, windows) in ops {
+            match op {
+                0 => xi.on_transmission(DeliveryProb::new(peer), alpha),
+                1 => xi.on_timeout(alpha),
+                _ => xi.decay_windows(alpha, windows),
+            }
+            prop_assert!((0.0..=1.0).contains(&xi.value()), "{}", xi.value());
+        }
+    }
+
+    /// Eq. 3 keeps FTD in [0, 1] under extreme receiver-ξ multicasts, and a
+    /// receiver with ξ = 1 saturates the copy exactly.
+    #[test]
+    fn ftd_survives_extreme_receiver_xis(
+        start in prob_extreme(),
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(prob_extreme(), 0..5), 0..20),
+    ) {
+        let mut f = Ftd::new(start);
+        for xis in rounds {
+            let next = f.after_multicast(&xis);
+            prop_assert!((0.0..=1.0).contains(&next.value()));
+            prop_assert!(next.value() >= f.value());
+            if xis.contains(&1.0) {
+                prop_assert_eq!(next.value(), 1.0, "sink receiver must saturate");
+            }
+            f = next;
+        }
+    }
+
+    /// The combined delivery probability of Sec. 3.2.2 is monotone in the
+    /// receiver set: adding a receiver never lowers it.
+    #[test]
+    fn combined_delivery_monotone_in_receiver_set(
+        base in prob_extreme(),
+        xis in proptest::collection::vec(prob_extreme(), 0..8),
+        extra in prob_extreme(),
+    ) {
+        let f = Ftd::new(base);
+        let without = f.combined_delivery(&xis);
+        let mut grown = xis.clone();
+        grown.push(extra);
+        let with = f.combined_delivery(&grown);
+        prop_assert!(with >= without, "{with} < {without}");
+        prop_assert!((0.0..=1.0).contains(&with));
+        // ξ = 0 receivers are exact no-ops.
+        let mut padded = xis;
+        padded.push(0.0);
+        prop_assert_eq!(f.combined_delivery(&padded), without);
+    }
+
+    /// Multi-window catch-up decay is bitwise identical to firing the Δ
+    /// timeout once per window, for any α.
+    #[test]
+    fn decay_windows_equals_repeated_timeouts(
+        start in prob(),
+        alpha in prob_extreme(),
+        windows in 0u64..50,
+    ) {
+        let mut batched = DeliveryProb::new(start);
+        let mut stepped = DeliveryProb::new(start);
+        batched.decay_windows(alpha, windows);
+        for _ in 0..windows {
+            stepped.on_timeout(alpha);
+        }
+        prop_assert_eq!(batched.value().to_bits(), stepped.value().to_bits());
+    }
+
+    /// Eq. 6 never schedules a wake-up at the current instant, even for a
+    /// degenerate T_min of zero: the result is at least one queue tick.
+    #[test]
+    fn sleep_duration_never_below_one_tick(
+        t_min_centis in 0u32..=200,
+        history in proptest::collection::vec(any::<bool>(), 0..40),
+        urgency in prob(),
+    ) {
+        let p = ProtocolParams {
+            t_min_secs: t_min_centis as f64 / 100.0,
+            ..ProtocolParams::paper_default()
+        };
+        let mut ctl = SleepController::new(p.history_window_s);
+        for h in history {
+            ctl.record_cycle(h);
+        }
+        let t = ctl.sleep_duration(urgency, &p);
+        prop_assert!(t >= dftmsn::sim::time::SimDuration::from_ticks(1));
+        prop_assert!(t <= p.t_max().max(dftmsn::sim::time::SimDuration::from_ticks(1)));
     }
 }
