@@ -29,6 +29,22 @@ echo "$fault_json" | grep -q '"crashes":[1-9]' \
 echo "$fault_json" | grep -q '"frames_dropped":[1-9]' \
     || { echo "fault smoke: no frames dropped"; exit 1; }
 
+echo "==> observe smoke (run --observe JSONL + inspect round trip)"
+obs_file=target/ci_observe.jsonl
+cargo run --release -q -p dftmsn-cli -- run --protocol OPT \
+    --sensors 20 --sinks 2 --duration 2000 --seed 1 \
+    --observe "$obs_file" --window 100 >/dev/null
+grep -q '"schema":"dftmsn-observe/1"' "$obs_file" \
+    || { echo "observe smoke: missing schema header"; exit 1; }
+grep -q '"totals":true' "$obs_file" \
+    || { echo "observe smoke: missing totals line"; exit 1; }
+inspect_out=$(cargo run --release -q -p dftmsn-cli -- inspect "$obs_file")
+echo "$inspect_out" | grep -q 'deliveries' \
+    || { echo "observe smoke: inspect failed to summarize"; exit 1; }
+
+echo "==> docs build cleanly (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> perf baseline smoke (--quick; discards output)"
 cargo run --release -p dftmsn-bench --bin perf_baseline -- --quick --out target/BENCH_engine.quick.json
 

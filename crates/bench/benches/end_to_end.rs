@@ -31,14 +31,28 @@ fn bench_variants(c: &mut Criterion) {
             BenchmarkId::from_parameter(kind.label()),
             &kind,
             |b, &kind| {
-                b.iter(|| black_box(Simulation::new(scenario(300), kind, 1).run()));
+                b.iter(|| {
+                    black_box(
+                        Simulation::builder(scenario(300), kind)
+                            .seed(1)
+                            .build()
+                            .run(),
+                    )
+                });
             },
         );
     }
     // NOSLEEP generates far more events; bench it shorter so the suite
     // stays fast.
     group.bench_function("NOSLEEP_100s", |b| {
-        b.iter(|| black_box(Simulation::new(scenario(100), ProtocolKind::NoSleep, 1).run()));
+        b.iter(|| {
+            black_box(
+                Simulation::builder(scenario(100), ProtocolKind::NoSleep)
+                    .seed(1)
+                    .build()
+                    .run(),
+            )
+        });
     });
     group.finish();
 }
@@ -46,11 +60,11 @@ fn bench_variants(c: &mut Criterion) {
 fn bench_construction(c: &mut Criterion) {
     c.bench_function("simulation_setup_paper_scale", |b| {
         b.iter(|| {
-            black_box(Simulation::new(
-                ScenarioParams::paper_default(),
-                ProtocolKind::Opt,
-                1,
-            ))
+            black_box(
+                Simulation::builder(ScenarioParams::paper_default(), ProtocolKind::Opt)
+                    .seed(1)
+                    .build(),
+            )
         });
     });
 }

@@ -36,6 +36,7 @@ fn main() {
                     config: kind.config(),
                     seed: seed + 1,
                     faults: FaultPlan::default(),
+                    observe_window_secs: None,
                 });
             }
         }

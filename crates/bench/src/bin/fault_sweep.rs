@@ -5,7 +5,12 @@
 //! and OPT / NOOPT / ZBR are measured on what still gets through.
 //!
 //! Usage: `cargo run --release -p dftmsn-bench --bin fault_sweep [--quick]
-//! [--seeds N] [--duration SECS] [--threads N]`
+//! [--seeds N] [--duration SECS] [--threads N] [--observe]`
+//!
+//! With `--observe`, one extra observed run per variant at a fixed 30 %
+//! failure fraction emits a per-window delivery timeline
+//! (`results/fault_sweep_timeline.*`) showing how each variant degrades
+//! and recovers around fault onset.
 
 use dftmsn_bench::experiments::{write_table, ExperimentOpts};
 use dftmsn_bench::sweep::{average, run_all, RunSpec};
@@ -40,6 +45,7 @@ fn main() {
                     config: kind.config(),
                     seed,
                     faults,
+                    observe_window_secs: None,
                 });
             }
         }
@@ -75,4 +81,63 @@ fn main() {
     }
     println!("{}", write_table("results", "fault_sweep_delivery", &ratio));
     println!("{}", write_table("results", "fault_sweep_delay", &delay));
+
+    if std::env::args().any(|a| a == "--observe") {
+        timeline(&opts, &variants);
+    }
+}
+
+/// One observed run per variant at a fixed failure fraction: the windowed
+/// delivery counts show the dip (and any recovery) around fault onset
+/// that the sweep's end-of-run averages integrate away.
+fn timeline(opts: &ExperimentOpts, variants: &[ProtocolKind]) {
+    let frac = 0.3;
+    let seed = 1;
+    // ~25 points across the run, whatever the duration.
+    let window = (opts.duration_secs as f64 / 25.0).max(1.0);
+    let scenario = ScenarioParams::paper_default().with_duration_secs(opts.duration_secs);
+    let faults = FaultPlan::node_failures(&scenario, frac, None, seed);
+    eprintln!(
+        "fault_sweep: timeline at failure fraction {frac} ({} fault events, {window:.0} s windows)",
+        faults.len()
+    );
+
+    let mut columns: Vec<Vec<(f64, f64)>> = Vec::new();
+    for &kind in variants {
+        let spec = RunSpec {
+            scenario: scenario.clone(),
+            protocol: ProtocolParams::paper_default(),
+            config: kind.config(),
+            seed,
+            faults: faults.clone(),
+            observe_window_secs: Some(window),
+        };
+        let (_, series) = spec.run_observed();
+        let series = series.expect("observed run returns series");
+        let deliveries = series.get("deliveries").expect("deliveries series");
+        columns.push(deliveries.iter().collect());
+    }
+
+    let mut table = Table::new(
+        &format!(
+            "Deliveries per {window:.0} s window, {:.0} % of sensors lost (seed {seed})",
+            frac * 100.0
+        ),
+        &["t (s)", "OPT", "NOOPT", "ZBR"],
+    );
+    let rows = columns.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 0..rows {
+        let t = columns
+            .iter()
+            .find_map(|c| c.get(i))
+            .map_or(0.0, |&(t, _)| t);
+        let cell = |vi: usize| columns[vi].get(i).map_or(0.0, |&(_, v)| v);
+        table.row(vec![
+            t.into(),
+            cell(0).into(),
+            cell(1).into(),
+            cell(2).into(),
+        ]);
+    }
+    println!("{}", write_table("results", "fault_sweep_timeline", &table));
 }

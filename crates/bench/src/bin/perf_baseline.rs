@@ -62,7 +62,9 @@ fn main() {
         let mut events = 0;
         let mut frames = 0;
         for seed in 1..=engine_seeds {
-            let sim = Simulation::new(scenario.clone(), kind, seed);
+            let sim = Simulation::builder(scenario.clone(), kind)
+                .seed(seed)
+                .build();
             let t0 = Instant::now();
             let report = sim.run();
             wall_ms += t0.elapsed().as_secs_f64() * 1_000.0;
@@ -102,6 +104,7 @@ fn main() {
                 config: kind.config(),
                 seed,
                 faults: FaultPlan::default(),
+                observe_window_secs: None,
             })
         })
         .collect();

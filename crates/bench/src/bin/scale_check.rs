@@ -14,7 +14,7 @@ fn main() {
         params.area_width_m = area;
         params.area_height_m = area;
         let t = std::time::Instant::now();
-        let r = Simulation::new(params, kind, 1).run();
+        let r = Simulation::builder(params, kind).seed(1).build().run();
         println!("{:9} ratio {:5.1}% power {:7.3} mW delay {:6.0}s coll {:6} att {:7} mcast {:6} xi {:.3} [{:?}]",
             kind.label(), r.delivery_ratio()*100.0, r.avg_sensor_power_mw, r.mean_delay_secs,
             r.collisions, r.attempts, r.multicasts, r.mean_final_xi, t.elapsed());

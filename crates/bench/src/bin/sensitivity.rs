@@ -80,6 +80,7 @@ fn main() {
                 config: ProtocolKind::Opt.config(),
                 seed: seed + 1,
                 faults: FaultPlan::default(),
+                observe_window_secs: None,
             });
         }
     }

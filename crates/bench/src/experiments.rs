@@ -85,6 +85,7 @@ fn averaged_cell(
             config: kind.config(),
             seed: seed + 1,
             faults: FaultPlan::default(),
+            observe_window_secs: None,
         })
         .collect()
 }
@@ -233,6 +234,7 @@ pub fn ablation(opts: &ExperimentOpts) -> Vec<Table> {
                 config: *config,
                 seed: seed + 1,
                 faults: FaultPlan::default(),
+                observe_window_secs: None,
             });
         }
     }

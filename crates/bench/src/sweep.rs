@@ -5,6 +5,7 @@
 //! deterministic, so parallelism across runs keeps results reproducible.
 
 use dftmsn_core::faults::FaultPlan;
+use dftmsn_core::observe::{MetricsRecorder, ObserveSeries};
 use dftmsn_core::params::{ProtocolParams, ScenarioParams};
 use dftmsn_core::report::SimReport;
 use dftmsn_core::variants::VariantConfig;
@@ -27,6 +28,9 @@ pub struct RunSpec {
     pub seed: u64,
     /// Fault events to inject (empty = fault-free run).
     pub faults: FaultPlan,
+    /// Attach a windowed [`MetricsRecorder`] with this aggregation window
+    /// (seconds). `None` = headline report only, no observation overhead.
+    pub observe_window_secs: Option<f64>,
 }
 
 impl RunSpec {
@@ -34,19 +38,33 @@ impl RunSpec {
     ///
     /// # Panics
     ///
-    /// Panics if the fault plan does not validate against the scenario.
+    /// Panics if the fault plan does not validate against the scenario, or
+    /// if `observe_window_secs` is non-positive or non-finite.
     #[must_use]
     pub fn run(&self) -> SimReport {
-        let mut sim = Simulation::with_config(
-            self.scenario.clone(),
-            self.protocol.clone(),
-            self.config,
-            self.seed,
-        );
+        self.run_observed().0
+    }
+
+    /// Executes the run, returning the windowed series alongside the
+    /// report when `observe_window_secs` is set.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`RunSpec::run`].
+    #[must_use]
+    pub fn run_observed(&self) -> (SimReport, Option<ObserveSeries>) {
+        let mut builder = Simulation::builder(self.scenario.clone(), self.config)
+            .protocol(self.protocol.clone())
+            .seed(self.seed);
         if !self.faults.is_empty() {
-            sim.set_fault_plan(self.faults.clone());
+            builder = builder.faults(self.faults.clone());
         }
-        sim.run()
+        let recorder = self.observe_window_secs.map(MetricsRecorder::new);
+        if let Some(r) = &recorder {
+            builder = builder.observe(r.clone());
+        }
+        let report = builder.build().run();
+        (report, recorder.map(|r| r.series()))
     }
 }
 
@@ -153,7 +171,21 @@ mod tests {
             config: ProtocolKind::Opt.config(),
             seed,
             faults: FaultPlan::default(),
+            observe_window_secs: None,
         }
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run() {
+        let plain = spec(3).run();
+        let mut observed_spec = spec(3);
+        observed_spec.observe_window_secs = Some(50.0);
+        let (report, series) = observed_spec.run_observed();
+        assert_eq!(report.to_json().render(), plain.to_json().render());
+        let series = series.expect("recorder attached");
+        let deliveries = series.get("deliveries").expect("deliveries series");
+        let total: f64 = deliveries.iter().map(|(_, v)| v).sum();
+        assert!((total - report.delivered as f64).abs() < 1e-9);
     }
 
     #[test]

@@ -1,35 +1,58 @@
 //! A small, dependency-free argument parser for the `dftmsn` CLI.
+//!
+//! `run` and `compare` share one [`RunConfig`] so scenario, seed, fault
+//! and observation plumbing is parsed (and validated) exactly once;
+//! per-command flag whitelists keep `dftmsn compare --csv` an error
+//! instead of a silent no-op.
 
 use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::ScenarioParams;
 use dftmsn_core::variants::ProtocolKind;
 
+/// Where to stream windowed observation rows, and how wide each window is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObserveArgs {
+    /// JSONL output path (`-` is not special; it is a file named `-`).
+    pub path: String,
+    /// Aggregation window in simulated seconds (default 100).
+    pub window_secs: f64,
+}
+
+/// Everything needed to execute one (or, for `compare`, one per variant)
+/// simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Variant to simulate (`compare` ignores this and runs them all).
+    pub protocol: ProtocolKind,
+    /// Scenario, after applying overrides.
+    pub scenario: ScenarioParams,
+    /// Seed.
+    pub seed: u64,
+    /// Fault events to inject (empty = fault-free run).
+    pub faults: FaultPlan,
+    /// Attach a windowed metrics recorder streaming JSONL to a file.
+    pub observe: Option<ObserveArgs>,
+    /// Emit the delivery log as CSV on stdout instead of the summary.
+    pub csv: bool,
+    /// Emit the full report as JSON on stdout instead of the summary.
+    pub json: bool,
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Run one simulation and print its report.
-    Run {
-        /// Variant to simulate.
-        protocol: ProtocolKind,
-        /// Scenario, after applying overrides.
-        scenario: ScenarioParams,
-        /// Seed.
-        seed: u64,
-        /// Fault events to inject (empty = fault-free run).
-        faults: FaultPlan,
-        /// Emit the delivery log as CSV on stdout instead of the summary.
-        csv: bool,
-        /// Emit the full report as JSON on stdout instead of the summary.
-        json: bool,
-    },
+    Run(RunConfig),
     /// Run every variant on one scenario and print a comparison table.
-    Compare {
-        /// Scenario, after applying overrides.
-        scenario: ScenarioParams,
-        /// Seed.
-        seed: u64,
-        /// Fault events to inject into every variant's run.
-        faults: FaultPlan,
+    Compare(RunConfig),
+    /// Summarize a JSONL observation file produced by `run --observe`.
+    Inspect {
+        /// The JSONL file to read.
+        path: String,
+        /// Show one named series in detail instead of the summary table.
+        series: Option<String>,
+        /// Sparkline width in characters.
+        width: usize,
     },
     /// Print the analytic contact/delivery model values for a scenario.
     Analyze {
@@ -59,8 +82,9 @@ dftmsn — Delay/Fault-Tolerant Mobile Sensor Network simulator (ICDCS 2007)
 USAGE:
     dftmsn run      [--protocol OPT|NOOPT|NOSLEEP|ZBR|DIRECT|EPIDEMIC]
                     [scenario flags] [--seed N] [--fault-plan SPEC]
-                    [--csv | --json]
+                    [--observe FILE [--window SECS]] [--csv | --json]
     dftmsn compare  [scenario flags] [--seed N] [--fault-plan SPEC]
+    dftmsn inspect  FILE [--series NAME] [--width CHARS]
     dftmsn analyze  [scenario flags]
     dftmsn help
 
@@ -71,6 +95,14 @@ SCENARIO FLAGS (defaults = the paper's Sec. 5 setup):
     --speed-max M/S    maximum node speed                (5)
     --seed N           run seed                          (1)
     --area METERS      square area side                  (150)
+
+OBSERVATION (run only):
+    --observe FILE     stream windowed metrics as JSONL to FILE
+    --window SECS      aggregation window in sim seconds (100)
+
+INSPECT:
+    --series NAME      show one series (e.g. deliveries, xi_mean) in detail
+    --width CHARS      sparkline width                   (60)
 
 FAULT PLAN SPEC (';'-separated directives, e.g. \"crash=0.3;linkdrop=0.2\"):
     none               explicit empty plan
@@ -106,6 +138,40 @@ fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, ParseError>
         .map_err(|_| ParseError(format!("invalid value '{v}' for {flag}")))
 }
 
+fn parse_inspect(rest: &[&str]) -> Result<Command, ParseError> {
+    let mut path: Option<String> = None;
+    let mut series: Option<String> = None;
+    let mut width = 60usize;
+    let mut it = rest.iter().copied();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--series" => series = Some(take_value(arg, &mut it)?.to_owned()),
+            "--width" => {
+                width = parse_num(arg, take_value(arg, &mut it)?)?;
+                if width == 0 {
+                    return Err(ParseError("--width must be at least 1".to_owned()));
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return Err(ParseError(format!("unknown flag '{flag}' for 'inspect'")));
+            }
+            file => {
+                if path.replace(file.to_owned()).is_some() {
+                    return Err(ParseError("inspect takes exactly one FILE".to_owned()));
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        return Err(ParseError("inspect needs a FILE argument".to_owned()));
+    };
+    Ok(Command::Inspect {
+        path,
+        series,
+        width,
+    })
+}
+
 /// Parses the full argument list (without the program name).
 ///
 /// # Errors
@@ -115,17 +181,48 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
     let Some((&cmd, rest)) = args.split_first() else {
         return Ok(Command::Help);
     };
+    match cmd {
+        "help" | "--help" | "-h" => return Ok(Command::Help),
+        "inspect" => return parse_inspect(rest),
+        "run" | "compare" | "analyze" => {}
+        other => return Err(ParseError(format!("unknown command '{other}'"))),
+    }
+
     let mut scenario = ScenarioParams::paper_default();
     let mut protocol = ProtocolKind::Opt;
     let mut seed = 1u64;
     let mut fault_spec: Option<&str> = None;
+    let mut observe_path: Option<String> = None;
+    let mut window_secs: Option<f64> = None;
     let mut csv = false;
     let mut json = false;
+
+    // Flags valid only for a subset of the commands; anything else is a
+    // scenario flag shared by all three.
+    let run_only = |flag: &str| -> Result<(), ParseError> {
+        if cmd == "run" {
+            Ok(())
+        } else {
+            Err(ParseError(format!("flag '{flag}' is only valid for 'run'")))
+        }
+    };
+    let not_analyze = |flag: &str| -> Result<(), ParseError> {
+        if cmd == "analyze" {
+            Err(ParseError(format!(
+                "flag '{flag}' is not valid for 'analyze'"
+            )))
+        } else {
+            Ok(())
+        }
+    };
 
     let mut it = rest.iter().copied();
     while let Some(flag) = it.next() {
         match flag {
-            "--protocol" => protocol = parse_protocol(take_value(flag, &mut it)?)?,
+            "--protocol" => {
+                run_only(flag)?;
+                protocol = parse_protocol(take_value(flag, &mut it)?)?;
+            }
             "--sensors" => {
                 scenario.sensors = parse_num(flag, take_value(flag, &mut it)?)?;
             }
@@ -143,10 +240,36 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 scenario.area_width_m = side;
                 scenario.area_height_m = side;
             }
-            "--seed" => seed = parse_num(flag, take_value(flag, &mut it)?)?,
-            "--fault-plan" => fault_spec = Some(take_value(flag, &mut it)?),
-            "--csv" => csv = true,
-            "--json" => json = true,
+            "--seed" => {
+                not_analyze(flag)?;
+                seed = parse_num(flag, take_value(flag, &mut it)?)?;
+            }
+            "--fault-plan" => {
+                not_analyze(flag)?;
+                fault_spec = Some(take_value(flag, &mut it)?);
+            }
+            "--observe" => {
+                run_only(flag)?;
+                observe_path = Some(take_value(flag, &mut it)?.to_owned());
+            }
+            "--window" => {
+                run_only(flag)?;
+                let w: f64 = parse_num(flag, take_value(flag, &mut it)?)?;
+                if !w.is_finite() || w <= 0.0 {
+                    return Err(ParseError(format!(
+                        "--window must be a positive number of seconds, got '{w}'"
+                    )));
+                }
+                window_secs = Some(w);
+            }
+            "--csv" => {
+                run_only(flag)?;
+                csv = true;
+            }
+            "--json" => {
+                run_only(flag)?;
+                json = true;
+            }
             other => return Err(ParseError(format!("unknown flag '{other}'"))),
         }
     }
@@ -160,24 +283,35 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             .map_err(|e| ParseError(format!("invalid fault plan: {e}")))?,
         None => FaultPlan::default(),
     };
+    if window_secs.is_some() && observe_path.is_none() {
+        return Err(ParseError("--window requires --observe".to_owned()));
+    }
+    if csv && json {
+        return Err(ParseError(
+            "--csv and --json are mutually exclusive".to_owned(),
+        ));
+    }
+    let observe = observe_path.map(|path| ObserveArgs {
+        path,
+        window_secs: window_secs.unwrap_or(100.0),
+    });
 
+    let config = RunConfig {
+        protocol,
+        scenario,
+        seed,
+        faults,
+        observe,
+        csv,
+        json,
+    };
     match cmd {
-        "run" => Ok(Command::Run {
-            protocol,
-            scenario,
-            seed,
-            faults,
-            csv,
-            json,
+        "run" => Ok(Command::Run(config)),
+        "compare" => Ok(Command::Compare(config)),
+        "analyze" => Ok(Command::Analyze {
+            scenario: config.scenario,
         }),
-        "compare" => Ok(Command::Compare {
-            scenario,
-            seed,
-            faults,
-        }),
-        "analyze" => Ok(Command::Analyze { scenario }),
-        "help" | "--help" | "-h" => Ok(Command::Help),
-        other => Err(ParseError(format!("unknown command '{other}'"))),
+        _ => unreachable!("command whitelist checked above"),
     }
 }
 
@@ -210,30 +344,127 @@ mod tests {
         ])
         .unwrap();
         match cmd {
-            Command::Run {
-                protocol,
-                scenario,
-                seed,
-                faults,
-                csv,
-                json,
-            } => {
-                assert_eq!(protocol, ProtocolKind::Zbr);
-                assert_eq!(scenario.sensors, 40);
-                assert_eq!(scenario.sinks, 5);
-                assert_eq!(scenario.duration_secs, 1000);
-                assert_eq!(seed, 9);
-                assert!(faults.is_empty());
-                assert!(csv);
-                assert!(!json);
+            Command::Run(cfg) => {
+                assert_eq!(cfg.protocol, ProtocolKind::Zbr);
+                assert_eq!(cfg.scenario.sensors, 40);
+                assert_eq!(cfg.scenario.sinks, 5);
+                assert_eq!(cfg.scenario.duration_secs, 1000);
+                assert_eq!(cfg.seed, 9);
+                assert!(cfg.faults.is_empty());
+                assert!(cfg.observe.is_none());
+                assert!(cfg.csv);
+                assert!(!cfg.json);
             }
             other => panic!("wrong command {other:?}"),
         }
     }
 
     #[test]
+    fn observe_flags_parse_with_defaulted_window() {
+        let Ok(Command::Run(cfg)) = parse(&["run", "--observe", "out.jsonl"]) else {
+            panic!("parse failed");
+        };
+        let obs = cfg.observe.expect("observe args");
+        assert_eq!(obs.path, "out.jsonl");
+        assert_eq!(obs.window_secs, 100.0);
+
+        let Ok(Command::Run(cfg)) = parse(&["run", "--observe", "out.jsonl", "--window", "2.5"])
+        else {
+            panic!("parse failed");
+        };
+        assert_eq!(cfg.observe.unwrap().window_secs, 2.5);
+    }
+
+    #[test]
+    fn window_without_observe_is_an_error() {
+        let err = parse(&["run", "--window", "10"]).unwrap_err();
+        assert!(err.0.contains("requires --observe"), "{err}");
+    }
+
+    #[test]
+    fn non_positive_windows_are_rejected() {
+        for w in ["0", "-5", "nan", "inf"] {
+            let err = parse(&["run", "--observe", "o.jsonl", "--window", w]).unwrap_err();
+            assert!(
+                err.0.contains("--window") || err.0.contains("invalid value"),
+                "window {w}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_only_flags_are_rejected_elsewhere() {
+        for flag in [
+            &["compare", "--csv"][..],
+            &["compare", "--json"],
+            &["compare", "--protocol", "opt"],
+            &["compare", "--observe", "o.jsonl"],
+            &["compare", "--window", "10"],
+            &["analyze", "--seed", "2"],
+            &["analyze", "--fault-plan", "none"],
+        ] {
+            let err = parse(flag).unwrap_err();
+            assert!(err.0.contains("valid"), "{flag:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn csv_and_json_are_mutually_exclusive() {
+        let err = parse(&["run", "--csv", "--json"]).unwrap_err();
+        assert!(err.0.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn inspect_parses_path_and_options() {
+        assert_eq!(
+            parse(&["inspect", "out.jsonl"]),
+            Ok(Command::Inspect {
+                path: "out.jsonl".to_owned(),
+                series: None,
+                width: 60,
+            })
+        );
+        assert_eq!(
+            parse(&[
+                "inspect",
+                "out.jsonl",
+                "--series",
+                "xi_mean",
+                "--width",
+                "30"
+            ]),
+            Ok(Command::Inspect {
+                path: "out.jsonl".to_owned(),
+                series: Some("xi_mean".to_owned()),
+                width: 30,
+            })
+        );
+    }
+
+    #[test]
+    fn inspect_argument_errors() {
+        assert!(parse(&["inspect"]).unwrap_err().0.contains("FILE"));
+        assert!(parse(&["inspect", "a", "b"])
+            .unwrap_err()
+            .0
+            .contains("exactly one"));
+        assert!(parse(&["inspect", "a", "--width", "0"])
+            .unwrap_err()
+            .0
+            .contains("at least 1"));
+        assert!(parse(&["inspect", "a", "--wat"])
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
+        assert!(parse(&["inspect", "a", "--series"])
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
+    }
+
+    #[test]
     fn fault_plan_flag_expands_against_the_final_scenario() {
-        let Ok(Command::Run { faults, .. }) = parse(&[
+        let Ok(Command::Run(cfg)) = parse(&[
             "run",
             "--fault-plan",
             "crash=0.5;linkdrop=0.25",
@@ -246,17 +477,15 @@ mod tests {
         };
         // 50% of the *overridden* 10 sensors die, plus one global-link event,
         // even though the flag came before the --sensors override.
-        assert_eq!(faults.len(), 6);
+        assert_eq!(cfg.faults.len(), 6);
     }
 
     #[test]
     fn fault_plan_flag_reaches_compare_too() {
-        let Ok(Command::Compare { faults, .. }) =
-            parse(&["compare", "--fault-plan", "linkdrop=0.1"])
-        else {
+        let Ok(Command::Compare(cfg)) = parse(&["compare", "--fault-plan", "linkdrop=0.1"]) else {
             panic!("parse failed");
         };
-        assert_eq!(faults.len(), 1);
+        assert_eq!(cfg.faults.len(), 1);
     }
 
     #[test]
@@ -307,6 +536,10 @@ mod tests {
             .unwrap_err()
             .0
             .contains("unknown flag"));
+        assert!(parse(&["run", "--observe"])
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
     }
 
     #[test]

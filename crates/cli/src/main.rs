@@ -2,34 +2,31 @@
 
 mod args;
 
-use args::{parse, Command, USAGE};
+use args::{parse, Command, RunConfig, USAGE};
 use dftmsn_core::analysis::{
     direct_average_ratio, direct_expected_delay, ContactModel, EpidemicModel,
 };
-use dftmsn_core::faults::FaultPlan;
+use dftmsn_core::observe::MetricsRecorder;
 use dftmsn_core::params::ScenarioParams;
 use dftmsn_core::variants::ProtocolKind;
 use dftmsn_core::world::Simulation;
+use dftmsn_metrics::json::Json;
 use dftmsn_metrics::table::Table;
+use dftmsn_metrics::viz::sparkline;
+use std::io::BufWriter;
 
 fn main() {
     let owned: Vec<String> = std::env::args().skip(1).collect();
     let refs: Vec<&str> = owned.iter().map(String::as_str).collect();
     match parse(&refs) {
         Ok(Command::Help) => print!("{USAGE}"),
-        Ok(Command::Run {
-            protocol,
-            scenario,
-            seed,
-            faults,
-            csv,
-            json,
-        }) => run_one(protocol, scenario, seed, faults, csv, json),
-        Ok(Command::Compare {
-            scenario,
-            seed,
-            faults,
-        }) => compare(scenario, seed, &faults),
+        Ok(Command::Run(cfg)) => run_one(cfg),
+        Ok(Command::Compare(cfg)) => compare(&cfg),
+        Ok(Command::Inspect {
+            path,
+            series,
+            width,
+        }) => inspect(&path, series.as_deref(), width),
         Ok(Command::Analyze { scenario }) => analyze(&scenario),
         Err(e) => {
             eprintln!("error: {e}\n");
@@ -39,14 +36,21 @@ fn main() {
     }
 }
 
-fn run_one(
-    protocol: ProtocolKind,
-    scenario: ScenarioParams,
-    seed: u64,
-    faults: FaultPlan,
-    csv: bool,
-    json: bool,
-) {
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn run_one(cfg: RunConfig) {
+    let RunConfig {
+        protocol,
+        scenario,
+        seed,
+        faults,
+        observe,
+        csv,
+        json,
+    } = cfg;
     eprintln!(
         "running {protocol} on {} sensors / {} sinks for {} s (seed {seed}, {} fault events)...",
         scenario.sensors,
@@ -54,7 +58,26 @@ fn run_one(
         scenario.duration_secs,
         faults.len()
     );
-    let report = Simulation::with_faults(scenario, protocol, seed, faults).run();
+    let mut builder = Simulation::builder(scenario, protocol)
+        .seed(seed)
+        .faults(faults);
+    let mut observing: Option<(MetricsRecorder, String)> = None;
+    if let Some(obs) = observe {
+        let file = std::fs::File::create(&obs.path)
+            .unwrap_or_else(|e| fail(&format!("cannot create '{}': {e}", obs.path)));
+        // Streaming-only: windows go straight to the file, memory stays
+        // flat however long the run is.
+        let recorder = MetricsRecorder::new(obs.window_secs)
+            .streaming_only()
+            .with_output(Box::new(BufWriter::new(file)));
+        builder = builder.observe(recorder.clone());
+        observing = Some((recorder, obs.path));
+    }
+    let report = builder.build().run();
+    if let Some((recorder, path)) = observing {
+        let (windows, _) = recorder.totals();
+        eprintln!("wrote {windows} windows to {path}");
+    }
     if json {
         println!("{}", report.to_json());
         return;
@@ -110,7 +133,7 @@ fn run_one(
     }
 }
 
-fn compare(scenario: ScenarioParams, seed: u64, faults: &FaultPlan) {
+fn compare(cfg: &RunConfig) {
     let mut table = Table::new(
         "variant comparison",
         &[
@@ -123,7 +146,11 @@ fn compare(scenario: ScenarioParams, seed: u64, faults: &FaultPlan) {
     );
     for kind in ProtocolKind::ALL {
         eprintln!("running {kind}...");
-        let r = Simulation::with_faults(scenario.clone(), kind, seed, faults.clone()).run();
+        let r = Simulation::builder(cfg.scenario.clone(), kind)
+            .seed(cfg.seed)
+            .faults(cfg.faults.clone())
+            .build()
+            .run();
         table.row(vec![
             kind.label().into(),
             (r.delivery_ratio() * 100.0).into(),
@@ -133,6 +160,171 @@ fn compare(scenario: ScenarioParams, seed: u64, faults: &FaultPlan) {
         ]);
     }
     println!("{}", table.render_text(2));
+}
+
+/// The series `inspect` can extract from an observation file: top-level
+/// counter fields plus per-snapshot gauges.
+const COUNTER_SERIES: &[&str] = &[
+    "deliveries",
+    "drops_overflow",
+    "drops_rejected",
+    "drops_ftd",
+    "collisions",
+    "frames_sent",
+    "frame_deliveries",
+    "control_bits",
+    "data_bits",
+    "sleeps",
+    "sleep_secs",
+    "faults",
+];
+const SNAPSHOT_SERIES: &[&str] = &[
+    "queue_mean",
+    "queue_max",
+    "xi_mean",
+    "xi_min",
+    "xi_max",
+    "asleep_fraction",
+    "energy_j",
+];
+
+/// `(t1, value)` points of one named series across the window rows.
+fn extract(rows: &[Json], name: &str) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for row in rows {
+        let Some(t) = row.get("t1").and_then(Json::as_f64) else {
+            continue;
+        };
+        let value = if SNAPSHOT_SERIES.contains(&name) {
+            row.get("snapshot")
+                .and_then(|s| s.get(name))
+                .and_then(Json::as_f64)
+        } else {
+            row.get(name).and_then(Json::as_f64)
+        };
+        if let Some(v) = value {
+            out.push((t, v));
+        }
+    }
+    out
+}
+
+/// Chunk-means `values` down to at most `width` points so the sparkline
+/// fits the terminal while every sample still contributes.
+fn resample(values: &[f64], width: usize) -> Vec<f64> {
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    (0..width)
+        .map(|i| {
+            let lo = i * values.len() / width;
+            let hi = ((i + 1) * values.len() / width).max(lo + 1);
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+fn load_observe_file(path: &str) -> (Json, Vec<Json>, Option<Json>) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read '{path}': {e}")));
+    let mut header: Option<Json> = None;
+    let mut totals: Option<Json> = None;
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let j = Json::parse(line).unwrap_or_else(|e| fail(&format!("{path}:{}: {e}", i + 1)));
+        if let Some(schema) = j.get("schema").and_then(Json::as_str) {
+            if schema != dftmsn_core::observe::SCHEMA {
+                fail(&format!(
+                    "'{path}' has schema '{schema}', expected '{}'",
+                    dftmsn_core::observe::SCHEMA
+                ));
+            }
+            header = Some(j);
+        } else if j.get("totals").and_then(Json::as_bool) == Some(true) {
+            totals = Some(j);
+        } else {
+            rows.push(j);
+        }
+    }
+    let Some(header) = header else {
+        fail(&format!(
+            "'{path}' has no '{}' header line — not an observation file?",
+            dftmsn_core::observe::SCHEMA
+        ));
+    };
+    (header, rows, totals)
+}
+
+fn inspect(path: &str, series: Option<&str>, width: usize) {
+    let (header, rows, totals) = load_observe_file(path);
+
+    let protocol = header.get("protocol").and_then(Json::as_str).unwrap_or("?");
+    let window = header
+        .get("window_secs")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let seed = header.get("seed").and_then(Json::as_f64).unwrap_or(0.0);
+    println!(
+        "{path}: {} windows of {window} s ({protocol}, seed {seed}){}",
+        rows.len(),
+        if totals.is_some() {
+            ""
+        } else {
+            " — no totals line; run incomplete?"
+        },
+    );
+
+    if let Some(name) = series {
+        inspect_series(&rows, name, width);
+        return;
+    }
+
+    let mut table = Table::new("series", &["series", "min", "mean", "max", "last", "trend"]);
+    for name in COUNTER_SERIES.iter().chain(SNAPSHOT_SERIES) {
+        let points = extract(&rows, name);
+        if points.is_empty() {
+            continue;
+        }
+        let values: Vec<f64> = points.iter().map(|&(_, v)| v).collect();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        table.row(vec![
+            (*name).into(),
+            min.into(),
+            mean.into(),
+            max.into(),
+            values[values.len() - 1].into(),
+            sparkline(&resample(&values, width)).into(),
+        ]);
+    }
+    println!("{}", table.render_text(2));
+    println!("use --series NAME for per-window values of one series");
+}
+
+fn inspect_series(rows: &[Json], name: &str, width: usize) {
+    let points = extract(rows, name);
+    if points.is_empty() {
+        let known: Vec<&str> = COUNTER_SERIES
+            .iter()
+            .chain(SNAPSHOT_SERIES)
+            .copied()
+            .collect();
+        fail(&format!(
+            "no data for series '{name}' (known series: {})",
+            known.join(", ")
+        ));
+    }
+    let values: Vec<f64> = points.iter().map(|&(_, v)| v).collect();
+    println!("{name}: {}", sparkline(&resample(&values, width)));
+    let mut table = Table::new(name, &["t (s)", name]);
+    for (t, v) in points {
+        table.row(vec![t.into(), v.into()]);
+    }
+    println!("{}", table.render_text(3));
 }
 
 fn analyze(scenario: &ScenarioParams) {

@@ -66,6 +66,23 @@ pub enum FaultKind {
     SinkUp(NodeId),
 }
 
+impl FaultKind {
+    /// A static label for the fault class, used by trace fault markers.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::NodeCrash(_) => "NodeCrash",
+            FaultKind::NodeRecover(_) => "NodeRecover",
+            FaultKind::BatteryDeath(_) => "BatteryDeath",
+            FaultKind::LinkDegrade { .. } => "LinkDegrade",
+            FaultKind::GlobalLinkDegrade { .. } => "GlobalLinkDegrade",
+            FaultKind::DataCorruption { .. } => "DataCorruption",
+            FaultKind::SinkDown(_) => "SinkDown",
+            FaultKind::SinkUp(_) => "SinkUp",
+        }
+    }
+}
+
 /// One scheduled fault.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultEvent {

@@ -17,6 +17,8 @@
 //!   baselines;
 //! * [`faults`] — deterministic fault injection (node crashes, link loss,
 //!   DATA corruption, sink outages);
+//! * [`trace`], [`observe`] — the MAC-level event stream and the windowed
+//!   metrics pipeline built on it;
 //! * [`params`], [`report`] — configuration and results.
 //!
 //! # Examples
@@ -24,12 +26,10 @@
 //! Run a short OPT simulation and inspect the headline metrics:
 //!
 //! ```
-//! use dftmsn_core::params::ScenarioParams;
-//! use dftmsn_core::variants::ProtocolKind;
-//! use dftmsn_core::world::Simulation;
+//! use dftmsn_core::prelude::*;
 //!
 //! let params = ScenarioParams::smoke_test().with_duration_secs(200);
-//! let report = Simulation::new(params, ProtocolKind::Opt, 1).run();
+//! let report = Simulation::builder(params, ProtocolKind::Opt).seed(1).build().run();
 //! println!("{}", report.summary());
 //! assert!(report.delivery_ratio() <= 1.0);
 //! ```
@@ -46,6 +46,7 @@ pub mod ftd;
 pub mod message;
 pub mod neighbor;
 pub mod node;
+pub mod observe;
 pub mod params;
 pub mod queue;
 pub mod report;
@@ -60,8 +61,31 @@ pub use delivery::DeliveryProb;
 pub use faults::{FaultKind, FaultPlan};
 pub use ftd::Ftd;
 pub use message::{Message, MessageId};
+pub use observe::{MetricsRecorder, ObserveRow, ObserveSeries, WindowCounters, WorldSnapshot};
 pub use params::{ProtocolParams, ScenarioParams};
 pub use queue::FtdQueue;
 pub use report::SimReport;
+pub use trace::{DropReason, SharedTrace, TeeSink, TraceEvent, TraceSink};
 pub use variants::ProtocolKind;
-pub use world::Simulation;
+pub use world::{Simulation, SimulationBuilder};
+
+/// The most commonly used items, re-exported in one place.
+///
+/// ```
+/// use dftmsn_core::prelude::*;
+///
+/// let recorder = MetricsRecorder::new(100.0);
+/// let sim = Simulation::builder(ScenarioParams::smoke_test(), ProtocolKind::Opt)
+///     .observe(recorder.clone())
+///     .build();
+/// # let _ = sim;
+/// ```
+pub mod prelude {
+    pub use crate::faults::{FaultKind, FaultPlan};
+    pub use crate::observe::{MetricsRecorder, ObserveRow, ObserveSeries, WorldSnapshot};
+    pub use crate::params::{ProtocolParams, ScenarioParams};
+    pub use crate::report::SimReport;
+    pub use crate::trace::{DropReason, SharedTrace, TeeSink, TraceEvent, TraceSink};
+    pub use crate::variants::{ProtocolKind, VariantConfig};
+    pub use crate::world::{Simulation, SimulationBuilder};
+}

@@ -141,7 +141,10 @@ mod tests {
             let mut params = preset.params.clone();
             params.duration_secs = 120;
             params.sensors = params.sensors.min(15);
-            let report = Simulation::new(params, ProtocolKind::Opt, 1).run();
+            let report = Simulation::builder(params, ProtocolKind::Opt)
+                .seed(1)
+                .build()
+                .run();
             assert!(report.generated > 0, "{} generated nothing", preset.name);
         }
     }

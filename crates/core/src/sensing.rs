@@ -415,7 +415,10 @@ mod tests {
         };
         let field = GaussianPlumeField::demo(Bounds::new(150.0, 150.0));
         let analysis = CoverageAnalysis::new(&s, &field);
-        let good = Simulation::new(s.clone(), ProtocolKind::Opt, 1).run();
+        let good = Simulation::builder(s.clone(), ProtocolKind::Opt)
+            .seed(1)
+            .build()
+            .run();
         let cov = analysis.evaluate(&good);
         assert!(cov.samples_used as u64 == good.delivered);
         assert!(cov.coverage() > 0.3, "coverage {:.2}", cov.coverage());

@@ -87,12 +87,41 @@ pub enum TraceEvent {
         /// Why.
         reason: DropReason,
     },
+    /// A fault-plan event fired.
+    FaultInjected {
+        /// When.
+        at: SimTime,
+        /// The fault class (see [`FaultKind::label`](crate::faults::FaultKind::label)).
+        kind: &'static str,
+    },
+}
+
+impl TraceEvent {
+    /// When the event happened.
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::FrameSent { at, .. }
+            | TraceEvent::FrameDelivered { at, .. }
+            | TraceEvent::Collision { at, .. }
+            | TraceEvent::Delivered { at, .. }
+            | TraceEvent::Slept { at, .. }
+            | TraceEvent::Dropped { at, .. }
+            | TraceEvent::FaultInjected { at, .. } => *at,
+        }
+    }
 }
 
 /// Receives trace events during a run.
 pub trait TraceSink: Send + std::fmt::Debug {
     /// Observes one event.
     fn record(&mut self, event: TraceEvent);
+}
+
+impl TraceSink for Box<dyn TraceSink> {
+    fn record(&mut self, event: TraceEvent) {
+        (**self).record(event);
+    }
 }
 
 /// A sink that stores every event in memory.
@@ -154,6 +183,8 @@ pub struct CountingTrace {
     pub sleeps: u64,
     /// Drops.
     pub drops: u64,
+    /// Fault-plan events fired.
+    pub faults: u64,
 }
 
 impl CountingTrace {
@@ -173,7 +204,37 @@ impl TraceSink for CountingTrace {
             TraceEvent::Delivered { .. } => self.deliveries += 1,
             TraceEvent::Slept { .. } => self.sleeps += 1,
             TraceEvent::Dropped { .. } => self.drops += 1,
+            TraceEvent::FaultInjected { .. } => self.faults += 1,
         }
+    }
+}
+
+/// A fan-out sink: every event goes to `A` first, then to `B`.
+///
+/// Composes observation with user tracing — e.g. a
+/// [`MetricsRecorder`](crate::observe::MetricsRecorder) next to a
+/// [`SharedTrace`] — without either knowing about the other.
+///
+/// # Examples
+///
+/// ```
+/// use dftmsn_core::trace::{CountingTrace, TeeSink, VecTrace};
+///
+/// let tee = TeeSink(CountingTrace::new(), VecTrace::new());
+/// # let _ = tee;
+/// ```
+#[derive(Debug, Default)]
+pub struct TeeSink<A: TraceSink, B: TraceSink>(
+    /// The first receiver.
+    pub A,
+    /// The second receiver.
+    pub B,
+);
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    fn record(&mut self, event: TraceEvent) {
+        self.0.record(event.clone());
+        self.1.record(event);
     }
 }
 
@@ -190,12 +251,13 @@ impl TraceSink for CountingTrace {
 /// use dftmsn_core::world::Simulation;
 ///
 /// let trace = SharedTrace::new();
-/// let mut sim = Simulation::new(
+/// let sim = Simulation::builder(
 ///     ScenarioParams::smoke_test().with_duration_secs(60),
 ///     ProtocolKind::Opt,
-///     1,
-/// );
-/// sim.set_trace(Box::new(trace.clone()));
+/// )
+/// .seed(1)
+/// .trace(trace.clone())
+/// .build();
 /// let _report = sim.run();
 /// let tags = trace.sent_tags();
 /// assert!(tags.is_empty() || tags[0] == "PRE");
@@ -281,6 +343,52 @@ mod tests {
         });
         assert_eq!(t.sent_tags(), vec!["PRE", "RTS"]);
         assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn tee_sink_delivers_to_both_arms_in_order() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Debug)]
+        struct Log(&'static str, Arc<Mutex<Vec<(&'static str, SimTime)>>>);
+        impl TraceSink for Log {
+            fn record(&mut self, event: TraceEvent) {
+                self.1.lock().unwrap().push((self.0, event.at()));
+            }
+        }
+
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut tee = TeeSink(Log("a", log.clone()), Log("b", log.clone()));
+        tee.record(TraceEvent::Collision {
+            at: SimTime::from_secs(1),
+            at_node: NodeId(0),
+        });
+        tee.record(TraceEvent::Collision {
+            at: SimTime::from_secs(2),
+            at_node: NodeId(0),
+        });
+        let got = log.lock().unwrap().clone();
+        assert_eq!(
+            got,
+            vec![
+                ("a", SimTime::from_secs(1)),
+                ("b", SimTime::from_secs(1)),
+                ("a", SimTime::from_secs(2)),
+                ("b", SimTime::from_secs(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn every_event_reports_its_timestamp() {
+        let e = TraceEvent::FaultInjected {
+            at: SimTime::from_secs(9),
+            kind: "NodeCrash",
+        };
+        assert_eq!(e.at(), SimTime::from_secs(9));
+        let mut c = CountingTrace::new();
+        c.record(e);
+        assert_eq!(c.faults, 1);
     }
 
     #[test]

@@ -170,6 +170,12 @@ impl std::fmt::Display for ProtocolKind {
     }
 }
 
+impl From<ProtocolKind> for VariantConfig {
+    fn from(kind: ProtocolKind) -> VariantConfig {
+        kind.config()
+    }
+}
+
 /// The knobs distinguishing the variants; produced by
 /// [`ProtocolKind::config`] and consumed by the simulation engine. Custom
 /// combinations (for ablations) can be built by mutating a base config.

@@ -15,7 +15,7 @@
 //!   the node's epoch, so a timer whose epoch no longer matches is stale
 //!   and ignored; this makes cancellation implicit and cheap.
 //! * `Fault(k)` — the *k*-th entry of the installed
-//!   [`FaultPlan`](crate::faults::FaultPlan) fires: crashes, recoveries,
+//!   [`FaultPlan`] fires: crashes, recoveries,
 //!   link degradation, DATA corruption, sink outages. An empty plan
 //!   schedules nothing and draws nothing from any random stream, so
 //!   fault-free runs stay bit-for-bit identical to pre-fault builds.
@@ -34,10 +34,11 @@ use crate::ftd::Ftd;
 use crate::message::{Message, MessageId, MessageIdAllocator};
 use crate::neighbor::{select_receivers_into, Candidate, Selection, SelectionScratch};
 use crate::node::{MacState, Node, NodeRole, ReceiverCtx, SenderCtx, TxPlan};
+use crate::observe::{MetricsRecorder, RunMeta, WorldSnapshot};
 use crate::params::{MobilityKind, ProtocolParams, ScenarioParams};
 use crate::queue::InsertOutcome;
 use crate::report::{DeliveryRecord, NodeSummary, RunMetrics, SimReport};
-use crate::trace::{DropReason, TraceEvent, TraceSink};
+use crate::trace::{DropReason, TeeSink, TraceEvent, TraceSink};
 use crate::variants::{MetricKind, ProtocolKind, SelectionKind, VariantConfig};
 use dftmsn_mobility::geom::{Bounds, Vec2};
 use dftmsn_mobility::grid_index::SpatialGrid;
@@ -82,6 +83,12 @@ enum Event {
     Timer(NodeId, u64, Timer),
     /// Index into the installed fault plan's event list.
     Fault(usize),
+    /// A window boundary of the attached
+    /// [`MetricsRecorder`]: sample the
+    /// world state. Only scheduled when an observer is attached, and the
+    /// handler reads state without drawing randomness, so unobserved runs
+    /// are bit-for-bit unaffected.
+    ObserveTick,
 }
 
 /// Reusable working memory for the per-cycle hot paths.
@@ -198,6 +205,10 @@ impl Timing {
 
 /// A configured, runnable simulation.
 ///
+/// Construct one through [`Simulation::builder`]; the builder is the
+/// single path that can attach fault plans, trace sinks and a
+/// [`MetricsRecorder`] observer.
+///
 /// # Examples
 ///
 /// ```
@@ -206,7 +217,10 @@ impl Timing {
 /// use dftmsn_core::world::Simulation;
 ///
 /// let params = ScenarioParams::smoke_test().with_duration_secs(200);
-/// let report = Simulation::new(params, ProtocolKind::Opt, 42).run();
+/// let report = Simulation::builder(params, ProtocolKind::Opt)
+///     .seed(42)
+///     .build()
+///     .run();
 /// assert!(report.generated > 0);
 /// ```
 #[derive(Debug)]
@@ -233,6 +247,14 @@ pub struct Simulation {
 
     scratch: CycleScratch,
     trace: Option<Box<dyn TraceSink>>,
+    /// The attached metrics recorder, if any. Trace events reach it through
+    /// `trace` (composed with any user sink by the builder); this handle
+    /// only drives window-boundary snapshots and run finalization.
+    observer: Option<MetricsRecorder>,
+    /// `ObserveTick`s handled so far. Subtracted from the queue's popped
+    /// count in the report, so `events_processed` measures simulation work
+    /// and an attached observer leaves the report bit-for-bit unchanged.
+    observe_ticks: u64,
 
     fault_plan: FaultPlan,
     /// Dedicated stream for fault coin flips; forked from the root seed but
@@ -249,21 +271,155 @@ pub struct Simulation {
     fault_regime: bool,
 }
 
+/// Configures and constructs a [`Simulation`].
+///
+/// Created by [`Simulation::builder`]. Every optional attachment — custom
+/// protocol constants, a seed, a [`FaultPlan`], a [`TraceSink`], a
+/// [`MetricsRecorder`] — hangs off this
+/// one type, so the `Simulation` constructor surface stays put.
+///
+/// # Examples
+///
+/// ```
+/// use dftmsn_core::faults::FaultPlan;
+/// use dftmsn_core::params::ScenarioParams;
+/// use dftmsn_core::variants::ProtocolKind;
+/// use dftmsn_core::world::Simulation;
+///
+/// let scenario = ScenarioParams::smoke_test().with_duration_secs(300);
+/// let plan = FaultPlan::node_failures(&scenario, 0.2, None, 7);
+/// let report = Simulation::builder(scenario, ProtocolKind::Opt)
+///     .seed(7)
+///     .faults(plan)
+///     .build()
+///     .run();
+/// assert!(report.faults.crashes > 0);
+/// ```
+#[derive(Debug)]
+#[must_use = "call build() to obtain the Simulation"]
+pub struct SimulationBuilder {
+    scenario: ScenarioParams,
+    config: VariantConfig,
+    protocol: ProtocolParams,
+    seed: u64,
+    faults: Option<FaultPlan>,
+    trace: Option<Box<dyn TraceSink>>,
+    observer: Option<MetricsRecorder>,
+}
+
+impl SimulationBuilder {
+    /// Overrides the protocol constants (default:
+    /// [`ProtocolParams::paper_default`]).
+    pub fn protocol(mut self, protocol: ProtocolParams) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the root seed every random stream forks from (default: 1).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Installs a fault plan, scheduled as first-class event-queue entries.
+    /// An empty plan schedules nothing and leaves the run bit-for-bit
+    /// identical to a fault-free one.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Attaches a trace sink observing MAC-level events during the run.
+    ///
+    /// Use a [`crate::trace::SharedTrace`] clone to read the trace back
+    /// after [`Simulation::run`] consumed the sink. Composes with
+    /// [`observe`](Self::observe): the recorder sees each event first, then
+    /// this sink.
+    pub fn trace<S: TraceSink + 'static>(mut self, sink: S) -> Self {
+        self.trace = Some(Box::new(sink));
+        self
+    }
+
+    /// Attaches a windowed metrics recorder. The simulation feeds it every
+    /// trace event, samples a
+    /// [`WorldSnapshot`] at each window
+    /// boundary, and finalizes it (totals line, flush) when the run ends.
+    ///
+    /// Keep a clone of the recorder to read the series back afterwards.
+    pub fn observe(mut self, recorder: MetricsRecorder) -> Self {
+        self.observer = Some(recorder);
+        self
+    }
+
+    /// Validates everything and constructs the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario, protocol constants or fault plan fail
+    /// validation.
+    #[must_use]
+    pub fn build(self) -> Simulation {
+        let mut sim = Simulation::construct(self.scenario, self.protocol, self.config, self.seed);
+        if let Some(plan) = self.faults {
+            sim.install_fault_plan(plan);
+        }
+        if let Some(recorder) = self.observer {
+            recorder.begin_run(RunMeta {
+                protocol: sim.config.kind.label().to_owned(),
+                seed: sim.seed,
+                duration_secs: sim.scenario.duration_secs as f64,
+                sensors: sim.scenario.sensors,
+                sinks: sim.scenario.sinks,
+            });
+            sim.trace = Some(match self.trace {
+                Some(sink) => Box::new(TeeSink(recorder.clone(), sink)),
+                None => Box::new(recorder.clone()),
+            });
+            let window = SimDuration::from_secs_f64(recorder.window_secs());
+            let first = SimTime::ZERO + window;
+            if first <= sim.end && !window.is_zero() {
+                sim.events.schedule_at(first, Event::ObserveTick);
+            }
+            sim.observer = Some(recorder);
+        } else {
+            sim.trace = self.trace;
+        }
+        sim
+    }
+}
+
 impl Simulation {
+    /// Starts configuring a simulation of the given scenario and variant.
+    /// Accepts either a [`ProtocolKind`] or a custom [`VariantConfig`]
+    /// (for ablations).
+    pub fn builder(
+        scenario: ScenarioParams,
+        config: impl Into<VariantConfig>,
+    ) -> SimulationBuilder {
+        SimulationBuilder {
+            scenario,
+            config: config.into(),
+            protocol: ProtocolParams::paper_default(),
+            seed: 1,
+            faults: None,
+            trace: None,
+            observer: None,
+        }
+    }
+
     /// Builds a simulation of the named protocol variant with the default
     /// protocol constants.
     ///
     /// # Panics
     ///
     /// Panics if `scenario` fails validation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Simulation::builder(scenario, kind).seed(seed).build()"
+    )]
     #[must_use]
     pub fn new(scenario: ScenarioParams, kind: ProtocolKind, seed: u64) -> Self {
-        Self::with_config(
-            scenario,
-            ProtocolParams::paper_default(),
-            kind.config(),
-            seed,
-        )
+        Self::builder(scenario, kind).seed(seed).build()
     }
 
     /// Builds a simulation with explicit protocol constants and a custom
@@ -272,8 +428,25 @@ impl Simulation {
     /// # Panics
     ///
     /// Panics if either parameter set fails validation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Simulation::builder(scenario, config).protocol(protocol).seed(seed).build()"
+    )]
     #[must_use]
     pub fn with_config(
+        scenario: ScenarioParams,
+        protocol: ProtocolParams,
+        config: VariantConfig,
+        seed: u64,
+    ) -> Self {
+        Self::builder(scenario, config)
+            .protocol(protocol)
+            .seed(seed)
+            .build()
+    }
+
+    /// Builds and validates the simulation world (no optional attachments).
+    fn construct(
         scenario: ScenarioParams,
         protocol: ProtocolParams,
         config: VariantConfig,
@@ -390,6 +563,8 @@ impl Simulation {
             deliveries: Vec::new(),
             scratch: CycleScratch::default(),
             trace: None,
+            observer: None,
+            observe_ticks: 0,
             fault_plan: FaultPlan::default(),
             fault_rng,
             global_link_drop: 0.0,
@@ -405,6 +580,10 @@ impl Simulation {
     /// # Panics
     ///
     /// Panics if the scenario or the plan fails validation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Simulation::builder(scenario, kind).seed(seed).faults(plan).build()"
+    )]
     #[must_use]
     pub fn with_faults(
         scenario: ScenarioParams,
@@ -412,9 +591,10 @@ impl Simulation {
         seed: u64,
         plan: FaultPlan,
     ) -> Self {
-        let mut sim = Self::new(scenario, kind, seed);
-        sim.set_fault_plan(plan);
-        sim
+        Self::builder(scenario, kind)
+            .seed(seed)
+            .faults(plan)
+            .build()
     }
 
     /// Installs a fault plan, scheduling its events as first-class entries
@@ -425,7 +605,12 @@ impl Simulation {
     /// # Panics
     ///
     /// Panics if the plan fails [`FaultPlan::validate`] for this scenario.
+    #[deprecated(since = "0.1.0", note = "use SimulationBuilder::faults before build()")]
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.install_fault_plan(plan);
+    }
+
+    fn install_fault_plan(&mut self, plan: FaultPlan) {
         plan.validate(&self.scenario)
             .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
         for (k, ev) in plan.events.iter().enumerate() {
@@ -466,6 +651,7 @@ impl Simulation {
     ///
     /// Use a [`crate::trace::SharedTrace`] clone to read the trace back
     /// after [`run`](Self::run) consumed the simulation.
+    #[deprecated(since = "0.1.0", note = "use SimulationBuilder::trace before build()")]
     pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
         self.trace = Some(sink);
     }
@@ -506,6 +692,66 @@ impl Simulation {
                 }
             }
             Event::Fault(k) => self.on_fault(now, k),
+            Event::ObserveTick => self.on_observe_tick(now),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observation
+    // ------------------------------------------------------------------
+
+    /// Samples the world for the attached observer and schedules the next
+    /// boundary tick. Reads state only — no RNG stream is touched — so
+    /// observation never perturbs the simulation.
+    fn on_observe_tick(&mut self, now: SimTime) {
+        self.observe_ticks += 1;
+        let Some(recorder) = self.observer.clone() else {
+            return;
+        };
+        let snap = self.world_snapshot(now);
+        recorder.record_snapshot(now, snap);
+        let window = SimDuration::from_secs_f64(recorder.window_secs());
+        if !window.is_zero() && now + window <= self.end {
+            self.events.schedule_at(now + window, Event::ObserveTick);
+        }
+    }
+
+    /// Instantaneous sensor-population state: queue occupancy, the ξ
+    /// distribution, the sleeping fraction and cumulative energy.
+    fn world_snapshot(&self, now: SimTime) -> WorldSnapshot {
+        let sensors = self.scenario.sensors.max(1);
+        let mut queue_sum = 0u64;
+        let mut queue_max = 0u64;
+        let mut xi_sum = 0.0;
+        let mut xi_min = f64::INFINITY;
+        let mut xi_max = f64::NEG_INFINITY;
+        let mut asleep = 0usize;
+        let mut energy = 0.0;
+        for node in self.nodes.iter().take(self.scenario.sensors) {
+            let len = node.queue.len() as u64;
+            queue_sum += len;
+            queue_max = queue_max.max(len);
+            let xi = node.metric.value();
+            xi_sum += xi;
+            xi_min = xi_min.min(xi);
+            xi_max = xi_max.max(xi);
+            if node.meter.state() == RadioState::Sleep {
+                asleep += 1;
+            }
+            energy += node.meter.total_energy_j(now, &self.scenario.energy);
+        }
+        if xi_min > xi_max {
+            xi_min = 0.0;
+            xi_max = 0.0;
+        }
+        WorldSnapshot {
+            queue_mean: queue_sum as f64 / sensors as f64,
+            queue_max,
+            xi_mean: xi_sum / sensors as f64,
+            xi_min,
+            xi_max,
+            asleep_fraction: asleep as f64 / sensors as f64,
+            energy_j: energy,
         }
     }
 
@@ -515,6 +761,10 @@ impl Simulation {
 
     fn on_fault(&mut self, now: SimTime, k: usize) {
         self.fault_regime = true;
+        self.emit(TraceEvent::FaultInjected {
+            at: now,
+            kind: self.fault_plan.events[k].kind.label(),
+        });
         match self.fault_plan.events[k].kind {
             FaultKind::NodeCrash(i) => {
                 if self.crash_node(now, i, false) {
@@ -1616,6 +1866,12 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn finish_report(mut self) -> SimReport {
+        // Finalize the observer first: its closing snapshot reads the
+        // meters *before* the loop below closes their open intervals.
+        if let Some(recorder) = self.observer.take() {
+            let snap = self.world_snapshot(self.end);
+            recorder.finish(self.end, Some(snap));
+        }
         let duration = SimTime::from_secs(self.scenario.duration_secs);
         let energy_model = &self.scenario.energy;
         let mut total_energy = 0.0;
@@ -1680,7 +1936,7 @@ impl Simulation {
             failed_attempts: m.failed_attempts,
             multicasts: m.multicasts,
             copies_sent: m.copies_sent,
-            events_processed: self.events.popped(),
+            events_processed: self.events.popped() - self.observe_ticks,
             faults: m.faults,
             mean_final_xi: xi_sum / sensors as f64,
             mean_hops: if self.deliveries.is_empty() {
@@ -1715,7 +1971,10 @@ mod tests {
 
     #[test]
     fn simulation_runs_and_generates_traffic() {
-        let report = Simulation::new(tiny(), ProtocolKind::Opt, 1).run();
+        let report = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(1)
+            .build()
+            .run();
         assert!(report.generated > 0, "no traffic generated");
         assert!(report.attempts > 0, "no sender attempts");
         assert!(report.delivered <= report.generated);
@@ -1723,8 +1982,14 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic_per_seed() {
-        let a = Simulation::new(tiny(), ProtocolKind::Opt, 7).run();
-        let b = Simulation::new(tiny(), ProtocolKind::Opt, 7).run();
+        let a = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(7)
+            .build()
+            .run();
+        let b = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(7)
+            .build()
+            .run();
         assert_eq!(a.generated, b.generated);
         assert_eq!(a.delivered, b.delivered);
         assert_eq!(a.frames_sent, b.frames_sent);
@@ -1734,16 +1999,28 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = Simulation::new(tiny(), ProtocolKind::Opt, 1).run();
-        let b = Simulation::new(tiny(), ProtocolKind::Opt, 2).run();
+        let a = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(1)
+            .build()
+            .run();
+        let b = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(2)
+            .build()
+            .run();
         // Traffic schedules differ almost surely.
         assert!(a.frames_sent != b.frames_sent || a.generated != b.generated);
     }
 
     #[test]
     fn nosleep_burns_more_power_than_opt() {
-        let opt = Simulation::new(tiny(), ProtocolKind::Opt, 3).run();
-        let nosleep = Simulation::new(tiny(), ProtocolKind::NoSleep, 3).run();
+        let opt = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(3)
+            .build()
+            .run();
+        let nosleep = Simulation::builder(tiny(), ProtocolKind::NoSleep)
+            .seed(3)
+            .build()
+            .run();
         assert!(
             nosleep.avg_sensor_power_mw > 2.0 * opt.avg_sensor_power_mw,
             "NOSLEEP {} mW should dwarf OPT {} mW",
@@ -1755,7 +2032,7 @@ mod tests {
     #[test]
     fn all_variants_run_clean() {
         for kind in ProtocolKind::ALL {
-            let report = Simulation::new(
+            let report = Simulation::builder(
                 ScenarioParams {
                     sensors: 8,
                     sinks: 1,
@@ -1763,8 +2040,9 @@ mod tests {
                     ..ScenarioParams::paper_default()
                 },
                 kind,
-                5,
             )
+            .seed(5)
+            .build()
             .run();
             assert!(report.generated > 0, "{kind}: nothing generated");
         }
@@ -1773,7 +2051,9 @@ mod tests {
     #[test]
     fn sinks_never_generate_or_sleep() {
         let scenario = tiny();
-        let sim = Simulation::new(scenario.clone(), ProtocolKind::Opt, 9);
+        let sim = Simulation::builder(scenario.clone(), ProtocolKind::Opt)
+            .seed(9)
+            .build();
         for node in &sim.nodes[scenario.sensors..] {
             assert!(node.is_sink());
             assert_eq!(node.state, MacState::Passive);
@@ -1802,7 +2082,7 @@ mod tests {
     #[test]
     fn qualification_follows_the_variant_rules() {
         let scenario = tiny();
-        let mk = |kind: ProtocolKind| Simulation::new(scenario.clone(), kind, 1);
+        let mk = |kind: ProtocolKind| Simulation::builder(scenario.clone(), kind).seed(1).build();
 
         // FtdThreshold: strict metric ordering + space for the class.
         let mut sim = mk(ProtocolKind::Opt);
@@ -1857,16 +2137,22 @@ mod tests {
             },
         ];
 
-        let sim = Simulation::new(scenario.clone(), ProtocolKind::Zbr, 1);
+        let sim = Simulation::builder(scenario.clone(), ProtocolKind::Zbr)
+            .seed(1)
+            .build();
         let sel = sim.select_for(0.1, Ftd::NEW, &cands);
         assert_eq!(sel.receivers.len(), 1, "ZBR moves a single copy");
         assert_eq!(sel.receivers[0].0, NodeId(1), "to the best replier");
 
-        let sim = Simulation::new(scenario.clone(), ProtocolKind::Epidemic, 1);
+        let sim = Simulation::builder(scenario.clone(), ProtocolKind::Epidemic)
+            .seed(1)
+            .build();
         let sel = sim.select_for(0.1, Ftd::NEW, &cands);
         assert_eq!(sel.receivers.len(), 2, "flooding takes all with space");
 
-        let sim = Simulation::new(scenario, ProtocolKind::Opt, 1);
+        let sim = Simulation::builder(scenario, ProtocolKind::Opt)
+            .seed(1)
+            .build();
         let sel = sim.select_for(0.1, Ftd::NEW, &cands);
         assert!(!sel.is_empty());
         assert!(sel.combined_delivery > 0.9);
@@ -1874,7 +2160,9 @@ mod tests {
 
     #[test]
     fn tau_cache_avoids_resolving_within_the_window() {
-        let mut sim = Simulation::new(tiny(), ProtocolKind::Opt, 1);
+        let mut sim = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(1)
+            .build();
         let i = NodeId(0);
         let t0 = SimTime::from_secs(100);
         let tau1 = sim.tau_max_for(t0, i);
@@ -1896,7 +2184,9 @@ mod tests {
 
     #[test]
     fn fixed_parameters_ignore_the_table() {
-        let mut sim = Simulation::new(tiny(), ProtocolKind::NoOpt, 1);
+        let mut sim = Simulation::builder(tiny(), ProtocolKind::NoOpt)
+            .seed(1)
+            .build();
         let i = NodeId(0);
         sim.nodes[i.index()]
             .table
@@ -1925,7 +2215,10 @@ mod tests {
         ] {
             let mut scenario = base.clone();
             scenario.mobility = kind;
-            let r = Simulation::new(scenario, ProtocolKind::Opt, 5).run();
+            let r = Simulation::builder(scenario, ProtocolKind::Opt)
+                .seed(5)
+                .build()
+                .run();
             assert!(r.generated > 0, "{kind:?} generated nothing");
             reports.push(r);
         }
@@ -1942,7 +2235,9 @@ mod tests {
     #[test]
     fn sink_placement_is_spread_and_stationary() {
         let scenario = ScenarioParams::paper_default().with_sinks(3);
-        let sim = Simulation::new(scenario.clone(), ProtocolKind::Opt, 1);
+        let sim = Simulation::builder(scenario.clone(), ProtocolKind::Opt)
+            .seed(1)
+            .build();
         let sinks: Vec<Vec2> = (0..3)
             .map(|j| sim.positions[scenario.sensors + j])
             .collect();
@@ -1959,10 +2254,15 @@ mod tests {
 
     #[test]
     fn empty_fault_plan_changes_nothing() {
-        let base = Simulation::new(tiny(), ProtocolKind::Opt, 7).run();
-        let mut sim = Simulation::new(tiny(), ProtocolKind::Opt, 7);
-        sim.set_fault_plan(FaultPlan::default());
-        let faulted = sim.run();
+        let base = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(7)
+            .build()
+            .run();
+        let faulted = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(7)
+            .faults(FaultPlan::default())
+            .build()
+            .run();
         assert_eq!(base.generated, faulted.generated);
         assert_eq!(base.delivered, faulted.delivered);
         assert_eq!(base.frames_sent, faulted.frames_sent);
@@ -1976,7 +2276,11 @@ mod tests {
         for i in 0..6 {
             plan.push(100.0, FaultKind::BatteryDeath(NodeId(i)));
         }
-        let r = Simulation::with_faults(tiny(), ProtocolKind::Opt, 7, plan).run();
+        let r = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(7)
+            .faults(plan)
+            .build()
+            .run();
         assert_eq!(r.faults.crashes, 6);
         assert_eq!(r.faults.battery_deaths, 6);
         assert_eq!(r.faults.recoveries, 0);
@@ -1994,16 +2298,22 @@ mod tests {
         plan.push(150.0, FaultKind::NodeRecover(NodeId(0)));
         plan.push(60.0, FaultKind::BatteryDeath(NodeId(1)));
         plan.push(160.0, FaultKind::NodeRecover(NodeId(1)));
-        let r = Simulation::with_faults(tiny(), ProtocolKind::Opt, 3, plan).run();
+        let r = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(3)
+            .faults(plan)
+            .build()
+            .run();
         assert_eq!(r.faults.crashes, 2);
         assert_eq!(r.faults.recoveries, 1, "battery death must stay down");
     }
 
     #[test]
     fn total_link_loss_stops_all_delivery() {
-        let mut sim = Simulation::new(tiny(), ProtocolKind::Opt, 7);
-        sim.set_fault_plan(FaultPlan::uniform_link_degradation(1.0));
-        let r = sim.run();
+        let r = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(7)
+            .faults(FaultPlan::uniform_link_degradation(1.0))
+            .build()
+            .run();
         assert!(r.generated > 0);
         assert_eq!(r.delivered, 0, "no frame crosses a fully dropped medium");
         assert_eq!(r.multicasts, 0);
@@ -2012,9 +2322,11 @@ mod tests {
 
     #[test]
     fn full_corruption_blocks_data_but_not_control() {
-        let mut sim = Simulation::new(tiny(), ProtocolKind::Opt, 7);
-        sim.set_fault_plan(FaultPlan::data_corruption(&tiny(), 1.0));
-        let r = sim.run();
+        let r = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(7)
+            .faults(FaultPlan::data_corruption(&tiny(), 1.0))
+            .build()
+            .run();
         assert_eq!(r.delivered, 0);
         assert_eq!(r.multicasts, 0, "corrupted DATA is never acknowledged");
         assert!(r.faults.data_corrupted > 0, "{:?}", r.faults);
@@ -2026,7 +2338,11 @@ mod tests {
     fn sink_outage_suppresses_and_resumes_delivery() {
         // The only sink down for the middle half of the run still counts.
         let plan = FaultPlan::sink_outage(&tiny(), 0, 100.0, 300.0);
-        let r = Simulation::with_faults(tiny(), ProtocolKind::Opt, 7, plan).run();
+        let r = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(7)
+            .faults(plan)
+            .build()
+            .run();
         assert_eq!(r.faults.sink_outages, 1);
         assert_eq!(r.faults.recoveries, 1);
         assert!(
@@ -2038,7 +2354,13 @@ mod tests {
     #[test]
     fn fault_runs_are_deterministic_per_seed() {
         let plan = FaultPlan::node_failures(&tiny(), 0.4, Some(120.0), 5);
-        let run = |p: FaultPlan| Simulation::with_faults(tiny(), ProtocolKind::Opt, 9, p).run();
+        let run = |p: FaultPlan| {
+            Simulation::builder(tiny(), ProtocolKind::Opt)
+                .seed(9)
+                .faults(p)
+                .build()
+                .run()
+        };
         let a = run(plan.clone());
         let b = run(plan);
         assert_eq!(a.generated, b.generated);
@@ -2058,7 +2380,11 @@ mod tests {
                 drop_prob: 1.0,
             },
         );
-        let r = Simulation::with_faults(tiny(), ProtocolKind::Opt, 7, plan).run();
+        let r = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(7)
+            .faults(plan)
+            .build()
+            .run();
         // Only one link is dead; the network routes around it.
         assert!(r.delivered > 0, "one bad link must not kill the network");
     }
@@ -2068,8 +2394,10 @@ mod tests {
     fn out_of_range_fault_plan_is_rejected() {
         let mut plan = FaultPlan::default();
         plan.push(1.0, FaultKind::NodeCrash(NodeId(999)));
-        let mut sim = Simulation::new(tiny(), ProtocolKind::Opt, 1);
-        sim.set_fault_plan(plan);
+        let _ = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(1)
+            .faults(plan)
+            .build();
     }
 
     #[test]
@@ -2081,8 +2409,123 @@ mod tests {
             duration_secs: 1200,
             ..ScenarioParams::paper_default()
         };
-        let report = Simulation::new(scenario, ProtocolKind::Opt, 11).run();
+        let report = Simulation::builder(scenario, ProtocolKind::Opt)
+            .seed(11)
+            .build()
+            .run();
         assert!(report.delivered > 0, "no deliveries: {}", report.summary());
         assert!(report.mean_delay_secs >= 0.0);
+    }
+
+    /// The deprecated constructors are thin wrappers over the builder, so
+    /// legacy callers keep getting bit-identical runs.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_the_builder() {
+        let via_builder = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(7)
+            .build()
+            .run();
+        let via_new = Simulation::new(tiny(), ProtocolKind::Opt, 7).run();
+        let via_config = Simulation::with_config(
+            tiny(),
+            ProtocolParams::paper_default(),
+            ProtocolKind::Opt.config(),
+            7,
+        )
+        .run();
+        assert_eq!(via_builder.to_json().render(), via_new.to_json().render());
+        assert_eq!(
+            via_builder.to_json().render(),
+            via_config.to_json().render()
+        );
+
+        let plan = FaultPlan::node_failures(&tiny(), 0.3, None, 7);
+        let faults_builder = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(7)
+            .faults(plan.clone())
+            .build()
+            .run();
+        let faults_old = Simulation::with_faults(tiny(), ProtocolKind::Opt, 7, plan).run();
+        assert_eq!(
+            faults_builder.to_json().render(),
+            faults_old.to_json().render()
+        );
+    }
+
+    /// Attaching an observer must not perturb the run: the `ObserveTick`
+    /// handler reads state without touching any RNG stream.
+    #[test]
+    fn observed_runs_keep_identical_counters() {
+        let plain = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(7)
+            .build()
+            .run();
+        let recorder = crate::observe::MetricsRecorder::new(50.0);
+        let observed = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(7)
+            .observe(recorder.clone())
+            .build()
+            .run();
+        assert_eq!(plain.to_json().render(), observed.to_json().render());
+        assert!(recorder.totals().0 > 0, "windows were emitted");
+    }
+
+    /// The recorder's cumulative totals reconcile exactly with the
+    /// end-of-run report, fault plan and all.
+    #[test]
+    fn observer_totals_reconcile_with_the_report() {
+        let plan = FaultPlan::node_failures(&tiny(), 0.3, None, 7);
+        let fired_in_run = plan
+            .events
+            .iter()
+            .filter(|e| e.at_secs <= tiny().duration_secs as f64)
+            .count() as u64;
+        let recorder = crate::observe::MetricsRecorder::new(30.0);
+        let report = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(7)
+            .faults(plan)
+            .observe(recorder.clone())
+            .build()
+            .run();
+        let (_, totals) = recorder.totals();
+        assert_eq!(totals.deliveries, report.delivered);
+        assert_eq!(totals.collisions, report.collisions);
+        assert_eq!(totals.frames_sent, report.frames_sent);
+        assert_eq!(totals.drops_overflow, report.drops_overflow);
+        assert_eq!(totals.drops_rejected, report.drops_rejected);
+        assert_eq!(totals.drops_ftd, report.drops_ftd);
+        assert_eq!(totals.control_bits, report.control_bits);
+        assert_eq!(totals.data_bits, report.data_bits);
+        assert_eq!(totals.faults, fired_in_run);
+    }
+
+    /// A user sink composed with an observer still sees every event,
+    /// fault markers included.
+    #[test]
+    fn observer_composes_with_a_user_trace() {
+        let mut plan = FaultPlan::default();
+        plan.push(100.0, FaultKind::BatteryDeath(NodeId(0)));
+        let shared = crate::trace::SharedTrace::new();
+        let recorder = crate::observe::MetricsRecorder::new(100.0);
+        let report = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(7)
+            .faults(plan)
+            .trace(shared.clone())
+            .observe(recorder.clone())
+            .build()
+            .run();
+        let events = shared.snapshot();
+        let fault_markers = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::FaultInjected { .. }))
+            .count() as u64;
+        assert_eq!(fault_markers, 1);
+        let deliveries = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Delivered { .. }))
+            .count() as u64;
+        assert_eq!(deliveries, report.delivered);
+        assert_eq!(recorder.totals().1.deliveries, report.delivered);
     }
 }

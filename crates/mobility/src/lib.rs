@@ -5,10 +5,10 @@
 //!
 //! * [`geom`] — planar points/vectors and reflecting rectangular bounds;
 //! * [`zones`] — the paper's zone grid over the deployment area;
-//! * [`models`] — the paper's [`ZoneMobility`](models::ZoneMobility) model
-//!   plus [`RandomWaypoint`](models::RandomWaypoint),
-//!   [`RandomWalk`](models::RandomWalk) and
-//!   [`Stationary`](models::Stationary) for sensitivity studies;
+//! * [`models`] — the paper's [`ZoneMobility`] model
+//!   plus [`RandomWaypoint`],
+//!   [`RandomWalk`] and
+//!   [`Stationary`] for sensitivity studies;
 //! * [`grid_index`] — a spatial hash grid for O(1)-ish range queries;
 //! * [`trace`] — trace-replay mobility and pairwise contact extraction.
 //!

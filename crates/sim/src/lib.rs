@@ -4,11 +4,11 @@
 //! dependency-free discrete-event simulation (DES) kernel providing
 //!
 //! * [`time`] — integer-microsecond simulation clock types
-//!   ([`SimTime`](time::SimTime), [`SimDuration`](time::SimDuration));
+//!   ([`SimTime`], [`SimDuration`]);
 //! * [`event`] — a deterministic future-event list
-//!   ([`EventQueue`](event::EventQueue)) with O(1) cancellation;
+//!   ([`EventQueue`]) with O(1) cancellation;
 //! * [`rng`] — a seedable, forkable xoshiro256++ generator
-//!   ([`SimRng`](rng::SimRng)) so runs are bit-reproducible.
+//!   ([`SimRng`]) so runs are bit-reproducible.
 //!
 //! The simulator built on top (see the `dftmsn-core` crate) is
 //! single-threaded by design: determinism is the property the experiment

@@ -33,7 +33,10 @@ fn main() {
         "scheme", "delivery", "coverage", "field NRMSE", "power (mW)", "J per sample"
     );
     for kind in [ProtocolKind::Opt, ProtocolKind::Direct] {
-        let report = Simulation::new(params.clone(), kind, 7).run();
+        let report = Simulation::builder(params.clone(), kind)
+            .seed(7)
+            .build()
+            .run();
         let coverage = analysis.evaluate(&report);
         let joules_per_sample = if report.delivered > 0 {
             report.total_sensor_energy_j / report.delivered as f64

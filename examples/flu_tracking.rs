@@ -24,7 +24,10 @@ fn main() {
         let params = ScenarioParams::paper_default()
             .with_sinks(sinks)
             .with_duration_secs(10_000);
-        let r = Simulation::new(params, ProtocolKind::Opt, 3).run();
+        let r = Simulation::builder(params, ProtocolKind::Opt)
+            .seed(3)
+            .build()
+            .run();
         println!(
             "{:>5} {:>9.1}% {:>12.0} {:>12.3}",
             sinks,

@@ -6,7 +6,10 @@ use dftmsn::prelude::*;
 fn main() {
     let params = ScenarioParams::paper_default().with_duration_secs(2000);
     println!("running OPT on the paper's default scenario (shortened)...");
-    let report = Simulation::new(params, ProtocolKind::Opt, 42).run();
+    let report = Simulation::builder(params, ProtocolKind::Opt)
+        .seed(42)
+        .build()
+        .run();
     println!("{}", report.summary());
     println!("delivery ratio : {:.1}%", report.delivery_ratio() * 100.0);
     println!("avg power      : {:.3} mW", report.avg_sensor_power_mw);

@@ -14,7 +14,10 @@ fn main() {
         "running OPT: {} sensors, {} sinks, {} s...",
         params.sensors, params.sinks, params.duration_secs
     );
-    let report = Simulation::new(params.clone(), ProtocolKind::Opt, 21).run();
+    let report = Simulation::builder(params.clone(), ProtocolKind::Opt)
+        .seed(21)
+        .build()
+        .run();
     println!("{}\n", report.summary());
 
     // Average final ξ per home zone.

@@ -7,7 +7,7 @@
 //! use dftmsn::prelude::*;
 //!
 //! let params = ScenarioParams::paper_default().with_duration_secs(200);
-//! let report = Simulation::new(params, ProtocolKind::Opt, 1).run();
+//! let report = Simulation::builder(params, ProtocolKind::Opt).seed(1).build().run();
 //! assert!(report.delivery_ratio() >= 0.0);
 //! ```
 //!
@@ -26,10 +26,12 @@ pub use dftmsn_sim as sim;
 /// The most commonly used items, re-exported in one place.
 pub mod prelude {
     pub use dftmsn_core::faults::{FaultKind, FaultPlan};
+    pub use dftmsn_core::observe::{MetricsRecorder, ObserveRow, ObserveSeries, WorldSnapshot};
     pub use dftmsn_core::params::{ProtocolParams, ScenarioParams};
     pub use dftmsn_core::report::SimReport;
-    pub use dftmsn_core::variants::ProtocolKind;
-    pub use dftmsn_core::world::Simulation;
+    pub use dftmsn_core::trace::{DropReason, SharedTrace, TeeSink, TraceEvent, TraceSink};
+    pub use dftmsn_core::variants::{ProtocolKind, VariantConfig};
+    pub use dftmsn_core::world::{Simulation, SimulationBuilder};
     pub use dftmsn_sim::rng::SimRng;
     pub use dftmsn_sim::time::{SimDuration, SimTime};
 }

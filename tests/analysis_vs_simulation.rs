@@ -28,7 +28,10 @@ fn direct_simulation_lands_near_the_analytic_ratio() {
 
     let mut ratios = Vec::new();
     for seed in 0..3 {
-        let r = Simulation::new(params.clone(), ProtocolKind::Direct, seed).run();
+        let r = Simulation::builder(params.clone(), ProtocolKind::Direct)
+            .seed(seed)
+            .build()
+            .run();
         ratios.push(r.delivery_ratio());
     }
     let simulated = ratios.iter().sum::<f64>() / ratios.len() as f64;
@@ -46,7 +49,10 @@ fn epidemic_model_predicts_the_flooding_delay_scale() {
     let model = EpidemicModel::from_scenario(&params);
     let analytic_delay = model.expected_delay();
 
-    let r = Simulation::new(params, ProtocolKind::Epidemic, 1).run();
+    let r = Simulation::builder(params, ProtocolKind::Epidemic)
+        .seed(1)
+        .build()
+        .run();
     assert!(r.delivered > 0, "flooding delivered nothing");
     // The simulator adds sleeping, MAC latency and queueing, so it is
     // slower than the loss-free fluid model — but the scale must agree
@@ -76,8 +82,14 @@ fn orderings_agree_between_model_and_simulation() {
     // Simulated *conditional* delays are biased (direct only delivers the
     // easy messages — the ZBR artifact the paper calls out), so compare
     // delivery ratios, where flooding must dominate direct transmission.
-    let epidemic = Simulation::new(params.clone(), ProtocolKind::Epidemic, 2).run();
-    let direct = Simulation::new(params, ProtocolKind::Direct, 2).run();
+    let epidemic = Simulation::builder(params.clone(), ProtocolKind::Epidemic)
+        .seed(2)
+        .build()
+        .run();
+    let direct = Simulation::builder(params, ProtocolKind::Direct)
+        .seed(2)
+        .build()
+        .run();
     assert!(
         epidemic.delivery_ratio() >= direct.delivery_ratio() - 0.05,
         "flooding ratio {:.3} fell behind direct {:.3}",
@@ -94,8 +106,14 @@ fn more_sinks_shrink_both_model_and_simulated_delay() {
     let m_many = EpidemicModel::from_scenario(&many);
     assert!(m_many.expected_delay() < m_few.expected_delay());
 
-    let s_few = Simulation::new(few, ProtocolKind::Opt, 3).run();
-    let s_many = Simulation::new(many, ProtocolKind::Opt, 3).run();
+    let s_few = Simulation::builder(few, ProtocolKind::Opt)
+        .seed(3)
+        .build()
+        .run();
+    let s_many = Simulation::builder(many, ProtocolKind::Opt)
+        .seed(3)
+        .build()
+        .run();
     if s_few.delivered > 20 && s_many.delivered > 20 {
         assert!(s_many.mean_delay_secs < s_few.mean_delay_secs);
     }

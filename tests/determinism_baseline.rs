@@ -210,7 +210,10 @@ const GOLDENS: [(ProtocolKind, u64, Golden); 12] = [
 ];
 
 fn observed(kind: ProtocolKind, seed: u64) -> Golden {
-    let r = Simulation::new(pinned_scenario(), kind, seed).run();
+    let r = Simulation::builder(pinned_scenario(), kind)
+        .seed(seed)
+        .build()
+        .run();
     Golden {
         generated: r.generated,
         delivered: r.delivered,

@@ -14,7 +14,10 @@ fn small(sensors: usize, sinks: usize, secs: u64) -> ScenarioParams {
 #[test]
 fn report_invariants_hold_for_every_variant() {
     for kind in ProtocolKind::ALL {
-        let r = Simulation::new(small(15, 2, 600), kind, 1).run();
+        let r = Simulation::builder(small(15, 2, 600), kind)
+            .seed(1)
+            .build()
+            .run();
         assert!(r.delivered <= r.generated, "{kind}: delivered > generated");
         assert!(
             r.sink_receptions >= r.delivered,
@@ -41,8 +44,14 @@ fn report_invariants_hold_for_every_variant() {
 #[test]
 fn identical_seeds_reproduce_bitwise() {
     for kind in [ProtocolKind::Opt, ProtocolKind::Zbr] {
-        let a = Simulation::new(small(20, 2, 800), kind, 99).run();
-        let b = Simulation::new(small(20, 2, 800), kind, 99).run();
+        let a = Simulation::builder(small(20, 2, 800), kind)
+            .seed(99)
+            .build()
+            .run();
+        let b = Simulation::builder(small(20, 2, 800), kind)
+            .seed(99)
+            .build()
+            .run();
         assert_eq!(a.generated, b.generated);
         assert_eq!(a.delivered, b.delivered);
         assert_eq!(a.sink_receptions, b.sink_receptions);
@@ -61,7 +70,9 @@ fn more_sinks_deliver_more() {
     let ratio = |sinks: usize| -> f64 {
         (0..3)
             .map(|seed| {
-                Simulation::new(small(40, sinks, 2_000), ProtocolKind::Opt, seed)
+                Simulation::builder(small(40, sinks, 2_000), ProtocolKind::Opt)
+                    .seed(seed)
+                    .build()
                     .run()
                     .delivery_ratio()
             })
@@ -78,7 +89,10 @@ fn more_sinks_deliver_more() {
 
 #[test]
 fn nosleep_power_approximates_idle_listening() {
-    let r = Simulation::new(small(15, 2, 600), ProtocolKind::NoSleep, 4).run();
+    let r = Simulation::builder(small(15, 2, 600), ProtocolKind::NoSleep)
+        .seed(4)
+        .build()
+        .run();
     // Idle listening is 13.5 mW; transmissions push the average a bit up,
     // receptions keep it equal. Expect within [13, 16] mW.
     assert!(
@@ -90,14 +104,23 @@ fn nosleep_power_approximates_idle_listening() {
 
 #[test]
 fn sleeping_variants_use_far_less_energy() {
-    let opt = Simulation::new(small(15, 2, 600), ProtocolKind::Opt, 4).run();
-    let nosleep = Simulation::new(small(15, 2, 600), ProtocolKind::NoSleep, 4).run();
+    let opt = Simulation::builder(small(15, 2, 600), ProtocolKind::Opt)
+        .seed(4)
+        .build()
+        .run();
+    let nosleep = Simulation::builder(small(15, 2, 600), ProtocolKind::NoSleep)
+        .seed(4)
+        .build()
+        .run();
     assert!(opt.avg_sensor_power_mw < nosleep.avg_sensor_power_mw / 3.0);
 }
 
 #[test]
 fn direct_sends_single_copies_only() {
-    let r = Simulation::new(small(20, 3, 1_000), ProtocolKind::Direct, 5).run();
+    let r = Simulation::builder(small(20, 3, 1_000), ProtocolKind::Direct)
+        .seed(5)
+        .build()
+        .run();
     // Every DIRECT multicast targets exactly one receiver (a sink).
     assert_eq!(r.copies_sent, r.multicasts);
     // And every acknowledged copy went to a sink.
@@ -106,14 +129,23 @@ fn direct_sends_single_copies_only() {
 
 #[test]
 fn zbr_transfers_rather_than_replicates() {
-    let r = Simulation::new(small(20, 3, 1_000), ProtocolKind::Zbr, 5).run();
+    let r = Simulation::builder(small(20, 3, 1_000), ProtocolKind::Zbr)
+        .seed(5)
+        .build()
+        .run();
     assert_eq!(r.copies_sent, r.multicasts, "ZBR moves single copies");
 }
 
 #[test]
 fn traffic_scales_with_sensors_and_interval() {
-    let light = Simulation::new(small(10, 1, 2_000), ProtocolKind::Opt, 6).run();
-    let heavy = Simulation::new(small(40, 1, 2_000), ProtocolKind::Opt, 6).run();
+    let light = Simulation::builder(small(10, 1, 2_000), ProtocolKind::Opt)
+        .seed(6)
+        .build()
+        .run();
+    let heavy = Simulation::builder(small(40, 1, 2_000), ProtocolKind::Opt)
+        .seed(6)
+        .build()
+        .run();
     // 4x the sensors → roughly 4x the traffic (Poisson, generous margins).
     let scale = heavy.generated as f64 / light.generated.max(1) as f64;
     assert!(
@@ -124,7 +156,10 @@ fn traffic_scales_with_sensors_and_interval() {
 
 #[test]
 fn control_overhead_is_nonzero_but_bounded() {
-    let r = Simulation::new(small(25, 2, 1_500), ProtocolKind::Opt, 7).run();
+    let r = Simulation::builder(small(25, 2, 1_500), ProtocolKind::Opt)
+        .seed(7)
+        .build()
+        .run();
     assert!(r.control_bits > 0);
     assert!(r.data_bits > 0);
     // Control packets are 50 bits vs 1000-bit data; even with handshakes
@@ -138,7 +173,10 @@ fn control_overhead_is_nonzero_but_bounded() {
 
 #[test]
 fn delays_are_within_simulation_horizon() {
-    let r = Simulation::new(small(25, 3, 2_000), ProtocolKind::Opt, 8).run();
+    let r = Simulation::builder(small(25, 3, 2_000), ProtocolKind::Opt)
+        .seed(8)
+        .build()
+        .run();
     if r.delivered > 0 {
         assert!(r.mean_delay_secs < 2_000.0);
         assert!(r.p95_delay_secs <= 2_000.0 + 1.0);
@@ -151,8 +189,11 @@ fn custom_protocol_params_are_respected() {
     let mut protocol = ProtocolParams::paper_default();
     protocol.delivery_threshold_r = 0.5;
     let config = ProtocolKind::Opt.config();
-    let r =
-        dftmsn::core::world::Simulation::with_config(small(15, 2, 600), protocol, config, 9).run();
+    let r = dftmsn::core::world::Simulation::builder(small(15, 2, 600), config)
+        .protocol(protocol)
+        .seed(9)
+        .build()
+        .run();
     assert!(r.generated > 0);
 }
 
@@ -167,8 +208,10 @@ fn trace_shows_the_two_phase_handshake() {
     params.area_height_m = 20.0;
     params.zone_cols = 1;
     params.zone_rows = 1;
-    let mut sim = Simulation::new(params, ProtocolKind::Opt, 10);
-    sim.set_trace(Box::new(trace.clone()));
+    let sim = Simulation::builder(params, ProtocolKind::Opt)
+        .seed(10)
+        .trace(trace.clone())
+        .build();
     let report = sim.run();
     assert!(report.multicasts > 0, "no exchanges to trace");
 
@@ -221,8 +264,10 @@ fn counting_trace_matches_report_counters() {
         }
     }
     let counter = SharedCounting::default();
-    let mut sim = Simulation::new(small(15, 2, 600), ProtocolKind::Opt, 11);
-    sim.set_trace(Box::new(counter.clone()));
+    let sim = Simulation::builder(small(15, 2, 600), ProtocolKind::Opt)
+        .seed(11)
+        .trace(counter.clone())
+        .build();
     let report = sim.run();
     let counts = *counter.0.lock().unwrap();
     assert_eq!(counts.sent, report.frames_sent);
@@ -236,7 +281,10 @@ fn counting_trace_matches_report_counters() {
 
 #[test]
 fn energy_breakdown_sums_to_total() {
-    let r = Simulation::new(small(15, 2, 600), ProtocolKind::Opt, 12).run();
+    let r = Simulation::builder(small(15, 2, 600), ProtocolKind::Opt)
+        .seed(12)
+        .build()
+        .run();
     let by_state: f64 = r.energy_by_state_j.iter().sum();
     // Total = per-state + switch costs, so by-state is a lower bound that
     // covers almost everything.
@@ -260,8 +308,14 @@ fn mobile_sinks_work_and_change_the_outcome() {
     let mut mobile = fixed.clone();
     mobile.mobile_sinks = 3;
     mobile.validate().unwrap();
-    let r_fixed = Simulation::new(fixed.clone(), ProtocolKind::Opt, 13).run();
-    let r_mobile = Simulation::new(mobile, ProtocolKind::Opt, 13).run();
+    let r_fixed = Simulation::builder(fixed.clone(), ProtocolKind::Opt)
+        .seed(13)
+        .build()
+        .run();
+    let r_mobile = Simulation::builder(mobile, ProtocolKind::Opt)
+        .seed(13)
+        .build()
+        .run();
     assert!(r_fixed.generated > 0 && r_mobile.generated > 0);
     assert!(
         r_fixed.frames_sent != r_mobile.frames_sent,
@@ -277,7 +331,9 @@ fn mobile_sinks_work_and_change_the_outcome() {
 fn invalid_scenario_is_rejected() {
     let mut params = small(10, 1, 100);
     params.sinks = 0;
-    let _ = Simulation::new(params, ProtocolKind::Opt, 1);
+    let _ = Simulation::builder(params, ProtocolKind::Opt)
+        .seed(1)
+        .build();
 }
 
 #[test]
@@ -287,7 +343,10 @@ fn hop_counts_are_sane_and_direct_is_single_hop() {
     // construction. (The paper's "fewer hops with more sinks" effect is
     // muted here because home-returning mobility makes self-carry the
     // dominant path — see EXPERIMENTS.md's Fig. 2(b) note.)
-    let r = Simulation::new(small(40, 3, 3_000), ProtocolKind::Opt, 17).run();
+    let r = Simulation::builder(small(40, 3, 3_000), ProtocolKind::Opt)
+        .seed(17)
+        .build()
+        .run();
     assert!(r.delivered > 10);
     for d in &r.deliveries {
         assert!(d.hops >= 1, "a delivery needs at least one handover");
@@ -298,7 +357,10 @@ fn hop_counts_are_sane_and_direct_is_single_hop() {
         r.mean_hops
     );
 
-    let direct = Simulation::new(small(40, 3, 3_000), ProtocolKind::Direct, 17).run();
+    let direct = Simulation::builder(small(40, 3, 3_000), ProtocolKind::Direct)
+        .seed(17)
+        .build()
+        .run();
     assert!(direct.delivered > 10);
     assert!(
         direct.deliveries.iter().all(|d| d.hops == 1),

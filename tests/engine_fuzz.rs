@@ -53,7 +53,7 @@ proptest! {
         prop_assert!(params.validate().is_ok());
 
         let kind = kind_from(kind_ix);
-        let report = Simulation::new(params, kind, seed).run();
+        let report = Simulation::builder(params, kind).seed(seed).build().run();
 
         // Accounting invariants that must hold for ANY run.
         prop_assert!(report.delivered <= report.generated);
@@ -92,8 +92,8 @@ proptest! {
             .with_sinks(1)
             .with_duration_secs(120);
         let kind = kind_from(kind_ix);
-        let a = Simulation::new(params.clone(), kind, seed).run();
-        let b = Simulation::new(params, kind, seed).run();
+        let a = Simulation::builder(params.clone(), kind).seed(seed).build().run();
+        let b = Simulation::builder(params, kind).seed(seed).build().run();
         prop_assert_eq!(a.generated, b.generated);
         prop_assert_eq!(a.delivered, b.delivered);
         prop_assert_eq!(a.frames_sent, b.frames_sent);

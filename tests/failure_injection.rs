@@ -17,7 +17,10 @@ fn lone_sensor_still_delivers_by_carrying() {
     p.area_height_m = 40.0;
     p.zone_cols = 2;
     p.zone_rows = 2;
-    let r = Simulation::new(p, ProtocolKind::Opt, 1).run();
+    let r = Simulation::builder(p, ProtocolKind::Opt)
+        .seed(1)
+        .build()
+        .run();
     assert!(r.generated > 0);
     assert!(
         r.delivered > 0,
@@ -35,7 +38,10 @@ fn stationary_out_of_range_sensors_deliver_nothing() {
     p.speed_max_mps = 0.0;
     p.area_width_m = 2_000.0;
     p.area_height_m = 2_000.0;
-    let r = Simulation::new(p, ProtocolKind::Opt, 2).run();
+    let r = Simulation::builder(p, ProtocolKind::Opt)
+        .seed(2)
+        .build()
+        .run();
     assert!(r.generated > 0);
     assert_eq!(r.delivered, 0, "physically impossible delivery happened");
     assert_eq!(r.multicasts, 0);
@@ -46,7 +52,10 @@ fn tiny_queues_survive_overload() {
     let mut p = base(2_000).with_sensors(20).with_sinks(1);
     p.queue_capacity = 2;
     p.data_interval_secs = 10.0; // 12x the default load
-    let r = Simulation::new(p, ProtocolKind::Opt, 3).run();
+    let r = Simulation::builder(p, ProtocolKind::Opt)
+        .seed(3)
+        .build()
+        .run();
     assert!(r.generated > 0);
     assert!(
         r.drops_overflow + r.drops_rejected > 0,
@@ -60,7 +69,7 @@ fn saturating_traffic_does_not_wedge_the_mac() {
     let mut p = base(1_000).with_sensors(30).with_sinks(2);
     p.data_interval_secs = 5.0;
     for kind in [ProtocolKind::Opt, ProtocolKind::Epidemic] {
-        let r = Simulation::new(p.clone(), kind, 4).run();
+        let r = Simulation::builder(p.clone(), kind).seed(4).build().run();
         assert!(r.attempts > 0, "{kind}: MAC went silent under load");
         assert!(r.frames_sent > 0);
     }
@@ -73,7 +82,10 @@ fn single_zone_grid_works() {
     p.zone_rows = 1;
     p.area_width_m = 60.0;
     p.area_height_m = 60.0;
-    let r = Simulation::new(p, ProtocolKind::Opt, 5).run();
+    let r = Simulation::builder(p, ProtocolKind::Opt)
+        .seed(5)
+        .build()
+        .run();
     assert!(r.delivered > 0, "dense single-zone world should deliver");
 }
 
@@ -86,7 +98,10 @@ fn dense_cell_heavy_contention_stays_live() {
     p.area_height_m = 15.0;
     p.zone_cols = 1;
     p.zone_rows = 1;
-    let r = Simulation::new(p, ProtocolKind::NoSleep, 6).run();
+    let r = Simulation::builder(p, ProtocolKind::NoSleep)
+        .seed(6)
+        .build()
+        .run();
     assert!(
         r.delivered > 0,
         "contention wedged the channel: {}",
@@ -121,12 +136,13 @@ fn extreme_protocol_constants_do_not_panic() {
         },
     ];
     for protocol in scenarios {
-        let r = dftmsn::core::world::Simulation::with_config(
+        let r = dftmsn::core::world::Simulation::builder(
             base(500).with_sensors(12).with_sinks(1),
-            protocol,
             ProtocolKind::Opt.config(),
-            7,
         )
+        .protocol(protocol)
+        .seed(7)
+        .build()
         .run();
         assert!(r.generated > 0);
     }
@@ -137,7 +153,10 @@ fn zero_min_speed_and_equal_speed_bounds_work() {
     let mut p = base(800).with_sensors(10).with_sinks(1);
     p.speed_min_mps = 3.0;
     p.speed_max_mps = 3.0;
-    let r = Simulation::new(p, ProtocolKind::Opt, 8).run();
+    let r = Simulation::builder(p, ProtocolKind::Opt)
+        .seed(8)
+        .build()
+        .run();
     assert!(r.generated > 0);
 }
 
@@ -147,7 +166,10 @@ fn long_idle_network_sleeps_instead_of_spinning() {
     // events. Power must approach the sleep floor, far below idle.
     let mut p = base(2_000).with_sensors(10).with_sinks(1);
     p.data_interval_secs = 100_000.0; // effectively no data
-    let r = Simulation::new(p, ProtocolKind::Opt, 9).run();
+    let r = Simulation::builder(p, ProtocolKind::Opt)
+        .seed(9)
+        .build()
+        .run();
     assert!(
         r.avg_sensor_power_mw < 3.0,
         "idle network burns {} mW",

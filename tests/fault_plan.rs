@@ -30,8 +30,12 @@ fn fingerprint(r: &SimReport) -> (u64, u64, u64, u64, u64, u64, u64, u64) {
 #[test]
 fn empty_plan_is_bit_identical_to_a_plain_run() {
     for kind in [ProtocolKind::Opt, ProtocolKind::Zbr, ProtocolKind::Epidemic] {
-        let plain = Simulation::new(scenario(), kind, 7).run();
-        let with_plan = Simulation::with_faults(scenario(), kind, 7, FaultPlan::default()).run();
+        let plain = Simulation::builder(scenario(), kind).seed(7).build().run();
+        let with_plan = Simulation::builder(scenario(), kind)
+            .seed(7)
+            .faults(FaultPlan::default())
+            .build()
+            .run();
         assert_eq!(fingerprint(&plain), fingerprint(&with_plan), "{kind}");
         assert!(!with_plan.faults.any(), "{kind}: quiet run counted faults");
     }
@@ -40,8 +44,16 @@ fn empty_plan_is_bit_identical_to_a_plain_run() {
 #[test]
 fn same_seed_and_plan_reproduce_the_same_report() {
     let plan = FaultPlan::parse("crash=0.25;linkdrop=0.1", &scenario(), 7).unwrap();
-    let a = Simulation::with_faults(scenario(), ProtocolKind::Opt, 7, plan.clone()).run();
-    let b = Simulation::with_faults(scenario(), ProtocolKind::Opt, 7, plan).run();
+    let a = Simulation::builder(scenario(), ProtocolKind::Opt)
+        .seed(7)
+        .faults(plan.clone())
+        .build()
+        .run();
+    let b = Simulation::builder(scenario(), ProtocolKind::Opt)
+        .seed(7)
+        .faults(plan)
+        .build()
+        .run();
     assert_eq!(fingerprint(&a), fingerprint(&b));
     assert_eq!(a.faults, b.faults);
     assert_eq!(a.mean_delay_secs.to_bits(), b.mean_delay_secs.to_bits());
@@ -50,7 +62,11 @@ fn same_seed_and_plan_reproduce_the_same_report() {
 #[test]
 fn crashes_register_in_the_fault_counters() {
     let plan = FaultPlan::parse("crash=0.5", &scenario(), 7).unwrap();
-    let r = Simulation::with_faults(scenario(), ProtocolKind::Opt, 7, plan).run();
+    let r = Simulation::builder(scenario(), ProtocolKind::Opt)
+        .seed(7)
+        .faults(plan)
+        .build()
+        .run();
     assert_eq!(r.faults.crashes, 8, "half of 16 sensors");
     assert_eq!(r.faults.battery_deaths, 8);
     assert_eq!(r.faults.recoveries, 0);
@@ -59,7 +75,11 @@ fn crashes_register_in_the_fault_counters() {
 #[test]
 fn total_link_loss_delivers_nothing() {
     let plan = FaultPlan::parse("linkdrop=1.0", &scenario(), 7).unwrap();
-    let r = Simulation::with_faults(scenario(), ProtocolKind::Opt, 7, plan).run();
+    let r = Simulation::builder(scenario(), ProtocolKind::Opt)
+        .seed(7)
+        .faults(plan)
+        .build()
+        .run();
     assert_eq!(r.delivered, 0);
     assert!(r.generated > 0, "sensing itself must continue");
     assert!(r.faults.frames_dropped > 0);
@@ -68,7 +88,11 @@ fn total_link_loss_delivers_nothing() {
 #[test]
 fn total_corruption_blocks_data_but_leaves_control_alive() {
     let plan = FaultPlan::parse("corrupt=1.0", &scenario(), 7).unwrap();
-    let r = Simulation::with_faults(scenario(), ProtocolKind::Opt, 7, plan).run();
+    let r = Simulation::builder(scenario(), ProtocolKind::Opt)
+        .seed(7)
+        .faults(plan)
+        .build()
+        .run();
     assert_eq!(r.delivered, 0, "no DATA frame survives");
     assert!(r.faults.data_corrupted > 0);
     assert!(
@@ -79,9 +103,16 @@ fn total_corruption_blocks_data_but_leaves_control_alive() {
 
 #[test]
 fn faults_degrade_but_rarely_destroy_delivery() {
-    let quiet = Simulation::new(scenario(), ProtocolKind::Opt, 7).run();
+    let quiet = Simulation::builder(scenario(), ProtocolKind::Opt)
+        .seed(7)
+        .build()
+        .run();
     let plan = FaultPlan::parse("crash=0.3", &scenario(), 7).unwrap();
-    let faulty = Simulation::with_faults(scenario(), ProtocolKind::Opt, 7, plan).run();
+    let faulty = Simulation::builder(scenario(), ProtocolKind::Opt)
+        .seed(7)
+        .faults(plan)
+        .build()
+        .run();
     assert!(
         faulty.delivery_ratio() <= quiet.delivery_ratio() + 0.05,
         "losing 30% of sensors should not help: {} vs {}",
