@@ -45,7 +45,10 @@ echo "$inspect_out" | grep -q 'deliveries' \
 echo "==> docs build cleanly (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
-echo "==> perf baseline smoke (--quick; discards output)"
-cargo run --release -p dftmsn-bench --bin perf_baseline -- --quick --out target/BENCH_engine.quick.json
+echo "==> perf baseline smoke (--quick --scale; discards output)"
+cargo run --release -p dftmsn-bench --bin perf_baseline -- --quick --scale --out target/BENCH_engine.quick.json
+
+echo "==> scale-tier regression guard (warn-only, vs committed BENCH_engine.json)"
+cargo run --release -p dftmsn-bench --bin scale_check
 
 echo "CI OK"

@@ -2,19 +2,29 @@
 //! `BENCH_engine.json` so perf-sensitive PRs have a tracked before/after
 //! figure (see EXPERIMENTS.md § Performance for the schema).
 //!
-//! Two measurements:
+//! Three measurements:
 //!
 //! * **engine** — every protocol variant run serially on one pinned
-//!   scenario; reports wall time and events/second (the discrete-event
-//!   core's throughput, from `SimReport::events_processed`);
+//!   scenario; reports wall time (accumulated in integer nanoseconds so
+//!   repeated float addition cannot smear the totals), events/second and
+//!   ns/event (the discrete-event core's throughput, from
+//!   `SimReport::events_processed`);
 //! * **sweep** — a batch of runs through [`dftmsn_bench::run_all`]'s
-//!   work-stealing scheduler; reports runs/second (harness throughput).
+//!   work-stealing scheduler; reports runs/second (harness throughput);
+//! * **scale** (`--scale`) — the 200/1 000/5 000-sensor tier of
+//!   [`dftmsn_bench::scale`], OPT under both mobility modes, which is the
+//!   tracked large-n figure.
 //!
 //! Usage: `cargo run --release -p dftmsn-bench --bin perf_baseline
-//! [--quick] [--out PATH]`. `--quick` shrinks both workloads to a smoke
-//! size for CI; numbers from different machines (or `--quick` and full
-//! runs) are not comparable with each other.
+//! [--quick] [--scale] [--pre-ref EV_PER_S] [--out PATH]`. `--quick`
+//! shrinks all workloads to a smoke size for CI; numbers from different
+//! machines (or `--quick` and full runs) are not comparable with each
+//! other. `--pre-ref` embeds an externally measured pre-change reference
+//! throughput (OPT, ticked, 1 000 sensors, same workload and machine) into
+//! the scale section so the speedup it anchors is recorded next to the
+//! numbers (EXPERIMENTS.md § Scale tier documents the methodology).
 
+use dftmsn_bench::scale::{run_tier, QUICK_DURATION_SECS, SCALE_DURATION_SECS, SCALE_SENSORS};
 use dftmsn_bench::sweep::{run_all, RunSpec};
 use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::{ProtocolParams, ScenarioParams};
@@ -26,19 +36,39 @@ use std::time::Instant;
 struct EngineRow {
     protocol: &'static str,
     runs: u64,
-    wall_ms: f64,
+    wall_ns: u128,
     events: u64,
     frames: u64,
+}
+
+impl EngineRow {
+    fn wall_ms(&self) -> f64 {
+        self.wall_ns as f64 / 1e6
+    }
+
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    fn ns_per_event(&self) -> f64 {
+        self.wall_ns as f64 / self.events as f64
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let scale = args.iter().any(|a| a == "--scale");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map_or("BENCH_engine.json", String::as_str);
+    let pre_ref: Option<f64> = args
+        .iter()
+        .position(|a| a == "--pre-ref")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--pre-ref takes events/sec"));
 
     // Pinned workloads: big enough that per-event costs dominate startup,
     // small enough to finish in seconds. Changing them invalidates
@@ -55,10 +85,10 @@ fn main() {
         ..ScenarioParams::paper_default()
     };
 
-    // Serial per-variant engine timing.
+    // Serial per-variant engine timing; wall accumulated in integer ns.
     let mut rows: Vec<EngineRow> = Vec::new();
     for kind in ProtocolKind::ALL {
-        let mut wall_ms = 0.0;
+        let mut wall_ns: u128 = 0;
         let mut events = 0;
         let mut frames = 0;
         for seed in 1..=engine_seeds {
@@ -67,26 +97,28 @@ fn main() {
                 .build();
             let t0 = Instant::now();
             let report = sim.run();
-            wall_ms += t0.elapsed().as_secs_f64() * 1_000.0;
+            wall_ns += t0.elapsed().as_nanos();
             events += report.events_processed;
             frames += report.frames_sent;
         }
-        eprintln!(
-            "{:<9} {:>8.1} ms  {:>9} events  {:>6.0} kev/s",
-            kind.label(),
-            wall_ms,
-            events,
-            events as f64 / wall_ms
-        );
-        rows.push(EngineRow {
+        let row = EngineRow {
             protocol: kind.label(),
             runs: engine_seeds,
-            wall_ms,
+            wall_ns,
             events,
             frames,
-        });
+        };
+        eprintln!(
+            "{:<9} {:>8.1} ms  {:>9} events  {:>6.0} kev/s  {:>5.0} ns/ev",
+            row.protocol,
+            row.wall_ms(),
+            row.events,
+            row.events_per_sec() / 1e3,
+            row.ns_per_event()
+        );
+        rows.push(row);
     }
-    let total_ms: f64 = rows.iter().map(|r| r.wall_ms).sum();
+    let total_ns: u128 = rows.iter().map(|r| r.wall_ns).sum();
     let total_events: u64 = rows.iter().map(|r| r.events).sum();
 
     // Parallel sweep timing (work-stealing run_all, all cores).
@@ -110,7 +142,8 @@ fn main() {
         .collect();
     let t0 = Instant::now();
     let reports = run_all(&specs, 0);
-    let sweep_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+    let sweep_ns = t0.elapsed().as_nanos();
+    let sweep_ms = sweep_ns as f64 / 1e6;
     eprintln!(
         "sweep     {:>8.1} ms  {:>9} runs    {:>6.2} runs/s",
         sweep_ms,
@@ -124,14 +157,15 @@ fn main() {
             Json::object()
                 .field("protocol", r.protocol)
                 .field("runs", r.runs)
-                .field("wall_ms", r.wall_ms)
+                .field("wall_ms", r.wall_ms())
                 .field("events", r.events)
                 .field("frames_sent", r.frames)
-                .field("events_per_sec", r.events as f64 / (r.wall_ms / 1_000.0))
+                .field("events_per_sec", r.events_per_sec())
+                .field("ns_per_event", r.ns_per_event())
         })
         .collect();
-    let json = Json::object()
-        .field("schema", "dftmsn-perf-baseline/1")
+    let mut json = Json::object()
+        .field("schema", "dftmsn-perf-baseline/2")
         .field("quick", quick)
         .field(
             "scenario",
@@ -145,9 +179,12 @@ fn main() {
         .field(
             "engine_totals",
             Json::object()
-                .field("wall_ms", total_ms)
+                .field("wall_ms", total_ns as f64 / 1e6)
                 .field("events", total_events)
-                .field("events_per_sec", total_events as f64 / (total_ms / 1_000.0)),
+                .field(
+                    "events_per_sec",
+                    total_events as f64 / (total_ns as f64 / 1e9),
+                ),
         )
         .field(
             "sweep",
@@ -158,6 +195,55 @@ fn main() {
                 .field("wall_ms", sweep_ms)
                 .field("runs_per_sec", specs.len() as f64 / (sweep_ms / 1_000.0)),
         );
+
+    if scale {
+        let (sizes, dur): (&[usize], u64) = if quick {
+            (&SCALE_SENSORS[..2], QUICK_DURATION_SECS)
+        } else {
+            (&SCALE_SENSORS[..], SCALE_DURATION_SECS)
+        };
+        let tier = run_tier(sizes, dur);
+        let tier_rows: Vec<Json> = tier
+            .iter()
+            .map(|r| {
+                Json::object()
+                    .field("sensors", r.sensors)
+                    .field("mode", r.mode_label())
+                    .field("wall_ms", r.wall_ns as f64 / 1e6)
+                    .field("events", r.events)
+                    .field("events_per_sec", r.events_per_sec())
+                    .field("ns_per_event", r.ns_per_event())
+                    .field("generated", r.generated)
+                    .field("delivered", r.delivered)
+                    .field("delivery_ratio", r.delivery_ratio())
+                    .field("mean_delay_secs", r.mean_delay_secs)
+            })
+            .collect();
+        let mut section = Json::object()
+            .field("protocol", "OPT")
+            .field("duration_secs", dur)
+            .field("seed", 1u64)
+            .field("rows", Json::Arr(tier_rows));
+        if let Some(ev_s) = pre_ref {
+            let lazy_1k = tier
+                .iter()
+                .find(|r| r.sensors == 1_000 && r.mode_label() == "lazy")
+                .map_or(0.0, |r| r.events_per_sec());
+            section = section.field(
+                "pre_pr_reference",
+                Json::object()
+                    .field("events_per_sec", ev_s)
+                    .field("speedup_lazy_1000", lazy_1k / ev_s)
+                    .field(
+                        "method",
+                        "OPT ticked 1000-sensor scale workload, pre-change binary, \
+                         same machine (EXPERIMENTS.md \u{a7} Scale tier)",
+                    ),
+            );
+        }
+        json = json.field("scale", section);
+    }
+
     std::fs::write(out_path, json.render() + "\n").expect("write baseline json");
     eprintln!("wrote {out_path}");
 }

@@ -1,31 +1,110 @@
-use dftmsn_core::params::ScenarioParams;
-use dftmsn_core::variants::ProtocolKind;
-use dftmsn_core::world::Simulation;
+//! Warn-only regression guard for the scale tier.
+//!
+//! Re-measures a quick slice of the scale tier (200 and 1 000 sensors,
+//! short duration) and compares it against the `scale` section of the
+//! committed `BENCH_engine.json`. Two checks, both advisory:
+//!
+//! * the lazy-over-ticked **speedup** at 1 000 sensors must not collapse
+//!   below half of the committed figure (this ratio is largely machine-
+//!   independent, so it is the primary guard);
+//! * the absolute lazy events/sec at 1 000 sensors must not fall below
+//!   half of the committed value (machine- and load-dependent — noisy,
+//!   but it catches order-of-magnitude regressions).
+//!
+//! The binary always exits 0: the numbers vary across machines and CI
+//! load, so a hard gate would flake. CI runs it after the `perf_baseline
+//! --quick --scale` smoke and surfaces the warnings in the log.
+//!
+//! Usage: `cargo run --release -p dftmsn-bench --bin scale_check
+//! [BASELINE_JSON]` (default `BENCH_engine.json`).
+
+use dftmsn_bench::scale::{run_tier, QUICK_DURATION_SECS, SCALE_SENSORS};
+use dftmsn_metrics::json::Json;
+
+fn committed_ev_s(scale: &Json, sensors: f64, mode: &str) -> Option<f64> {
+    scale
+        .get("rows")?
+        .as_array()?
+        .iter()
+        .find(|r| {
+            r.get("sensors").and_then(Json::as_f64) == Some(sensors)
+                && r.get("mode").and_then(Json::as_str) == Some(mode)
+        })?
+        .get("events_per_sec")?
+        .as_f64()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let dur: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
-    let area: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(150.0);
-    let sinks: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(3);
-    for kind in ProtocolKind::ALL {
-        let mut params = ScenarioParams::paper_default()
-            .with_duration_secs(dur)
-            .with_sinks(sinks);
-        params.area_width_m = area;
-        params.area_height_m = area;
-        let t = std::time::Instant::now();
-        let r = Simulation::builder(params, kind).seed(1).build().run();
-        println!("{:9} ratio {:5.1}% power {:7.3} mW delay {:6.0}s coll {:6} att {:7} mcast {:6} xi {:.3} [{:?}]",
-            kind.label(), r.delivery_ratio()*100.0, r.avg_sensor_power_mw, r.mean_delay_secs,
-            r.collisions, r.attempts, r.multicasts, r.mean_final_xi, t.elapsed());
-        println!(
-            "          drops: ovf {} rej {} ftd {} | copies {} sinkrx {} ctrl_bits {}",
-            r.drops_overflow,
-            r.drops_rejected,
-            r.drops_ftd,
-            r.copies_sent,
-            r.sink_receptions,
-            r.control_bits
+    let path = args.get(1).map_or("BENCH_engine.json", String::as_str);
+
+    let committed = match std::fs::read_to_string(path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("scale_check: cannot parse '{path}': {e} — nothing to compare");
+                return;
+            }
+        },
+        Err(e) => {
+            eprintln!("scale_check: cannot read '{path}': {e} — nothing to compare");
+            return;
+        }
+    };
+    let Some(scale) = committed.get("scale") else {
+        eprintln!(
+            "scale_check: '{path}' has no scale section (schema {:?}) — \
+             regenerate with `perf_baseline --scale`",
+            committed.get("schema").and_then(Json::as_str)
         );
+        return;
+    };
+    let (Some(ref_ticked), Some(ref_lazy)) = (
+        committed_ev_s(scale, 1_000.0, "ticked"),
+        committed_ev_s(scale, 1_000.0, "lazy"),
+    ) else {
+        eprintln!("scale_check: '{path}' scale section lacks 1000-sensor rows");
+        return;
+    };
+    let ref_speedup = ref_lazy / ref_ticked;
+
+    let rows = run_tier(&SCALE_SENSORS[..2], QUICK_DURATION_SECS);
+    let ev_s = |mode: &str| {
+        rows.iter()
+            .find(|r| r.sensors == 1_000 && r.mode_label() == mode)
+            .map_or(0.0, |r| r.events_per_sec())
+    };
+    let (now_ticked, now_lazy) = (ev_s("ticked"), ev_s("lazy"));
+    let now_speedup = now_lazy / now_ticked;
+
+    println!(
+        "scale_check @1000 sensors: lazy {:.0} kev/s ({}: {:.0}), \
+         lazy/ticked speedup {:.2}x ({}: {:.2}x)",
+        now_lazy / 1e3,
+        path,
+        ref_lazy / 1e3,
+        now_speedup,
+        path,
+        ref_speedup
+    );
+    let mut warned = false;
+    if now_speedup < 0.5 * ref_speedup {
+        eprintln!(
+            "warning: lazy/ticked speedup collapsed to {now_speedup:.2}x \
+             (committed {ref_speedup:.2}x) — lazy mobility may have regressed"
+        );
+        warned = true;
+    }
+    if now_lazy < 0.5 * ref_lazy {
+        eprintln!(
+            "warning: lazy throughput {:.0} kev/s is under half the committed \
+             {:.0} kev/s (machine-dependent; ignore if the hardware differs)",
+            now_lazy / 1e3,
+            ref_lazy / 1e3
+        );
+        warned = true;
+    }
+    if !warned {
+        println!("scale_check: within tolerance of the committed baseline");
     }
 }

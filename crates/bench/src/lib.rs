@@ -10,7 +10,8 @@
 //! | `speed` | Prose-B: nodal-speed sweep |
 //! | `opt_tables` | Opt-1/2/3: Sec. 4 analytic optimization tables |
 //! | `ablation` | Abl-1: per-optimization ablation |
-//! | `scale_check` | quick per-variant snapshot (diagnostics) |
+//! | `perf_baseline` | tracked engine/sweep/scale throughput baseline |
+//! | `scale_check` | warn-only scale-tier guard vs `BENCH_engine.json` |
 //!
 //! All binaries accept `--quick` (short runs), `--seeds N`,
 //! `--duration SECS` and `--threads N`, and write text + CSV tables under
@@ -23,7 +24,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod scale;
 pub mod sweep;
 
 pub use experiments::ExperimentOpts;
+pub use scale::{scale_scenario, ScaleRow, SCALE_SENSORS};
 pub use sweep::{average, run_all, Averaged, RunSpec};

@@ -12,7 +12,7 @@ use dftmsn_core::variants::ProtocolKind;
 use dftmsn_core::world::Simulation;
 use dftmsn_metrics::json::Json;
 use dftmsn_metrics::table::Table;
-use dftmsn_metrics::viz::sparkline;
+use dftmsn_metrics::viz::{resample, sparkline};
 use std::io::BufWriter;
 
 fn main() {
@@ -209,21 +209,6 @@ fn extract(rows: &[Json], name: &str) -> Vec<(f64, f64)> {
     out
 }
 
-/// Chunk-means `values` down to at most `width` points so the sparkline
-/// fits the terminal while every sample still contributes.
-fn resample(values: &[f64], width: usize) -> Vec<f64> {
-    if values.len() <= width {
-        return values.to_vec();
-    }
-    (0..width)
-        .map(|i| {
-            let lo = i * values.len() / width;
-            let hi = ((i + 1) * values.len() / width).max(lo + 1);
-            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
-        })
-        .collect()
-}
-
 fn load_observe_file(path: &str) -> (Json, Vec<Json>, Option<Json>) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| fail(&format!("cannot read '{path}': {e}")));
@@ -282,6 +267,12 @@ fn inspect(path: &str, series: Option<&str>, width: usize) {
         return;
     }
 
+    if rows.is_empty() {
+        // A run shorter than one window writes only the header (and
+        // possibly totals); render the empty table rather than erroring so
+        // scripted pipelines see a well-formed summary.
+        println!("no complete windows recorded (run shorter than one window?)");
+    }
     let mut table = Table::new("series", &["series", "min", "mean", "max", "last", "trend"]);
     for name in COUNTER_SERIES.iter().chain(SNAPSHOT_SERIES) {
         let points = extract(&rows, name);

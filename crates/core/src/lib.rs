@@ -40,6 +40,7 @@
 pub mod analysis;
 pub mod contention;
 pub mod delivery;
+pub mod dense;
 pub mod faults;
 pub mod frames;
 pub mod ftd;
@@ -67,7 +68,7 @@ pub use queue::FtdQueue;
 pub use report::SimReport;
 pub use trace::{DropReason, SharedTrace, TeeSink, TraceEvent, TraceSink};
 pub use variants::ProtocolKind;
-pub use world::{Simulation, SimulationBuilder};
+pub use world::{MobilityMode, Simulation, SimulationBuilder};
 
 /// The most commonly used items, re-exported in one place.
 ///
@@ -87,5 +88,5 @@ pub mod prelude {
     pub use crate::report::SimReport;
     pub use crate::trace::{DropReason, SharedTrace, TeeSink, TraceEvent, TraceSink};
     pub use crate::variants::{ProtocolKind, VariantConfig};
-    pub use crate::world::{Simulation, SimulationBuilder};
+    pub use crate::world::{MobilityMode, Simulation, SimulationBuilder};
 }

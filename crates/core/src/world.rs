@@ -28,6 +28,7 @@
 
 use crate::contention::{optimize_cts_window, optimize_tau_max, sigma};
 use crate::delivery::DeliveryProb;
+use crate::dense::{DeliveredSet, HotNodeTable, LinkDropTable};
 use crate::faults::{FaultKind, FaultPlan};
 use crate::frames::MacPayload;
 use crate::ftd::Ftd;
@@ -52,7 +53,6 @@ use dftmsn_radio::medium::{Frame, Medium, TxHandle};
 use dftmsn_sim::event::EventQueue;
 use dftmsn_sim::rng::SimRng;
 use dftmsn_sim::time::{SimDuration, SimTime};
-use std::collections::{HashMap, HashSet};
 
 /// Node-local timer kinds; all are epoch-guarded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,6 +203,57 @@ impl Timing {
     }
 }
 
+/// How node motion is advanced through simulated time.
+///
+/// The default [`Ticked`](MobilityMode::Ticked) mode advances every
+/// mobility model on every global `MobilityTick` from one shared RNG
+/// stream — O(N) work per tick regardless of how many nodes are asleep.
+/// It is the mode every existing golden baseline was recorded under and
+/// stays bit-for-bit unchanged by this enum's existence.
+///
+/// [`Lazy`](MobilityMode::Lazy) gives each node its own forked RNG stream
+/// and extrapolates its trajectory in closed form
+/// ([`MobilityModel::advance_span`]) only when the position is actually
+/// needed: on wake-up, on a spatial query, or at a low-rate staleness
+/// sweep that bounds how far any position lags. Sleeping nodes cost
+/// nothing while they sleep. Spatial queries run at an expanded radius
+/// (`range + v_max · sweep_period`) so a node whose stored position is
+/// stale can never be missed; candidates are caught up and re-filtered at
+/// the true range before the protocol sees them.
+///
+/// The two modes sample the same mobility distributions but consume
+/// randomness in different orders, so `Lazy` runs re-baseline: they are
+/// deterministic per seed (own golden test) but not bit-identical to
+/// `Ticked` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MobilityMode {
+    /// Advance all models every `mobility_tick_secs` (the default; all
+    /// pre-existing baselines).
+    #[default]
+    Ticked,
+    /// Per-node RNG streams + on-demand closed-form catch-up.
+    Lazy,
+}
+
+/// Bookkeeping for [`MobilityMode::Lazy`].
+#[derive(Debug)]
+struct LazyMobility {
+    /// Per-node mobility streams (forked from the shared mobility RNG),
+    /// so catching node *i* up never perturbs node *j*'s trajectory.
+    rngs: Vec<SimRng>,
+    /// The sim-time each node's position was last advanced to.
+    synced_at: Vec<SimTime>,
+    /// Staleness bound: a low-rate sweep catches every node up at this
+    /// period, so no stored position lags truth by more than it.
+    sync_every: SimDuration,
+    /// Spatial-query radius inflated by the worst-case staleness drift
+    /// (`range + v_max · sync_every`); also the grid cell size.
+    query_radius: f64,
+    /// The speed bound used to derive `query_radius`, kept for the
+    /// per-candidate drift pruning in `fill_neighbors`.
+    vmax: f64,
+}
+
 /// A configured, runnable simulation.
 ///
 /// Construct one through [`Simulation::builder`]; the builder is the
@@ -234,14 +285,20 @@ pub struct Simulation {
 
     events: EventQueue<Event>,
     nodes: Vec<Node>,
+    /// Struct-of-arrays mirror of the hottest per-node fields (epoch, MAC
+    /// state tag, ξ); refreshed via [`Self::sync_hot`] after every
+    /// mutation, asserted against the canonical fields in debug builds.
+    hot: HotNodeTable,
     mobility: Vec<Box<dyn MobilityModel>>,
     mobility_rng: SimRng,
+    /// `Some` when running in [`MobilityMode::Lazy`].
+    lazy: Option<LazyMobility>,
     positions: Vec<Vec2>,
     grid: SpatialGrid,
     medium: Medium<MacPayload>,
 
     ids: MessageIdAllocator,
-    delivered_ids: HashSet<MessageId>,
+    delivered_ids: DeliveredSet,
     metrics: RunMetrics,
     deliveries: Vec<DeliveryRecord>,
 
@@ -264,8 +321,8 @@ pub struct Simulation {
     /// Per-frame drop probability applied to every link without a
     /// per-pair entry.
     global_link_drop: f64,
-    /// Per-pair drop probabilities, keyed by the ordered endpoint pair.
-    link_drop: HashMap<(NodeId, NodeId), f64>,
+    /// Per-pair drop probabilities (dense, lazily allocated).
+    link_drop: LinkDropTable,
     /// True once any fault event has fired (gates the
     /// `deliveries_despite_faults` counter).
     fault_regime: bool,
@@ -302,6 +359,7 @@ pub struct SimulationBuilder {
     config: VariantConfig,
     protocol: ProtocolParams,
     seed: u64,
+    mobility_mode: MobilityMode,
     faults: Option<FaultPlan>,
     trace: Option<Box<dyn TraceSink>>,
     observer: Option<MetricsRecorder>,
@@ -318,6 +376,16 @@ impl SimulationBuilder {
     /// Sets the root seed every random stream forks from (default: 1).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Selects how mobility is advanced (default:
+    /// [`MobilityMode::Ticked`], the mode of every pre-existing golden
+    /// baseline). [`MobilityMode::Lazy`] advances only the nodes whose
+    /// positions are actually consulted — same distributions, different
+    /// randomness order, so lazy runs carry their own baselines.
+    pub fn mobility_mode(mut self, mode: MobilityMode) -> Self {
+        self.mobility_mode = mode;
         self
     }
 
@@ -359,7 +427,13 @@ impl SimulationBuilder {
     /// validation.
     #[must_use]
     pub fn build(self) -> Simulation {
-        let mut sim = Simulation::construct(self.scenario, self.protocol, self.config, self.seed);
+        let mut sim = Simulation::construct(
+            self.scenario,
+            self.protocol,
+            self.config,
+            self.seed,
+            self.mobility_mode,
+        );
         if let Some(plan) = self.faults {
             sim.install_fault_plan(plan);
         }
@@ -401,6 +475,7 @@ impl Simulation {
             config: config.into(),
             protocol: ProtocolParams::paper_default(),
             seed: 1,
+            mobility_mode: MobilityMode::default(),
             faults: None,
             trace: None,
             observer: None,
@@ -451,6 +526,7 @@ impl Simulation {
         protocol: ProtocolParams,
         config: VariantConfig,
         seed: u64,
+        mode: MobilityMode,
     ) -> Self {
         scenario
             .validate()
@@ -466,9 +542,27 @@ impl Simulation {
         let zones = ZoneGrid::new(area, scenario.zone_cols, scenario.zone_rows);
         let n = scenario.node_count();
 
+        // Lazy mode forks one mobility stream per node, so catching one
+        // node up never consumes another's randomness; the model is also
+        // *placed* from its own stream, which is why lazy runs re-baseline.
+        // In Ticked mode `own` is an unused placeholder (nothing is drawn
+        // from it), keeping the shared-stream draw order bit-identical to
+        // every pre-existing baseline.
+        let lazy_mode = mode == MobilityMode::Lazy;
         let mut nodes = Vec::with_capacity(n);
         let mut mobility: Vec<Box<dyn MobilityModel>> = Vec::with_capacity(n);
+        let mut lazy_rngs: Vec<SimRng> = Vec::with_capacity(if lazy_mode { n } else { 0 });
         for i in 0..scenario.sensors {
+            let mut own = if lazy_mode {
+                mobility_rng.fork(i as u64)
+            } else {
+                SimRng::seed_from(0)
+            };
+            let rng: &mut SimRng = if lazy_mode {
+                &mut own
+            } else {
+                &mut mobility_rng
+            };
             let model: Box<dyn MobilityModel> = match scenario.mobility {
                 MobilityKind::ZoneBased => Box::new(ZoneMobility::new(
                     zones.clone(),
@@ -476,23 +570,26 @@ impl Simulation {
                     scenario.speed_min_mps,
                     scenario.speed_max_mps,
                     scenario.zone_exit_prob,
-                    &mut mobility_rng,
+                    rng,
                 )),
                 MobilityKind::RandomWaypoint => Box::new(RandomWaypoint::new(
                     area,
                     scenario.speed_min_mps.max(0.1),
                     scenario.speed_max_mps.max(0.2),
                     0.0,
-                    &mut mobility_rng,
+                    rng,
                 )),
                 MobilityKind::RandomWalk => Box::new(RandomWalk::new(
                     area,
                     scenario.speed_min_mps,
                     scenario.speed_max_mps,
                     20.0,
-                    &mut mobility_rng,
+                    rng,
                 )),
             };
+            if lazy_mode {
+                lazy_rngs.push(own);
+            }
             mobility.push(model);
             nodes.push(Node::new(
                 NodeId(i),
@@ -507,19 +604,34 @@ impl Simulation {
         // people instead and move like sensors (paper Sec. 1).
         for j in 0..scenario.sinks {
             let zone = ZoneId(((2 * j + 1) * zones.zone_count()) / (2 * scenario.sinks));
+            let i = scenario.sensors + j;
+            let mut own = if lazy_mode {
+                mobility_rng.fork(i as u64)
+            } else {
+                SimRng::seed_from(0)
+            };
             if j >= scenario.sinks - scenario.mobile_sinks {
+                let rng: &mut SimRng = if lazy_mode {
+                    &mut own
+                } else {
+                    &mut mobility_rng
+                };
                 mobility.push(Box::new(ZoneMobility::new(
                     zones.clone(),
                     zone,
                     scenario.speed_min_mps,
                     scenario.speed_max_mps,
                     scenario.zone_exit_prob,
-                    &mut mobility_rng,
+                    rng,
                 )));
             } else {
                 mobility.push(Box::new(Stationary::new(zones.zone_center(zone))));
             }
-            let i = scenario.sensors + j;
+            if lazy_mode {
+                // Stationary sinks never draw, but the slot keeps per-node
+                // stream indexing aligned.
+                lazy_rngs.push(own);
+            }
             nodes.push(Node::new(
                 NodeId(i),
                 NodeRole::Sink,
@@ -529,8 +641,28 @@ impl Simulation {
             ));
         }
 
+        let lazy = match mode {
+            MobilityMode::Ticked => None,
+            MobilityMode::Lazy => {
+                let vmax = scenario.speed_max_mps.max(0.2);
+                let sync_every = (scenario.channel.range_m / vmax)
+                    .clamp(scenario.mobility_tick_secs.min(30.0), 30.0);
+                Some(LazyMobility {
+                    rngs: lazy_rngs,
+                    synced_at: vec![SimTime::ZERO; n],
+                    sync_every: SimDuration::from_secs_f64(sync_every),
+                    query_radius: scenario.channel.range_m + vmax * sync_every,
+                    vmax,
+                })
+            }
+        };
+
         let positions: Vec<Vec2> = mobility.iter().map(|m| m.position()).collect();
-        let mut grid = SpatialGrid::new(area, scenario.channel.range_m.max(1.0));
+        let cell = match &lazy {
+            Some(l) => l.query_radius.max(1.0),
+            None => scenario.channel.range_m.max(1.0),
+        };
+        let mut grid = SpatialGrid::new(area, cell);
         grid.rebuild(&positions);
 
         let mut medium = Medium::new(n);
@@ -543,6 +675,11 @@ impl Simulation {
         let end = SimTime::from_secs(scenario.duration_secs);
         let metrics = RunMetrics::new(scenario.duration_secs as f64);
 
+        let mut hot = HotNodeTable::with_len(n);
+        for (idx, node) in nodes.iter().enumerate() {
+            hot.sync(idx, node.epoch, node.state, node.metric.value());
+        }
+
         let mut sim = Simulation {
             scenario,
             protocol,
@@ -552,13 +689,15 @@ impl Simulation {
             end,
             events: EventQueue::new(),
             nodes,
+            hot,
             mobility,
             mobility_rng,
+            lazy,
             positions,
             grid,
             medium,
             ids: MessageIdAllocator::new(),
-            delivered_ids: HashSet::new(),
+            delivered_ids: DeliveredSet::new(),
             metrics,
             deliveries: Vec::new(),
             scratch: CycleScratch::default(),
@@ -568,7 +707,7 @@ impl Simulation {
             fault_plan: FaultPlan::default(),
             fault_rng,
             global_link_drop: 0.0,
-            link_drop: HashMap::new(),
+            link_drop: LinkDropTable::new(n),
             fault_regime: false,
         };
         sim.schedule_initial_events();
@@ -621,7 +760,12 @@ impl Simulation {
     }
 
     fn schedule_initial_events(&mut self) {
-        let tick = SimDuration::from_secs_f64(self.scenario.mobility_tick_secs);
+        // In Lazy mode the MobilityTick is a low-rate staleness sweep, not
+        // a per-tick advance.
+        let tick = match &self.lazy {
+            Some(l) => l.sync_every,
+            None => SimDuration::from_secs_f64(self.scenario.mobility_tick_secs),
+        };
         self.events.schedule_after(tick, Event::MobilityTick);
         for i in 0..self.scenario.sensors {
             let id = NodeId(i);
@@ -687,13 +831,29 @@ impl Simulation {
             Event::MetricTimeout(i) => self.on_metric_timeout(now, i),
             Event::TxEnd(i, handle) => self.on_tx_end(now, i, handle),
             Event::Timer(i, epoch, timer) => {
-                if self.nodes[i.index()].epoch == epoch {
+                // Staleness check against the dense epoch mirror: most
+                // timers are stale (implicit cancellation), so this filter
+                // runs hot and must not pull whole `Node`s through cache.
+                debug_assert_eq!(self.hot.epoch[i.index()], self.nodes[i.index()].epoch);
+                if self.hot.epoch[i.index()] == epoch {
                     self.on_timer(now, i, timer);
                 }
             }
             Event::Fault(k) => self.on_fault(now, k),
             Event::ObserveTick => self.on_observe_tick(now),
         }
+    }
+
+    /// Refreshes node `idx`'s row of the dense hot-state mirror. Must be
+    /// called after every block that transitions the MAC state (which
+    /// bumps the epoch) or updates the routing metric; consumers
+    /// `debug_assert` the mirror against the canonical fields, so a
+    /// missed call fails the debug-built test suite.
+    #[inline]
+    fn sync_hot(&mut self, idx: usize) {
+        let node = &self.nodes[idx];
+        self.hot
+            .sync(idx, node.epoch, node.state, node.metric.value());
     }
 
     // ------------------------------------------------------------------
@@ -794,11 +954,10 @@ impl Simulation {
                 }
             }
             FaultKind::LinkDegrade { a, b, drop_prob } => {
-                let key = if a <= b { (a, b) } else { (b, a) };
                 if drop_prob > 0.0 {
-                    self.link_drop.insert(key, drop_prob.clamp(0.0, 1.0));
+                    self.link_drop.set(a, b, drop_prob.clamp(0.0, 1.0));
                 } else {
-                    self.link_drop.remove(&key);
+                    self.link_drop.clear(a, b);
                 }
             }
             FaultKind::GlobalLinkDegrade { drop_prob } => {
@@ -846,6 +1005,7 @@ impl Simulation {
         if let Some(ctx) = taken_ctx {
             self.scratch.recycle_sender_ctx(ctx);
         }
+        self.sync_hot(idx);
         self.metrics.faults.messages_lost_to_crash += lost;
         self.medium.set_listening(i, false);
         true
@@ -868,6 +1028,7 @@ impl Simulation {
             node.cycles_inactive = 0;
             node.listen_retries = 0;
         }
+        self.sync_hot(idx);
         self.medium.set_listening(i, true);
         if !self.nodes[idx].is_sink() {
             let jitter = {
@@ -886,20 +1047,28 @@ impl Simulation {
         if self.link_drop.is_empty() {
             return self.global_link_drop;
         }
-        let key = if a <= b { (a, b) } else { (b, a) };
-        self.link_drop
-            .get(&key)
-            .copied()
-            .unwrap_or(self.global_link_drop)
+        self.link_drop.get(a, b).unwrap_or(self.global_link_drop)
     }
 
     fn schedule_timer(&mut self, i: NodeId, delay: SimDuration, timer: Timer) {
-        let epoch = self.nodes[i.index()].epoch;
+        debug_assert_eq!(self.hot.epoch[i.index()], self.nodes[i.index()].epoch);
+        let epoch = self.hot.epoch[i.index()];
         self.events
             .schedule_after(delay, Event::Timer(i, epoch, timer));
     }
 
-    fn on_mobility_tick(&mut self, _now: SimTime) {
+    fn on_mobility_tick(&mut self, now: SimTime) {
+        if let Some(every) = self.lazy.as_ref().map(|l| l.sync_every) {
+            // Lazy mode: this tick is a low-rate staleness sweep. Catching
+            // every node up to `now` re-establishes the invariant the
+            // expanded-radius queries rely on — no stored position lags
+            // truth by more than `sync_every · v_max` metres.
+            for j in 0..self.mobility.len() {
+                self.catch_up_node(j, now);
+            }
+            self.events.schedule_after(every, Event::MobilityTick);
+            return;
+        }
         let dt = self.scenario.mobility_tick_secs;
         for (m, p) in self.mobility.iter_mut().zip(self.positions.iter_mut()) {
             m.advance(dt, &mut self.mobility_rng);
@@ -911,6 +1080,24 @@ impl Simulation {
         self.grid.update(&self.positions);
         let tick = SimDuration::from_secs_f64(dt);
         self.events.schedule_after(tick, Event::MobilityTick);
+    }
+
+    /// Advances node `j`'s mobility from its last synced instant to `now`
+    /// in one closed-form span, updating its stored position and grid
+    /// cell. No-op in Ticked mode and for already-current nodes.
+    fn catch_up_node(&mut self, j: usize, now: SimTime) {
+        let Some(lazy) = self.lazy.as_mut() else {
+            return;
+        };
+        let dt = now.saturating_since(lazy.synced_at[j]);
+        if dt.is_zero() {
+            return;
+        }
+        lazy.synced_at[j] = now;
+        self.mobility[j].advance_span(dt.as_secs_f64(), &mut lazy.rngs[j]);
+        let p = self.mobility[j].position();
+        self.positions[j] = p;
+        self.grid.move_node(j, p);
     }
 
     fn on_data_gen(&mut self, now: SimTime, i: NodeId) {
@@ -950,6 +1137,7 @@ impl Simulation {
             let windows = (now.saturating_since(anchor).ticks() / delta.ticks().max(1)).max(1);
             node.metric.decay_windows(self.protocol.alpha, windows);
             node.xi_anchor = anchor + delta * windows;
+            self.sync_hot(i.index());
             self.events.schedule_after(delta, Event::MetricTimeout(i));
         } else {
             self.events.schedule_at(due, Event::MetricTimeout(i));
@@ -976,6 +1164,9 @@ impl Simulation {
         if self.nodes[i.index()].is_sink() || !self.nodes[i.index()].alive {
             return;
         }
+        // A node waking from a long nap catches its own position up before
+        // acting (lazy mode only; no-op otherwise).
+        self.catch_up_node(i.index(), now);
         {
             let node = &mut self.nodes[i.index()];
             if node.state == MacState::Sleeping {
@@ -994,6 +1185,7 @@ impl Simulation {
             // then re-evaluate the sleeping policy.
             let window = SimDuration::from_secs_f64(self.protocol.receiver_window_secs);
             self.nodes[i.index()].transition(MacState::Passive);
+            self.sync_hot(i.index());
             self.schedule_timer(i, window, Timer::Guard);
         } else {
             self.enter_sender_listen(now, i);
@@ -1013,6 +1205,7 @@ impl Simulation {
         };
         let tau_slots = node.rng.gen_range_inclusive(1, sig);
         node.transition(MacState::SenderListen);
+        self.sync_hot(i.index());
         self.metrics.attempts += 1;
         let listen = self.timing.listen_slot * tau_slots;
         self.schedule_timer(i, listen, Timer::ListenDone);
@@ -1265,6 +1458,7 @@ impl Simulation {
                 }
             }
         }
+        self.sync_hot(i.index());
 
         // Queue bookkeeping for the transmitted message.
         let msg_id = ctx.msg.id;
@@ -1313,6 +1507,7 @@ impl Simulation {
             node.receiver_ctx = None;
             node.listen_retries = 0;
             node.transition(MacState::Passive);
+            self.sync_hot(i.index());
             return;
         }
         let urgency_bound = Ftd::new(self.protocol.urgency_ftd_bound);
@@ -1356,6 +1551,7 @@ impl Simulation {
             node.transition(MacState::Sleeping);
             node.meter
                 .set_state(now, RadioState::Sleep, &self.scenario.energy);
+            self.sync_hot(i.index());
             self.medium.set_listening(i, false);
             self.emit(TraceEvent::Slept {
                 at: now,
@@ -1365,6 +1561,7 @@ impl Simulation {
             self.schedule_timer(i, duration, Timer::WakeUp);
         } else {
             self.nodes[i.index()].transition(MacState::Passive);
+            self.sync_hot(i.index());
             self.schedule_timer(i, backoff, Timer::WakeUp);
         }
     }
@@ -1422,13 +1619,46 @@ impl Simulation {
     // Radio plumbing
     // ------------------------------------------------------------------
 
-    fn fill_neighbors(&mut self, i: NodeId) {
-        self.grid.query_within(
-            &self.positions,
-            i.index(),
-            self.scenario.channel.range_m,
-            &mut self.scratch.idx,
-        );
+    fn fill_neighbors(&mut self, now: SimTime, i: NodeId) {
+        let range = self.scenario.channel.range_m;
+        if let Some(radius) = self.lazy.as_ref().map(|l| l.query_radius) {
+            // Lazy mode: stored positions may lag truth by up to
+            // `sync_every · v_max` metres (center included until the line
+            // below), so query at the inflated radius — anything truly in
+            // range is guaranteed to fall inside it — then catch the
+            // candidates up and re-filter at the true range. `retain`
+            // preserves the ascending order downstream relies on.
+            self.catch_up_node(i.index(), now);
+            self.grid
+                .query_within(&self.positions, i.index(), radius, &mut self.scratch.idx);
+            let mut idx = std::mem::take(&mut self.scratch.idx);
+            let center = self.positions[i.index()];
+            {
+                // Drift-bound pruning: a candidate whose *stale* position
+                // already lies farther than `range + v_max · staleness`
+                // cannot be within range now, so it needs neither catch-up
+                // nor a second look. This keeps the expanded-radius query
+                // from turning every contact check into a ring of
+                // trajectory advances.
+                let lazy = self.lazy.as_ref().expect("lazy branch");
+                let vmax = lazy.vmax;
+                let positions = &self.positions;
+                idx.retain(|&j| {
+                    let s = now.saturating_since(lazy.synced_at[j]).as_secs_f64();
+                    let reach = range + vmax * s;
+                    positions[j].distance_sq(center) <= reach * reach
+                });
+            }
+            for &j in &idx {
+                self.catch_up_node(j, now);
+            }
+            let r2 = range * range;
+            idx.retain(|&j| self.positions[j].distance_sq(center) <= r2);
+            self.scratch.idx = idx;
+        } else {
+            self.grid
+                .query_within(&self.positions, i.index(), range, &mut self.scratch.idx);
+        }
         self.scratch.ids.clear();
         self.scratch
             .ids
@@ -1443,7 +1673,7 @@ impl Simulation {
         bits: u64,
         plan: TxPlan,
     ) {
-        self.fill_neighbors(i);
+        self.fill_neighbors(now, i);
         self.emit(TraceEvent::FrameSent {
             at: now,
             node: i,
@@ -1462,6 +1692,7 @@ impl Simulation {
             node.meter
                 .set_state(now, RadioState::Tx, &self.scenario.energy);
         }
+        self.sync_hot(i.index());
         self.medium.set_listening(i, false);
         let handle = self.medium.begin_tx(
             now,
@@ -1534,12 +1765,14 @@ impl Simulation {
                     .expect("RTS without ctx")
                     .window_slots;
                 self.nodes[i.index()].transition(MacState::CollectCts);
+                self.sync_hot(i.index());
                 let wait = self.timing.cts_slot * u64::from(window) + self.timing.gap;
                 self.schedule_timer(i, wait, Timer::CtsWindowEnd);
             }
             TxPlan::Cts => {
                 let ctx = self.nodes[i.index()].receiver_ctx.expect("CTS without ctx");
                 self.nodes[i.index()].transition(MacState::AwaitSchedule);
+                self.sync_hot(i.index());
                 let deadline = ctx.rts_end
                     + self.timing.cts_slot * u64::from(ctx.window_slots)
                     + self.timing.ctrl
@@ -1569,6 +1802,7 @@ impl Simulation {
                         .map_or(0, |s| s.receivers.len() as u64)
                 };
                 self.nodes[i.index()].transition(MacState::AwaitAcks);
+                self.sync_hot(i.index());
                 let wait = self.timing.ack_slot * receivers + self.timing.gap * 2;
                 self.schedule_timer(i, wait, Timer::AckWindowEnd);
             }
@@ -1648,16 +1882,21 @@ impl Simulation {
             // Sinks always qualify: ξ = 1 and effectively infinite buffer.
             return true;
         }
+        // The ξ comparison screens most receivers out before the queue is
+        // consulted, so it reads the dense mirror.
+        debug_assert_eq!(
+            self.hot.xi[r.index()].to_bits(),
+            node.metric.value().to_bits()
+        );
+        let xi = self.hot.xi[r.index()];
         match self.config.selection {
             SelectionKind::FtdThreshold => {
-                node.metric.value() > sender_xi
+                xi > sender_xi
                     && node.queue.available_space_for(Ftd::new(ftd)) > 0
                     && !node.queue.contains(msg)
             }
             SelectionKind::SingleBest => {
-                node.metric.value() > sender_xi
-                    && !node.queue.is_full()
-                    && !node.queue.contains(msg)
+                xi > sender_xi && !node.queue.is_full() && !node.queue.contains(msg)
             }
             SelectionKind::SinkOnly => false,
             SelectionKind::AllResponders => !node.queue.is_full() && !node.queue.contains(msg),
@@ -1668,8 +1907,13 @@ impl Simulation {
         let src = frame.src;
         match &frame.payload {
             MacPayload::Preamble => {
-                if self.nodes[r.index()].state.receptive() {
+                // Preambles fan out to every audible node, so this filter
+                // is the hottest state read in the loop — serve it from
+                // the dense mirror.
+                debug_assert_eq!(self.hot.state[r.index()], self.nodes[r.index()].state);
+                if self.hot.state[r.index()].receptive() {
                     self.nodes[r.index()].transition(MacState::AwaitRts);
+                    self.sync_hot(r.index());
                     let deadline = self.timing.ctrl + self.timing.gap * 2;
                     self.schedule_timer(r, deadline, Timer::Guard);
                 }
@@ -1702,11 +1946,13 @@ impl Simulation {
                         ack_slot: 0,
                     });
                     self.nodes[r.index()].transition(MacState::CtsPending);
+                    self.sync_hot(r.index());
                     let delay = self.timing.cts_slot * u64::from(slot - 1) + self.timing.gap;
                     self.schedule_timer(r, delay, Timer::CtsSlot);
                 } else {
                     // NAV: defer until the overheard exchange finishes.
                     self.nodes[r.index()].transition(MacState::Passive);
+                    self.sync_hot(r.index());
                     let nav = self.timing.nav_after_rts(*window_slots);
                     self.schedule_timer(r, nav, Timer::Guard);
                 }
@@ -1731,6 +1977,7 @@ impl Simulation {
                 } else if state.receptive() {
                     // Third party: stay out of the way (NAV).
                     self.nodes[r.index()].transition(MacState::Passive);
+                    self.sync_hot(r.index());
                     let nav = self.timing.nav_overheard();
                     self.schedule_timer(r, nav, Timer::Guard);
                 }
@@ -1752,11 +1999,13 @@ impl Simulation {
                             ctx.ack_slot = k as u32;
                         }
                         self.nodes[r.index()].transition(MacState::AwaitData);
+                        self.sync_hot(r.index());
                         let deadline = self.timing.data + self.timing.gap * 2;
                         self.schedule_timer(r, deadline, Timer::Guard);
                     } else {
                         // Replied but not selected: wait out the exchange.
                         self.nodes[r.index()].transition(MacState::Passive);
+                        self.sync_hot(r.index());
                         let nav = self.timing.data
                             + self.timing.ack_slot * receivers.len() as u64
                             + self.timing.gap * 3;
@@ -1764,6 +2013,7 @@ impl Simulation {
                     }
                 } else if state.receptive() {
                     self.nodes[r.index()].transition(MacState::Passive);
+                    self.sync_hot(r.index());
                     let nav = self.timing.nav_overheard();
                     self.schedule_timer(r, nav, Timer::Guard);
                 }
@@ -1785,6 +2035,7 @@ impl Simulation {
                     self.insert_into_queue(now, r, msg.hopped().with_ftd(assigned));
                 }
                 self.nodes[r.index()].transition(MacState::AckPending);
+                self.sync_hot(r.index());
                 let delay = self.timing.ack_slot * u64::from(ctx.ack_slot) + self.timing.gap;
                 self.schedule_timer(r, delay, Timer::AckSlot);
             }
@@ -2088,6 +2339,9 @@ mod tests {
         let mut sim = mk(ProtocolKind::Opt);
         let r = NodeId(0);
         sim.nodes[r.index()].metric = DeliveryProb::new(0.5);
+        // Direct metric pokes bypass the engine's mutation sites, so the
+        // hot mirror must be refreshed by hand.
+        sim.sync_hot(r.index());
         assert!(sim.qualified(r, 0.4, 0.0, MessageId(9)));
         assert!(
             !sim.qualified(r, 0.5, 0.0, MessageId(9)),

@@ -38,6 +38,37 @@ pub fn sparkline(values: &[f64]) -> String {
     values.iter().map(|&v| RAMP[level(v, lo, hi)]).collect()
 }
 
+/// Chunk-means `values` down to at most `width` points so a sparkline
+/// fits the terminal while every sample still contributes to some chunk.
+///
+/// Inputs shorter than `width` are returned unchanged; `width == 0`
+/// yields an empty vector (nothing can be drawn in zero columns).
+///
+/// # Examples
+///
+/// ```
+/// use dftmsn_metrics::viz::resample;
+///
+/// assert_eq!(resample(&[1.0, 2.0, 3.0, 4.0], 2), vec![1.5, 3.5]);
+/// assert_eq!(resample(&[1.0, 2.0], 8), vec![1.0, 2.0]);
+/// ```
+#[must_use]
+pub fn resample(values: &[f64], width: usize) -> Vec<f64> {
+    if width == 0 {
+        return Vec::new();
+    }
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    (0..width)
+        .map(|i| {
+            let lo = i * values.len() / width;
+            let hi = ((i + 1) * values.len() / width).max(lo + 1);
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
 /// Renders labelled horizontal bars, scaled so the largest value spans
 /// `width` characters. Values must be non-negative; the numeric value is
 /// appended after each bar.
@@ -129,6 +160,36 @@ mod tests {
         assert_eq!(sparkline(&[]), "");
         let s = sparkline(&[f64::NAN, 1.0, 2.0]);
         assert_eq!(s.chars().count(), 3);
+    }
+
+    #[test]
+    fn resample_chunk_means_down_to_width() {
+        let values: Vec<f64> = (0..10).map(f64::from).collect();
+        let r = resample(&values, 5);
+        assert_eq!(r, vec![0.5, 2.5, 4.5, 6.5, 8.5]);
+    }
+
+    #[test]
+    fn resample_uneven_chunks_cover_every_sample() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = resample(&values, 2);
+        assert_eq!(r.len(), 2);
+        // Chunks [0,2) and [2,5): means 1.5 and 4.0.
+        assert_eq!(r, vec![1.5, 4.0]);
+    }
+
+    #[test]
+    fn resample_short_input_passes_through() {
+        let values = [7.0, 8.0];
+        assert_eq!(resample(&values, 2), values.to_vec());
+        assert_eq!(resample(&values, 100), values.to_vec());
+    }
+
+    #[test]
+    fn resample_empty_and_zero_width_are_empty() {
+        assert!(resample(&[], 10).is_empty());
+        assert!(resample(&[1.0, 2.0, 3.0], 0).is_empty());
+        assert!(resample(&[], 0).is_empty());
     }
 
     #[test]

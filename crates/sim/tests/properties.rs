@@ -2,7 +2,7 @@
 //! stable priority queue, cancellation is exact, and the RNG's
 //! distributions honour their contracts.
 
-use dftmsn_sim::event::EventQueue;
+use dftmsn_sim::event::{EventQueue, ReferenceEventQueue};
 use dftmsn_sim::rng::SimRng;
 use dftmsn_sim::time::{SimDuration, SimTime};
 use proptest::prelude::*;
@@ -115,6 +115,63 @@ proptest! {
             (sample_mean - mean).abs() < 6.0 * mean / (n as f64).sqrt(),
             "sample mean {sample_mean} vs {mean}"
         );
+    }
+
+    /// Differential check of the timing wheel against the reference heap
+    /// queue: under randomized schedule/cancel/pop/peek workloads — with
+    /// delays spanning everything from sub-granule to beyond the wheel
+    /// span (overflow heap) — both queues must issue identical tokens,
+    /// report identical cancel outcomes, and pop identical
+    /// `(time, payload)` sequences.
+    #[test]
+    fn wheel_matches_reference_heap(
+        ops in proptest::collection::vec(
+            (0u8..100, any::<u64>(), 0usize..1024),
+            0..400,
+        ),
+    ) {
+        let mut wheel: EventQueue<usize> = EventQueue::new();
+        let mut heap: ReferenceEventQueue<usize> = ReferenceEventQueue::new();
+        let mut tokens = Vec::new();
+        for (i, &(kind, raw, pick)) in ops.iter().enumerate() {
+            if kind < 45 {
+                // Schedule with a horizon drawn from one of four decades:
+                // same granule, low wheel levels, high wheel levels, and
+                // past the wheel span (forces the overflow heap).
+                let delay = match raw % 4 {
+                    0 => raw % 1_000,
+                    1 => raw % 10_000_000,
+                    2 => raw % 500_000_000_000,
+                    _ => raw % 200_000_000_000_000,
+                };
+                let d = SimDuration::from_ticks(delay);
+                let (a, b) = (wheel.schedule_after(d, i), heap.schedule_after(d, i));
+                prop_assert_eq!(a, b, "token divergence at op {}", i);
+                tokens.push(a);
+            } else if kind < 65 {
+                if tokens.is_empty() {
+                    continue;
+                }
+                let t = tokens[pick % tokens.len()];
+                prop_assert_eq!(wheel.cancel(t), heap.cancel(t), "cancel divergence at op {}", i);
+            } else if kind < 90 {
+                prop_assert_eq!(wheel.pop(), heap.pop(), "pop divergence at op {}", i);
+            } else {
+                prop_assert_eq!(wheel.peek_time(), heap.peek_time(), "peek divergence at op {}", i);
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.now(), heap.now());
+        }
+        // Drain both to the end.
+        loop {
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+            let (a, b) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(a, b, "drain divergence");
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(wheel.popped(), heap.popped());
     }
 
     /// Time arithmetic round-trips.
