@@ -42,6 +42,38 @@ inspect_out=$(cargo run --release -q -p dftmsn-cli -- inspect "$obs_file")
 echo "$inspect_out" | grep -q 'deliveries' \
     || { echo "observe smoke: inspect failed to summarize"; exit 1; }
 
+echo "==> checkpoint/resume determinism gate (resumed run must be bit-identical)"
+cargo test --release -q --test checkpoint_resume
+ck=target/ci_ckpt.ckpt
+rm -f "$ck" "$ck.bak" target/ci_ckpt_full.jsonl target/ci_ckpt_part.jsonl
+full_json=$(cargo run --release -q -p dftmsn-cli -- run --protocol OPT \
+    --sensors 20 --sinks 2 --duration 2000 --seed 1 \
+    --observe target/ci_ckpt_full.jsonl --window 100 --json)
+cargo run --release -q -p dftmsn-cli -- run --protocol OPT \
+    --sensors 20 --sinks 2 --duration 2000 --seed 1 \
+    --observe target/ci_ckpt_part.jsonl --window 100 \
+    --checkpoint "$ck" --checkpoint-every 900 >/dev/null
+resumed_json=$(cargo run --release -q -p dftmsn-cli -- run --resume "$ck" \
+    --observe target/ci_ckpt_part.jsonl --window 100 --json)
+cmp -s target/ci_ckpt_full.jsonl target/ci_ckpt_part.jsonl \
+    || { echo "checkpoint gate: resumed observe stream is not byte-identical"; exit 1; }
+[ "$full_json" = "$resumed_json" ] \
+    || { echo "checkpoint gate: resumed report differs from the uninterrupted run"; exit 1; }
+
+echo "==> corrupt-checkpoint rejection smoke (must refuse with exit code 4)"
+cp "$ck" target/ci_ckpt_bad.ckpt
+rm -f target/ci_ckpt_bad.ckpt.bak
+printf 'X' | dd of=target/ci_ckpt_bad.ckpt bs=1 seek=100 conv=notrunc status=none
+set +e
+cargo run --release -q -p dftmsn-cli -- run --resume target/ci_ckpt_bad.ckpt \
+    >/dev/null 2>target/ci_ckpt_bad.err
+bad_rc=$?
+set -e
+[ "$bad_rc" -eq 4 ] \
+    || { echo "corrupt checkpoint gate: expected exit 4, got $bad_rc"; exit 1; }
+grep -qi 'checksum\|corrupt' target/ci_ckpt_bad.err \
+    || { echo "corrupt checkpoint gate: no diagnostic on stderr"; exit 1; }
+
 echo "==> docs build cleanly (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

@@ -5,7 +5,15 @@
 //! and OPT / NOOPT / ZBR are measured on what still gets through.
 //!
 //! Usage: `cargo run --release -p dftmsn-bench --bin fault_sweep [--quick]
-//! [--seeds N] [--duration SECS] [--threads N] [--observe]`
+//! [--seeds N] [--duration SECS] [--threads N] [--observe] [--fresh]`
+//!
+//! The sweep is resumable: every finished run is appended to
+//! `results/fault_sweep.progress` as it lands, and a rerun skips runs
+//! already on record (pass `--fresh` to discard the record and start
+//! over). The results tables are rewritten after *every* completed run —
+//! rows appear as soon as all their runs exist — so an interrupted sweep
+//! still leaves a readable `results/fault_sweep_delivery.*` /
+//! `fault_sweep_delay.*` covering the finished sweep points.
 //!
 //! With `--observe`, one extra observed run per variant at a fixed 30 %
 //! failure fraction emits a per-window delivery timeline
@@ -13,16 +21,22 @@
 //! and recovers around fault onset.
 
 use dftmsn_bench::experiments::{write_table, ExperimentOpts};
-use dftmsn_bench::sweep::{average, run_all, RunSpec};
+use dftmsn_bench::sweep::{average, run_all_resumable, RunSpec};
 use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::{ProtocolParams, ScenarioParams};
+use dftmsn_core::report::SimReport;
 use dftmsn_core::variants::ProtocolKind;
 use dftmsn_metrics::table::Table;
+use std::path::Path;
+use std::sync::Mutex;
+
+const FRACTIONS: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+const VARIANTS: [ProtocolKind; 3] = [ProtocolKind::Opt, ProtocolKind::NoOpt, ProtocolKind::Zbr];
+const PROGRESS_PATH: &str = "results/fault_sweep.progress";
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let fractions = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
-    let variants = [ProtocolKind::Opt, ProtocolKind::NoOpt, ProtocolKind::Zbr];
+    let fresh = std::env::args().any(|a| a == "--fresh");
 
     eprintln!(
         "fault_sweep: failure fraction {{0..0.5}} x {{OPT,NOOPT,ZBR}} x {} seeds @ {} s",
@@ -30,8 +44,8 @@ fn main() {
     );
 
     let mut specs = Vec::new();
-    for &frac in &fractions {
-        for &kind in &variants {
+    for &frac in &FRACTIONS {
+        for &kind in &VARIANTS {
             for seed in 1..=opts.seeds {
                 let scenario =
                     ScenarioParams::paper_default().with_duration_secs(opts.duration_secs);
@@ -50,8 +64,50 @@ fn main() {
             }
         }
     }
-    let reports = run_all(&specs, opts.threads);
 
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("error: cannot create results directory: {e}");
+        std::process::exit(3);
+    }
+    let progress_path = Path::new(PROGRESS_PATH);
+    if fresh {
+        let _ = std::fs::remove_file(progress_path);
+    }
+
+    // Flush the tables after every completed run: rows whose runs all
+    // exist are rendered, the rest appear as the sweep fills in.
+    let seeds = opts.seeds as usize;
+    let landed: Mutex<Vec<Option<SimReport>>> = Mutex::new(vec![None; specs.len()]);
+    let outcome = run_all_resumable(&specs, opts.threads, progress_path, |i, report| {
+        let mut slots = landed.lock().expect("slot lock");
+        slots[i] = Some(report.clone());
+        let (ratio, delay) = tables(&slots, seeds);
+        let _ = write_table("results", "fault_sweep_delivery", &ratio);
+        let _ = write_table("results", "fault_sweep_delay", &delay);
+    });
+    let reports = match outcome {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: fault_sweep progress file {PROGRESS_PATH}: {e}");
+            std::process::exit(3);
+        }
+    };
+
+    let done: Vec<Option<SimReport>> = reports.into_iter().map(Some).collect();
+    let (ratio, delay) = tables(&done, seeds);
+    println!("{}", write_table("results", "fault_sweep_delivery", &ratio));
+    println!("{}", write_table("results", "fault_sweep_delay", &delay));
+
+    if std::env::args().any(|a| a == "--observe") {
+        timeline(&opts, &VARIANTS);
+    }
+}
+
+/// Builds the delivery-ratio and delay tables from whatever runs have
+/// landed so far. A row (sweep point) is included once every
+/// variant × seed cell under it is present, so partially flushed tables
+/// never show a half-averaged number.
+fn tables(reports: &[Option<SimReport>], seeds: usize) -> (Table, Table) {
     let mut ratio = Table::new(
         "Fault tolerance: delivery ratio (%) vs. fraction of sensors lost to battery death",
         &["failed fraction", "OPT", "NOOPT", "ZBR"],
@@ -60,12 +116,21 @@ fn main() {
         "Fault tolerance: mean delivery delay (s) vs. fraction of sensors lost",
         &["failed fraction", "OPT", "NOOPT", "ZBR"],
     );
-    let seeds = opts.seeds as usize;
-    let per_point = variants.len() * seeds;
-    for (fi, &frac) in fractions.iter().enumerate() {
+    let per_point = VARIANTS.len() * seeds;
+    for (fi, &frac) in FRACTIONS.iter().enumerate() {
         let base = fi * per_point;
-        let cell = |vi: usize| average(&reports[base + vi * seeds..base + (vi + 1) * seeds]);
-        let cells: Vec<_> = (0..variants.len()).map(cell).collect();
+        let point = &reports[base..base + per_point];
+        if point.iter().any(Option::is_none) {
+            continue;
+        }
+        let cell = |vi: usize| {
+            let runs: Vec<SimReport> = point[vi * seeds..(vi + 1) * seeds]
+                .iter()
+                .map(|r| r.clone().expect("checked above"))
+                .collect();
+            average(&runs)
+        };
+        let cells: Vec<_> = (0..VARIANTS.len()).map(cell).collect();
         ratio.row(vec![
             frac.into(),
             (cells[0].ratio.mean() * 100.0).into(),
@@ -79,12 +144,7 @@ fn main() {
             cells[2].delay_secs.mean().into(),
         ]);
     }
-    println!("{}", write_table("results", "fault_sweep_delivery", &ratio));
-    println!("{}", write_table("results", "fault_sweep_delay", &delay));
-
-    if std::env::args().any(|a| a == "--observe") {
-        timeline(&opts, &variants);
-    }
+    (ratio, delay)
 }
 
 /// One observed run per variant at a fixed failure fraction: the windowed

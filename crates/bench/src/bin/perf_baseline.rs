@@ -16,21 +16,37 @@
 //!   tracked large-n figure.
 //!
 //! Usage: `cargo run --release -p dftmsn-bench --bin perf_baseline
-//! [--quick] [--scale] [--pre-ref EV_PER_S] [--out PATH]`. `--quick`
-//! shrinks all workloads to a smoke size for CI; numbers from different
-//! machines (or `--quick` and full runs) are not comparable with each
-//! other. `--pre-ref` embeds an externally measured pre-change reference
-//! throughput (OPT, ticked, 1 000 sensors, same workload and machine) into
-//! the scale section so the speedup it anchors is recorded next to the
-//! numbers (EXPERIMENTS.md § Scale tier documents the methodology).
+//! [--quick] [--scale] [--pre-ref EV_PER_S] [--out PATH] [--fresh]`.
+//! `--quick` shrinks all workloads to a smoke size for CI; numbers from
+//! different machines (or `--quick` and full runs) are not comparable with
+//! each other. `--pre-ref` embeds an externally measured pre-change
+//! reference throughput (OPT, ticked, 1 000 sensors, same workload and
+//! machine) into the scale section so the speedup it anchors is recorded
+//! next to the numbers (EXPERIMENTS.md § Scale tier documents the
+//! methodology).
+//!
+//! The baseline is resumable at the granularity of its timed units: each
+//! engine `(variant, seed)` run and each scale `(sensors, mode)` run is
+//! recorded in `<out>.progress` the moment it finishes, the output JSON is
+//! rewritten after every unit with `"partial": true`, and a rerun replays
+//! recorded units instead of re-measuring them (their wall times are the
+//! ones measured when they originally ran). The sweep section times the
+//! parallel scheduler over the *whole* batch, so it is one unit — slicing
+//! it across restarts would time something else. On a complete run the
+//! progress file is removed, so the next invocation re-measures from
+//! scratch; `--fresh` discards a leftover progress file up front. Progress
+//! recorded under a different workload shape (e.g. `--quick` vs. full) is
+//! ignored.
 
-use dftmsn_bench::scale::{run_tier, QUICK_DURATION_SECS, SCALE_DURATION_SECS, SCALE_SENSORS};
+use dftmsn_bench::scale::{measure, QUICK_DURATION_SECS, SCALE_DURATION_SECS, SCALE_SENSORS};
 use dftmsn_bench::sweep::{run_all, RunSpec};
 use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::{ProtocolParams, ScenarioParams};
 use dftmsn_core::variants::ProtocolKind;
-use dftmsn_core::world::Simulation;
+use dftmsn_core::world::{MobilityMode, Simulation};
 use dftmsn_metrics::json::Json;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 struct EngineRow {
@@ -55,10 +71,205 @@ impl EngineRow {
     }
 }
 
+/// One measured scale point as stored in the output/progress files.
+struct ScalePoint {
+    sensors: usize,
+    mode: &'static str,
+    wall_ns: u128,
+    events: u64,
+    generated: u64,
+    delivered: u64,
+    mean_delay_secs: f64,
+}
+
+impl ScalePoint {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.events as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    fn ns_per_event(&self) -> f64 {
+        if self.events == 0 {
+            return 0.0;
+        }
+        self.wall_ns as f64 / self.events as f64
+    }
+
+    fn delivery_ratio(&self) -> f64 {
+        if self.generated == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.generated as f64
+    }
+}
+
+/// Completed timed units of an interrupted invocation, keyed the same way
+/// the measurement loops iterate.
+#[derive(Default)]
+struct Progress {
+    /// (variant label, seed) → (wall_ns, events, frames).
+    engine: HashMap<(String, u64), (u128, u64, u64)>,
+    /// (wall_ns, runs) of the completed sweep section.
+    sweep: Option<(u128, usize)>,
+    /// (sensors, mode label) → the measured point.
+    scale: HashMap<(usize, String), ScalePoint>,
+}
+
+const PROGRESS_SCHEMA: &str = "dftmsn-perf-progress/1";
+
+impl Progress {
+    /// Loads recorded units, discarding a file whose workload fingerprint
+    /// does not match the current invocation (stale shapes must not leak
+    /// into a differently-sized baseline). Unreadable or unparseable
+    /// files degrade to empty progress with a warning — the cost is
+    /// re-measurement, never a wrong number.
+    fn load(path: &Path, fingerprint: &str) -> Progress {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Progress::default(),
+            Err(e) => {
+                eprintln!("warning: cannot read {}: {e}; re-measuring", path.display());
+                return Progress::default();
+            }
+        };
+        let json = match Json::parse(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!(
+                    "warning: {} is not valid progress JSON ({e}); re-measuring",
+                    path.display()
+                );
+                return Progress::default();
+            }
+        };
+        if json.get("schema").and_then(Json::as_str) != Some(PROGRESS_SCHEMA)
+            || json.get("fingerprint").and_then(Json::as_str) != Some(fingerprint)
+        {
+            eprintln!(
+                "warning: {} records a different workload shape; re-measuring",
+                path.display()
+            );
+            return Progress::default();
+        }
+        let mut progress = Progress::default();
+        let ns = |j: &Json, key: &str| -> Option<u128> {
+            j.get(key)
+                .and_then(Json::as_str)
+                .and_then(|s| s.parse().ok())
+        };
+        let num = |j: &Json, key: &str| -> Option<f64> { j.get(key).and_then(Json::as_f64) };
+        for row in json.get("engine").and_then(Json::as_array).unwrap_or(&[]) {
+            let (Some(protocol), Some(seed), Some(wall), Some(events), Some(frames)) = (
+                row.get("protocol").and_then(Json::as_str),
+                num(row, "seed"),
+                ns(row, "wall_ns"),
+                num(row, "events"),
+                num(row, "frames"),
+            ) else {
+                continue;
+            };
+            progress.engine.insert(
+                (protocol.to_string(), seed as u64),
+                (wall, events as u64, frames as u64),
+            );
+        }
+        if let Some(sweep) = json.get("sweep") {
+            if let (Some(wall), Some(runs)) = (ns(sweep, "wall_ns"), num(sweep, "runs")) {
+                progress.sweep = Some((wall, runs as usize));
+            }
+        }
+        for row in json.get("scale").and_then(Json::as_array).unwrap_or(&[]) {
+            let (Some(sensors), Some(mode), Some(wall)) = (
+                num(row, "sensors"),
+                row.get("mode").and_then(Json::as_str),
+                ns(row, "wall_ns"),
+            ) else {
+                continue;
+            };
+            let mode_static: &'static str = if mode == "lazy" { "lazy" } else { "ticked" };
+            progress.scale.insert(
+                (sensors as usize, mode.to_string()),
+                ScalePoint {
+                    sensors: sensors as usize,
+                    mode: mode_static,
+                    wall_ns: wall,
+                    events: num(row, "events").unwrap_or(0.0) as u64,
+                    generated: num(row, "generated").unwrap_or(0.0) as u64,
+                    delivered: num(row, "delivered").unwrap_or(0.0) as u64,
+                    mean_delay_secs: num(row, "mean_delay_secs").unwrap_or(0.0),
+                },
+            );
+        }
+        progress
+    }
+
+    /// Rewrites the progress file (write-to-temp + rename, so an
+    /// interrupt mid-save cannot tear it).
+    fn save(&self, path: &Path, fingerprint: &str) {
+        let engine: Vec<Json> = {
+            let mut keys: Vec<&(String, u64)> = self.engine.keys().collect();
+            keys.sort();
+            keys.into_iter()
+                .map(|k| {
+                    let (wall, events, frames) = self.engine[k];
+                    Json::object()
+                        .field("protocol", k.0.as_str())
+                        .field("seed", k.1)
+                        .field("wall_ns", wall.to_string())
+                        .field("events", events)
+                        .field("frames", frames)
+                })
+                .collect()
+        };
+        let scale: Vec<Json> = {
+            let mut keys: Vec<&(usize, String)> = self.scale.keys().collect();
+            keys.sort();
+            keys.into_iter()
+                .map(|k| {
+                    let p = &self.scale[k];
+                    Json::object()
+                        .field("sensors", p.sensors)
+                        .field("mode", p.mode)
+                        .field("wall_ns", p.wall_ns.to_string())
+                        .field("events", p.events)
+                        .field("generated", p.generated)
+                        .field("delivered", p.delivered)
+                        .field("mean_delay_secs", p.mean_delay_secs)
+                })
+                .collect()
+        };
+        let mut json = Json::object()
+            .field("schema", PROGRESS_SCHEMA)
+            .field("fingerprint", fingerprint)
+            .field("engine", Json::Arr(engine))
+            .field("scale", Json::Arr(scale));
+        if let Some((wall, runs)) = &self.sweep {
+            json = json.field(
+                "sweep",
+                Json::object()
+                    .field("wall_ns", wall.to_string())
+                    .field("runs", *runs),
+            );
+        }
+        let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+        let write =
+            std::fs::write(&tmp, json.render() + "\n").and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = write {
+            eprintln!(
+                "warning: cannot save progress to {}: {e}; interrupted work will repeat",
+                path.display()
+            );
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = args.iter().any(|a| a == "--scale");
+    let fresh = args.iter().any(|a| a == "--fresh");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -74,7 +285,7 @@ fn main() {
     // small enough to finish in seconds. Changing them invalidates
     // comparisons against previously recorded baselines.
     let (engine_secs, engine_seeds, sweep_secs, sweep_seeds) = if quick {
-        (1_000, 1, 500, 1)
+        (1_000u64, 1u64, 500u64, 1u64)
     } else {
         (10_000, 3, 2_000, 4)
     };
@@ -84,22 +295,92 @@ fn main() {
         duration_secs: engine_secs,
         ..ScenarioParams::paper_default()
     };
+    let (scale_sizes, scale_dur): (&[usize], u64) = if quick {
+        (&SCALE_SENSORS[..2], QUICK_DURATION_SECS)
+    } else {
+        (&SCALE_SENSORS[..], SCALE_DURATION_SECS)
+    };
+
+    // The progress fingerprint pins every knob that shapes a timed unit;
+    // progress from a differently shaped invocation never matches.
+    let fingerprint = format!(
+        "quick={quick} engine={engine_secs}x{engine_seeds} sweep={sweep_secs}x{sweep_seeds} \
+         scale={scale}:{scale_sizes:?}@{scale_dur}"
+    );
+    let progress_path = PathBuf::from(format!("{out_path}.progress"));
+    if fresh {
+        let _ = std::fs::remove_file(&progress_path);
+    }
+    let mut progress = Progress::load(&progress_path, &fingerprint);
+    let resumed_units = progress.engine.len() + progress.scale.len();
+    if resumed_units > 0 || progress.sweep.is_some() {
+        eprintln!(
+            "perf_baseline: resuming from {} ({} timed units on record)",
+            progress_path.display(),
+            resumed_units + usize::from(progress.sweep.is_some()),
+        );
+    }
 
     // Serial per-variant engine timing; wall accumulated in integer ns.
+    // Each (variant, seed) run is one resumable unit, and the output file
+    // is reflushed (marked partial) after every unit.
     let mut rows: Vec<EngineRow> = Vec::new();
+    let mut sweep_done: Option<(u128, usize)> = None;
+    let mut scale_rows: Vec<ScalePoint> = Vec::new();
+    let flush = |rows: &[EngineRow],
+                 sweep_done: &Option<(u128, usize)>,
+                 scale_rows: &[ScalePoint],
+                 partial: bool| {
+        let json = render_output(
+            quick,
+            partial,
+            &scenario,
+            engine_secs,
+            engine_seeds,
+            sweep_secs,
+            rows,
+            sweep_done,
+            (scale, scale_dur, scale_rows),
+            pre_ref,
+        );
+        if let Err(e) = std::fs::write(out_path, json.render() + "\n") {
+            if partial {
+                eprintln!("warning: cannot flush partial {out_path}: {e}");
+            } else {
+                eprintln!("error: cannot write {out_path}: {e}");
+                std::process::exit(3);
+            }
+        }
+    };
+
     for kind in ProtocolKind::ALL {
         let mut wall_ns: u128 = 0;
         let mut events = 0;
         let mut frames = 0;
         for seed in 1..=engine_seeds {
-            let sim = Simulation::builder(scenario.clone(), kind)
-                .seed(seed)
-                .build();
-            let t0 = Instant::now();
-            let report = sim.run();
-            wall_ns += t0.elapsed().as_nanos();
-            events += report.events_processed;
-            frames += report.frames_sent;
+            let key = (kind.label().to_string(), seed);
+            let (run_ns, run_events, run_frames) = match progress.engine.get(&key) {
+                Some(&unit) => unit,
+                None => {
+                    let sim = Simulation::builder(scenario.clone(), kind)
+                        .seed(seed)
+                        .build();
+                    let t0 = Instant::now();
+                    let report = sim.run();
+                    let unit = (
+                        t0.elapsed().as_nanos(),
+                        report.events_processed,
+                        report.frames_sent,
+                    );
+                    progress.engine.insert(key, unit);
+                    progress.save(&progress_path, &fingerprint);
+                    flush(&rows, &sweep_done, &scale_rows, true);
+                    unit
+                }
+            };
+            wall_ns += run_ns;
+            events += run_events;
+            frames += run_frames;
         }
         let row = EngineRow {
             protocol: kind.label(),
@@ -117,40 +398,120 @@ fn main() {
             row.ns_per_event()
         );
         rows.push(row);
+        flush(&rows, &sweep_done, &scale_rows, true);
     }
-    let total_ns: u128 = rows.iter().map(|r| r.wall_ns).sum();
-    let total_events: u64 = rows.iter().map(|r| r.events).sum();
 
-    // Parallel sweep timing (work-stealing run_all, all cores).
-    let specs: Vec<RunSpec> = ProtocolKind::ALL
-        .into_iter()
-        .flat_map(|kind| {
-            (1..=sweep_seeds).map(move |seed| RunSpec {
-                scenario: ScenarioParams {
-                    sensors: 30,
-                    sinks: 2,
-                    duration_secs: sweep_secs,
-                    ..ScenarioParams::paper_default()
-                },
-                protocol: ProtocolParams::paper_default(),
-                config: kind.config(),
-                seed,
-                faults: FaultPlan::default(),
-                observe_window_secs: None,
-            })
-        })
-        .collect();
-    let t0 = Instant::now();
-    let reports = run_all(&specs, 0);
-    let sweep_ns = t0.elapsed().as_nanos();
+    // Parallel sweep timing (work-stealing run_all, all cores). One unit:
+    // the figure is the scheduler's throughput over the whole batch, so a
+    // partially resumed batch would time a different workload.
+    let spec_count = ProtocolKind::ALL.len() * sweep_seeds as usize;
+    let (sweep_ns, sweep_runs) = match progress.sweep {
+        Some(unit) => unit,
+        None => {
+            let specs: Vec<RunSpec> = ProtocolKind::ALL
+                .into_iter()
+                .flat_map(|kind| {
+                    (1..=sweep_seeds).map(move |seed| RunSpec {
+                        scenario: ScenarioParams {
+                            sensors: 30,
+                            sinks: 2,
+                            duration_secs: sweep_secs,
+                            ..ScenarioParams::paper_default()
+                        },
+                        protocol: ProtocolParams::paper_default(),
+                        config: kind.config(),
+                        seed,
+                        faults: FaultPlan::default(),
+                        observe_window_secs: None,
+                    })
+                })
+                .collect();
+            let t0 = Instant::now();
+            let reports = run_all(&specs, 0);
+            let unit = (t0.elapsed().as_nanos(), reports.len());
+            progress.sweep = Some(unit);
+            progress.save(&progress_path, &fingerprint);
+            unit
+        }
+    };
+    assert_eq!(sweep_runs, spec_count, "sweep batch shape drifted");
     let sweep_ms = sweep_ns as f64 / 1e6;
     eprintln!(
-        "sweep     {:>8.1} ms  {:>9} runs    {:>6.2} runs/s",
-        sweep_ms,
-        reports.len(),
-        reports.len() as f64 / (sweep_ms / 1_000.0)
+        "sweep     {sweep_ms:>8.1} ms  {sweep_runs:>9} runs    {:>6.2} runs/s",
+        sweep_runs as f64 / (sweep_ms / 1_000.0)
     );
+    sweep_done = Some((sweep_ns, sweep_runs));
+    flush(&rows, &sweep_done, &scale_rows, true);
 
+    if scale {
+        for &n in scale_sizes {
+            for mode in [MobilityMode::Ticked, MobilityMode::Lazy] {
+                let label = if mode == MobilityMode::Lazy {
+                    "lazy"
+                } else {
+                    "ticked"
+                };
+                let key = (n, label.to_string());
+                if !progress.scale.contains_key(&key) {
+                    let row = measure(n, scale_dur, mode);
+                    progress.scale.insert(
+                        key.clone(),
+                        ScalePoint {
+                            sensors: row.sensors,
+                            mode: label,
+                            wall_ns: row.wall_ns,
+                            events: row.events,
+                            generated: row.generated,
+                            delivered: row.delivered,
+                            mean_delay_secs: row.mean_delay_secs,
+                        },
+                    );
+                    progress.save(&progress_path, &fingerprint);
+                }
+                let p = &progress.scale[&key];
+                eprintln!(
+                    "scale {:>5} sensors {:>6}: {:>8.1} ms  {:>9} events  {:>7.0} kev/s  ratio {:.2}",
+                    p.sensors,
+                    p.mode,
+                    p.wall_ns as f64 / 1e6,
+                    p.events,
+                    p.events_per_sec() / 1e3,
+                    p.delivery_ratio(),
+                );
+                scale_rows.push(ScalePoint {
+                    sensors: p.sensors,
+                    mode: p.mode,
+                    wall_ns: p.wall_ns,
+                    events: p.events,
+                    generated: p.generated,
+                    delivered: p.delivered,
+                    mean_delay_secs: p.mean_delay_secs,
+                });
+                flush(&rows, &sweep_done, &scale_rows, true);
+            }
+        }
+    }
+
+    flush(&rows, &sweep_done, &scale_rows, false);
+    // A finished baseline starts over next time: the progress file only
+    // bridges interruptions, it must not freeze old measurements forever.
+    let _ = std::fs::remove_file(&progress_path);
+    eprintln!("wrote {out_path}");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_output(
+    quick: bool,
+    partial: bool,
+    scenario: &ScenarioParams,
+    engine_secs: u64,
+    engine_seeds: u64,
+    sweep_secs: u64,
+    rows: &[EngineRow],
+    sweep_done: &Option<(u128, usize)>,
+    scale: (bool, u64, &[ScalePoint]),
+    pre_ref: Option<f64>,
+) -> Json {
     let engine_rows: Vec<Json> = rows
         .iter()
         .map(|r| {
@@ -164,9 +525,12 @@ fn main() {
                 .field("ns_per_event", r.ns_per_event())
         })
         .collect();
+    let total_ns: u128 = rows.iter().map(|r| r.wall_ns).sum();
+    let total_events: u64 = rows.iter().map(|r| r.events).sum();
     let mut json = Json::object()
         .field("schema", "dftmsn-perf-baseline/2")
         .field("quick", quick)
+        .field("partial", partial)
         .field(
             "scenario",
             Json::object()
@@ -175,8 +539,9 @@ fn main() {
                 .field("duration_secs", engine_secs)
                 .field("seeds_per_variant", engine_seeds),
         )
-        .field("engine", Json::Arr(engine_rows))
-        .field(
+        .field("engine", Json::Arr(engine_rows));
+    if total_events > 0 {
+        json = json.field(
             "engine_totals",
             Json::object()
                 .field("wall_ms", total_ns as f64 / 1e6)
@@ -185,30 +550,28 @@ fn main() {
                     "events_per_sec",
                     total_events as f64 / (total_ns as f64 / 1e9),
                 ),
-        )
-        .field(
+        );
+    }
+    if let Some((sweep_ns, sweep_runs)) = sweep_done {
+        let sweep_ms = *sweep_ns as f64 / 1e6;
+        json = json.field(
             "sweep",
             Json::object()
-                .field("runs", specs.len())
+                .field("runs", *sweep_runs)
                 .field("threads", 0usize)
                 .field("duration_secs", sweep_secs)
                 .field("wall_ms", sweep_ms)
-                .field("runs_per_sec", specs.len() as f64 / (sweep_ms / 1_000.0)),
+                .field("runs_per_sec", *sweep_runs as f64 / (sweep_ms / 1_000.0)),
         );
-
-    if scale {
-        let (sizes, dur): (&[usize], u64) = if quick {
-            (&SCALE_SENSORS[..2], QUICK_DURATION_SECS)
-        } else {
-            (&SCALE_SENSORS[..], SCALE_DURATION_SECS)
-        };
-        let tier = run_tier(sizes, dur);
-        let tier_rows: Vec<Json> = tier
+    }
+    let (scale_enabled, scale_dur, scale_rows) = scale;
+    if scale_enabled && !scale_rows.is_empty() {
+        let tier_rows: Vec<Json> = scale_rows
             .iter()
             .map(|r| {
                 Json::object()
                     .field("sensors", r.sensors)
-                    .field("mode", r.mode_label())
+                    .field("mode", r.mode)
                     .field("wall_ms", r.wall_ns as f64 / 1e6)
                     .field("events", r.events)
                     .field("events_per_sec", r.events_per_sec())
@@ -221,14 +584,14 @@ fn main() {
             .collect();
         let mut section = Json::object()
             .field("protocol", "OPT")
-            .field("duration_secs", dur)
+            .field("duration_secs", scale_dur)
             .field("seed", 1u64)
             .field("rows", Json::Arr(tier_rows));
         if let Some(ev_s) = pre_ref {
-            let lazy_1k = tier
+            let lazy_1k = scale_rows
                 .iter()
-                .find(|r| r.sensors == 1_000 && r.mode_label() == "lazy")
-                .map_or(0.0, |r| r.events_per_sec());
+                .find(|r| r.sensors == 1_000 && r.mode == "lazy")
+                .map_or(0.0, ScalePoint::events_per_sec);
             section = section.field(
                 "pre_pr_reference",
                 Json::object()
@@ -243,7 +606,5 @@ fn main() {
         }
         json = json.field("scale", section);
     }
-
-    std::fs::write(out_path, json.render() + "\n").expect("write baseline json");
-    eprintln!("wrote {out_path}");
+    json
 }

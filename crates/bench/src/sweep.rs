@@ -11,8 +11,12 @@ use dftmsn_core::report::SimReport;
 use dftmsn_core::variants::VariantConfig;
 use dftmsn_core::world::Simulation;
 use dftmsn_metrics::stats::RunningStats;
+use dftmsn_sim::snap::fnv1a64;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::thread;
 
 /// One simulation to run.
@@ -72,6 +76,23 @@ impl RunSpec {
 /// available core). Results come back in spec order.
 #[must_use]
 pub fn run_all(specs: &[RunSpec], threads: usize) -> Vec<SimReport> {
+    run_all_with(specs, threads, |_, _| {})
+}
+
+/// [`run_all`] with a completion hook: `on_complete(index, report)` fires
+/// as soon as the spec at `index` finishes, *while the rest of the sweep
+/// is still running*. Harness binaries use it to flush partial results
+/// tables after every completed run instead of going dark until the last
+/// spec lands.
+///
+/// The hook is invoked from whichever worker thread finished the run, so
+/// it must synchronize any shared state itself (a `Mutex` around the
+/// accumulator is the usual shape). Results still come back in spec order.
+#[must_use]
+pub fn run_all_with<F>(specs: &[RunSpec], threads: usize, on_complete: F) -> Vec<SimReport>
+where
+    F: Fn(usize, &SimReport) + Sync,
+{
     if specs.is_empty() {
         return Vec::new();
     }
@@ -86,7 +107,15 @@ pub fn run_all(specs: &[RunSpec], threads: usize) -> Vec<SimReport> {
     .min(specs.len());
 
     if threads <= 1 {
-        return specs.iter().map(RunSpec::run).collect();
+        return specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let report = spec.run();
+                on_complete(i, &report);
+                report
+            })
+            .collect();
     }
 
     // Work stealing via a shared cursor: each worker claims the next
@@ -104,6 +133,7 @@ pub fn run_all(specs: &[RunSpec], threads: usize) -> Vec<SimReport> {
                 let Some(spec) = specs.get(idx) else { break };
                 let stored = slots[idx].set(spec.run()).is_ok();
                 assert!(stored, "spec index {idx} claimed twice");
+                on_complete(idx, slots[idx].get().expect("just stored"));
             });
         }
     });
@@ -111,6 +141,232 @@ pub fn run_all(specs: &[RunSpec], threads: usize) -> Vec<SimReport> {
         .into_iter()
         .map(|s| s.into_inner().expect("every spec produced a report"))
         .collect()
+}
+
+/// Content fingerprint of a spec, for keying sweep progress files.
+///
+/// Hashes the spec's full debug rendering (every scenario, protocol,
+/// variant, seed and fault-plan field participates), so two specs collide
+/// only if they describe the same run. The value is stable within one
+/// build of the workspace but **not** across code changes that alter the
+/// spec types — after such a change a progress file simply stops
+/// matching and the affected runs re-execute, which is the safe failure
+/// mode.
+#[must_use]
+pub fn spec_fingerprint(spec: &RunSpec) -> u64 {
+    fnv1a64(format!("{spec:?}").as_bytes())
+}
+
+/// Magic header of the sweep progress file (`dftmsn-sweep-progress/1`).
+///
+/// Records follow back-to-back, each `fingerprint u64 | payload len u32 |
+/// payload ([`SimReport::snap_bytes`]) | fnv1a64(payload) u64`, all
+/// little-endian. The file is append-only: a crash can tear at most the
+/// final record, which the loader detects (length or checksum mismatch)
+/// and drops while keeping everything before it.
+pub const PROGRESS_MAGIC: &[u8] = b"dftmsn-sweep-progress/1\n";
+
+/// Completed runs of a previous (interrupted) sweep, keyed by
+/// [`spec_fingerprint`].
+#[derive(Debug, Default)]
+pub struct SweepProgress {
+    done: HashMap<u64, SimReport>,
+    /// Length of the intact file prefix (magic + whole records). Anything
+    /// past it is a torn tail that must be truncated away before new
+    /// records are appended, or they would sit unreachable behind it.
+    valid_len: u64,
+}
+
+impl SweepProgress {
+    /// Loads a progress file. A missing file yields empty progress; a
+    /// torn or corrupt tail is dropped with a warning on stderr and the
+    /// intact prefix is kept; a file that does not start with
+    /// [`PROGRESS_MAGIC`] is ignored wholesale (also with a warning).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "not found".
+    pub fn load(path: &Path) -> std::io::Result<SweepProgress> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(SweepProgress::default())
+            }
+            Err(e) => return Err(e),
+        };
+        let mut progress = SweepProgress::default();
+        if !bytes.starts_with(PROGRESS_MAGIC) {
+            eprintln!(
+                "warning: {} is not a sweep progress file; ignoring its contents",
+                path.display()
+            );
+            return Ok(progress);
+        }
+        let mut at = PROGRESS_MAGIC.len();
+        let total = bytes.len();
+        while at < total {
+            let Some(record) = decode_record(&bytes[at..]) else {
+                eprintln!(
+                    "warning: {}: dropping torn record at byte {at} (interrupted write?); \
+                     keeping the {} completed runs before it",
+                    path.display(),
+                    progress.done.len()
+                );
+                break;
+            };
+            let (fingerprint, report, consumed) = record;
+            progress.done.insert(fingerprint, report);
+            at += consumed;
+        }
+        progress.valid_len = at as u64;
+        Ok(progress)
+    }
+
+    /// The recorded report for a fingerprint, if that run completed.
+    #[must_use]
+    pub fn get(&self, fingerprint: u64) -> Option<&SimReport> {
+        self.done.get(&fingerprint)
+    }
+
+    /// Number of completed runs on record.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.done.len()
+    }
+
+    /// True when no completed runs are on record.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.done.is_empty()
+    }
+}
+
+/// Decodes one progress record; `None` on truncation or checksum
+/// mismatch (both mean the tail was torn).
+fn decode_record(buf: &[u8]) -> Option<(u64, SimReport, usize)> {
+    if buf.len() < 12 {
+        return None;
+    }
+    let fingerprint = u64::from_le_bytes(buf[..8].try_into().ok()?);
+    let len = u32::from_le_bytes(buf[8..12].try_into().ok()?) as usize;
+    let end = 12usize.checked_add(len)?;
+    if buf.len() < end + 8 {
+        return None;
+    }
+    let payload = &buf[12..end];
+    let sum = u64::from_le_bytes(buf[end..end + 8].try_into().ok()?);
+    if fnv1a64(payload) != sum {
+        return None;
+    }
+    let report = SimReport::from_snap_bytes(payload).ok()?;
+    Some((fingerprint, report, end + 8))
+}
+
+/// Encodes one progress record (see [`PROGRESS_MAGIC`] for the layout).
+fn encode_record(fingerprint: u64, report: &SimReport) -> Vec<u8> {
+    let payload = report.snap_bytes();
+    let mut out = Vec::with_capacity(payload.len() + 20);
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    out.extend_from_slice(
+        &u32::try_from(payload.len())
+            .expect("report fits u32")
+            .to_le_bytes(),
+    );
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    out
+}
+
+/// [`run_all_with`], resumable across process restarts.
+///
+/// Completed runs are appended to the progress file at `progress_path`
+/// as they finish (one atomic `write` per record); on the next
+/// invocation any spec whose [`spec_fingerprint`] is already on record
+/// is served from the file instead of re-running. `on_complete` fires
+/// for *every* spec — cached ones first (in spec order), then live ones
+/// as they land — so partial-table flushing sees the same stream either
+/// way.
+///
+/// A failure to *append* a record is reported on stderr but does not
+/// abort the sweep: the run's result is still returned, it just will not
+/// be skipped next time.
+///
+/// # Errors
+///
+/// Propagates failures to read the progress file or to create/open it
+/// for appending.
+pub fn run_all_resumable<F>(
+    specs: &[RunSpec],
+    threads: usize,
+    progress_path: &Path,
+    on_complete: F,
+) -> std::io::Result<Vec<SimReport>>
+where
+    F: Fn(usize, &SimReport) + Sync,
+{
+    let progress = SweepProgress::load(progress_path)?;
+    let fingerprints: Vec<u64> = specs.iter().map(spec_fingerprint).collect();
+
+    let mut results: Vec<Option<SimReport>> = vec![None; specs.len()];
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, fp) in fingerprints.iter().enumerate() {
+        if let Some(report) = progress.get(*fp) {
+            on_complete(i, report);
+            results[i] = Some(report.clone());
+        } else {
+            pending.push(i);
+        }
+    }
+    if !progress.is_empty() {
+        eprintln!(
+            "sweep: {} of {} runs already completed in {}; running the remaining {}",
+            specs.len() - pending.len(),
+            specs.len(),
+            progress_path.display(),
+            pending.len()
+        );
+    }
+    if pending.is_empty() {
+        return Ok(results.into_iter().map(Option::unwrap).collect());
+    }
+
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .read(true)
+        .write(true)
+        .truncate(false)
+        .open(progress_path)?;
+    // Cut off any torn tail (or a foreign file's contents) so appended
+    // records land where the loader will actually reach them.
+    if file.metadata()?.len() != progress.valid_len {
+        file.set_len(progress.valid_len)?;
+    }
+    std::io::Seek::seek(&mut file, std::io::SeekFrom::End(0))?;
+    if progress.valid_len == 0 {
+        file.write_all(PROGRESS_MAGIC)?;
+        file.flush()?;
+    }
+    let file = Mutex::new(file);
+
+    let pending_specs: Vec<RunSpec> = pending.iter().map(|&i| specs[i].clone()).collect();
+    let live = run_all_with(&pending_specs, threads, |pi, report| {
+        let orig = pending[pi];
+        let record = encode_record(fingerprints[orig], report);
+        {
+            let mut f = file.lock().expect("progress file lock");
+            if let Err(e) = f.write_all(&record).and_then(|()| f.flush()) {
+                eprintln!(
+                    "warning: could not append to {}: {e}; this run will repeat on resume",
+                    progress_path.display()
+                );
+            }
+        }
+        on_complete(orig, report);
+    });
+    for (pi, report) in pending.iter().zip(live) {
+        results[*pi] = Some(report);
+    }
+    Ok(results.into_iter().map(Option::unwrap).collect())
 }
 
 /// Seed-averaged headline metrics of a set of runs of the *same*
@@ -245,6 +501,104 @@ mod tests {
     #[test]
     fn empty_sweep_is_empty() {
         assert!(run_all(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn completion_hook_sees_every_spec_exactly_once() {
+        let specs: Vec<RunSpec> = (0..5).map(spec).collect();
+        let seen = Mutex::new(vec![0u32; specs.len()]);
+        let reports = run_all_with(&specs, 3, |i, r| {
+            assert_eq!(r.seed, i as u64, "hook got the wrong report for {i}");
+            seen.lock().unwrap()[i] += 1;
+        });
+        assert_eq!(reports.len(), specs.len());
+        assert!(seen.lock().unwrap().iter().all(|&n| n == 1));
+        // Serial path fires the hook too.
+        let serial_seen = Mutex::new(0usize);
+        let _ = run_all_with(&specs, 1, |_, _| *serial_seen.lock().unwrap() += 1);
+        assert_eq!(*serial_seen.lock().unwrap(), specs.len());
+    }
+
+    #[test]
+    fn fingerprints_separate_distinct_specs() {
+        let a = spec(1);
+        let b = spec(2);
+        let mut c = spec(1);
+        c.scenario.sensors += 1;
+        assert_eq!(spec_fingerprint(&a), spec_fingerprint(&spec(1)));
+        assert_ne!(spec_fingerprint(&a), spec_fingerprint(&b));
+        assert_ne!(spec_fingerprint(&a), spec_fingerprint(&c));
+    }
+
+    fn temp_progress_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dftmsn-sweeptest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join(format!("{tag}.progress"))
+    }
+
+    #[test]
+    fn resumable_sweep_skips_completed_specs_and_matches_fresh_results() {
+        let specs: Vec<RunSpec> = (0..4).map(spec).collect();
+        let path = temp_progress_path("skip");
+        let _ = std::fs::remove_file(&path);
+
+        // First pass: only the first two specs "complete".
+        let first = run_all_resumable(&specs[..2], 2, &path, |_, _| {}).expect("first pass");
+        assert_eq!(first.len(), 2);
+
+        // Second pass over all four: the hook fires for every index, and
+        // the cached results are bit-identical to a fresh serial run.
+        let ran = Mutex::new(Vec::new());
+        let all = run_all_resumable(&specs, 2, &path, |i, _| ran.lock().unwrap().push(i))
+            .expect("second pass");
+        let mut seen = ran.lock().unwrap().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        let fresh = run_all(&specs, 1);
+        for (a, b) in all.iter().zip(&fresh) {
+            assert_eq!(a.snap_bytes(), b.snap_bytes(), "cached result drifted");
+        }
+
+        // Third pass: everything is served from the file.
+        let progress = SweepProgress::load(&path).expect("load progress");
+        assert_eq!(progress.len(), 4);
+        let again = run_all_resumable(&specs, 2, &path, |_, _| {}).expect("third pass");
+        for (a, b) in again.iter().zip(&fresh) {
+            assert_eq!(a.snap_bytes(), b.snap_bytes());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_progress_tail_is_dropped_not_fatal() {
+        let specs: Vec<RunSpec> = (0..2).map(spec).collect();
+        let path = temp_progress_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let _ = run_all_resumable(&specs, 1, &path, |_, _| {}).expect("seed progress");
+
+        // Tear the final record mid-payload.
+        let bytes = std::fs::read(&path).expect("read progress");
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).expect("truncate");
+        let progress = SweepProgress::load(&path).expect("load torn file");
+        assert_eq!(progress.len(), 1, "intact prefix must survive");
+
+        // A resumed sweep re-runs only the torn spec and still returns both.
+        let ran = Mutex::new(0usize);
+        let all = run_all_resumable(&specs, 1, &path, |_, _| *ran.lock().unwrap() += 1)
+            .expect("resume over torn file");
+        assert_eq!(all.len(), 2);
+        assert_eq!(*ran.lock().unwrap(), 2);
+        assert_eq!(SweepProgress::load(&path).expect("reload").len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_progress_file_is_ignored_with_a_warning() {
+        let path = temp_progress_path("foreign");
+        std::fs::write(&path, b"this is not a progress file").expect("write");
+        let progress = SweepProgress::load(&path).expect("load foreign file");
+        assert!(progress.is_empty());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -18,6 +18,17 @@ pub struct ObserveArgs {
     pub window_secs: f64,
 }
 
+/// Periodic checkpointing of a `run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointArgs {
+    /// Checkpoint file path (rotated atomically; `<path>.bak` keeps the
+    /// previous snapshot).
+    pub path: String,
+    /// Write a checkpoint every this many *simulated* seconds; `None`
+    /// checkpoints only on SIGINT/SIGTERM.
+    pub every_secs: Option<f64>,
+}
+
 /// Everything needed to execute one (or, for `compare`, one per variant)
 /// simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +43,11 @@ pub struct RunConfig {
     pub faults: FaultPlan,
     /// Attach a windowed metrics recorder streaming JSONL to a file.
     pub observe: Option<ObserveArgs>,
+    /// Write checkpoints during the run.
+    pub checkpoint: Option<CheckpointArgs>,
+    /// Resume a previous run from this checkpoint file instead of
+    /// starting fresh (scenario/protocol/seed come from the snapshot).
+    pub resume: Option<String>,
     /// Emit the delivery log as CSV on stdout instead of the summary.
     pub csv: bool,
     /// Emit the full report as JSON on stdout instead of the summary.
@@ -83,6 +99,8 @@ USAGE:
     dftmsn run      [--protocol OPT|NOOPT|NOSLEEP|ZBR|DIRECT|EPIDEMIC]
                     [scenario flags] [--seed N] [--fault-plan SPEC]
                     [--observe FILE [--window SECS]] [--csv | --json]
+                    [--checkpoint FILE [--checkpoint-every SECS]]
+                    [--resume FILE]
     dftmsn compare  [scenario flags] [--seed N] [--fault-plan SPEC]
     dftmsn inspect  FILE [--series NAME] [--width CHARS]
     dftmsn analyze  [scenario flags]
@@ -104,6 +122,17 @@ INSPECT:
     --series NAME      show one series (e.g. deliveries, xi_mean) in detail
     --width CHARS      sparkline width                   (60)
 
+CHECKPOINTING (run only):
+    --checkpoint FILE       write dftmsn-ckpt/1 snapshots to FILE (atomic;
+                            the previous snapshot rotates to FILE.bak)
+    --checkpoint-every SECS snapshot every SECS simulated seconds
+                            (without it, only SIGINT/SIGTERM snapshot)
+    --resume FILE           continue an interrupted run from FILE; the
+                            scenario, protocol, seed and fault plan come
+                            from the snapshot, so those flags conflict.
+                            Pass the original --observe FILE to continue
+                            its JSONL stream byte-exactly.
+
 FAULT PLAN SPEC (';'-separated directives, e.g. \"crash=0.3;linkdrop=0.2\"):
     none               explicit empty plan
     crash=F            fraction F of sensors suffer battery death
@@ -111,6 +140,12 @@ FAULT PLAN SPEC (';'-separated directives, e.g. \"crash=0.3;linkdrop=0.2\"):
     linkdrop=P         every frame dropped with probability P
     corrupt=P          received DATA frames corrupted with probability P
     sinkout=I@T1-T2    sink number I (0-based) offline from T1 to T2 secs
+
+EXIT CODES:
+    0 ok   1 runtime error   2 usage   3 I/O error
+    4 corrupt or invalid checkpoint/observation file
+    130/143 interrupted by SIGINT/SIGTERM (a final checkpoint is written
+    first when --checkpoint is set, and the partial report is printed)
 ";
 
 fn parse_protocol(s: &str) -> Result<ProtocolKind, ParseError> {
@@ -194,8 +229,14 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
     let mut fault_spec: Option<&str> = None;
     let mut observe_path: Option<String> = None;
     let mut window_secs: Option<f64> = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut checkpoint_every: Option<f64> = None;
+    let mut resume: Option<String> = None;
     let mut csv = false;
     let mut json = false;
+    // Flags that define a *fresh* run; they conflict with --resume, whose
+    // snapshot already fixes the scenario, protocol, seed and fault plan.
+    let mut fresh_run_flags: Vec<&str> = Vec::new();
 
     // Flags valid only for a subset of the commands; anything else is a
     // scenario flag shared by all three.
@@ -221,31 +262,39 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
         match flag {
             "--protocol" => {
                 run_only(flag)?;
+                fresh_run_flags.push(flag);
                 protocol = parse_protocol(take_value(flag, &mut it)?)?;
             }
             "--sensors" => {
+                fresh_run_flags.push(flag);
                 scenario.sensors = parse_num(flag, take_value(flag, &mut it)?)?;
             }
             "--sinks" => {
+                fresh_run_flags.push(flag);
                 scenario.sinks = parse_num(flag, take_value(flag, &mut it)?)?;
             }
             "--duration" => {
+                fresh_run_flags.push(flag);
                 scenario.duration_secs = parse_num(flag, take_value(flag, &mut it)?)?;
             }
             "--speed-max" => {
+                fresh_run_flags.push(flag);
                 scenario.speed_max_mps = parse_num(flag, take_value(flag, &mut it)?)?;
             }
             "--area" => {
+                fresh_run_flags.push(flag);
                 let side: f64 = parse_num(flag, take_value(flag, &mut it)?)?;
                 scenario.area_width_m = side;
                 scenario.area_height_m = side;
             }
             "--seed" => {
                 not_analyze(flag)?;
+                fresh_run_flags.push(flag);
                 seed = parse_num(flag, take_value(flag, &mut it)?)?;
             }
             "--fault-plan" => {
                 not_analyze(flag)?;
+                fresh_run_flags.push(flag);
                 fault_spec = Some(take_value(flag, &mut it)?);
             }
             "--observe" => {
@@ -261,6 +310,24 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                     )));
                 }
                 window_secs = Some(w);
+            }
+            "--checkpoint" => {
+                run_only(flag)?;
+                checkpoint_path = Some(take_value(flag, &mut it)?.to_owned());
+            }
+            "--checkpoint-every" => {
+                run_only(flag)?;
+                let s: f64 = parse_num(flag, take_value(flag, &mut it)?)?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(ParseError(format!(
+                        "--checkpoint-every must be a positive number of seconds, got '{s}'"
+                    )));
+                }
+                checkpoint_every = Some(s);
+            }
+            "--resume" => {
+                run_only(flag)?;
+                resume = Some(take_value(flag, &mut it)?.to_owned());
             }
             "--csv" => {
                 run_only(flag)?;
@@ -286,6 +353,19 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
     if window_secs.is_some() && observe_path.is_none() {
         return Err(ParseError("--window requires --observe".to_owned()));
     }
+    if checkpoint_every.is_some() && checkpoint_path.is_none() {
+        return Err(ParseError(
+            "--checkpoint-every requires --checkpoint".to_owned(),
+        ));
+    }
+    if resume.is_some() {
+        if let Some(conflict) = fresh_run_flags.first() {
+            return Err(ParseError(format!(
+                "'{conflict}' conflicts with --resume: the checkpoint already \
+                 fixes the scenario, protocol, seed and fault plan"
+            )));
+        }
+    }
     if csv && json {
         return Err(ParseError(
             "--csv and --json are mutually exclusive".to_owned(),
@@ -295,6 +375,10 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
         path,
         window_secs: window_secs.unwrap_or(100.0),
     });
+    let checkpoint = checkpoint_path.map(|path| CheckpointArgs {
+        path,
+        every_secs: checkpoint_every,
+    });
 
     let config = RunConfig {
         protocol,
@@ -302,6 +386,8 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
         seed,
         faults,
         observe,
+        checkpoint,
+        resume,
         csv,
         json,
     };
@@ -546,5 +632,93 @@ mod tests {
     fn invalid_scenarios_are_rejected_at_parse_time() {
         let err = parse(&["run", "--sinks", "0"]).unwrap_err();
         assert!(err.0.contains("invalid scenario"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let Ok(Command::Run(cfg)) = parse(&[
+            "run",
+            "--checkpoint",
+            "run.ckpt",
+            "--checkpoint-every",
+            "500",
+        ]) else {
+            panic!("parse failed");
+        };
+        let ckpt = cfg.checkpoint.expect("checkpoint args");
+        assert_eq!(ckpt.path, "run.ckpt");
+        assert_eq!(ckpt.every_secs, Some(500.0));
+        assert!(cfg.resume.is_none());
+
+        // --checkpoint without an interval means signal-only snapshots.
+        let Ok(Command::Run(cfg)) = parse(&["run", "--checkpoint", "run.ckpt"]) else {
+            panic!("parse failed");
+        };
+        assert_eq!(cfg.checkpoint.unwrap().every_secs, None);
+    }
+
+    #[test]
+    fn checkpoint_every_requires_a_path() {
+        let err = parse(&["run", "--checkpoint-every", "500"]).unwrap_err();
+        assert!(err.0.contains("requires --checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn non_positive_checkpoint_intervals_are_rejected() {
+        for s in ["0", "-1", "nan", "inf"] {
+            let err = parse(&["run", "--checkpoint", "c", "--checkpoint-every", s]).unwrap_err();
+            assert!(
+                err.0.contains("--checkpoint-every") || err.0.contains("invalid value"),
+                "interval {s}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_parses_alone_and_with_io_flags() {
+        let Ok(Command::Run(cfg)) = parse(&[
+            "run",
+            "--resume",
+            "run.ckpt",
+            "--observe",
+            "out.jsonl",
+            "--checkpoint",
+            "run.ckpt",
+            "--json",
+        ]) else {
+            panic!("parse failed");
+        };
+        assert_eq!(cfg.resume.as_deref(), Some("run.ckpt"));
+        assert!(cfg.observe.is_some());
+        assert!(cfg.json);
+    }
+
+    #[test]
+    fn resume_conflicts_with_fresh_run_flags() {
+        for flags in [
+            &["run", "--resume", "c", "--seed", "2"][..],
+            &["run", "--resume", "c", "--protocol", "zbr"],
+            &["run", "--resume", "c", "--sensors", "10"],
+            &["run", "--resume", "c", "--duration", "100"],
+            &["run", "--resume", "c", "--fault-plan", "none"],
+            // Order must not matter: the conflict is detected after the
+            // whole command line is consumed.
+            &["run", "--seed", "2", "--resume", "c"],
+        ] {
+            let err = parse(flags).unwrap_err();
+            assert!(err.0.contains("--resume"), "{flags:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_flags_are_run_only() {
+        for flags in [
+            &["compare", "--checkpoint", "c"][..],
+            &["compare", "--checkpoint-every", "10"],
+            &["analyze", "--resume", "c"],
+        ] {
+            let err = parse(flags).unwrap_err();
+            assert!(err.0.contains("only valid for 'run'"), "{flags:?}: {err}");
+        }
     }
 }

@@ -1,88 +1,401 @@
 //! The `dftmsn` command-line front end.
+//!
+//! Every failure path funnels through [`CliError`], so each class of
+//! problem maps to a distinct, documented exit code (see `USAGE`):
+//! usage errors exit 2, I/O failures 3, corrupt checkpoint or observation
+//! files 4, and interrupted runs 128+signal after writing a final
+//! checkpoint and flushing the partial report.
 
 mod args;
 
-use args::{parse, Command, RunConfig, USAGE};
+use args::{parse, CheckpointArgs, Command, RunConfig, USAGE};
 use dftmsn_core::analysis::{
     direct_average_ratio, direct_expected_delay, ContactModel, EpidemicModel,
 };
 use dftmsn_core::observe::MetricsRecorder;
 use dftmsn_core::params::ScenarioParams;
+use dftmsn_core::report::SimReport;
 use dftmsn_core::variants::ProtocolKind;
-use dftmsn_core::world::Simulation;
+use dftmsn_core::world::{CkptError, Simulation};
 use dftmsn_metrics::json::Json;
 use dftmsn_metrics::table::Table;
 use dftmsn_metrics::viz::{resample, sparkline};
-use std::io::BufWriter;
+use dftmsn_sim::time::SimDuration;
+use std::io::{BufWriter, Seek, SeekFrom};
+use std::path::Path;
 
-fn main() {
-    let owned: Vec<String> = std::env::args().skip(1).collect();
-    let refs: Vec<&str> = owned.iter().map(String::as_str).collect();
-    match parse(&refs) {
-        Ok(Command::Help) => print!("{USAGE}"),
-        Ok(Command::Run(cfg)) => run_one(cfg),
-        Ok(Command::Compare(cfg)) => compare(&cfg),
-        Ok(Command::Inspect {
-            path,
-            series,
-            width,
-        }) => inspect(&path, series.as_deref(), width),
-        Ok(Command::Analyze { scenario }) => analyze(&scenario),
-        Err(e) => {
-            eprintln!("error: {e}\n");
-            eprint!("{USAGE}");
-            std::process::exit(2);
+/// Anything that can go wrong after argument parsing succeeded.
+#[derive(Debug)]
+enum CliError {
+    /// A filesystem operation failed.
+    Io {
+        /// What was being attempted.
+        op: &'static str,
+        /// The file involved.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Checkpoint write/read/resume failed.
+    Ckpt(CkptError),
+    /// An input file parsed but its contents are unusable (wrong schema,
+    /// missing header, cursor past end of file).
+    Data(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to (documented in `USAGE`).
+    fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Io { .. } => 3,
+            CliError::Ckpt(e) if e.is_corrupt() => 4,
+            CliError::Ckpt(_) => 3,
+            CliError::Data(_) => 4,
         }
     }
 }
 
-fn fail(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    std::process::exit(1);
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Io { op, path, source } => write!(f, "{op} '{path}': {source}"),
+            CliError::Ckpt(e) => write!(f, "{e}"),
+            CliError::Data(msg) => f.write_str(msg),
+        }
+    }
 }
 
-fn run_one(cfg: RunConfig) {
-    let RunConfig {
-        protocol,
-        scenario,
-        seed,
-        faults,
-        observe,
-        csv,
-        json,
-    } = cfg;
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            CliError::Ckpt(e) => Some(e),
+            CliError::Data(_) => None,
+        }
+    }
+}
+
+impl From<CkptError> for CliError {
+    fn from(e: CkptError) -> Self {
+        CliError::Ckpt(e)
+    }
+}
+
+/// Async-signal handling: the handler only stores the signal number; the
+/// run loop polls it between events and performs the orderly shutdown
+/// (final checkpoint + partial report) on the main thread.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicI32, Ordering};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    static PENDING: AtomicI32 = AtomicI32::new(0);
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(signum: i32) {
+        PENDING.store(signum, Ordering::Relaxed);
+    }
+
+    /// Installs SIGINT/SIGTERM handlers; call once before the run loop.
+    pub fn install() {
+        // SAFETY: signal(2) with a handler that only performs an atomic
+        // store — the narrow async-signal-safe idiom.
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+
+    /// The signal received since `install`, if any.
+    pub fn pending() -> Option<i32> {
+        match PENDING.load(Ordering::Relaxed) {
+            0 => None,
+            s => Some(s),
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+    pub fn pending() -> Option<i32> {
+        None
+    }
+}
+
+fn main() {
+    let owned: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = owned.iter().map(String::as_str).collect();
+    let code = match parse(&refs) {
+        Ok(Command::Help) => {
+            print!("{USAGE}");
+            0
+        }
+        Ok(cmd) => match dispatch(cmd) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                e.exit_code()
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn dispatch(cmd: Command) -> Result<i32, CliError> {
+    match cmd {
+        Command::Help => {
+            print!("{USAGE}");
+            Ok(0)
+        }
+        Command::Run(cfg) => run_one(cfg),
+        Command::Compare(cfg) => {
+            compare(&cfg);
+            Ok(0)
+        }
+        Command::Inspect {
+            path,
+            series,
+            width,
+        } => {
+            inspect(&path, series.as_deref(), width)?;
+            Ok(0)
+        }
+        Command::Analyze { scenario } => {
+            analyze(&scenario);
+            Ok(0)
+        }
+    }
+}
+
+/// The observer handle kept alongside a running simulation so the CLI can
+/// report how many windows went to which file once the run ends.
+struct Observing {
+    recorder: MetricsRecorder,
+    path: String,
+}
+
+/// Builds a fresh simulation from the parsed flags (the non-`--resume`
+/// path), attaching the observer when requested.
+fn build_fresh(cfg: &RunConfig) -> Result<(Simulation, Option<Observing>), CliError> {
     eprintln!(
-        "running {protocol} on {} sensors / {} sinks for {} s (seed {seed}, {} fault events)...",
-        scenario.sensors,
-        scenario.sinks,
-        scenario.duration_secs,
-        faults.len()
+        "running {} on {} sensors / {} sinks for {} s (seed {}, {} fault events)...",
+        cfg.protocol,
+        cfg.scenario.sensors,
+        cfg.scenario.sinks,
+        cfg.scenario.duration_secs,
+        cfg.seed,
+        cfg.faults.len()
     );
-    let mut builder = Simulation::builder(scenario, protocol)
-        .seed(seed)
-        .faults(faults);
-    let mut observing: Option<(MetricsRecorder, String)> = None;
-    if let Some(obs) = observe {
-        let file = std::fs::File::create(&obs.path)
-            .unwrap_or_else(|e| fail(&format!("cannot create '{}': {e}", obs.path)));
+    let mut builder = Simulation::builder(cfg.scenario.clone(), cfg.protocol)
+        .seed(cfg.seed)
+        .faults(cfg.faults.clone());
+    let mut observing = None;
+    if let Some(obs) = &cfg.observe {
+        let file = std::fs::File::create(&obs.path).map_err(|e| CliError::Io {
+            op: "cannot create",
+            path: obs.path.clone(),
+            source: e,
+        })?;
         // Streaming-only: windows go straight to the file, memory stays
-        // flat however long the run is.
-        let recorder = MetricsRecorder::new(obs.window_secs)
-            .streaming_only()
-            .with_output(Box::new(BufWriter::new(file)));
+        // flat however long the run is. With checkpointing enabled the
+        // file is written unbuffered so that at every event boundary its
+        // length equals the recorder's byte cursor — the invariant the
+        // resume path truncates back to.
+        let recorder = MetricsRecorder::new(obs.window_secs).streaming_only();
+        let recorder = if cfg.checkpoint.is_some() {
+            recorder.with_output(Box::new(file))
+        } else {
+            recorder.with_output(Box::new(BufWriter::new(file)))
+        };
         builder = builder.observe(recorder.clone());
-        observing = Some((recorder, obs.path));
+        observing = Some(Observing {
+            recorder,
+            path: obs.path.clone(),
+        });
     }
-    let report = builder.build().run();
-    if let Some((recorder, path)) = observing {
-        let (windows, _) = recorder.totals();
-        eprintln!("wrote {windows} windows to {path}");
+    Ok((builder.build(), observing))
+}
+
+/// Reconstructs a simulation from a checkpoint file (the `--resume` path)
+/// and re-attaches the observer's output stream byte-exactly.
+fn build_resumed(
+    cfg: &RunConfig,
+    ckpt_path: &str,
+) -> Result<(Simulation, Option<Observing>), CliError> {
+    let resumed = Simulation::resume(Path::new(ckpt_path))?;
+    if resumed.from_backup {
+        eprintln!("warning: '{ckpt_path}' was corrupt; resumed from its .bak rotation instead");
     }
-    if json {
+    let sim = resumed.sim;
+    eprintln!(
+        "resumed from '{ckpt_path}' at t = {:.0} s",
+        sim.now().as_secs_f64()
+    );
+    let observing = match (resumed.recorder, &cfg.observe) {
+        (Some(recorder), Some(obs)) => {
+            // The snapshot's byte cursor marks how much JSONL the
+            // interrupted run had durably written; anything after it is a
+            // window the resumed run will re-emit, so truncate and append.
+            let cursor = recorder.bytes_written();
+            let mut file = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&obs.path)
+                .map_err(|e| CliError::Io {
+                    op: "cannot reopen observe file",
+                    path: obs.path.clone(),
+                    source: e,
+                })?;
+            let len = file
+                .metadata()
+                .map_err(|e| CliError::Io {
+                    op: "cannot stat observe file",
+                    path: obs.path.clone(),
+                    source: e,
+                })?
+                .len();
+            if len < cursor {
+                return Err(CliError::Data(format!(
+                    "observe file '{}' holds {len} bytes but the checkpoint's \
+                     cursor is {cursor} — wrong file, or it lost data",
+                    obs.path
+                )));
+            }
+            file.set_len(cursor).map_err(|e| CliError::Io {
+                op: "cannot truncate observe file",
+                path: obs.path.clone(),
+                source: e,
+            })?;
+            file.seek(SeekFrom::End(0)).map_err(|e| CliError::Io {
+                op: "cannot seek observe file",
+                path: obs.path.clone(),
+                source: e,
+            })?;
+            // `with_output` mutates the shared recorder the simulation
+            // already observes through, so this re-attaches the stream for
+            // both handles.
+            let recorder = recorder.with_output(Box::new(file));
+            Some(Observing {
+                recorder,
+                path: obs.path.clone(),
+            })
+        }
+        (Some(_), None) => {
+            eprintln!(
+                "warning: the checkpoint carries an observer; pass the original \
+                 --observe FILE to continue its JSONL stream (windows from here \
+                 on are otherwise dropped)"
+            );
+            None
+        }
+        (None, Some(_)) => {
+            eprintln!(
+                "warning: --observe ignored: the checkpointed run had no \
+                 observer attached"
+            );
+            None
+        }
+        (None, None) => None,
+    };
+    Ok((sim, observing))
+}
+
+fn run_one(cfg: RunConfig) -> Result<i32, CliError> {
+    let (mut sim, observing) = match &cfg.resume {
+        Some(path) => build_resumed(&cfg, path)?,
+        None => build_fresh(&cfg)?,
+    };
+    signals::install();
+
+    let every = cfg
+        .checkpoint
+        .as_ref()
+        .and_then(|c| c.every_secs)
+        .map(SimDuration::from_secs_f64);
+    let mut next_ckpt = every.map(|d| sim.now() + d);
+
+    let interrupted = loop {
+        if let Some(sig) = signals::pending() {
+            break Some(sig);
+        }
+        if !sim.step() {
+            break None;
+        }
+        if let (Some(at), Some(ckpt)) = (next_ckpt, &cfg.checkpoint) {
+            if sim.now() >= at {
+                write_checkpoint(&sim, ckpt)?;
+                // Schedule from the checkpoint instant, not `at`: a burst
+                // of simulated time must not trigger a burst of writes.
+                next_ckpt = every.map(|d| sim.now() + d);
+            }
+        }
+    };
+
+    if let Some(sig) = interrupted {
+        let now = sim.now();
+        eprintln!(
+            "interrupted by signal {sig} at t = {:.0} s",
+            now.as_secs_f64()
+        );
+        if let Some(ckpt) = &cfg.checkpoint {
+            write_checkpoint(&sim, ckpt)?;
+            eprintln!(
+                "final checkpoint written; resume with: dftmsn run --resume {}",
+                ckpt.path
+            );
+        }
+        // Flush what the run produced so far: the partial report plus the
+        // observer's pending window and totals line.
+        let report = sim.finish_partial();
+        report_observing(observing.as_ref());
+        eprintln!(
+            "partial report (run covered {:.0} s):",
+            report.duration_secs
+        );
+        print_report(&cfg, &report);
+        return Ok(128 + sig);
+    }
+
+    let report = sim.run();
+    report_observing(observing.as_ref());
+    print_report(&cfg, &report);
+    Ok(0)
+}
+
+fn write_checkpoint(sim: &Simulation, ckpt: &CheckpointArgs) -> Result<(), CliError> {
+    sim.checkpoint(Path::new(&ckpt.path))?;
+    eprintln!(
+        "checkpoint written to '{}' at t = {:.0} s",
+        ckpt.path,
+        sim.now().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn report_observing(observing: Option<&Observing>) {
+    if let Some(obs) = observing {
+        let (windows, _) = obs.recorder.totals();
+        eprintln!("wrote {windows} windows to {}", obs.path);
+    }
+}
+
+fn print_report(cfg: &RunConfig, report: &SimReport) {
+    if cfg.json {
         println!("{}", report.to_json());
         return;
     }
-    if csv {
+    if cfg.csv {
         println!("msg,origin,created_secs,delay_secs,sink");
         for d in &report.deliveries {
             println!(
@@ -209,23 +522,38 @@ fn extract(rows: &[Json], name: &str) -> Vec<(f64, f64)> {
     out
 }
 
-fn load_observe_file(path: &str) -> (Json, Vec<Json>, Option<Json>) {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| fail(&format!("cannot read '{path}': {e}")));
+/// Loads an observation file, tolerating corrupt or truncated lines: an
+/// interrupted run (or a crash mid-write) may leave a torn trailing line,
+/// which should not make the rest of the file unreadable. Every skipped
+/// line is reported on stderr; only a missing/foreign header is fatal.
+fn load_observe_file(path: &str) -> Result<(Json, Vec<Json>, Option<Json>), CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io {
+        op: "cannot read",
+        path: path.to_owned(),
+        source: e,
+    })?;
     let mut header: Option<Json> = None;
     let mut totals: Option<Json> = None;
     let mut rows = Vec::new();
+    let mut skipped = 0usize;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let j = Json::parse(line).unwrap_or_else(|e| fail(&format!("{path}:{}: {e}", i + 1)));
+        let j = match Json::parse(line) {
+            Ok(j) => j,
+            Err(e) => {
+                skipped += 1;
+                eprintln!("warning: {path}:{}: skipping unparseable line ({e})", i + 1);
+                continue;
+            }
+        };
         if let Some(schema) = j.get("schema").and_then(Json::as_str) {
             if schema != dftmsn_core::observe::SCHEMA {
-                fail(&format!(
+                return Err(CliError::Data(format!(
                     "'{path}' has schema '{schema}', expected '{}'",
                     dftmsn_core::observe::SCHEMA
-                ));
+                )));
             }
             header = Some(j);
         } else if j.get("totals").and_then(Json::as_bool) == Some(true) {
@@ -234,17 +562,24 @@ fn load_observe_file(path: &str) -> (Json, Vec<Json>, Option<Json>) {
             rows.push(j);
         }
     }
+    if skipped > 0 {
+        eprintln!(
+            "warning: {path}: skipped {skipped} corrupt line(s) — interrupted \
+             run or torn write; rendering the {} windows that parsed",
+            rows.len()
+        );
+    }
     let Some(header) = header else {
-        fail(&format!(
+        return Err(CliError::Data(format!(
             "'{path}' has no '{}' header line — not an observation file?",
             dftmsn_core::observe::SCHEMA
-        ));
+        )));
     };
-    (header, rows, totals)
+    Ok((header, rows, totals))
 }
 
-fn inspect(path: &str, series: Option<&str>, width: usize) {
-    let (header, rows, totals) = load_observe_file(path);
+fn inspect(path: &str, series: Option<&str>, width: usize) -> Result<(), CliError> {
+    let (header, rows, totals) = load_observe_file(path)?;
 
     let protocol = header.get("protocol").and_then(Json::as_str).unwrap_or("?");
     let window = header
@@ -263,8 +598,7 @@ fn inspect(path: &str, series: Option<&str>, width: usize) {
     );
 
     if let Some(name) = series {
-        inspect_series(&rows, name, width);
-        return;
+        return inspect_series(&rows, name, width);
     }
 
     if rows.is_empty() {
@@ -294,9 +628,10 @@ fn inspect(path: &str, series: Option<&str>, width: usize) {
     }
     println!("{}", table.render_text(2));
     println!("use --series NAME for per-window values of one series");
+    Ok(())
 }
 
-fn inspect_series(rows: &[Json], name: &str, width: usize) {
+fn inspect_series(rows: &[Json], name: &str, width: usize) -> Result<(), CliError> {
     let points = extract(rows, name);
     if points.is_empty() {
         let known: Vec<&str> = COUNTER_SERIES
@@ -304,10 +639,10 @@ fn inspect_series(rows: &[Json], name: &str, width: usize) {
             .chain(SNAPSHOT_SERIES)
             .copied()
             .collect();
-        fail(&format!(
+        return Err(CliError::Data(format!(
             "no data for series '{name}' (known series: {})",
             known.join(", ")
-        ));
+        )));
     }
     let values: Vec<f64> = points.iter().map(|&(_, v)| v).collect();
     println!("{name}: {}", sparkline(&resample(&values, width)));
@@ -316,6 +651,7 @@ fn inspect_series(rows: &[Json], name: &str, width: usize) {
         table.row(vec![t.into(), v.into()]);
     }
     println!("{}", table.render_text(3));
+    Ok(())
 }
 
 fn analyze(scenario: &ScenarioParams) {

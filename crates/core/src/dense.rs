@@ -78,6 +78,20 @@ impl DeliveredSet {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// The raw backing words, for checkpointing.
+    #[must_use]
+    pub fn raw_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a set from [`raw_words`](Self::raw_words) output; the
+    /// member count is recomputed from the popcount.
+    #[must_use]
+    pub fn from_raw_words(words: Vec<u64>) -> Self {
+        let len = words.iter().map(|w| w.count_ones() as usize).sum();
+        DeliveredSet { words, len }
+    }
 }
 
 /// Dense per-pair link-degradation table with lazy allocation.
@@ -157,6 +171,37 @@ impl LinkDropTable {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.entries == 0
+    }
+
+    /// The set per-pair entries as `(lo, hi, p)` triangular coordinates in
+    /// index order, for checkpointing. Empty when unallocated.
+    #[must_use]
+    pub fn set_entries(&self) -> Vec<(NodeId, NodeId, f64)> {
+        let mut out = Vec::with_capacity(self.entries);
+        for hi in 0..self.nodes {
+            for lo in 0..=hi {
+                let v = match self.cells.get(hi * (hi + 1) / 2 + lo) {
+                    Some(&v) => v,
+                    None => break,
+                };
+                if !v.is_nan() {
+                    out.push((NodeId(lo), NodeId(hi), v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a table for `nodes` nodes from
+    /// [`set_entries`](Self::set_entries) output. An empty entry list
+    /// leaves the table unallocated, preserving the lazy fast path.
+    #[must_use]
+    pub fn from_set_entries(nodes: usize, entries: &[(NodeId, NodeId, f64)]) -> Self {
+        let mut table = Self::new(nodes);
+        for &(a, b, p) in entries {
+            table.set(a, b, p);
+        }
+        table
     }
 }
 

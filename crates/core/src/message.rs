@@ -88,6 +88,13 @@ impl MessageIdAllocator {
     pub fn issued(&self) -> u64 {
         self.next
     }
+
+    /// Rebuilds an allocator that has already issued `issued` ids, for
+    /// checkpointing; the next id handed out is `MessageId(issued)`.
+    #[must_use]
+    pub fn from_issued(issued: u64) -> Self {
+        MessageIdAllocator { next: issued }
+    }
 }
 
 #[cfg(test)]

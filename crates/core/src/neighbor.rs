@@ -111,6 +111,30 @@ impl NeighborTable {
         self.entries
             .retain(|_, e| now.saturating_since(e.last_seen) <= ttl);
     }
+
+    /// Every entry sorted by node id, for deterministic checkpointing.
+    #[must_use]
+    pub fn sorted_entries(&self) -> Vec<(NodeId, NeighborEntry)> {
+        let mut entries: Vec<(NodeId, NeighborEntry)> =
+            self.entries.iter().map(|(&id, &e)| (id, e)).collect();
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        entries
+    }
+
+    /// Rebuilds a table from [`sorted_entries`](Self::sorted_entries)
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any ξ is outside `[0, 1]` (via [`observe`](Self::observe)).
+    #[must_use]
+    pub fn from_entries(entries: impl IntoIterator<Item = (NodeId, NeighborEntry)>) -> Self {
+        let mut table = Self::new();
+        for (id, e) in entries {
+            table.observe(id, e.xi, e.last_seen);
+        }
+        table
+    }
 }
 
 /// A CTS replier: a qualified receiver candidate.

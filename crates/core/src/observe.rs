@@ -193,6 +193,38 @@ impl ObserveSeries {
     }
 }
 
+/// Complete resumable recorder state, for checkpointing.
+///
+/// Captures everything needed to continue the JSONL stream byte-for-byte:
+/// the accumulating window, the pending (snapshot-awaiting) row, the
+/// running totals and `bytes_written` — the exact length of the output
+/// emitted so far, so a resuming process can truncate a partially-written
+/// observe file back to the last complete line this state describes.
+/// Retained in-memory rows are **not** captured; after a restore,
+/// [`MetricsRecorder::rows`]/[`MetricsRecorder::series`] cover only
+/// post-resume windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecorderState {
+    /// The configured window width (s).
+    pub window_secs: f64,
+    /// Run metadata for the header line.
+    pub meta: Option<RunMeta>,
+    /// Whether the header line has been emitted.
+    pub header_written: bool,
+    /// Index of the currently accumulating window.
+    pub cur_index: u64,
+    /// Counters accumulated in the current window so far.
+    pub cur: WindowCounters,
+    /// A closed window still awaiting its boundary snapshot.
+    pub pending: Option<ObserveRow>,
+    /// Cumulative counters across emitted windows.
+    pub totals: WindowCounters,
+    /// Number of windows emitted.
+    pub windows_emitted: u64,
+    /// Bytes written to the attached output so far (0 when none).
+    pub bytes_written: u64,
+}
+
 struct RecorderInner {
     window_secs: f64,
     meta: Option<RunMeta>,
@@ -211,6 +243,9 @@ struct RecorderInner {
     rows: Vec<ObserveRow>,
     out: Option<Box<dyn Write + Send>>,
     finished: bool,
+    /// Bytes emitted to `out` so far, so a checkpoint records exactly how
+    /// much of the observe file is accounted for.
+    bytes_written: u64,
 }
 
 impl std::fmt::Debug for RecorderInner {
@@ -233,7 +268,9 @@ impl RecorderInner {
 
     fn write_line(&mut self, line: &Json) {
         if let Some(out) = self.out.as_mut() {
-            writeln!(out, "{}", line.render()).expect("observe output write failed");
+            let rendered = line.render();
+            writeln!(out, "{rendered}").expect("observe output write failed");
+            self.bytes_written += rendered.len() as u64 + 1;
         }
     }
 
@@ -478,8 +515,66 @@ impl MetricsRecorder {
                 rows: Vec::new(),
                 out: None,
                 finished: false,
+                bytes_written: 0,
             })),
         })
+    }
+
+    /// Captures the complete resumable recorder state, for checkpointing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the lock panicked.
+    #[must_use]
+    pub fn snapshot_state(&self) -> RecorderState {
+        let inner = self.lock();
+        RecorderState {
+            window_secs: inner.window_secs,
+            meta: inner.meta.clone(),
+            header_written: inner.header_written,
+            cur_index: inner.cur_index,
+            cur: inner.cur,
+            pending: inner.pending.clone(),
+            totals: inner.totals,
+            windows_emitted: inner.windows_emitted,
+            bytes_written: inner.bytes_written,
+        }
+    }
+
+    /// Rebuilds a recorder from [`snapshot_state`](Self::snapshot_state)
+    /// output, ready to continue the stream. No output is attached — chain
+    /// [`with_output`](Self::with_output) with a file truncated to
+    /// [`RecorderState::bytes_written`] to resume a JSONL stream
+    /// byte-for-byte. Retention starts empty (see [`RecorderState`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state carries an invalid window width.
+    #[must_use]
+    pub fn restore_state(state: RecorderState) -> Self {
+        let recorder = Self::new(state.window_secs);
+        {
+            let mut inner = recorder.lock();
+            inner.meta = state.meta;
+            inner.header_written = state.header_written;
+            inner.cur_index = state.cur_index;
+            inner.cur = state.cur;
+            inner.pending = state.pending;
+            inner.totals = state.totals;
+            inner.windows_emitted = state.windows_emitted;
+            inner.bytes_written = state.bytes_written;
+        }
+        recorder
+    }
+
+    /// Bytes emitted to the attached output so far (0 when none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the lock panicked.
+    #[must_use]
+    pub fn bytes_written(&self) -> u64 {
+        self.lock().bytes_written
     }
 
     /// Streams every closed window (and the header/totals lines) to
@@ -764,6 +859,64 @@ mod tests {
         assert!(lines[1].contains("\"window\":0"));
         assert!(lines[3].contains("\"totals\":true"));
         assert!(lines[3].contains("\"deliveries\":1"));
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream_byte_for_byte() {
+        let buf = |b: &Arc<Mutex<Vec<u8>>>| -> Box<dyn Write + Send> {
+            struct Shared(Arc<Mutex<Vec<u8>>>);
+            impl Write for Shared {
+                fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                    self.0.lock().unwrap().extend_from_slice(b);
+                    Ok(b.len())
+                }
+                fn flush(&mut self) -> std::io::Result<()> {
+                    Ok(())
+                }
+            }
+            Box::new(Shared(b.clone()))
+        };
+        let meta = RunMeta {
+            protocol: "OPT".into(),
+            seed: 7,
+            duration_secs: 40.0,
+            sensors: 3,
+            sinks: 1,
+        };
+        // Uninterrupted reference run.
+        let whole: Arc<Mutex<Vec<u8>>> = Arc::default();
+        let mut a = MetricsRecorder::new(10.0).with_output(buf(&whole));
+        a.begin_run(meta.clone());
+        for &s in &[1.0, 9.0, 12.0, 15.5, 31.0] {
+            a.record(delivered(s));
+        }
+        a.record_snapshot(SimTime::from_secs(20), snap(2.0));
+        a.finish(SimTime::from_secs(40), None);
+
+        // Same events split at t = 14: checkpoint, restore, continue.
+        let head: Arc<Mutex<Vec<u8>>> = Arc::default();
+        let mut b = MetricsRecorder::new(10.0).with_output(buf(&head));
+        b.begin_run(meta);
+        for &s in &[1.0, 9.0, 12.0] {
+            b.record(delivered(s));
+        }
+        let state = b.snapshot_state();
+        assert_eq!(state.bytes_written, head.lock().unwrap().len() as u64);
+        let tail: Arc<Mutex<Vec<u8>>> = Arc::default();
+        let mut c = MetricsRecorder::restore_state(state).with_output(buf(&tail));
+        for &s in &[15.5, 31.0] {
+            c.record(delivered(s));
+        }
+        c.record_snapshot(SimTime::from_secs(20), snap(2.0));
+        c.finish(SimTime::from_secs(40), None);
+
+        let mut resumed = head.lock().unwrap().clone();
+        resumed.extend_from_slice(&tail.lock().unwrap());
+        assert_eq!(
+            String::from_utf8(whole.lock().unwrap().clone()).unwrap(),
+            String::from_utf8(resumed).unwrap()
+        );
+        assert_eq!(a.totals(), c.totals());
     }
 
     #[test]

@@ -208,6 +208,27 @@ impl FtdQueue {
         self.items.iter()
     }
 
+    /// Rebuilds a queue from checkpointed contents: `items` must already be
+    /// in the queue's `(ftd, id)` ascending order (as produced by
+    /// [`iter`](Self::iter)) and within `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero, `items` exceeds it, or the order is
+    /// violated — any of which means the checkpoint is corrupt.
+    #[must_use]
+    pub fn from_sorted_items(capacity: usize, items: Vec<Message>) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        assert!(items.len() <= capacity, "queue contents exceed capacity");
+        for w in items.windows(2) {
+            assert!(
+                Self::sort_key(&w[0]) <= Self::sort_key(&w[1]),
+                "queue contents out of order"
+            );
+        }
+        FtdQueue { items, capacity }
+    }
+
     #[cfg(test)]
     fn assert_sorted(&self) {
         for w in self.items.windows(2) {

@@ -10,6 +10,7 @@ use crate::message::MessageId;
 use dftmsn_metrics::histogram::Histogram;
 use dftmsn_metrics::stats::RunningStats;
 use dftmsn_radio::ids::NodeId;
+use dftmsn_sim::snap::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// One first-copy delivery, for post-hoc coverage analysis (e.g. field
@@ -355,6 +356,228 @@ impl SimReport {
             .field("nodes", Json::Arr(nodes))
     }
 
+    /// Serializes the *complete* report (including the fields
+    /// [`to_json`](Self::to_json) elides: delay statistics, the delay
+    /// histogram, per-delivery records) into the little-endian binary
+    /// layout shared with the checkpoint subsystem, so sweep harnesses can
+    /// persist finished runs losslessly and skip them on a rerun.
+    #[must_use]
+    pub fn snap_bytes(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.u8(1); // layout version
+        w.string(&self.protocol);
+        w.u64(self.seed);
+        w.f64(self.duration_secs);
+        w.usize(self.sensors);
+        w.usize(self.sinks);
+        w.u64(self.generated);
+        w.u64(self.delivered);
+        w.u64(self.sink_receptions);
+        w.f64(self.mean_delay_secs);
+        w.f64(self.p95_delay_secs);
+        w.f64(self.avg_sensor_power_mw);
+        w.f64(self.total_sensor_energy_j);
+        for &e in &self.energy_by_state_j {
+            w.f64(e);
+        }
+        w.u64(self.control_bits);
+        w.u64(self.data_bits);
+        w.u64(self.frames_sent);
+        w.u64(self.collisions);
+        w.u64(self.drops_overflow);
+        w.u64(self.drops_rejected);
+        w.u64(self.drops_ftd);
+        w.u64(self.attempts);
+        w.u64(self.failed_attempts);
+        w.u64(self.multicasts);
+        w.u64(self.copies_sent);
+        w.u64(self.events_processed);
+        w.f64(self.mean_final_xi);
+        w.f64(self.mean_hops);
+        for c in [
+            self.faults.crashes,
+            self.faults.recoveries,
+            self.faults.battery_deaths,
+            self.faults.sink_outages,
+            self.faults.messages_lost_to_crash,
+            self.faults.frames_dropped,
+            self.faults.data_corrupted,
+            self.faults.retransmissions_triggered,
+            self.faults.deliveries_despite_faults,
+        ] {
+            w.u64(c);
+        }
+        let (count, mean, m2, min, max) = self.delay_stats.raw_parts();
+        w.u64(count);
+        w.f64(mean);
+        w.f64(m2);
+        w.f64(min);
+        w.f64(max);
+        let (lo, hi, buckets, underflow, overflow) = self.delay_hist.raw_parts();
+        w.f64(lo);
+        w.f64(hi);
+        w.seq(buckets, |w, &b| w.u64(b));
+        w.u64(underflow);
+        w.u64(overflow);
+        w.seq(&self.deliveries, |w, d| {
+            w.u64(d.msg.0);
+            w.usize(d.origin.index());
+            w.f64(d.created_secs);
+            w.f64(d.delay_secs);
+            w.usize(d.sink.index());
+            w.u32(d.hops);
+        });
+        w.seq(&self.node_summaries, |w, n| {
+            w.usize(n.id.index());
+            w.f64(n.final_metric);
+            w.f64(n.energy_j);
+            w.usize(n.queue_len);
+            w.u64(n.switches);
+            for &e in &n.energy_by_state_j {
+                w.f64(e);
+            }
+        });
+        w.into_bytes()
+    }
+
+    /// Reconstructs a report serialized with [`snap_bytes`](Self::snap_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on truncation, trailing bytes, an unknown
+    /// layout version, or histogram geometry that would not validate.
+    pub fn from_snap_bytes(bytes: &[u8]) -> Result<SimReport, SnapError> {
+        let mut r = SnapReader::new(bytes);
+        let version = r.u8()?;
+        if version != 1 {
+            return Err(SnapError::new(format!(
+                "unknown SimReport layout version {version}"
+            )));
+        }
+        let protocol = r.string()?;
+        let seed = r.u64()?;
+        let duration_secs = r.f64()?;
+        let sensors = r.usize()?;
+        let sinks = r.usize()?;
+        let generated = r.u64()?;
+        let delivered = r.u64()?;
+        let sink_receptions = r.u64()?;
+        let mean_delay_secs = r.f64()?;
+        let p95_delay_secs = r.f64()?;
+        let avg_sensor_power_mw = r.f64()?;
+        let total_sensor_energy_j = r.f64()?;
+        let mut energy_by_state_j = [0.0; 4];
+        for e in &mut energy_by_state_j {
+            *e = r.f64()?;
+        }
+        let control_bits = r.u64()?;
+        let data_bits = r.u64()?;
+        let frames_sent = r.u64()?;
+        let collisions = r.u64()?;
+        let drops_overflow = r.u64()?;
+        let drops_rejected = r.u64()?;
+        let drops_ftd = r.u64()?;
+        let attempts = r.u64()?;
+        let failed_attempts = r.u64()?;
+        let multicasts = r.u64()?;
+        let copies_sent = r.u64()?;
+        let events_processed = r.u64()?;
+        let mean_final_xi = r.f64()?;
+        let mean_hops = r.f64()?;
+        let faults = FaultCounters {
+            crashes: r.u64()?,
+            recoveries: r.u64()?,
+            battery_deaths: r.u64()?,
+            sink_outages: r.u64()?,
+            messages_lost_to_crash: r.u64()?,
+            frames_dropped: r.u64()?,
+            data_corrupted: r.u64()?,
+            retransmissions_triggered: r.u64()?,
+            deliveries_despite_faults: r.u64()?,
+        };
+        let count = r.u64()?;
+        let mean = r.f64()?;
+        let m2 = r.f64()?;
+        let min = r.f64()?;
+        let max = r.f64()?;
+        let delay_stats = RunningStats::from_raw_parts(count, mean, m2, min, max);
+        let lo = r.f64()?;
+        let hi = r.f64()?;
+        let buckets = r.seq(SnapReader::u64)?;
+        let underflow = r.u64()?;
+        let overflow = r.u64()?;
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) || buckets.is_empty() {
+            return Err(SnapError::new("invalid delay histogram geometry"));
+        }
+        let delay_hist = Histogram::from_raw_parts(lo, hi, buckets, underflow, overflow);
+        let deliveries = r.seq(|r| {
+            Ok(DeliveryRecord {
+                msg: MessageId(r.u64()?),
+                origin: NodeId(r.usize()?),
+                created_secs: r.f64()?,
+                delay_secs: r.f64()?,
+                sink: NodeId(r.usize()?),
+                hops: r.u32()?,
+            })
+        })?;
+        let node_summaries = r.seq(|r| {
+            let id = NodeId(r.usize()?);
+            let final_metric = r.f64()?;
+            let energy_j = r.f64()?;
+            let queue_len = r.usize()?;
+            let switches = r.u64()?;
+            let mut energy_by_state_j = [0.0; 4];
+            for e in &mut energy_by_state_j {
+                *e = r.f64()?;
+            }
+            Ok(NodeSummary {
+                id,
+                final_metric,
+                energy_j,
+                queue_len,
+                switches,
+                energy_by_state_j,
+            })
+        })?;
+        if !r.is_exhausted() {
+            return Err(SnapError::new("trailing bytes after SimReport payload"));
+        }
+        Ok(SimReport {
+            protocol,
+            seed,
+            duration_secs,
+            sensors,
+            sinks,
+            generated,
+            delivered,
+            sink_receptions,
+            mean_delay_secs,
+            p95_delay_secs,
+            avg_sensor_power_mw,
+            total_sensor_energy_j,
+            energy_by_state_j,
+            control_bits,
+            data_bits,
+            frames_sent,
+            collisions,
+            drops_overflow,
+            drops_rejected,
+            drops_ftd,
+            attempts,
+            failed_attempts,
+            multicasts,
+            copies_sent,
+            events_processed,
+            mean_final_xi,
+            mean_hops,
+            faults,
+            delay_stats,
+            delay_hist,
+            deliveries,
+            node_summaries,
+        })
+    }
+
     /// One-line human summary.
     #[must_use]
     pub fn summary(&self) -> String {
@@ -455,6 +678,62 @@ mod tests {
         assert!(js.contains("\"faults\""), "{js}");
         assert!(js.contains("\"crashes\":2"), "{js}");
         assert!(js.contains("\"frames_dropped\":7"), "{js}");
+    }
+
+    #[test]
+    fn snap_round_trip_is_lossless() {
+        let mut r = report(10, 5);
+        r.faults.crashes = 3;
+        r.delay_stats.record(12.5);
+        r.delay_stats.record(31.25);
+        r.delay_hist.record(12.5);
+        r.deliveries.push(DeliveryRecord {
+            msg: MessageId(42),
+            origin: NodeId(3),
+            created_secs: 5.5,
+            delay_secs: 12.5,
+            sink: NodeId(11),
+            hops: 2,
+        });
+        r.node_summaries.push(NodeSummary {
+            id: NodeId(3),
+            final_metric: 0.625,
+            energy_j: 1.75,
+            queue_len: 4,
+            switches: 9,
+            energy_by_state_j: [0.1, 0.2, 0.0, 0.4],
+        });
+        let bytes = r.snap_bytes();
+        let back = SimReport::from_snap_bytes(&bytes).expect("round trip");
+        assert_eq!(back.to_json().render(), r.to_json().render());
+        assert_eq!(back.failed_attempts, r.failed_attempts);
+        assert_eq!(back.deliveries, r.deliveries);
+        assert_eq!(back.node_summaries, r.node_summaries);
+        assert_eq!(back.delay_stats.raw_parts(), r.delay_stats.raw_parts());
+        let (lo, hi, buckets, u, o) = r.delay_hist.raw_parts();
+        let (blo, bhi, bbuckets, bu, bo) = back.delay_hist.raw_parts();
+        assert_eq!(
+            (blo.to_bits(), bhi.to_bits(), bu, bo),
+            (lo.to_bits(), hi.to_bits(), u, o)
+        );
+        assert_eq!(bbuckets, buckets);
+    }
+
+    #[test]
+    fn snap_decode_rejects_corruption() {
+        let r = report(10, 5);
+        let bytes = r.snap_bytes();
+        // Truncation anywhere must error, not panic.
+        assert!(SimReport::from_snap_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(SimReport::from_snap_bytes(&[]).is_err());
+        // Trailing garbage is rejected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(SimReport::from_snap_bytes(&padded).is_err());
+        // Unknown version byte is rejected.
+        let mut vers = bytes;
+        vers[0] = 99;
+        assert!(SimReport::from_snap_bytes(&vers).is_err());
     }
 
     #[test]

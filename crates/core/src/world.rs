@@ -54,6 +54,10 @@ use dftmsn_sim::event::EventQueue;
 use dftmsn_sim::rng::SimRng;
 use dftmsn_sim::time::{SimDuration, SimTime};
 
+#[path = "world_ckpt.rs"]
+mod ckpt;
+pub use ckpt::{CkptError, Resumed, CKPT_MAGIC};
+
 /// Node-local timer kinds; all are epoch-guarded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Timer {
@@ -810,14 +814,44 @@ impl Simulation {
     /// Runs the simulation to its configured end and produces the report.
     #[must_use]
     pub fn run(mut self) -> SimReport {
-        while let Some(t) = self.events.peek_time() {
-            if t > self.end {
-                break;
-            }
-            let (now, ev) = self.events.pop().expect("peeked event exists");
-            self.handle(now, ev);
-        }
+        while self.step() {}
         self.finish_report()
+    }
+
+    /// The simulation clock: the time of the most recently processed
+    /// event. Checkpoints taken between [`step`](Self::step) calls are
+    /// stamped with this instant.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// Processes the next pending event, returning `false` when the run
+    /// is complete (no pending event at or before the configured end).
+    ///
+    /// `run` is equivalent to stepping until exhaustion and then calling
+    /// the report finalizer; external drivers (checkpointing loops,
+    /// signal-interruptible runs) use `step` directly so they can act on
+    /// event boundaries.
+    pub fn step(&mut self) -> bool {
+        match self.events.peek_time() {
+            Some(t) if t <= self.end => {
+                let (now, ev) = self.events.pop().expect("peeked event exists");
+                self.handle(now, ev);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Finalizes an *interrupted* run into a report covering the elapsed
+    /// horizon (`now`): energy meters close at the interruption instant
+    /// and rates normalize by the elapsed — not configured — duration.
+    /// The attached observer flushes its partial window and totals.
+    #[must_use]
+    pub fn finish_partial(self) -> SimReport {
+        let horizon = self.events.now();
+        self.finish_report_at(horizon)
     }
 
     // ------------------------------------------------------------------
@@ -2116,14 +2150,18 @@ impl Simulation {
     // Reporting
     // ------------------------------------------------------------------
 
-    fn finish_report(mut self) -> SimReport {
+    fn finish_report(self) -> SimReport {
+        let duration = SimTime::from_secs(self.scenario.duration_secs);
+        self.finish_report_at(duration)
+    }
+
+    fn finish_report_at(mut self, duration: SimTime) -> SimReport {
         // Finalize the observer first: its closing snapshot reads the
         // meters *before* the loop below closes their open intervals.
         if let Some(recorder) = self.observer.take() {
-            let snap = self.world_snapshot(self.end);
-            recorder.finish(self.end, Some(snap));
+            let snap = self.world_snapshot(duration);
+            recorder.finish(duration, Some(snap));
         }
-        let duration = SimTime::from_secs(self.scenario.duration_secs);
         let energy_model = &self.scenario.energy;
         let mut total_energy = 0.0;
         let mut xi_sum = 0.0;
@@ -2173,7 +2211,11 @@ impl Simulation {
             sink_receptions: m.sink_receptions,
             mean_delay_secs: m.delay.mean(),
             p95_delay_secs: m.delay_hist.quantile(0.95).unwrap_or(0.0),
-            avg_sensor_power_mw: total_energy / (sensors as f64 * secs) * 1_000.0,
+            avg_sensor_power_mw: if sensors > 0 && secs > 0.0 {
+                total_energy / (sensors as f64 * secs) * 1_000.0
+            } else {
+                0.0
+            },
             total_sensor_energy_j: total_energy,
             energy_by_state_j: energy_by_state,
             control_bits: m.control_bits,

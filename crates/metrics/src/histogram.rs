@@ -137,6 +137,43 @@ impl Histogram {
         Some(self.hi)
     }
 
+    /// The full state `(lo, hi, buckets, underflow, overflow)`, for
+    /// checkpointing.
+    #[must_use]
+    pub fn raw_parts(&self) -> (f64, f64, &[u64], u64, u64) {
+        (
+            self.lo,
+            self.hi,
+            &self.buckets,
+            self.underflow,
+            self.overflow,
+        )
+    }
+
+    /// Reconstructs a histogram from [`raw_parts`](Self::raw_parts) output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid geometry (same rules as [`new`](Self::new)).
+    #[must_use]
+    pub fn from_raw_parts(
+        lo: f64,
+        hi: f64,
+        buckets: Vec<u64>,
+        underflow: u64,
+        overflow: u64,
+    ) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range");
+        assert!(!buckets.is_empty(), "need at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            buckets,
+            underflow,
+            overflow,
+        }
+    }
+
     /// Merges another histogram with identical geometry.
     ///
     /// # Panics

@@ -152,6 +152,35 @@ impl RunningStats {
             1.96 * self.sample_std_dev() / (self.count as f64).sqrt()
         }
     }
+
+    /// The raw accumulator fields `(count, mean, m2, min, max)`, for
+    /// checkpointing. `min`/`max` carry their ±∞ empty-state sentinels, so
+    /// the tuple must round-trip bit-exactly (serialize floats via
+    /// `to_bits`).
+    #[must_use]
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Reconstructs an accumulator from [`raw_parts`](Self::raw_parts)
+    /// output. No validation beyond NaN rejection: the tuple is trusted to
+    /// come from a live accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` or `m2` is NaN — no sequence of finite
+    /// observations produces one.
+    #[must_use]
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        assert!(!mean.is_nan() && !m2.is_nan(), "NaN in stats state");
+        RunningStats {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
 }
 
 #[cfg(test)]

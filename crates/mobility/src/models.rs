@@ -51,6 +51,31 @@ pub trait MobilityModel: std::fmt::Debug + Send {
     fn advance_span(&mut self, dt: f64, rng: &mut SimRng) {
         self.advance(dt, rng);
     }
+
+    /// The model's mutable state as a flat `f64` vector, for checkpointing.
+    ///
+    /// Only trajectory state is captured — construction-time parameters
+    /// (area, zone grid, speed bounds) are rebuilt from the scenario.
+    /// Values must round-trip bit-exactly; stateless models return an
+    /// empty vector.
+    fn save_state(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`save_state`](Self::save_state) into a
+    /// freshly constructed model of the same kind and parameters.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `state` does not match their
+    /// [`save_state`](Self::save_state) layout.
+    fn load_state(&mut self, state: &[f64]) {
+        assert!(
+            state.is_empty(),
+            "stateless model handed {} state values",
+            state.len()
+        );
+    }
 }
 
 /// Time until a point at `p` moving with velocity `v` leaves `[lo, hi]`
@@ -316,6 +341,29 @@ impl MobilityModel for ZoneMobility {
         let (p, _) = area.reflect(self.pos, self.dir);
         self.pos = p;
     }
+
+    fn save_state(&self) -> Vec<f64> {
+        vec![
+            self.pos.x,
+            self.pos.y,
+            self.dir.x,
+            self.dir.y,
+            self.speed,
+            self.leg_remaining,
+            self.span_margin_m,
+        ]
+    }
+
+    fn load_state(&mut self, state: &[f64]) {
+        let [px, py, dx, dy, speed, leg, margin] = *state else {
+            panic!("zone mobility expects 7 state values, got {}", state.len());
+        };
+        self.pos = Vec2::new(px, py);
+        self.dir = Vec2::new(dx, dy);
+        self.speed = speed;
+        self.leg_remaining = leg;
+        self.span_margin_m = margin;
+    }
 }
 
 /// Classic random-waypoint mobility over a rectangular area.
@@ -415,6 +463,30 @@ impl MobilityModel for RandomWaypoint {
             }
         }
     }
+
+    fn save_state(&self) -> Vec<f64> {
+        vec![
+            self.pos.x,
+            self.pos.y,
+            self.target.x,
+            self.target.y,
+            self.speed,
+            self.pause_remaining,
+        ]
+    }
+
+    fn load_state(&mut self, state: &[f64]) {
+        let [px, py, tx, ty, speed, pause] = *state else {
+            panic!(
+                "random waypoint expects 6 state values, got {}",
+                state.len()
+            );
+        };
+        self.pos = Vec2::new(px, py);
+        self.target = Vec2::new(tx, ty);
+        self.speed = speed;
+        self.pause_remaining = pause;
+    }
 }
 
 /// Random-walk (random direction) mobility: straight legs with reflection
@@ -504,6 +576,27 @@ impl MobilityModel for RandomWalk {
             self.epoch_remaining -= step;
             budget -= step;
         }
+    }
+
+    fn save_state(&self) -> Vec<f64> {
+        vec![
+            self.pos.x,
+            self.pos.y,
+            self.dir.x,
+            self.dir.y,
+            self.speed,
+            self.epoch_remaining,
+        ]
+    }
+
+    fn load_state(&mut self, state: &[f64]) {
+        let [px, py, dx, dy, speed, remaining] = *state else {
+            panic!("random walk expects 6 state values, got {}", state.len());
+        };
+        self.pos = Vec2::new(px, py);
+        self.dir = Vec2::new(dx, dy);
+        self.speed = speed;
+        self.epoch_remaining = remaining;
     }
 }
 
@@ -739,6 +832,65 @@ mod tests {
         let mut s = Stationary::new(Vec2::new(3.0, 4.0));
         s.advance_span(1_000.0, &mut rng);
         assert_eq!(s.position(), Vec2::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn save_load_state_resumes_trajectories_bit_exactly() {
+        // Drive a model, snapshot, restore into a fresh twin built from the
+        // same construction params (its construction draws differ — load
+        // overwrites them), and require identical onward trajectories when
+        // both consume the same RNG stream.
+        let mut rng = SimRng::seed_from(77);
+        let mut zone = ZoneMobility::new(grid(), ZoneId(6), 0.0, 5.0, 0.2, &mut rng);
+        for _ in 0..500 {
+            zone.advance(0.5, &mut rng);
+        }
+        let mut zone2 = ZoneMobility::new(grid(), ZoneId(6), 0.0, 5.0, 0.2, &mut rng);
+        zone2.load_state(&zone.save_state());
+        let mut ra = SimRng::seed_from(5);
+        let mut rb = SimRng::seed_from(5);
+        for _ in 0..500 {
+            zone.advance(0.5, &mut ra);
+            zone2.advance(0.5, &mut rb);
+            assert_eq!(zone.position(), zone2.position());
+        }
+
+        let area = Bounds::new(100.0, 100.0);
+        let mut wp = RandomWaypoint::new(area, 1.0, 5.0, 2.0, &mut rng);
+        wp.advance(33.0, &mut rng);
+        let mut wp2 = RandomWaypoint::new(area, 1.0, 5.0, 2.0, &mut rng);
+        wp2.load_state(&wp.save_state());
+        let mut ra = SimRng::seed_from(6);
+        let mut rb = SimRng::seed_from(6);
+        for _ in 0..200 {
+            wp.advance(1.0, &mut ra);
+            wp2.advance(1.0, &mut rb);
+            assert_eq!(wp.position(), wp2.position());
+        }
+
+        let mut walk = RandomWalk::new(area, 0.0, 10.0, 10.0, &mut rng);
+        walk.advance_span(91.0, &mut rng);
+        let mut walk2 = RandomWalk::new(area, 0.0, 10.0, 10.0, &mut rng);
+        walk2.load_state(&walk.save_state());
+        let mut ra = SimRng::seed_from(7);
+        let mut rb = SimRng::seed_from(7);
+        for _ in 0..200 {
+            walk.advance(0.5, &mut ra);
+            walk2.advance(0.5, &mut rb);
+            assert_eq!(walk.position(), walk2.position());
+        }
+
+        let mut fixed = Stationary::new(Vec2::new(1.0, 2.0));
+        assert!(fixed.save_state().is_empty());
+        fixed.load_state(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "7 state values")]
+    fn zone_load_state_rejects_wrong_arity() {
+        let mut rng = SimRng::seed_from(1);
+        let mut m = ZoneMobility::new(grid(), ZoneId(0), 0.0, 5.0, 0.2, &mut rng);
+        m.load_state(&[1.0, 2.0]);
     }
 
     #[test]

@@ -196,6 +196,38 @@ impl EnergyMeter {
         let open = now.saturating_since(self.since).as_secs_f64() * model.power_w(self.state);
         self.per_state_j.iter().sum::<f64>() + self.switch_j + open
     }
+
+    /// The full meter state `(state, since, per_state_j, switch_j,
+    /// switches)`, for checkpointing. Energies must round-trip bit-exactly
+    /// (serialize via `to_bits`).
+    #[must_use]
+    pub fn raw_parts(&self) -> (RadioState, SimTime, [f64; 4], f64, u64) {
+        (
+            self.state,
+            self.since,
+            self.per_state_j,
+            self.switch_j,
+            self.switches,
+        )
+    }
+
+    /// Reconstructs a meter from [`raw_parts`](Self::raw_parts) output.
+    #[must_use]
+    pub fn from_raw_parts(
+        state: RadioState,
+        since: SimTime,
+        per_state_j: [f64; 4],
+        switch_j: f64,
+        switches: u64,
+    ) -> Self {
+        EnergyMeter {
+            state,
+            since,
+            per_state_j,
+            switch_j,
+            switches,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -37,4 +37,4 @@ pub mod medium;
 pub use channel::ChannelParams;
 pub use energy::{EnergyMeter, EnergyModel, RadioState};
 pub use ids::NodeId;
-pub use medium::{Frame, Medium, MediumCounters, TxHandle, TxOutcome};
+pub use medium::{ActiveTxState, Frame, Medium, MediumCounters, MediumState, TxHandle, TxOutcome};

@@ -35,6 +35,54 @@ pub struct Frame<P> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TxHandle(u64);
 
+impl TxHandle {
+    /// The underlying transmission id, for checkpointing pending `TxEnd`
+    /// events.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a handle from a checkpointed id. Only ids that appear in a
+    /// [`MediumState::active`] snapshot restored into the same medium are
+    /// meaningful.
+    #[must_use]
+    pub fn from_raw(id: u64) -> Self {
+        TxHandle(id)
+    }
+}
+
+/// One in-flight transmission, flattened for checkpointing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveTxState<P> {
+    /// Transmission id ([`TxHandle::raw`] of the handle `begin_tx` issued).
+    pub id: u64,
+    /// The frame on the wire.
+    pub frame: Frame<P>,
+    /// Nodes within range when the transmission started.
+    pub audible: Vec<NodeId>,
+    /// When the transmission started.
+    pub start: SimTime,
+}
+
+/// Complete serializable medium state.
+///
+/// `audible_count` is derived from the active audible lists on restore and
+/// is deliberately absent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MediumState<P> {
+    /// Per-node listening flags.
+    pub listening: Vec<bool>,
+    /// Per-node reception in progress as `(tx id, corrupted)`.
+    pub rx: Vec<Option<(u64, bool)>>,
+    /// In-flight transmissions, sorted by id.
+    pub active: Vec<ActiveTxState<P>>,
+    /// Next transmission id to issue.
+    pub next_id: u64,
+    /// Running totals.
+    pub counters: MediumCounters,
+}
+
 #[derive(Debug)]
 struct ActiveTx<P> {
     frame: Frame<P>,
@@ -267,6 +315,78 @@ impl<P: Clone> Medium<P> {
             collided_at,
         }
     }
+
+    /// Captures the complete medium state for checkpointing.
+    ///
+    /// In-flight transmissions are listed in id order so the snapshot is
+    /// deterministic despite the internal hash map.
+    #[must_use]
+    pub fn snapshot_state(&self) -> MediumState<P> {
+        let mut active: Vec<ActiveTxState<P>> = self
+            .active
+            .iter()
+            .map(|(&id, tx)| ActiveTxState {
+                id,
+                frame: tx.frame.clone(),
+                audible: tx.audible.clone(),
+                start: tx.start,
+            })
+            .collect();
+        active.sort_unstable_by_key(|tx| tx.id);
+        MediumState {
+            listening: self.listening.clone(),
+            rx: self
+                .rx
+                .iter()
+                .map(|slot| slot.map(|r| (r.tx, r.corrupted)))
+                .collect(),
+            active,
+            next_id: self.next_id,
+            counters: self.counters,
+        }
+    }
+
+    /// Rebuilds a medium from a [`snapshot_state`](Self::snapshot_state)
+    /// capture; per-node audible counts are recomputed from the active
+    /// transmissions' audible lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-node vectors disagree in length or an audible
+    /// node index is out of range.
+    #[must_use]
+    pub fn restore_state(state: MediumState<P>) -> Self {
+        let n = state.listening.len();
+        assert_eq!(state.rx.len(), n, "medium state length mismatch");
+        let mut audible_count = vec![0u32; n];
+        let mut active = HashMap::with_capacity(state.active.len());
+        for tx in state.active {
+            for r in &tx.audible {
+                audible_count[r.index()] += 1;
+            }
+            active.insert(
+                tx.id,
+                ActiveTx {
+                    frame: tx.frame,
+                    audible: tx.audible,
+                    start: tx.start,
+                },
+            );
+        }
+        Medium {
+            listening: state.listening,
+            rx: state
+                .rx
+                .into_iter()
+                .map(|slot| slot.map(|(tx, corrupted)| RxInProgress { tx, corrupted }))
+                .collect(),
+            active,
+            audible_count,
+            spare_audible: Vec::new(),
+            next_id: state.next_id,
+            counters: state.counters,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -406,6 +526,28 @@ mod tests {
         assert!(m.end_tx(t(6), b).collided_at.is_empty());
         assert!(m.end_tx(t(7), c).collided_at.is_empty());
         assert!(!m.is_receiving(NodeId(3)));
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_in_flight_frames() {
+        let mut m: Medium<u32> = Medium::new(4);
+        m.set_listening(NodeId(2), true);
+        m.set_listening(NodeId(3), true);
+        let done = m.begin_tx(t(0), frame(0, 9), &[NodeId(3)]);
+        m.end_tx(t(2), done); // bump counters and next_id before snapshot
+        let a = m.begin_tx(t(3), frame(0, 10), &[NodeId(2)]);
+        let b = m.begin_tx(t(4), frame(1, 11), &[NodeId(2), NodeId(3)]);
+        let mut restored = Medium::restore_state(m.snapshot_state());
+        assert_eq!(restored.counters(), m.counters());
+        assert_eq!(restored.busy_since(NodeId(2)), m.busy_since(NodeId(2)));
+        assert!(restored.carrier_sensed(NodeId(3)));
+        // Handles survive as raw ids; outcomes must match the original.
+        let a2 = TxHandle::from_raw(a.raw());
+        let b2 = TxHandle::from_raw(b.raw());
+        assert_eq!(m.end_tx(t(8), a), restored.end_tx(t(8), a2));
+        assert_eq!(m.end_tx(t(9), b), restored.end_tx(t(9), b2));
+        assert_eq!(restored.counters(), m.counters());
+        assert!(!restored.carrier_sensed(NodeId(2)));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! * [`event`] — a deterministic future-event list
 //!   ([`EventQueue`]) with O(1) cancellation;
 //! * [`rng`] — a seedable, forkable xoshiro256++ generator
-//!   ([`SimRng`]) so runs are bit-reproducible.
+//!   ([`SimRng`]) so runs are bit-reproducible;
+//! * [`snap`] — the little-endian snapshot codec
+//!   ([`SnapWriter`]/[`SnapReader`]) backing checkpoint files.
 //!
 //! The simulator built on top (see the `dftmsn-core` crate) is
 //! single-threaded by design: determinism is the property the experiment
@@ -50,8 +52,10 @@
 
 pub mod event;
 pub mod rng;
+pub mod snap;
 pub mod time;
 
 pub use event::{EventQueue, EventToken};
 pub use rng::SimRng;
+pub use snap::{fnv1a64, SnapError, SnapReader, SnapWriter};
 pub use time::{SimDuration, SimTime};

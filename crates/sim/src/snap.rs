@@ -1,0 +1,403 @@
+//! Hand-rolled binary snapshot codec for checkpoint files.
+//!
+//! The checkpoint subsystem serializes the complete live state of a
+//! simulation into a versioned, checksummed byte stream. The workspace has
+//! no real serialization dependency (the in-tree `serde` is a no-op marker
+//! shim), so this module provides the primitives directly: a little-endian
+//! [`SnapWriter`]/[`SnapReader`] pair plus an FNV-1a checksum.
+//!
+//! Two invariants matter for the resume-determinism contract:
+//!
+//! * **Bit-exact floats.** `f64` values travel as their IEEE-754 bit
+//!   patterns (`to_bits`/`from_bits`), so a resumed run re-reads exactly
+//!   the value the checkpointed run held — including signed zeros and the
+//!   ±∞ sentinels used by empty running statistics.
+//! * **Fallible reads.** Every read returns a [`SnapError`] on truncation
+//!   or malformed data instead of panicking, so a corrupt checkpoint is
+//!   rejected with a diagnostic rather than aborting the process.
+
+use core::fmt;
+
+/// A snapshot decoding failure: truncation, a bad tag, or a value outside
+/// its domain. The message names what was being read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapError(String);
+
+impl SnapError {
+    /// Creates an error with the given description.
+    #[must_use]
+    pub fn new(msg: impl Into<String>) -> Self {
+        SnapError(msg.into())
+    }
+
+    /// The human-readable failure description.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// FNV-1a 64-bit hash of a byte slice, used as the checkpoint body
+/// checksum. Not cryptographic — it detects truncation and bit rot, which
+/// is all a local checkpoint file needs.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Appends little-endian primitives to a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32` little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64` little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern (bit-exact round trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a boolean as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes raw bytes with no length prefix (caller tracks framing).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes an `Option` as a presence byte followed by the value.
+    pub fn option<T>(&mut self, v: Option<&T>, mut write: impl FnMut(&mut Self, &T)) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                write(self, x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Writes a slice as a length prefix followed by each element.
+    pub fn seq<T>(&mut self, xs: &[T], mut write: impl FnMut(&mut Self, &T)) {
+        self.usize(xs.len());
+        for x in xs {
+            write(self, x);
+        }
+    }
+}
+
+/// Reads little-endian primitives from a byte slice, tracking position.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Creates a reader over `buf` starting at offset 0.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::new(format!(
+                "truncated snapshot: need {n} bytes for {what}, {} left",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one raw byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `usize` stored as a `u64`, rejecting values that do not fit.
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| SnapError::new(format!("usize value {v} overflows")))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a boolean, rejecting bytes other than 0 and 1.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapError::new(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, SnapError> {
+        let len = self.usize()?;
+        if len > self.remaining() {
+            return Err(SnapError::new(format!(
+                "truncated snapshot: string of {len} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let bytes = self.take(len, "string body")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapError::new("string is not valid UTF-8".to_string()))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        self.take(n, "raw bytes")
+    }
+
+    /// Reads an `Option` written by [`SnapWriter::option`].
+    pub fn option<T>(
+        &mut self,
+        mut read: impl FnMut(&mut Self) -> Result<T, SnapError>,
+    ) -> Result<Option<T>, SnapError> {
+        if self.bool()? {
+            Ok(Some(read(self)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a sequence written by [`SnapWriter::seq`]. The element size
+    /// floor (1 byte) bounds a corrupt length prefix before allocating.
+    pub fn seq<T>(
+        &mut self,
+        mut read: impl FnMut(&mut Self) -> Result<T, SnapError>,
+    ) -> Result<Vec<T>, SnapError> {
+        let len = self.usize()?;
+        if len > self.remaining() {
+            return Err(SnapError::new(format!(
+                "truncated snapshot: sequence of {len} elements, {} bytes left",
+                self.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(read(self)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = SnapWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.usize(42);
+        w.f64(-0.0);
+        w.f64(f64::INFINITY);
+        w.f64(1.5e-300);
+        w.bool(true);
+        w.bool(false);
+        w.string("héllo");
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap(), f64::INFINITY);
+        assert_eq!(r.f64().unwrap(), 1.5e-300);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.string().unwrap(), "héllo");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn nan_bit_pattern_survives() {
+        let weird = f64::from_bits(0x7FF8_0000_DEAD_BEEF);
+        let mut w = SnapWriter::new();
+        w.f64(weird);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.f64().unwrap().to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn option_and_seq_round_trip() {
+        let mut w = SnapWriter::new();
+        w.option(Some(&3u64), |w, &v| w.u64(v));
+        w.option(None::<&u64>, |w, &v| w.u64(v));
+        w.seq(&[1u64, 2, 3], |w, &v| w.u64(v));
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.option(|r| r.u64()).unwrap(), Some(3));
+        assert_eq!(r.option(|r| r.u64()).unwrap(), None);
+        assert_eq!(r.seq(|r| r.u64()).unwrap(), vec![1, 2, 3]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = SnapWriter::new();
+        w.u64(1);
+        let mut bytes = w.into_bytes();
+        bytes.truncate(5);
+        let mut r = SnapReader::new(&bytes);
+        let err = r.u64().unwrap_err();
+        assert!(err.message().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_length_prefixes_are_rejected() {
+        let mut w = SnapWriter::new();
+        w.usize(usize::MAX / 2); // absurd sequence length
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(r.seq(|r| r.u8()).is_err());
+
+        let mut w = SnapWriter::new();
+        w.usize(1_000_000); // string claims more bytes than exist
+        w.raw(b"short");
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(r.string().is_err());
+    }
+
+    #[test]
+    fn invalid_bool_byte_is_rejected() {
+        let mut r = SnapReader::new(&[2]);
+        assert!(r.bool().is_err());
+    }
+
+    #[test]
+    fn non_utf8_string_is_rejected() {
+        let mut w = SnapWriter::new();
+        w.usize(2);
+        w.raw(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(r.string().is_err());
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_flips() {
+        let mut w = SnapWriter::new();
+        for i in 0..64u64 {
+            w.u64(i);
+        }
+        let bytes = w.into_bytes();
+        let sum = fnv1a64(&bytes);
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 1;
+            assert_ne!(fnv1a64(&flipped), sum, "flip at byte {i} undetected");
+        }
+    }
+}

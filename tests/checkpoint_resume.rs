@@ -1,0 +1,282 @@
+//! Checkpoint/resume determinism sweep: snapshotting a run at a random
+//! event boundary and resuming from the bytes must reproduce the
+//! uninterrupted run *exactly* — every golden counter, every f64 bit of
+//! delay and energy accounting, every delivery record, and every byte of
+//! the windowed observe JSONL stream — for every protocol variant, across
+//! seeds, under both the ticked and lazy mobility engines.
+//!
+//! The checkpoint instant is drawn from a seeded [`SimRng`] per
+//! combination, so the suite probes a spread of boundaries (early,
+//! mid-run, late) while staying fully reproducible. If a future change
+//! legitimately alters simulation outcomes, this suite stays green — it
+//! only compares a resumed run against its own uninterrupted twin; a
+//! failure here always means resume lost or invented state.
+
+use dftmsn::core::variants::ProtocolKind;
+use dftmsn::prelude::*;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// Shared byte sink for capturing the observe stream from both the
+/// original and the resumed recorder.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> Vec<u8> {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A small but busy pinned workload: large enough that hundreds of MAC
+/// cycles, queue evictions and sleep adaptations happen before and after
+/// any checkpoint boundary, small enough to sweep 24 combinations in a
+/// debug test run.
+fn scenario() -> ScenarioParams {
+    ScenarioParams {
+        sensors: 16,
+        sinks: 2,
+        duration_secs: 600,
+        ..ScenarioParams::paper_default()
+    }
+}
+
+const OBSERVE_WINDOW_SECS: f64 = 50.0;
+
+/// The counters every variant must reproduce bit-for-bit across a
+/// checkpoint/resume cycle.
+fn golden(r: &SimReport) -> [u64; 8] {
+    [
+        r.generated,
+        r.delivered,
+        r.sink_receptions,
+        r.frames_sent,
+        r.collisions,
+        r.attempts,
+        r.multicasts,
+        r.copies_sent,
+    ]
+}
+
+fn build(
+    kind: ProtocolKind,
+    seed: u64,
+    mode: MobilityMode,
+    out: SharedBuf,
+) -> (Simulation, MetricsRecorder) {
+    let recorder = MetricsRecorder::new(OBSERVE_WINDOW_SECS)
+        .streaming_only()
+        .with_output(Box::new(out));
+    let sim = Simulation::builder(scenario(), kind)
+        .seed(seed)
+        .mobility_mode(mode)
+        .observe(recorder.clone())
+        .build();
+    (sim, recorder)
+}
+
+/// Runs one (variant, seed, mode) combination: uninterrupted twin vs.
+/// checkpoint-at-`fraction`-of-the-run + resume, comparing reports and
+/// observe streams bit-for-bit.
+fn check_combo(kind: ProtocolKind, seed: u64, mode: MobilityMode, fraction: f64) {
+    let label = format!("{kind:?} seed {seed} {mode:?} ckpt@{fraction:.3}");
+
+    // The uninterrupted twin.
+    let full_buf = SharedBuf::default();
+    let (full_sim, _) = build(kind, seed, mode, full_buf.clone());
+    let full = full_sim.run();
+
+    // The interrupted run: step to the first event boundary at or past
+    // the checkpoint instant, snapshot, and drop it.
+    let part_buf = SharedBuf::default();
+    let (mut part_sim, part_rec) = build(kind, seed, mode, part_buf.clone());
+    let t_ckpt = fraction * scenario().duration_secs as f64;
+    while part_sim.now().as_secs_f64() < t_ckpt {
+        if !part_sim.step() {
+            break;
+        }
+    }
+    let bytes = part_sim.checkpoint_bytes();
+    let cursor = part_rec.bytes_written() as usize;
+    let head = part_buf.contents()[..cursor].to_vec();
+    drop(part_sim);
+
+    // Resume from the bytes and finish the run.
+    let (resumed_sim, resumed_rec) =
+        Simulation::resume_from_bytes(&bytes).unwrap_or_else(|e| panic!("{label}: resume: {e}"));
+    let tail_buf = SharedBuf::default();
+    let resumed_rec = resumed_rec
+        .unwrap_or_else(|| panic!("{label}: checkpoint lost the observer"))
+        .with_output(Box::new(tail_buf.clone()));
+    let _ = &resumed_rec;
+    let resumed = resumed_sim.run();
+
+    // Golden counters and exact accounting.
+    assert_eq!(
+        golden(&resumed),
+        golden(&full),
+        "{label}: counters diverged"
+    );
+    assert_eq!(
+        resumed.events_processed, full.events_processed,
+        "{label}: event count diverged"
+    );
+    assert_eq!(
+        resumed.mean_delay_secs.to_bits(),
+        full.mean_delay_secs.to_bits(),
+        "{label}: mean delay diverged"
+    );
+    assert_eq!(
+        resumed.total_sensor_energy_j.to_bits(),
+        full.total_sensor_energy_j.to_bits(),
+        "{label}: energy accounting diverged"
+    );
+    assert_eq!(
+        resumed.deliveries, full.deliveries,
+        "{label}: deliveries diverged"
+    );
+
+    // The observe stream: checkpointed prefix + resumed suffix must be
+    // byte-identical to the uninterrupted stream.
+    let mut stitched = head;
+    stitched.extend_from_slice(&tail_buf.contents());
+    assert_eq!(
+        stitched,
+        full_buf.contents(),
+        "{label}: observe stream not byte-identical"
+    );
+}
+
+/// Draws a per-combination checkpoint fraction in [0.15, 0.85) from a
+/// seeded RNG, so boundaries vary across the sweep but never between CI
+/// runs.
+fn fraction_for(rng: &mut SimRng) -> f64 {
+    rng.gen_range_f64(0.15, 0.85)
+}
+
+#[test]
+fn every_variant_resumes_bit_identically_under_ticked_mobility() {
+    let mut rng = SimRng::seed_from(0xC4EC_0001);
+    for kind in ProtocolKind::ALL {
+        let fraction = fraction_for(&mut rng);
+        check_combo(kind, 1, MobilityMode::Ticked, fraction);
+    }
+}
+
+#[test]
+fn every_variant_resumes_bit_identically_under_lazy_mobility() {
+    let mut rng = SimRng::seed_from(0xC4EC_0002);
+    for kind in ProtocolKind::ALL {
+        let fraction = fraction_for(&mut rng);
+        check_combo(kind, 1, MobilityMode::Lazy, fraction);
+    }
+}
+
+#[test]
+fn second_seed_resumes_bit_identically_in_both_modes() {
+    let mut rng = SimRng::seed_from(0xC4EC_0003);
+    for mode in [MobilityMode::Ticked, MobilityMode::Lazy] {
+        for kind in [ProtocolKind::Opt, ProtocolKind::Zbr, ProtocolKind::Epidemic] {
+            let fraction = fraction_for(&mut rng);
+            check_combo(kind, 42, mode, fraction);
+        }
+    }
+}
+
+/// Golden `dftmsn-ckpt/1` fixture: a mid-run snapshot (OPT, 16 sensors,
+/// 2 sinks, 800 s, seed 7, checkpointed at the first event boundary past
+/// 450 s) committed under `tests/fixtures/`. Resuming it must still work
+/// on every future build of this workspace — this is the format-stability
+/// contract of the snapshot layout.
+///
+/// If a PR intentionally changes either the checkpoint format or protocol
+/// behaviour, regenerate the fixture and these goldens, and say so in the
+/// change notes:
+///
+/// ```text
+/// cargo run -p dftmsn-cli -- run --protocol OPT --sensors 16 --sinks 2 \
+///     --duration 800 --seed 7 \
+///     --checkpoint tests/fixtures/golden-opt-seed7.ckpt --checkpoint-every 450
+/// ```
+///
+/// (the run completes; the file keeps the last periodic snapshot), then
+/// copy the counters from the resumed run.
+#[test]
+fn committed_golden_fixture_still_resumes() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/golden-opt-seed7.ckpt");
+    let resumed: Resumed =
+        Simulation::resume(&path).expect("golden fixture must decode on every build");
+    assert!(!resumed.from_backup, "fixture resumed from a .bak?");
+    let sim = resumed.sim;
+    let t = sim.now().as_secs_f64();
+    assert!(
+        (450.0..=500.0).contains(&t),
+        "fixture should snapshot just past 450 s, got {t}"
+    );
+    let report = sim.run();
+    assert_eq!(
+        golden(&report),
+        [92, 41, 42, 5040, 1, 2429, 44, 44],
+        "fixture continuation diverged from its recorded goldens"
+    );
+    assert_eq!(report.events_processed, 16289);
+    assert_eq!(
+        report.mean_delay_secs.to_bits(),
+        204.358_425_463_414_62_f64.to_bits()
+    );
+}
+
+#[test]
+fn faulted_runs_resume_bit_identically() {
+    // Faults exercise the fault-plan cursor, the fault RNG stream and the
+    // crash/recovery state machines across the checkpoint boundary.
+    let scenario = scenario();
+    let plan = FaultPlan::node_failures(&scenario, 0.3, Some(120.0), 9);
+    for mode in [MobilityMode::Ticked, MobilityMode::Lazy] {
+        let label = format!("faulted OPT {mode:?}");
+
+        let full_sim = Simulation::builder(scenario.clone(), ProtocolKind::Opt)
+            .seed(5)
+            .mobility_mode(mode)
+            .faults(plan.clone())
+            .build();
+        let full = full_sim.run();
+        assert!(full.faults.crashes > 0, "{label}: plan injected nothing");
+
+        let mut part_sim = Simulation::builder(scenario.clone(), ProtocolKind::Opt)
+            .seed(5)
+            .mobility_mode(mode)
+            .faults(plan.clone())
+            .build();
+        while part_sim.now().as_secs_f64() < 300.0 {
+            if !part_sim.step() {
+                break;
+            }
+        }
+        let bytes = part_sim.checkpoint_bytes();
+        let (resumed_sim, _) =
+            Simulation::resume_from_bytes(&bytes).unwrap_or_else(|e| panic!("{label}: {e}"));
+        let resumed = resumed_sim.run();
+        assert_eq!(
+            golden(&resumed),
+            golden(&full),
+            "{label}: counters diverged"
+        );
+        assert_eq!(
+            resumed.faults, full.faults,
+            "{label}: fault counters diverged"
+        );
+    }
+}
