@@ -80,7 +80,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 echo "==> perf baseline smoke (--quick --scale; discards output)"
 cargo run --release -p dftmsn-bench --bin perf_baseline -- --quick --scale --out target/BENCH_engine.quick.json
 
-echo "==> scale-tier regression guard (warn-only, vs committed BENCH_engine.json)"
-cargo run --release -p dftmsn-bench --bin scale_check
+echo "==> scale-tier regression gate (failing; >25% ns/event over committed BENCH_engine.json)"
+# Escape hatch for hardware that legitimately differs from the machine
+# behind the committed baseline: SCALE_CHECK_WARN_ONLY=1 ./ci.sh
+cargo run --release -p dftmsn-bench --bin scale_check -- \
+    ${SCALE_CHECK_WARN_ONLY:+--warn-only}
 
 echo "CI OK"

@@ -1,0 +1,59 @@
+//! Single-point scale probe for perf work: measures one (sensors,
+//! duration, mode) cell of the scale tier without running the whole
+//! `perf_baseline` tier, optionally with the per-event-kind profile and
+//! contact-cache hit/miss counters.
+//!
+//! ```text
+//! cargo run --release -p dftmsn-bench --example scale_probe -- \
+//!     SENSORS DURATION [lazy] [profile]
+//! ```
+use dftmsn_bench::scale::{measure, scale_scenario};
+use dftmsn_core::variants::ProtocolKind;
+use dftmsn_core::world::{MobilityMode, Simulation};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sensors: usize = args.get(1).map_or(5000, |s| s.parse().unwrap());
+    let dur: u64 = args.get(2).map_or(60, |s| s.parse().unwrap());
+    let mode = if args.iter().any(|a| a == "lazy") {
+        MobilityMode::Lazy
+    } else {
+        MobilityMode::Ticked
+    };
+    if args.iter().any(|a| a == "profile") {
+        let mut sim = Simulation::builder(scale_scenario(sensors, dur), ProtocolKind::Opt)
+            .seed(1)
+            .mobility_mode(mode)
+            .build();
+        while sim.step() {}
+        let cache = sim.contact_cache_stats();
+        let sim2 = Simulation::builder(scale_scenario(sensors, dur), ProtocolKind::Opt)
+            .seed(1)
+            .mobility_mode(mode)
+            .build();
+        let (report, profile) = sim2.run_profiled();
+        println!("events {}  cache {:?}", report.events_processed, cache);
+        for k in profile.by_cost() {
+            println!(
+                "{:<20} {:>9} events  {:>12.1} us total  {:>8.0} ns mean  p50 {:>6} p99 {:>8}",
+                k.label,
+                k.count,
+                k.total_ns as f64 / 1e3,
+                k.mean_ns(),
+                k.p50_ns(),
+                k.p99_ns()
+            );
+        }
+        return;
+    }
+    let row = measure(sensors, dur, mode);
+    println!(
+        "{} sensors {:?} {}s: {:.1} ms, {} events, {:.1} ns/event",
+        sensors,
+        mode,
+        dur,
+        row.wall_ns as f64 / 1e6,
+        row.events,
+        row.ns_per_event()
+    );
+}

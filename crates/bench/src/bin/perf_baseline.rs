@@ -11,19 +11,24 @@
 //!   `SimReport::events_processed`);
 //! * **sweep** — a batch of runs through [`dftmsn_bench::run_all`]'s
 //!   work-stealing scheduler; reports runs/second (harness throughput);
-//! * **scale** (`--scale`) — the 200/1 000/5 000-sensor tier of
+//! * **scale** (`--scale`) — the 200/1 000/5 000/20 000-sensor tier of
 //!   [`dftmsn_bench::scale`], OPT under both mobility modes, which is the
 //!   tracked large-n figure.
 //!
 //! Usage: `cargo run --release -p dftmsn-bench --bin perf_baseline
-//! [--quick] [--scale] [--pre-ref EV_PER_S] [--out PATH] [--fresh]`.
-//! `--quick` shrinks all workloads to a smoke size for CI; numbers from
-//! different machines (or `--quick` and full runs) are not comparable with
-//! each other. `--pre-ref` embeds an externally measured pre-change
-//! reference throughput (OPT, ticked, 1 000 sensors, same workload and
-//! machine) into the scale section so the speedup it anchors is recorded
-//! next to the numbers (EXPERIMENTS.md § Scale tier documents the
-//! methodology).
+//! [--quick] [--scale] [--profile-events] [--pre-ref EV_PER_S] [--out PATH]
+//! [--fresh]`. `--quick` shrinks all workloads to a smoke size for CI;
+//! numbers from different machines (or `--quick` and full runs) are not
+//! comparable with each other. `--pre-ref` embeds an externally measured
+//! pre-change reference throughput (OPT, ticked, 1 000 sensors, same
+//! workload and machine) into the scale section so the speedup it anchors
+//! is recorded next to the numbers (EXPERIMENTS.md § Scale tier documents
+//! the methodology). `--profile-events` adds one extra *profiled* OPT run
+//! of the engine scenario and reports where its wall time went, per event
+//! kind (count, mean, p50/p99 from a power-of-two histogram), as a printed
+//! table and an `event_profile` JSON block; the timestamp overhead makes
+//! that run's aggregate wall time incomparable with the unprofiled rows,
+//! so it is never used for the tracked figures.
 //!
 //! The baseline is resumable at the granularity of its timed units: each
 //! engine `(variant, seed)` run and each scale `(sensors, mode)` run is
@@ -42,6 +47,7 @@ use dftmsn_bench::scale::{measure, QUICK_DURATION_SECS, SCALE_DURATION_SECS, SCA
 use dftmsn_bench::sweep::{run_all, RunSpec};
 use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::{ProtocolParams, ScenarioParams};
+use dftmsn_core::profile::EventProfile;
 use dftmsn_core::variants::ProtocolKind;
 use dftmsn_core::world::{MobilityMode, Simulation};
 use dftmsn_metrics::json::Json;
@@ -270,6 +276,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let scale = args.iter().any(|a| a == "--scale");
     let fresh = args.iter().any(|a| a == "--fresh");
+    let profile_events = args.iter().any(|a| a == "--profile-events");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -327,9 +334,11 @@ fn main() {
     let mut rows: Vec<EngineRow> = Vec::new();
     let mut sweep_done: Option<(u128, usize)> = None;
     let mut scale_rows: Vec<ScalePoint> = Vec::new();
+    let mut event_profile: Option<EventProfile> = None;
     let flush = |rows: &[EngineRow],
                  sweep_done: &Option<(u128, usize)>,
                  scale_rows: &[ScalePoint],
+                 event_profile: &Option<EventProfile>,
                  partial: bool| {
         let json = render_output(
             quick,
@@ -342,6 +351,7 @@ fn main() {
             sweep_done,
             (scale, scale_dur, scale_rows),
             pre_ref,
+            event_profile.as_ref(),
         );
         if let Err(e) = std::fs::write(out_path, json.render() + "\n") {
             if partial {
@@ -374,7 +384,7 @@ fn main() {
                     );
                     progress.engine.insert(key, unit);
                     progress.save(&progress_path, &fingerprint);
-                    flush(&rows, &sweep_done, &scale_rows, true);
+                    flush(&rows, &sweep_done, &scale_rows, &event_profile, true);
                     unit
                 }
             };
@@ -398,7 +408,7 @@ fn main() {
             row.ns_per_event()
         );
         rows.push(row);
-        flush(&rows, &sweep_done, &scale_rows, true);
+        flush(&rows, &sweep_done, &scale_rows, &event_profile, true);
     }
 
     // Parallel sweep timing (work-stealing run_all, all cores). One unit:
@@ -441,7 +451,7 @@ fn main() {
         sweep_runs as f64 / (sweep_ms / 1_000.0)
     );
     sweep_done = Some((sweep_ns, sweep_runs));
-    flush(&rows, &sweep_done, &scale_rows, true);
+    flush(&rows, &sweep_done, &scale_rows, &event_profile, true);
 
     if scale {
         for &n in scale_sizes {
@@ -487,12 +497,42 @@ fn main() {
                     delivered: p.delivered,
                     mean_delay_secs: p.mean_delay_secs,
                 });
-                flush(&rows, &sweep_done, &scale_rows, true);
+                flush(&rows, &sweep_done, &scale_rows, &event_profile, true);
             }
         }
     }
 
-    flush(&rows, &sweep_done, &scale_rows, false);
+    if profile_events {
+        // One extra profiled run, never part of the tracked figures (the
+        // two timestamps per event distort its aggregate wall time) and
+        // deliberately outside the progress ledger — it is cheap relative
+        // to the measured sections and always reflects the current binary.
+        let sim = Simulation::builder(scenario.clone(), ProtocolKind::Opt)
+            .seed(1)
+            .build();
+        let (_report, prof) = sim.run_profiled();
+        eprintln!(
+            "event profile (OPT seed 1, {engine_secs} s; profiled run, wall not comparable):"
+        );
+        eprintln!(
+            "{:<18} {:>10} {:>12} {:>9} {:>9} {:>9}",
+            "kind", "events", "total_us", "mean_ns", "p50_ns", "p99_ns"
+        );
+        for row in prof.by_cost() {
+            eprintln!(
+                "{:<18} {:>10} {:>12.1} {:>9.0} {:>9} {:>9}",
+                row.label,
+                row.count,
+                row.total_ns as f64 / 1e3,
+                row.mean_ns(),
+                row.p50_ns(),
+                row.p99_ns()
+            );
+        }
+        event_profile = Some(prof);
+    }
+
+    flush(&rows, &sweep_done, &scale_rows, &event_profile, false);
     // A finished baseline starts over next time: the progress file only
     // bridges interruptions, it must not freeze old measurements forever.
     let _ = std::fs::remove_file(&progress_path);
@@ -511,6 +551,7 @@ fn render_output(
     sweep_done: &Option<(u128, usize)>,
     scale: (bool, u64, &[ScalePoint]),
     pre_ref: Option<f64>,
+    event_profile: Option<&EventProfile>,
 ) -> Json {
     let engine_rows: Vec<Json> = rows
         .iter()
@@ -605,6 +646,34 @@ fn render_output(
             );
         }
         json = json.field("scale", section);
+    }
+    if let Some(prof) = event_profile {
+        let kind_rows: Vec<Json> = prof
+            .by_cost()
+            .into_iter()
+            .map(|k| {
+                let hist: Vec<Json> = k.hist.iter().map(|&c| Json::from(c)).collect();
+                Json::object()
+                    .field("kind", k.label)
+                    .field("events", k.count)
+                    .field("total_ns", k.total_ns.to_string())
+                    .field("mean_ns", k.mean_ns())
+                    .field("p50_ns", k.p50_ns())
+                    .field("p99_ns", k.p99_ns())
+                    .field("hist_pow2_ns", Json::Arr(hist))
+            })
+            .collect();
+        json = json.field(
+            "event_profile",
+            Json::object()
+                .field("protocol", "OPT")
+                .field("seed", 1u64)
+                .field(
+                    "note",
+                    "profiled run; aggregate wall time not comparable with engine rows",
+                )
+                .field("kinds", Json::Arr(kind_rows)),
+        );
     }
     json
 }

@@ -1,5 +1,5 @@
-//! The scale-benchmark tier: engine throughput at 200 / 1 000 / 5 000
-//! sensors.
+//! The scale-benchmark tier: engine throughput at 200 / 1 000 / 5 000 /
+//! 20 000 sensors.
 //!
 //! The paper evaluates at 100 sensors; this tier asks how the engine
 //! behaves one to two orders of magnitude beyond that. The workload is
@@ -35,7 +35,7 @@ use dftmsn_core::world::{MobilityMode, Simulation};
 use std::time::Instant;
 
 /// Sensor counts of the tracked scale tier.
-pub const SCALE_SENSORS: [usize; 3] = [200, 1_000, 5_000];
+pub const SCALE_SENSORS: [usize; 4] = [200, 1_000, 5_000, 20_000];
 
 /// Simulated seconds per scale run in the full tier.
 pub const SCALE_DURATION_SECS: u64 = 300;

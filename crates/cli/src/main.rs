@@ -334,7 +334,7 @@ fn run_one(cfg: RunConfig) -> Result<i32, CliError> {
         }
         if let (Some(at), Some(ckpt)) = (next_ckpt, &cfg.checkpoint) {
             if sim.now() >= at {
-                write_checkpoint(&sim, ckpt)?;
+                write_checkpoint(&mut sim, ckpt)?;
                 // Schedule from the checkpoint instant, not `at`: a burst
                 // of simulated time must not trigger a burst of writes.
                 next_ckpt = every.map(|d| sim.now() + d);
@@ -349,7 +349,7 @@ fn run_one(cfg: RunConfig) -> Result<i32, CliError> {
             now.as_secs_f64()
         );
         if let Some(ckpt) = &cfg.checkpoint {
-            write_checkpoint(&sim, ckpt)?;
+            write_checkpoint(&mut sim, ckpt)?;
             eprintln!(
                 "final checkpoint written; resume with: dftmsn run --resume {}",
                 ckpt.path
@@ -373,7 +373,7 @@ fn run_one(cfg: RunConfig) -> Result<i32, CliError> {
     Ok(0)
 }
 
-fn write_checkpoint(sim: &Simulation, ckpt: &CheckpointArgs) -> Result<(), CliError> {
+fn write_checkpoint(sim: &mut Simulation, ckpt: &CheckpointArgs) -> Result<(), CliError> {
     sim.checkpoint(Path::new(&ckpt.path))?;
     eprintln!(
         "checkpoint written to '{}' at t = {:.0} s",

@@ -224,6 +224,12 @@ pub struct HotNodeTable {
     pub state: Vec<MacState>,
     /// Routing-metric value ξ, mirroring `Node::metric.value()`.
     pub xi: Vec<f64>,
+    /// Sink flag, mirroring `Node::is_sink()`. Immutable after
+    /// construction — roles never change mid-run.
+    pub sink: Vec<bool>,
+    /// Liveness flag, mirroring `Node::alive`. Toggled only by the fault
+    /// handlers, which call [`HotNodeTable::sync_alive`].
+    pub alive: Vec<bool>,
 }
 
 impl HotNodeTable {
@@ -234,6 +240,8 @@ impl HotNodeTable {
             epoch: vec![0; n],
             state: vec![MacState::Passive; n],
             xi: vec![0.0; n],
+            sink: vec![false; n],
+            alive: vec![true; n],
         }
     }
 
@@ -243,6 +251,12 @@ impl HotNodeTable {
         self.epoch[idx] = epoch;
         self.state[idx] = state;
         self.xi[idx] = xi;
+    }
+
+    /// Refreshes the liveness mirror for entry `idx`.
+    #[inline]
+    pub fn sync_alive(&mut self, idx: usize, alive: bool) {
+        self.alive[idx] = alive;
     }
 }
 

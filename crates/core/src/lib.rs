@@ -49,6 +49,7 @@ pub mod neighbor;
 pub mod node;
 pub mod observe;
 pub mod params;
+pub mod profile;
 pub mod queue;
 pub mod report;
 pub mod scenarios;

@@ -37,6 +37,7 @@ use crate::neighbor::{select_receivers_into, Candidate, Selection, SelectionScra
 use crate::node::{MacState, Node, NodeRole, ReceiverCtx, SenderCtx, TxPlan};
 use crate::observe::{MetricsRecorder, RunMeta, WorldSnapshot};
 use crate::params::{MobilityKind, ProtocolParams, ScenarioParams};
+use crate::profile::EventProfile;
 use crate::queue::InsertOutcome;
 use crate::report::{DeliveryRecord, NodeSummary, RunMetrics, SimReport};
 use crate::trace::{DropReason, TeeSink, TraceEvent, TraceSink};
@@ -95,6 +96,27 @@ enum Event {
     ObserveTick,
 }
 
+/// Labels for [`EventProfile`] rows, one per dispatchable event shape.
+/// Stale epoch-guarded timers get their own row (`"Timer:stale"`) because
+/// implicit cancellation makes them one of the highest-count kinds and
+/// folding them into their nominal kind would skew every timer mean.
+const EVENT_KIND_LABELS: [&str; 14] = [
+    "MobilityTick",
+    "DataGen",
+    "MetricTimeout",
+    "TxEnd",
+    "Timer:WakeUp",
+    "Timer:ListenDone",
+    "Timer:CtsSlot",
+    "Timer:CtsWindowEnd",
+    "Timer:AckSlot",
+    "Timer:AckWindowEnd",
+    "Timer:Guard",
+    "Timer:stale",
+    "Fault",
+    "ObserveTick",
+];
+
 /// Reusable working memory for the per-cycle hot paths.
 ///
 /// Every buffer is cleared before use; the pools recycle the vectors that
@@ -107,6 +129,8 @@ struct CycleScratch {
     idx: Vec<usize>,
     /// The same set as `NodeId`s, fed to the medium.
     ids: Vec<NodeId>,
+    /// Unfiltered ring-neighbourhood superset pending materialization.
+    mat: Vec<usize>,
     /// Receiver-selection working memory.
     sel: SelectionScratch,
     /// ξ of the receivers whose ACK arrived (Eqs. 1/3 inputs).
@@ -122,6 +146,30 @@ struct CycleScratch {
 }
 
 impl CycleScratch {
+    /// Builds a scratch pool with every buffer pre-allocated in one
+    /// up-front pass, sized for a typical neighbourhood of `k` nodes.
+    /// Concurrent multicasts can outnumber the seeded pools — `take_*`
+    /// then falls back to a fresh allocation that is recycled like the
+    /// seeded ones — but in the steady state every cycle runs entirely
+    /// on buffers allocated here, so the hot path never touches the
+    /// allocator (`#![forbid(unsafe_code)]` rules out a true bump arena;
+    /// grouping all allocations at construction is the safe equivalent).
+    fn seeded(k: usize) -> Self {
+        const POOL: usize = 8;
+        let mut s = CycleScratch::default();
+        s.idx.reserve(k);
+        s.ids.reserve(k);
+        s.mat.reserve(4 * k);
+        s.confirmed_xis.reserve(k);
+        for _ in 0..POOL {
+            s.selections.push(Selection::default());
+            s.candidate_bufs.push(Vec::with_capacity(k));
+            s.acked_bufs.push(Vec::with_capacity(k));
+            s.schedule_bufs.push(Vec::with_capacity(k));
+        }
+        s
+    }
+
     fn take_selection(&mut self) -> Selection {
         self.selections.pop().unwrap_or_default()
     }
@@ -258,6 +306,186 @@ struct LazyMobility {
     vmax: f64,
 }
 
+/// SoA coast ledger for [`MobilityMode::Ticked`].
+///
+/// Each node holds a *coast lease* from its model
+/// ([`MobilityModel::tick_grant`]): for `left` more ticks the node's
+/// position moves by exactly `disp` per tick with no RNG draw and no
+/// boundary interaction, so the per-tick sweep applies the displacement to
+/// the dense `positions` array and skips the model entirely — three
+/// contiguous array lanes instead of a virtual call into a heap-scattered
+/// model per node per tick. Leases are additionally clipped to the
+/// spatial-grid cell margin so a coasting node can never invalidate its
+/// grid bucket. `pending` counts coasted ticks not yet reported back; a
+/// settle ([`MobilityModel::tick_settle`]) replays them bit-identically
+/// before the model is advanced, saved, or re-granted, which is what keeps
+/// ticked goldens and checkpoints byte-exact.
+/// Slots in the coast due-wheel; windows are clipped to `COAST_WHEEL − 2`
+/// ticks so a rescheduled node can never land back in the slot being
+/// drained.
+const COAST_WHEEL: usize = 256;
+
+#[derive(Debug)]
+struct TickedCoast {
+    /// Per-tick displacement while the lease is live.
+    disp: Vec<Vec2>,
+    /// Lease ticks remaining beyond the node's current wheel window — the
+    /// part of the model's grant held back by the grid-cell clip and the
+    /// wheel horizon.
+    model_left: Vec<u32>,
+    /// Coast steps applied to `positions[j]` but not yet settled into
+    /// model `j` ([`MobilityModel::tick_settle`]'s replay count).
+    applied: Vec<u32>,
+    /// The tick index `positions[j]` reflects. A coasting node's dense
+    /// position is allowed to lag the clock; [`materialize`]
+    /// (TickedCoast::materialize) replays the missing steps on demand.
+    anchor: Vec<u64>,
+    /// `wheel[t % COAST_WHEEL]` lists the nodes due for per-node handling
+    /// at tick `t`: lease expiry (settle + advance + re-grant) or cell
+    /// recheck. Nodes mid-window appear in no slot and cost nothing per
+    /// tick — this is what makes the tick handler O(due), not O(n).
+    wheel: Vec<Vec<u32>>,
+    /// Mobility ticks processed so far (the wheel's clock).
+    tick_no: u64,
+}
+
+impl TickedCoast {
+    fn new(n: usize) -> Self {
+        let mut wheel = vec![Vec::new(); COAST_WHEEL];
+        // Everyone starts with no lease: all due on the first tick.
+        wheel[1 % COAST_WHEEL] = (0..n as u32).collect();
+        TickedCoast {
+            disp: vec![Vec2::ZERO; n],
+            model_left: vec![0; n],
+            applied: vec![0; n],
+            anchor: vec![0; n],
+            wheel,
+            tick_no: 0,
+        }
+    }
+
+    /// Replays node `j`'s outstanding coast steps so `positions[j]`
+    /// reflects tick `to_tick`. Each replayed step is the identical
+    /// `+= disp` the old per-tick sweep performed, in the same order, so
+    /// the resulting bit pattern is the same — batching only moves the
+    /// work to the moment the position is actually read.
+    #[inline]
+    fn materialize(&mut self, j: usize, to_tick: u64, positions: &mut [Vec2]) {
+        let k = (to_tick - self.anchor[j]) as u32;
+        if k == 0 {
+            return;
+        }
+        let d = self.disp[j];
+        let mut p = positions[j];
+        for _ in 0..k {
+            p += d;
+        }
+        positions[j] = p;
+        self.anchor[j] = to_tick;
+        self.applied[j] += k;
+    }
+
+    /// Schedules node `j`'s next due visit `window + 1` ticks from now and
+    /// returns the window actually booked (clipped to the wheel horizon).
+    #[inline]
+    fn book(&mut self, j: usize, window: u32) -> u32 {
+        let window = window.min(COAST_WHEEL as u32 - 2);
+        let slot = ((self.tick_no + u64::from(window) + 1) % COAST_WHEEL as u64) as usize;
+        self.wheel[slot].push(j as u32);
+        window
+    }
+}
+
+/// Per-node contact cache for [`MobilityMode::Ticked`] neighbour queries —
+/// pure memoization of [`SpatialGrid::query_within`].
+///
+/// A miss queries the grid at `range + margin_m` and parks the candidate
+/// indices in a shared arena; a hit re-filters that superset at the true
+/// range against *current* positions. The superset stays exact while the
+/// worst-case relative drift since it was taken cannot exceed the margin:
+/// every position moves at most `v_max · dt` per mobility tick, so after
+/// elapsed time `e` the sender and a candidate have closed at most
+/// `2 · v_max · (e + dt)` metres (the `+ dt` absorbs tick quantization).
+/// [`ContactCache::valid_for`] is derived by inverting that bound, which
+/// makes a hit's output bit-identical to a fresh query: membership is
+/// re-decided by the same `distance_sq ≤ range²` predicate on the same
+/// positions, and the arena preserves the grid's ascending index order.
+///
+/// Ticked mode only: a lazy-mode query *advances* candidate trajectories
+/// (RNG draws, position writes), so caching it would change when those
+/// side effects fire and split `advance_span` calls differently —
+/// ULP-level divergence the lazy goldens would catch.
+#[derive(Debug)]
+struct ContactCache {
+    /// Shared storage for every node's cached candidate set.
+    arena: Vec<u32>,
+    /// Per-node: sim-time the cached superset was queried.
+    at: Vec<SimTime>,
+    /// Per-node: offset of the cached slice in `arena`.
+    start: Vec<u32>,
+    /// Per-node: length of the cached slice.
+    len: Vec<u32>,
+    /// Per-node: generation stamp; stale entries are dropped wholesale by
+    /// bumping `arena_gen` instead of walking the arena.
+    gen: Vec<u32>,
+    /// Current arena generation; entries from older generations are dead.
+    arena_gen: u32,
+    /// Extra query radius that buys the validity window (metres).
+    margin_m: f64,
+    /// How long a cached superset stays exact (`margin / (2·v_max)` minus
+    /// one tick of quantization slack).
+    valid_for: SimDuration,
+    /// Arena size that triggers a wholesale generation reset.
+    cap: usize,
+    /// Hits / misses under the current settings (perf telemetry only).
+    hits: u64,
+    misses: u64,
+}
+
+impl ContactCache {
+    fn new(n: usize, vmax: f64, tick_secs: f64) -> Self {
+        // Sized so one cached superset typically survives a whole
+        // RTS→CTS→SCHEDULE→DATA→ACK exchange (~0.1 s of sim-time): a
+        // 0.25 s window at the paper's v_max = 5 m/s costs 2.75 m of
+        // extra query radius on a 10 m range.
+        const TARGET_VALID_SECS: f64 = 0.25;
+        let margin_m = 2.0 * vmax * (TARGET_VALID_SECS + tick_secs);
+        ContactCache {
+            arena: Vec::new(),
+            at: vec![SimTime::ZERO; n],
+            start: vec![0; n],
+            len: vec![0; n],
+            gen: vec![0; n],
+            arena_gen: 1,
+            margin_m,
+            valid_for: SimDuration::from_secs_f64(TARGET_VALID_SECS),
+            cap: (8 * n).max(1024),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+/// Whole ticks of `disp` a node can take before its accumulated movement
+/// could reach `margin` metres along either axis (the spatial-grid cell
+/// clip for a coast lease). The guard band absorbs accumulated f64
+/// addition error, mirroring the models' own lease maths.
+fn cell_coast_ticks(margin: f64, disp: Vec2) -> u32 {
+    const GUARD_M: f64 = 1e-6;
+    let step = disp.x.abs().max(disp.y.abs());
+    if step <= 0.0 {
+        return u32::MAX;
+    }
+    let k = ((margin - GUARD_M) / step).floor();
+    if k < 1.0 {
+        0
+    } else if k >= u32::MAX as f64 {
+        u32::MAX
+    } else {
+        k as u32
+    }
+}
+
 /// A configured, runnable simulation.
 ///
 /// Construct one through [`Simulation::builder`]; the builder is the
@@ -297,6 +525,11 @@ pub struct Simulation {
     mobility_rng: SimRng,
     /// `Some` when running in [`MobilityMode::Lazy`].
     lazy: Option<LazyMobility>,
+    /// `Some` when running in [`MobilityMode::Ticked`].
+    coast: Option<TickedCoast>,
+    /// `Some` when running in [`MobilityMode::Ticked`]: memoized
+    /// neighbour supersets keyed by a worst-case-drift validity window.
+    contacts: Option<ContactCache>,
     positions: Vec<Vec2>,
     grid: SpatialGrid,
     medium: Medium<MacPayload>,
@@ -330,6 +563,11 @@ pub struct Simulation {
     /// True once any fault event has fired (gates the
     /// `deliveries_despite_faults` counter).
     fault_regime: bool,
+
+    /// Per-event-kind wall-time counters, populated only by
+    /// [`run_profiled`](Self::run_profiled). `None` costs one predictable
+    /// branch per event; never serialized (telemetry, not state).
+    profile: Option<Box<EventProfile>>,
 }
 
 /// Configures and constructs a [`Simulation`].
@@ -661,10 +899,33 @@ impl Simulation {
             }
         };
 
+        let coast = match mode {
+            MobilityMode::Ticked => Some(TickedCoast::new(n)),
+            MobilityMode::Lazy => None,
+        };
+        let contacts = match mode {
+            MobilityMode::Ticked => Some(ContactCache::new(
+                n,
+                scenario.speed_max_mps.max(0.2),
+                scenario.mobility_tick_secs,
+            )),
+            MobilityMode::Lazy => None,
+        };
+
         let positions: Vec<Vec2> = mobility.iter().map(|m| m.position()).collect();
+        // Cell size is decoupled from every query radius (the grid scans
+        // ⌈r/cell⌉ rings), so it is a pure performance knob — query
+        // results are exact for any cell size, and the two modes want
+        // opposite settings. Ticked: wider cells mean a coasting node
+        // crosses cell edges — and pays a lease recheck — proportionally
+        // less often, and at the paper's densities (~4.4·10⁻³ nodes/m²) a
+        // 4·range cell holds around seven nodes, so a 3×3 scan stays
+        // within a few cache lines. Lazy: queries go out at the inflated
+        // `query_radius`, so cells sized to it keep the scan at one ring
+        // of tight buckets.
         let cell = match &lazy {
             Some(l) => l.query_radius.max(1.0),
-            None => scenario.channel.range_m.max(1.0),
+            None => (4.0 * scenario.channel.range_m).max(1.0),
         };
         let mut grid = SpatialGrid::new(area, cell);
         grid.rebuild(&positions);
@@ -679,9 +940,17 @@ impl Simulation {
         let end = SimTime::from_secs(scenario.duration_secs);
         let metrics = RunMetrics::new(scenario.duration_secs as f64);
 
+        // Expected radio-disc occupancy at this density, the natural size
+        // for every neighbourhood-shaped scratch buffer.
+        let disc = std::f64::consts::PI * scenario.channel.range_m * scenario.channel.range_m;
+        let occupancy = (n as f64 * disc / (area.width() * area.height()).max(1.0)).ceil();
+        let k = (occupancy as usize).clamp(8, 256);
+
         let mut hot = HotNodeTable::with_len(n);
         for (idx, node) in nodes.iter().enumerate() {
             hot.sync(idx, node.epoch, node.state, node.metric.value());
+            hot.sink[idx] = node.is_sink();
+            hot.sync_alive(idx, node.alive);
         }
 
         let mut sim = Simulation {
@@ -697,6 +966,8 @@ impl Simulation {
             mobility,
             mobility_rng,
             lazy,
+            coast,
+            contacts,
             positions,
             grid,
             medium,
@@ -704,7 +975,7 @@ impl Simulation {
             delivered_ids: DeliveredSet::new(),
             metrics,
             deliveries: Vec::new(),
-            scratch: CycleScratch::default(),
+            scratch: CycleScratch::seeded(k),
             trace: None,
             observer: None,
             observe_ticks: 0,
@@ -713,6 +984,7 @@ impl Simulation {
             global_link_drop: 0.0,
             link_drop: LinkDropTable::new(n),
             fault_regime: false,
+            profile: None,
         };
         sim.schedule_initial_events();
         sim
@@ -818,6 +1090,29 @@ impl Simulation {
         self.finish_report()
     }
 
+    /// Runs to completion with per-event-kind wall-time profiling enabled,
+    /// returning the report alongside the profile.
+    ///
+    /// Profiling adds two clock reads per event, so the profiled run's
+    /// aggregate wall time is not comparable with an unprofiled one —
+    /// the per-kind cost *shares* are the meaningful output. The simulated
+    /// results (report, trace, RNG streams) are bit-identical to
+    /// [`run`](Self::run): the profile only observes the wall clock.
+    #[must_use]
+    pub fn run_profiled(mut self) -> (SimReport, EventProfile) {
+        self.profile = Some(Box::new(EventProfile::new(&EVENT_KIND_LABELS)));
+        while self.step() {}
+        let profile = *self.profile.take().expect("installed above");
+        (self.finish_report(), profile)
+    }
+
+    /// Contact-cache telemetry: `(hits, misses)` of the ticked-mode
+    /// neighbour cache, `None` in lazy mode.
+    #[must_use]
+    pub fn contact_cache_stats(&self) -> Option<(u64, u64)> {
+        self.contacts.as_ref().map(|c| (c.hits, c.misses))
+    }
+
     /// The simulation clock: the time of the most recently processed
     /// event. Checkpoints taken between [`step`](Self::step) calls are
     /// stamped with this instant.
@@ -837,10 +1132,49 @@ impl Simulation {
         match self.events.peek_time() {
             Some(t) if t <= self.end => {
                 let (now, ev) = self.events.pop().expect("peeked event exists");
-                self.handle(now, ev);
+                if self.profile.is_some() {
+                    let kind = self.event_kind_index(&ev);
+                    let t0 = std::time::Instant::now();
+                    self.handle(now, ev);
+                    let took = t0.elapsed();
+                    self.profile
+                        .as_mut()
+                        .expect("checked above")
+                        .record(kind, took);
+                } else {
+                    self.handle(now, ev);
+                }
                 true
             }
             _ => false,
+        }
+    }
+
+    /// Row index into [`EVENT_KIND_LABELS`] for a pending event. Timers
+    /// whose epoch guard already failed classify as `Timer:stale`.
+    fn event_kind_index(&self, ev: &Event) -> usize {
+        match ev {
+            Event::MobilityTick => 0,
+            Event::DataGen(_) => 1,
+            Event::MetricTimeout(_) => 2,
+            Event::TxEnd(..) => 3,
+            Event::Timer(i, epoch, timer) => {
+                if self.hot.epoch[i.index()] != *epoch {
+                    11
+                } else {
+                    match timer {
+                        Timer::WakeUp => 4,
+                        Timer::ListenDone => 5,
+                        Timer::CtsSlot => 6,
+                        Timer::CtsWindowEnd => 7,
+                        Timer::AckSlot => 8,
+                        Timer::AckWindowEnd => 9,
+                        Timer::Guard => 10,
+                    }
+                }
+            }
+            Event::Fault(_) => 12,
+            Event::ObserveTick => 13,
         }
     }
 
@@ -1040,6 +1374,7 @@ impl Simulation {
             self.scratch.recycle_sender_ctx(ctx);
         }
         self.sync_hot(idx);
+        self.hot.sync_alive(idx, false);
         self.metrics.faults.messages_lost_to_crash += lost;
         self.medium.set_listening(i, false);
         true
@@ -1063,6 +1398,7 @@ impl Simulation {
             node.listen_retries = 0;
         }
         self.sync_hot(idx);
+        self.hot.sync_alive(idx, true);
         self.medium.set_listening(i, true);
         if !self.nodes[idx].is_sink() {
             let jitter = {
@@ -1104,16 +1440,100 @@ impl Simulation {
             return;
         }
         let dt = self.scenario.mobility_tick_secs;
-        for (m, p) in self.mobility.iter_mut().zip(self.positions.iter_mut()) {
-            m.advance(dt, &mut self.mobility_rng);
-            *p = m.position();
+        let Simulation {
+            mobility,
+            mobility_rng,
+            coast,
+            positions,
+            grid,
+            ..
+        } = self;
+        let coast = coast.as_mut().expect("ticked mode has a coast ledger");
+        // O(due) tick: nodes mid-lease appear in no wheel slot and cost
+        // nothing — their dense positions simply lag and are materialized
+        // when read. Only the handful of nodes whose lease or cell window
+        // expires this tick are touched.
+        coast.tick_no += 1;
+        let t = coast.tick_no;
+        let mut due = std::mem::take(&mut coast.wheel[(t % COAST_WHEEL as u64) as usize]);
+        // Slots accumulate pushes from different grant instants, so sort:
+        // RNG draws below must happen in the exact shared-stream (node-
+        // ascending) order a lease-free per-node loop would make them.
+        due.sort_unstable();
+        for &j in &due {
+            let j = j as usize;
+            // Catch the dense position up to the previous tick; this
+            // tick's step is taken below on whichever path applies.
+            coast.materialize(j, t - 1, positions);
+            if coast.model_left[j] > 0 {
+                // Mid-lease cell recheck: the lease is still live — this
+                // tick is one of its promised straight-line steps — but
+                // the node may now cross a grid-cell edge, so apply the
+                // step with the bucket update and re-clip the window to
+                // the new cell margin.
+                let p = positions[j] + coast.disp[j];
+                positions[j] = p;
+                coast.anchor[j] = t;
+                coast.applied[j] += 1;
+                coast.model_left[j] -= 1;
+                let margin = grid.move_node_margin(j, p);
+                let window = coast.model_left[j].min(cell_coast_ticks(margin, coast.disp[j]));
+                let booked = coast.book(j, window);
+                coast.model_left[j] -= booked;
+                continue;
+            }
+            // Full path: replay the coasted ticks into the model, advance
+            // it for real (this is where legs end, boundaries reflect and
+            // randomness is drawn), then take out a fresh lease.
+            let m = &mut mobility[j];
+            let pending = std::mem::take(&mut coast.applied[j]);
+            if pending > 0 {
+                m.tick_settle(dt, pending, positions[j]);
+            }
+            m.advance(dt, mobility_rng);
+            let p = m.position();
+            positions[j] = p;
+            coast.anchor[j] = t;
+            let margin = grid.move_node_margin(j, p);
+            let (disp, granted) = m.tick_grant(dt);
+            coast.disp[j] = disp;
+            let window = granted.min(cell_coast_ticks(margin, disp));
+            let booked = coast.book(j, window);
+            coast.model_left[j] = granted - booked;
         }
-        // Incremental: only nodes that crossed a cell boundary are moved;
-        // stationary sinks and slow nodes are near-free (the node count is
-        // fixed for a run, so the full rebuild stays construction-only).
-        self.grid.update(&self.positions);
+        due.clear();
+        coast.wheel[(t % COAST_WHEEL as u64) as usize] = due;
         let tick = SimDuration::from_secs_f64(dt);
         self.events.schedule_after(tick, Event::MobilityTick);
+    }
+
+    /// Settles every outstanding coast lease so the mobility models' own
+    /// state (not just the dense position mirror) is exact — required
+    /// before `save_state`. Leases are cancelled, forcing the next tick
+    /// through the full path exactly as a freshly resumed run would go,
+    /// so checkpointing mid-lease cannot diverge from an uninterrupted
+    /// run. No-op in Lazy mode.
+    fn settle_coast(&mut self) {
+        let Some(coast) = self.coast.as_mut() else {
+            return;
+        };
+        let dt = self.scenario.mobility_tick_secs;
+        let t = coast.tick_no;
+        for (j, m) in self.mobility.iter_mut().enumerate() {
+            coast.materialize(j, t, &mut self.positions);
+            let pending = std::mem::take(&mut coast.applied[j]);
+            if pending > 0 {
+                m.tick_settle(dt, pending, self.positions[j]);
+            }
+            coast.model_left[j] = 0;
+        }
+        // Every lease is void now: rebook the whole population for the
+        // next tick so each node re-grants from its settled model state.
+        for slot in &mut coast.wheel {
+            slot.clear();
+        }
+        let next = ((t + 1) % COAST_WHEEL as u64) as usize;
+        coast.wheel[next] = (0..self.mobility.len() as u32).collect();
     }
 
     /// Advances node `j`'s mobility from its last synced instant to `now`
@@ -1195,7 +1615,12 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn start_cycle(&mut self, now: SimTime, i: NodeId) {
-        if self.nodes[i.index()].is_sink() || !self.nodes[i.index()].alive {
+        // Hottest early exit in the event loop (every WakeUp lands here):
+        // served from the dense mirrors so the common case touches no
+        // `Node` cache line before the real work starts.
+        debug_assert_eq!(self.hot.sink[i.index()], self.nodes[i.index()].is_sink());
+        debug_assert_eq!(self.hot.alive[i.index()], self.nodes[i.index()].alive);
+        if self.hot.sink[i.index()] || !self.hot.alive[i.index()] {
             return;
         }
         // A node waking from a long nap catches its own position up before
@@ -1455,7 +1880,8 @@ impl Simulation {
         for (k, &(id, _)) in selection.receivers.iter().enumerate() {
             if ctx.acked.contains(&id) {
                 self.scratch.confirmed_xis.push(selection.receiver_xis[k]);
-                if self.nodes[id.index()].is_sink() {
+                debug_assert_eq!(self.hot.sink[id.index()], self.nodes[id.index()].is_sink());
+                if self.hot.sink[id.index()] {
                     any_sink = true;
                 }
             }
@@ -1533,7 +1959,8 @@ impl Simulation {
     }
 
     fn end_cycle(&mut self, now: SimTime, i: NodeId, active: bool) {
-        if self.nodes[i.index()].is_sink() {
+        debug_assert_eq!(self.hot.sink[i.index()], self.nodes[i.index()].is_sink());
+        if self.hot.sink[i.index()] {
             let node = &mut self.nodes[i.index()];
             if let Some(ctx) = node.sender_ctx.take() {
                 self.scratch.recycle_sender_ctx(ctx);
@@ -1690,8 +2117,64 @@ impl Simulation {
             idx.retain(|&j| self.positions[j].distance_sq(center) <= r2);
             self.scratch.idx = idx;
         } else {
-            self.grid
-                .query_within(&self.positions, i.index(), range, &mut self.scratch.idx);
+            // Ticked mode: positions are dense and exact, so the query is
+            // memoizable. See [`ContactCache`] for the exactness argument;
+            // on either path `scratch.idx` ends up holding precisely the
+            // ascending indices a bare `query_within(range)` would return.
+            let Simulation {
+                grid,
+                positions,
+                scratch,
+                contacts,
+                coast,
+                ..
+            } = self;
+            let coast = coast.as_mut().expect("ticked mode has a coast ledger");
+            let cache = contacts.as_mut().expect("ticked mode has a contact cache");
+            let slot = i.index();
+            let t = coast.tick_no;
+            coast.materialize(slot, t, positions);
+            let center = positions[slot];
+            let r2 = range * range;
+            let fresh = cache.gen[slot] == cache.arena_gen
+                && now.saturating_since(cache.at[slot]) <= cache.valid_for;
+            if fresh {
+                cache.hits += 1;
+                let s = cache.start[slot] as usize;
+                let l = cache.len[slot] as usize;
+                scratch.idx.clear();
+                for k in s..s + l {
+                    let j = cache.arena[k] as usize;
+                    coast.materialize(j, t, positions);
+                    if positions[j].distance_sq(center) <= r2 {
+                        scratch.idx.push(j);
+                    }
+                }
+            } else {
+                cache.misses += 1;
+                // Catch the whole candidate neighbourhood up to the current
+                // tick before the exact query reads it: the ring superset is
+                // every node the expanded-radius query could inspect, and a
+                // node cannot leave its grid cell mid-lease, so the buckets
+                // themselves are already current.
+                grid.collect_neighborhood(slot, range + cache.margin_m, &mut scratch.mat);
+                for &j in &scratch.mat {
+                    coast.materialize(j, t, positions);
+                }
+                grid.query_within(positions, slot, range + cache.margin_m, &mut scratch.idx);
+                if cache.arena.len() + scratch.idx.len() > cache.cap {
+                    cache.arena.clear();
+                    cache.arena_gen = cache.arena_gen.wrapping_add(1);
+                }
+                cache.at[slot] = now;
+                cache.gen[slot] = cache.arena_gen;
+                cache.start[slot] = u32::try_from(cache.arena.len()).expect("arena fits u32");
+                cache.len[slot] = scratch.idx.len() as u32;
+                cache.arena.extend(scratch.idx.iter().map(|&j| j as u32));
+                scratch
+                    .idx
+                    .retain(|&j| positions[j].distance_sq(center) <= r2);
+            }
         }
         self.scratch.ids.clear();
         self.scratch
@@ -1872,8 +2355,11 @@ impl Simulation {
             // Fault filters. All of them are inert on a fault-free run:
             // every node is alive, both drop tables are empty and every
             // corruption probability is zero, so no branch is taken and no
-            // random number is drawn.
-            if !self.nodes[r.index()].alive {
+            // random number is drawn. The liveness read comes from the
+            // dense mirror — this loop fans out to every audible node, so
+            // pulling a full `Node` per receiver would dominate it.
+            debug_assert_eq!(self.hot.alive[r.index()], self.nodes[r.index()].alive);
+            if !self.hot.alive[r.index()] {
                 self.metrics.faults.frames_dropped += 1;
                 if is_data {
                     self.metrics.faults.retransmissions_triggered += 1;
@@ -1911,11 +2397,12 @@ impl Simulation {
 
     /// Does node `r` qualify as a receiver for the advertised RTS?
     fn qualified(&self, r: NodeId, sender_xi: f64, ftd: f64, msg: MessageId) -> bool {
-        let node = &self.nodes[r.index()];
-        if node.is_sink() {
+        debug_assert_eq!(self.hot.sink[r.index()], self.nodes[r.index()].is_sink());
+        if self.hot.sink[r.index()] {
             // Sinks always qualify: ξ = 1 and effectively infinite buffer.
             return true;
         }
+        let node = &self.nodes[r.index()];
         // The ξ comparison screens most receivers out before the queue is
         // consulted, so it reads the dense mirror.
         debug_assert_eq!(
@@ -2062,7 +2549,8 @@ impl Simulation {
                 if ctx.msg != msg.id || ctx.sender != src {
                     return;
                 }
-                if self.nodes[r.index()].is_sink() {
+                debug_assert_eq!(self.hot.sink[r.index()], self.nodes[r.index()].is_sink());
+                if self.hot.sink[r.index()] {
                     self.record_sink_reception(now, r, &msg.hopped());
                 } else {
                     let assigned = ctx.assigned_ftd.unwrap_or(msg.ftd);

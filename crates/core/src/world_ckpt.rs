@@ -1086,8 +1086,13 @@ impl Simulation {
     /// `dftmsn-ckpt/1` byte buffer. Call between events — e.g. after
     /// [`step`](Self::step) returns — so the snapshot sits on an event
     /// boundary.
+    ///
+    /// Takes `&mut self` only to settle outstanding ticked coast leases
+    /// into their mobility models first; the settle is observationally a
+    /// no-op, so checkpointing never perturbs the run.
     #[must_use]
-    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+    pub fn checkpoint_bytes(&mut self) -> Vec<u8> {
+        self.settle_coast();
         let mut w = SnapWriter::new();
         self.encode_payload(&mut w);
         let payload = w.into_bytes();
@@ -1417,6 +1422,8 @@ impl Simulation {
         sim.grid.rebuild(&sim.positions);
         for idx in 0..n {
             sim.sync_hot(idx);
+            let alive = sim.nodes[idx].alive;
+            sim.hot.sync_alive(idx, alive);
         }
 
         let recorder = recorder_state.map(MetricsRecorder::restore_state);
@@ -1435,7 +1442,7 @@ impl Simulation {
     /// # Errors
     ///
     /// [`CkptError::Io`] when any filesystem step fails.
-    pub fn checkpoint(&self, path: &Path) -> Result<(), CkptError> {
+    pub fn checkpoint(&mut self, path: &Path) -> Result<(), CkptError> {
         let bytes = self.checkpoint_bytes();
         let tmp = sibling(path, ".tmp");
         fs::write(&tmp, &bytes).map_err(|e| CkptError::Io {

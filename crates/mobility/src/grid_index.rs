@@ -2,14 +2,15 @@
 //!
 //! The medium needs "who is within transmission range of node *i*" on every
 //! frame transmission. A brute-force scan is O(n) per query; the
-//! [`SpatialGrid`] buckets positions into cells of the query radius so a
-//! query touches at most nine cells.
+//! [`SpatialGrid`] buckets positions into cells so a query touches only the
+//! `⌈r/cell⌉` rings of cells that can intersect the query disc — cell size
+//! is a cache-occupancy knob, decoupled from the query radius.
 //!
 //! Two properties keep the hot path cheap:
 //!
 //! * every bucket stores its node indices in ascending order, so
 //!   [`query_within`](SpatialGrid::query_within) produces sorted output by
-//!   merging the 3×3 neighbourhood instead of sorting per query;
+//!   merging the scanned neighbourhood instead of sorting per query;
 //! * [`update`](SpatialGrid::update) moves only the nodes whose cell
 //!   changed since the last indexing — stationary sinks and slow nodes
 //!   cost nothing per mobility tick, where a full
@@ -49,8 +50,11 @@ pub struct SpatialGrid {
 impl SpatialGrid {
     /// Creates a grid over `area` with cells of side `cell` metres.
     ///
-    /// For correct `query_within(..., r, ...)` results `r` must be ≤ `cell`;
-    /// the query asserts this.
+    /// The cell size no longer bounds the query radius —
+    /// [`query_within`](Self::query_within) scans `⌈r/cell⌉` rings of
+    /// cells around the centre — so `cell` is purely a performance knob:
+    /// small cells tighten the scanned area but touch more buckets, large
+    /// cells scan fewer (fatter) buckets.
     ///
     /// # Panics
     ///
@@ -106,6 +110,12 @@ impl SpatialGrid {
     /// Panics if `i` was not part of the last `rebuild`.
     pub fn move_node(&mut self, i: usize, p: Vec2) {
         let new_cell = self.cell_of(p) as u32;
+        self.relocate(i, new_cell);
+    }
+
+    /// Re-buckets node `i` into `new_cell` if it moved, preserving
+    /// ascending bucket order.
+    fn relocate(&mut self, i: usize, new_cell: u32) {
         let old_cell = self.node_cell[i];
         if new_cell == old_cell {
             return;
@@ -120,6 +130,27 @@ impl SpatialGrid {
             .expect_err("node absent from new cell");
         new.insert(at, key);
         self.node_cell[i] = new_cell;
+    }
+
+    /// [`move_node`](Self::move_node) fused with
+    /// [`cell_margin`](Self::cell_margin): moves node `i` to `p` and
+    /// returns the margin at `p`, sharing the coordinate normalization
+    /// both need. This is the ticked coast engine's cell-recheck
+    /// primitive, called every time a lease's cell window expires, so the
+    /// duplicate divisions of the unfused pair matter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` was not part of the last `rebuild`.
+    pub fn move_node_margin(&mut self, i: usize, p: Vec2) -> f64 {
+        let fx = (p.x - self.area.x0) / self.cell;
+        let fy = (p.y - self.area.y0) / self.cell;
+        let cx = (fx as isize).clamp(0, self.cols as isize - 1);
+        let cy = (fy as isize).clamp(0, self.rows as isize - 1);
+        self.relocate(i, (cy as usize * self.cols + cx as usize) as u32);
+        let mx = (fx - cx as f64).min(cx as f64 + 1.0 - fx) * self.cell;
+        let my = (fy - cy as f64).min(cy as f64 + 1.0 - fy) * self.cell;
+        mx.min(my).max(0.0)
     }
 
     /// Incrementally refreshes the index: only nodes whose cell changed
@@ -148,22 +179,21 @@ impl SpatialGrid {
     /// Collects into `out` the indices of all nodes within distance `r` of
     /// node `center` (excluding `center` itself), in ascending index order.
     ///
-    /// The 3×3 neighbourhood buckets are scanned, survivors of the
-    /// distance filter collected, and the (typically tiny) result sorted —
-    /// cheaper than a 9-lane merge because each bucket is walked linearly
-    /// exactly once and the per-element work is one distance check.
+    /// The `(2k+1)²` cell neighbourhood with `k = ⌈r/cell⌉` is scanned;
+    /// for `k > 1` cells whose rectangle lies entirely outside the query
+    /// disc are skipped before their bucket is touched. Survivors of the
+    /// distance filter are collected and the (typically tiny) result
+    /// sorted — cheaper than a multi-lane merge because each bucket is
+    /// walked linearly exactly once and the per-element work is one
+    /// distance check.
     ///
     /// # Panics
     ///
-    /// Panics if `r` exceeds the cell size (the 3×3 neighbourhood would
-    /// miss nodes), if `center` is out of range, or if the index is stale
-    /// (fewer indexed nodes than `positions`).
+    /// Panics if `r` is not finite and non-negative, if `center` is out of
+    /// range, or if the index is stale (fewer indexed nodes than
+    /// `positions`).
     pub fn query_within(&self, positions: &[Vec2], center: usize, r: f64, out: &mut Vec<usize>) {
-        assert!(
-            r <= self.cell + 1e-9,
-            "query radius {r} exceeds cell {}",
-            self.cell
-        );
+        assert!(r.is_finite() && r >= 0.0, "invalid query radius {r}");
         assert!(
             self.node_cell.len() == positions.len(),
             "index built for {} nodes, queried with {}",
@@ -176,15 +206,23 @@ impl SpatialGrid {
         let cx = (c % self.cols) as isize;
         let cy = (c / self.cols) as isize;
         let r2 = r * r;
+        // How many rings of cells the disc can reach. The centre node sits
+        // anywhere inside its cell, so a disc of radius r protrudes at most
+        // r past either cell edge: ⌈r/cell⌉ rings always cover it.
+        let reach = ((r / self.cell).ceil() as isize).max(1);
+        let prune = reach > 1;
 
-        for dy in -1..=1 {
+        for dy in -reach..=reach {
             let ny = cy + dy;
             if ny < 0 || ny >= self.rows as isize {
                 continue;
             }
-            for dx in -1..=1 {
+            for dx in -reach..=reach {
                 let nx = cx + dx;
                 if nx < 0 || nx >= self.cols as isize {
+                    continue;
+                }
+                if prune && !self.cell_intersects_disc(nx, ny, p, r) {
                     continue;
                 }
                 for &j in &self.buckets[ny as usize * self.cols + nx as usize] {
@@ -200,6 +238,75 @@ impl SpatialGrid {
         // baselines) rely on. The survivor set is small, so this beats
         // paying a lane scan per merged element.
         out.sort_unstable();
+    }
+
+    /// Collects into `out` every node indexed in the `⌈r/cell⌉`-ring cell
+    /// neighbourhood of node `center` — an unfiltered superset of what
+    /// [`query_within`](Self::query_within) at the same radius would
+    /// inspect (no distance filter, no disc pruning, `center` included, no
+    /// ordering guarantee). Callers that maintain positions lazily use
+    /// this to catch every candidate up *before* running the exact query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not finite and non-negative or `center` is out of
+    /// range.
+    pub fn collect_neighborhood(&self, center: usize, r: f64, out: &mut Vec<usize>) {
+        assert!(r.is_finite() && r >= 0.0, "invalid query radius {r}");
+        out.clear();
+        let c = self.node_cell[center] as usize;
+        let cx = (c % self.cols) as isize;
+        let cy = (c / self.cols) as isize;
+        let reach = ((r / self.cell).ceil() as isize).max(1);
+        for dy in -reach..=reach {
+            let ny = cy + dy;
+            if ny < 0 || ny >= self.rows as isize {
+                continue;
+            }
+            for dx in -reach..=reach {
+                let nx = cx + dx;
+                if nx < 0 || nx >= self.cols as isize {
+                    continue;
+                }
+                out.extend(
+                    self.buckets[ny as usize * self.cols + nx as usize]
+                        .iter()
+                        .map(|&j| j as usize),
+                );
+            }
+        }
+    }
+
+    /// True when the rectangle of cell `(nx, ny)` can contain a point
+    /// within distance `r` of `p`. Conservative (widened by a ulp-scale
+    /// epsilon) so pruning never drops a true neighbour.
+    fn cell_intersects_disc(&self, nx: isize, ny: isize, p: Vec2, r: f64) -> bool {
+        let x0 = self.area.x0 + nx as f64 * self.cell;
+        let y0 = self.area.y0 + ny as f64 * self.cell;
+        let dx = (x0 - p.x).max(p.x - (x0 + self.cell)).max(0.0);
+        let dy = (y0 - p.y).max(p.y - (y0 + self.cell)).max(0.0);
+        dx * dx + dy * dy <= r * r * (1.0 + 1e-12) + 1e-12
+    }
+
+    /// The cell side length in metres.
+    #[must_use]
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Distance from `p` to the nearest boundary of the grid cell it maps
+    /// to: a node that moves strictly less than this stays in its cell, so
+    /// its index entry cannot go stale. Returns 0 for points outside the
+    /// area (their clamped cell offers no such guarantee).
+    #[must_use]
+    pub fn cell_margin(&self, p: Vec2) -> f64 {
+        let fx = (p.x - self.area.x0) / self.cell;
+        let fy = (p.y - self.area.y0) / self.cell;
+        let cx = (fx as isize).clamp(0, self.cols as isize - 1) as f64;
+        let cy = (fy as isize).clamp(0, self.rows as isize - 1) as f64;
+        let mx = (fx - cx).min(cx + 1.0 - fx) * self.cell;
+        let my = (fy - cy).min(cy + 1.0 - fy) * self.cell;
+        mx.min(my).max(0.0)
     }
 }
 
@@ -316,13 +423,134 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds cell")]
-    fn oversized_radius_panics() {
-        let positions = vec![Vec2::ZERO, Vec2::new(1.0, 1.0)];
+    fn oversized_radius_scans_extra_rings() {
+        // r = 2.5× the cell used to panic; now it must see every node the
+        // brute force sees.
+        let positions = vec![
+            Vec2::ZERO,
+            Vec2::new(1.0, 1.0),
+            Vec2::new(4.5, 0.0),
+            Vec2::new(0.0, 4.9),
+            Vec2::new(5.5, 5.5),
+        ];
         let mut grid = SpatialGrid::new(Bounds::new(10.0, 10.0), 2.0);
         grid.rebuild(&positions);
         let mut out = Vec::new();
         grid.query_within(&positions, 0, 5.0, &mut out);
+        assert_eq!(out, brute_force(&positions, 0, 5.0));
+    }
+
+    #[test]
+    fn multi_ring_matches_brute_force_at_many_radius_cell_ratios() {
+        // Property test for the multi-ring scan: random layouts queried at
+        // radius/cell ratios below, at, and well above 1 must agree with
+        // the O(n²) brute force for every centre node.
+        let mut rng = SimRng::seed_from(47);
+        let area = Bounds::new(150.0, 150.0);
+        for &(cell, r) in &[
+            (10.0, 3.0),  // r < cell: single-ring fast case
+            (10.0, 10.0), // r == cell: boundary of the old assert
+            (10.0, 17.0), // 1 < r/cell < 2
+            (6.0, 14.0),  // r/cell ≈ 2.3
+            (4.0, 15.5),  // r/cell ≈ 3.9 — pruning kicks in hard
+            (3.0, 31.0),  // r/cell > 10: disc spans a large block
+            (40.0, 55.0), // cells larger than most of the area
+        ] {
+            for trial in 0..8 {
+                let n = 40 + 11 * trial;
+                let positions: Vec<Vec2> = (0..n)
+                    .map(|_| {
+                        Vec2::new(rng.gen_range_f64(0.0, 150.0), rng.gen_range_f64(0.0, 150.0))
+                    })
+                    .collect();
+                let mut grid = SpatialGrid::new(area, cell);
+                grid.rebuild(&positions);
+                let mut out = Vec::new();
+                for i in 0..n {
+                    grid.query_within(&positions, i, r, &mut out);
+                    assert_eq!(
+                        out,
+                        brute_force(&positions, i, r),
+                        "cell {cell} r {r} node {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cell_margin_bounds_cell_changes() {
+        // A node moved by strictly less than its cell margin must keep the
+        // same cell index; margin is 0 only on cell boundaries.
+        let mut rng = SimRng::seed_from(91);
+        let grid = SpatialGrid::new(Bounds::new(100.0, 100.0), 7.0);
+        for _ in 0..500 {
+            let p = Vec2::new(rng.gen_range_f64(0.0, 100.0), rng.gen_range_f64(0.0, 100.0));
+            let m = grid.cell_margin(p);
+            assert!((0.0..=3.5 + 1e-9).contains(&m), "margin {m} out of range");
+            if m > 1e-9 {
+                let step = m * 0.999;
+                for &(dx, dy) in &[(step, 0.0), (-step, 0.0), (0.0, step), (0.0, -step)] {
+                    let q = Vec2::new(p.x + dx, p.y + dy);
+                    assert_eq!(
+                        grid.cell_of(p),
+                        grid.cell_of(q),
+                        "p {p:?} moved ({dx},{dy})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn move_node_margin_matches_unfused_pair() {
+        let mut rng = SimRng::seed_from(133);
+        let area = Bounds::new(100.0, 100.0);
+        let n = 40;
+        let mut positions: Vec<Vec2> = (0..n)
+            .map(|_| Vec2::new(rng.gen_range_f64(0.0, 100.0), rng.gen_range_f64(0.0, 100.0)))
+            .collect();
+        let mut fused = SpatialGrid::new(area, 8.0);
+        let mut plain = SpatialGrid::new(area, 8.0);
+        fused.rebuild(&positions);
+        plain.rebuild(&positions);
+        for _step in 0..30 {
+            for (i, p) in positions.iter_mut().enumerate() {
+                p.x = (p.x + rng.gen_range_f64(-6.0, 6.0)).clamp(0.0, 100.0);
+                p.y = (p.y + rng.gen_range_f64(-6.0, 6.0)).clamp(0.0, 100.0);
+                let m = fused.move_node_margin(i, *p);
+                plain.move_node(i, *p);
+                assert_eq!(m.to_bits(), plain.cell_margin(*p).to_bits());
+            }
+            assert_eq!(fused.buckets, plain.buckets);
+            assert_eq!(fused.node_cell, plain.node_cell);
+        }
+    }
+
+    #[test]
+    fn collect_neighborhood_covers_query_within() {
+        // The unfiltered neighbourhood must contain every index the exact
+        // query returns (plus the centre), at any radius/cell ratio.
+        let mut rng = SimRng::seed_from(77);
+        let area = Bounds::new(120.0, 120.0);
+        for &(cell, r) in &[(10.0, 3.0), (10.0, 10.0), (5.0, 17.0), (40.0, 55.0)] {
+            let n = 80;
+            let positions: Vec<Vec2> = (0..n)
+                .map(|_| Vec2::new(rng.gen_range_f64(0.0, 120.0), rng.gen_range_f64(0.0, 120.0)))
+                .collect();
+            let mut grid = SpatialGrid::new(area, cell);
+            grid.rebuild(&positions);
+            let mut exact = Vec::new();
+            let mut superset = Vec::new();
+            for i in 0..n {
+                grid.query_within(&positions, i, r, &mut exact);
+                grid.collect_neighborhood(i, r, &mut superset);
+                assert!(superset.contains(&i), "centre missing for node {i}");
+                for j in &exact {
+                    assert!(superset.contains(j), "cell {cell} r {r}: {j} missing");
+                }
+            }
+        }
     }
 
     #[test]

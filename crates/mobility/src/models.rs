@@ -76,6 +76,55 @@ pub trait MobilityModel: std::fmt::Debug + Send {
             state.len()
         );
     }
+
+    /// Ticked-mode coast lease: `(disp, k)` promises that each of the next
+    /// `k` calls to [`advance`](Self::advance) with this exact `dt` would
+    /// be a pure straight-line step — the position moves by exactly `disp`
+    /// (bit-identical to what `advance` would compute), no RNG is drawn,
+    /// and no leg end, zone boundary, or area wall is reached.
+    ///
+    /// The caller may then apply `disp` to its own position mirror for up
+    /// to `k` ticks without touching the model, provided it reports the
+    /// skipped ticks back via [`tick_settle`](Self::tick_settle) before
+    /// anything else reads or advances the model. Models without a
+    /// constant-displacement tick (or none at all) return `(Vec2::ZERO,
+    /// 0)`, which callers must treat as "call `advance` every tick".
+    fn tick_grant(&self, _dt: f64) -> (Vec2, u32) {
+        (Vec2::ZERO, 0)
+    }
+
+    /// Settles `ticks` coasted ticks granted by
+    /// [`tick_grant`](Self::tick_grant): `pos` is the caller-accumulated
+    /// position after applying the granted displacement `ticks` times —
+    /// bit-identical to what repeated `advance` calls would have produced,
+    /// because both sides perform the same `+= disp` sequence from the
+    /// same start. Implementations replay any per-tick countdowns so
+    /// subsequent redraw decisions land on exactly the tick a pure
+    /// per-tick run would have chosen.
+    ///
+    /// # Panics
+    ///
+    /// The default (for models that never grant) panics when `ticks > 0`.
+    fn tick_settle(&mut self, _dt: f64, ticks: u32, _pos: Vec2) {
+        assert_eq!(ticks, 0, "model granted no coast ticks but was settled");
+    }
+}
+
+/// Whole steps of `d` a point at `p` can take while staying at least
+/// `guard` metres inside `[lo, hi]` along this axis (infinite when `d` is
+/// zero: the coordinate never changes). The guard band absorbs the
+/// accumulated f64 addition error of a lease — microscopic against
+/// metre-scale margins — so every intermediate position stays strictly
+/// interior.
+fn coast_ticks(p: f64, d: f64, lo: f64, hi: f64, guard: f64) -> f64 {
+    let dist = if d > 0.0 {
+        hi - p
+    } else if d < 0.0 {
+        p - lo
+    } else {
+        return f64::INFINITY;
+    };
+    ((dist - guard) / d.abs()).floor()
 }
 
 /// Time until a point at `p` moving with velocity `v` leaves `[lo, hi]`
@@ -364,6 +413,43 @@ impl MobilityModel for ZoneMobility {
         self.leg_remaining = leg;
         self.span_margin_m = margin;
     }
+
+    fn tick_grant(&self, dt: f64) -> (Vec2, u32) {
+        const GUARD_M: f64 = 1e-6;
+        // One fewer than the whole ticks left on the leg: the countdown in
+        // `advance` must stay strictly positive on every granted tick so
+        // the redraw fires exactly where a pure per-tick run fires it.
+        let k_leg = (self.leg_remaining / dt).floor() - 1.0;
+        if k_leg < 1.0 {
+            return (Vec2::ZERO, 0);
+        }
+        let disp = self.dir * (self.speed * dt);
+        let zb = self.grid.zone_bounds(self.grid.zone_of(self.pos));
+        let kx = coast_ticks(self.pos.x, disp.x, zb.x0, zb.x1, GUARD_M);
+        let ky = coast_ticks(self.pos.y, disp.y, zb.y0, zb.y1, GUARD_M);
+        // Strictly interior to the zone also means interior to the area
+        // (zones tile it), so the wall reflection is the identity too.
+        let k = k_leg.min(kx).min(ky).min(1e6);
+        if k < 1.0 {
+            (Vec2::ZERO, 0)
+        } else {
+            (disp, k as u32)
+        }
+    }
+
+    fn tick_settle(&mut self, dt: f64, ticks: u32, pos: Vec2) {
+        // Replay the per-tick countdown: k single subtractions, not one
+        // k·dt subtraction, so the leg ends on the bit-identical tick.
+        for _ in 0..ticks {
+            self.leg_remaining -= dt;
+        }
+        debug_assert!(
+            ticks == 0 || self.leg_remaining > 0.0,
+            "coast lease outlived its leg"
+        );
+        self.pos = pos;
+        self.span_margin_m = 0.0;
+    }
 }
 
 /// Classic random-waypoint mobility over a rectangular area.
@@ -598,6 +684,34 @@ impl MobilityModel for RandomWalk {
         self.speed = speed;
         self.epoch_remaining = remaining;
     }
+
+    fn tick_grant(&self, dt: f64) -> (Vec2, u32) {
+        const GUARD_M: f64 = 1e-6;
+        let k_epoch = (self.epoch_remaining / dt).floor() - 1.0;
+        if k_epoch < 1.0 {
+            return (Vec2::ZERO, 0);
+        }
+        let disp = self.dir * (self.speed * dt);
+        let kx = coast_ticks(self.pos.x, disp.x, self.area.x0, self.area.x1, GUARD_M);
+        let ky = coast_ticks(self.pos.y, disp.y, self.area.y0, self.area.y1, GUARD_M);
+        let k = k_epoch.min(kx).min(ky).min(1e6);
+        if k < 1.0 {
+            (Vec2::ZERO, 0)
+        } else {
+            (disp, k as u32)
+        }
+    }
+
+    fn tick_settle(&mut self, dt: f64, ticks: u32, pos: Vec2) {
+        for _ in 0..ticks {
+            self.epoch_remaining -= dt;
+        }
+        debug_assert!(
+            ticks == 0 || self.epoch_remaining > 0.0,
+            "coast lease outlived its epoch"
+        );
+        self.pos = pos;
+    }
 }
 
 /// A node that never moves (sinks at strategic locations, anchors in tests).
@@ -620,6 +734,12 @@ impl MobilityModel for Stationary {
     }
 
     fn advance(&mut self, _dt: f64, _rng: &mut SimRng) {}
+
+    fn tick_grant(&self, _dt: f64) -> (Vec2, u32) {
+        (Vec2::ZERO, u32::MAX)
+    }
+
+    fn tick_settle(&mut self, _dt: f64, _ticks: u32, _pos: Vec2) {}
 }
 
 #[cfg(test)]
@@ -891,6 +1011,79 @@ mod tests {
         let mut rng = SimRng::seed_from(1);
         let mut m = ZoneMobility::new(grid(), ZoneId(0), 0.0, 5.0, 0.2, &mut rng);
         m.load_state(&[1.0, 2.0]);
+    }
+
+    /// Drives `leased` through `ticks` ticks of `dt` using the coast-lease
+    /// protocol (grant → accumulate externally → settle) while `pure`
+    /// advances every tick, and requires bit-identical positions and RNG
+    /// consumption throughout.
+    fn assert_lease_matches_pure(
+        leased: &mut dyn MobilityModel,
+        pure: &mut dyn MobilityModel,
+        dt: f64,
+        ticks: usize,
+        seed: u64,
+    ) {
+        let mut rng_l = SimRng::seed_from(seed);
+        let mut rng_p = SimRng::seed_from(seed);
+        let mut pos = leased.position();
+        let mut disp = Vec2::ZERO;
+        let mut left = 0u32;
+        let mut pending = 0u32;
+        for tick in 0..ticks {
+            if left > 0 {
+                pos += disp;
+                left -= 1;
+                pending += 1;
+            } else {
+                leased.tick_settle(dt, pending, pos);
+                pending = 0;
+                leased.advance(dt, &mut rng_l);
+                pos = leased.position();
+                (disp, left) = leased.tick_grant(dt);
+            }
+            pure.advance(dt, &mut rng_p);
+            let want = pure.position();
+            assert!(
+                pos.x.to_bits() == want.x.to_bits() && pos.y.to_bits() == want.y.to_bits(),
+                "tick {tick}: leased {pos:?} != pure {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zone_coast_lease_is_bit_identical_to_per_tick_advance() {
+        for seed in [3u64, 17, 52, 99] {
+            let mut rng = SimRng::seed_from(seed);
+            let mut a = ZoneMobility::new(grid(), ZoneId(12), 0.0, 5.0, 0.2, &mut rng);
+            let mut b = a.clone();
+            assert_lease_matches_pure(&mut a, &mut b, 0.025, 40_000, seed ^ 0xA5);
+        }
+    }
+
+    #[test]
+    fn walk_coast_lease_is_bit_identical_to_per_tick_advance() {
+        for seed in [5u64, 21, 64] {
+            let mut rng = SimRng::seed_from(seed);
+            let area = Bounds::new(80.0, 60.0);
+            let mut a = RandomWalk::new(area, 0.0, 8.0, 12.0, &mut rng);
+            let mut b = a.clone();
+            assert_lease_matches_pure(&mut a, &mut b, 0.025, 40_000, seed ^ 0x5A);
+        }
+    }
+
+    #[test]
+    fn stationary_grants_unbounded_coast() {
+        let m = Stationary::new(Vec2::new(3.0, 4.0));
+        assert_eq!(m.tick_grant(0.5), (Vec2::ZERO, u32::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "was settled")]
+    fn default_settle_rejects_phantom_ticks() {
+        let mut rng = SimRng::seed_from(1);
+        let mut m = RandomWaypoint::new(Bounds::new(10.0, 10.0), 1.0, 2.0, 0.0, &mut rng);
+        m.tick_settle(0.5, 3, Vec2::ZERO);
     }
 
     #[test]

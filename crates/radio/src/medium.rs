@@ -144,8 +144,12 @@ pub struct Medium<P> {
     listening: Vec<bool>,
     rx: Vec<Option<RxInProgress>>,
     active: HashMap<u64, ActiveTx<P>>,
-    /// Number of active transmissions audible at each node.
-    audible_count: Vec<u32>,
+    /// Audibility index: for each node, the `(id, start)` of every active
+    /// transmission audible there. Maintained by `begin_tx`/`end_tx` so
+    /// carrier sense and [`busy_since`](Self::busy_since) are O(audible
+    /// transmissions at the node) — a handful — never O(all active
+    /// transmissions in the population.
+    audible_at: Vec<Vec<(u64, SimTime)>>,
     /// Retired audible lists, reused so `begin_tx` stops allocating once
     /// capacities settle (at most a handful of frames are ever in flight).
     spare_audible: Vec<Vec<NodeId>>,
@@ -161,7 +165,7 @@ impl<P: Clone> Medium<P> {
             listening: vec![false; n],
             rx: vec![None; n],
             active: HashMap::new(),
-            audible_count: vec![0; n],
+            audible_at: vec![Vec::new(); n],
             spare_audible: Vec::new(),
             next_id: 0,
             counters: MediumCounters::default(),
@@ -203,7 +207,7 @@ impl<P: Clone> Medium<P> {
     /// or not the node is listening.
     #[must_use]
     pub fn carrier_sensed(&self, node: NodeId) -> bool {
-        self.audible_count[node.index()] > 0
+        !self.audible_at[node.index()].is_empty()
     }
 
     /// Whether the node is mid-reception of a frame (even a corrupted one).
@@ -218,10 +222,9 @@ impl<P: Clone> Medium<P> {
     /// detectable.
     #[must_use]
     pub fn busy_since(&self, node: NodeId) -> Option<SimTime> {
-        self.active
-            .values()
-            .filter(|tx| tx.audible.contains(&node))
-            .map(|tx| tx.start)
+        self.audible_at[node.index()]
+            .iter()
+            .map(|&(_, start)| start)
             .min()
     }
 
@@ -245,7 +248,7 @@ impl<P: Clone> Medium<P> {
         let id = self.next_id;
         self.next_id += 1;
         for &r in audible {
-            self.audible_count[r.index()] += 1;
+            self.audible_at[r.index()].push((id, now));
             match self.rx[r.index()] {
                 Some(ref mut rx_in_progress) => {
                     // Overlap: the ongoing reception and this new frame are
@@ -290,7 +293,12 @@ impl<P: Clone> Medium<P> {
         let mut delivered_to = Vec::new();
         let mut collided_at = Vec::new();
         for &r in &tx.audible {
-            self.audible_count[r.index()] -= 1;
+            let at = &mut self.audible_at[r.index()];
+            let slot = at
+                .iter()
+                .position(|&(tx_id, _)| tx_id == handle.0)
+                .expect("ended transmission indexed at its audible node");
+            at.swap_remove(slot);
             if let Some(rx) = self.rx[r.index()] {
                 if rx.tx == handle.0 {
                     self.rx[r.index()] = None;
@@ -347,8 +355,8 @@ impl<P: Clone> Medium<P> {
     }
 
     /// Rebuilds a medium from a [`snapshot_state`](Self::snapshot_state)
-    /// capture; per-node audible counts are recomputed from the active
-    /// transmissions' audible lists.
+    /// capture; the per-node audibility index is recomputed from the
+    /// active transmissions' audible lists.
     ///
     /// # Panics
     ///
@@ -358,11 +366,11 @@ impl<P: Clone> Medium<P> {
     pub fn restore_state(state: MediumState<P>) -> Self {
         let n = state.listening.len();
         assert_eq!(state.rx.len(), n, "medium state length mismatch");
-        let mut audible_count = vec![0u32; n];
+        let mut audible_at = vec![Vec::new(); n];
         let mut active = HashMap::with_capacity(state.active.len());
         for tx in state.active {
             for r in &tx.audible {
-                audible_count[r.index()] += 1;
+                audible_at[r.index()].push((tx.id, tx.start));
             }
             active.insert(
                 tx.id,
@@ -381,7 +389,7 @@ impl<P: Clone> Medium<P> {
                 .map(|slot| slot.map(|(tx, corrupted)| RxInProgress { tx, corrupted }))
                 .collect(),
             active,
-            audible_count,
+            audible_at,
             spare_audible: Vec::new(),
             next_id: state.next_id,
             counters: state.counters,
