@@ -74,6 +74,9 @@ set -e
 grep -qi 'checksum\|corrupt' target/ci_ckpt_bad.err \
     || { echo "corrupt checkpoint gate: no diagnostic on stderr"; exit 1; }
 
+echo "==> shard-parity gate (N-shard scale cell must be bit-identical to 1-shard)"
+cargo run --release -q -p dftmsn-bench --bin shard_parity
+
 echo "==> docs build cleanly (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

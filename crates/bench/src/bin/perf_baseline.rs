@@ -43,7 +43,9 @@
 //! recorded under a different workload shape (e.g. `--quick` vs. full) is
 //! ignored.
 
-use dftmsn_bench::scale::{measure, QUICK_DURATION_SECS, SCALE_DURATION_SECS, SCALE_SENSORS};
+use dftmsn_bench::scale::{
+    measure, measure_sharded, QUICK_DURATION_SECS, SCALE_DURATION_SECS, SCALE_SENSORS,
+};
 use dftmsn_bench::sweep::{run_all, RunSpec};
 use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::{ProtocolParams, ScenarioParams};
@@ -81,6 +83,9 @@ impl EngineRow {
 struct ScalePoint {
     sensors: usize,
     mode: &'static str,
+    /// Spatial shard count (1 for the plain tier; >1 only in the
+    /// `scale_threaded` section).
+    shards: usize,
     wall_ns: u128,
     events: u64,
     generated: u64,
@@ -121,6 +126,8 @@ struct Progress {
     sweep: Option<(u128, usize)>,
     /// (sensors, mode label) → the measured point.
     scale: HashMap<(usize, String), ScalePoint>,
+    /// (sensors, mode label, shards) → the measured multicore point.
+    threaded: HashMap<(usize, String, usize), ScalePoint>,
 }
 
 const PROGRESS_SCHEMA: &str = "dftmsn-perf-progress/1";
@@ -200,6 +207,35 @@ impl Progress {
                 ScalePoint {
                     sensors: sensors as usize,
                     mode: mode_static,
+                    shards: 1,
+                    wall_ns: wall,
+                    events: num(row, "events").unwrap_or(0.0) as u64,
+                    generated: num(row, "generated").unwrap_or(0.0) as u64,
+                    delivered: num(row, "delivered").unwrap_or(0.0) as u64,
+                    mean_delay_secs: num(row, "mean_delay_secs").unwrap_or(0.0),
+                },
+            );
+        }
+        for row in json
+            .get("scale_threaded")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+        {
+            let (Some(sensors), Some(mode), Some(shards), Some(wall)) = (
+                num(row, "sensors"),
+                row.get("mode").and_then(Json::as_str),
+                num(row, "shards"),
+                ns(row, "wall_ns"),
+            ) else {
+                continue;
+            };
+            let mode_static: &'static str = if mode == "lazy" { "lazy" } else { "ticked" };
+            progress.threaded.insert(
+                (sensors as usize, mode.to_string(), shards as usize),
+                ScalePoint {
+                    sensors: sensors as usize,
+                    mode: mode_static,
+                    shards: shards as usize,
                     wall_ns: wall,
                     events: num(row, "events").unwrap_or(0.0) as u64,
                     generated: num(row, "generated").unwrap_or(0.0) as u64,
@@ -246,11 +282,30 @@ impl Progress {
                 })
                 .collect()
         };
+        let threaded: Vec<Json> = {
+            let mut keys: Vec<&(usize, String, usize)> = self.threaded.keys().collect();
+            keys.sort();
+            keys.into_iter()
+                .map(|k| {
+                    let p = &self.threaded[k];
+                    Json::object()
+                        .field("sensors", p.sensors)
+                        .field("mode", p.mode)
+                        .field("shards", p.shards)
+                        .field("wall_ns", p.wall_ns.to_string())
+                        .field("events", p.events)
+                        .field("generated", p.generated)
+                        .field("delivered", p.delivered)
+                        .field("mean_delay_secs", p.mean_delay_secs)
+                })
+                .collect()
+        };
         let mut json = Json::object()
             .field("schema", PROGRESS_SCHEMA)
             .field("fingerprint", fingerprint)
             .field("engine", Json::Arr(engine))
-            .field("scale", Json::Arr(scale));
+            .field("scale", Json::Arr(scale))
+            .field("scale_threaded", Json::Arr(threaded));
         if let Some((wall, runs)) = &self.sweep {
             json = json.field(
                 "sweep",
@@ -307,12 +362,20 @@ fn main() {
     } else {
         (&SCALE_SENSORS[..], SCALE_DURATION_SECS)
     };
+    // Multicore rows: the largest tier sizes re-run under 2/4/8 spatial
+    // shards. Results are bit-identical by the engine's determinism
+    // contract; only the wall time is interesting.
+    let (threaded_sizes, threaded_shards): (&[usize], &[usize]) = if quick {
+        (&SCALE_SENSORS[1..2], &[4])
+    } else {
+        (&SCALE_SENSORS[2..], &[2, 4, 8])
+    };
 
     // The progress fingerprint pins every knob that shapes a timed unit;
     // progress from a differently shaped invocation never matches.
     let fingerprint = format!(
         "quick={quick} engine={engine_secs}x{engine_seeds} sweep={sweep_secs}x{sweep_seeds} \
-         scale={scale}:{scale_sizes:?}@{scale_dur}"
+         scale={scale}:{scale_sizes:?}@{scale_dur} threaded={threaded_sizes:?}x{threaded_shards:?}"
     );
     let progress_path = PathBuf::from(format!("{out_path}.progress"));
     if fresh {
@@ -334,10 +397,12 @@ fn main() {
     let mut rows: Vec<EngineRow> = Vec::new();
     let mut sweep_done: Option<(u128, usize)> = None;
     let mut scale_rows: Vec<ScalePoint> = Vec::new();
+    let mut threaded_rows: Vec<ScalePoint> = Vec::new();
     let mut event_profile: Option<EventProfile> = None;
     let flush = |rows: &[EngineRow],
                  sweep_done: &Option<(u128, usize)>,
                  scale_rows: &[ScalePoint],
+                 threaded_rows: &[ScalePoint],
                  event_profile: &Option<EventProfile>,
                  partial: bool| {
         let json = render_output(
@@ -350,6 +415,7 @@ fn main() {
             rows,
             sweep_done,
             (scale, scale_dur, scale_rows),
+            threaded_rows,
             pre_ref,
             event_profile.as_ref(),
         );
@@ -384,7 +450,14 @@ fn main() {
                     );
                     progress.engine.insert(key, unit);
                     progress.save(&progress_path, &fingerprint);
-                    flush(&rows, &sweep_done, &scale_rows, &event_profile, true);
+                    flush(
+                        &rows,
+                        &sweep_done,
+                        &scale_rows,
+                        &threaded_rows,
+                        &event_profile,
+                        true,
+                    );
                     unit
                 }
             };
@@ -408,7 +481,14 @@ fn main() {
             row.ns_per_event()
         );
         rows.push(row);
-        flush(&rows, &sweep_done, &scale_rows, &event_profile, true);
+        flush(
+            &rows,
+            &sweep_done,
+            &scale_rows,
+            &threaded_rows,
+            &event_profile,
+            true,
+        );
     }
 
     // Parallel sweep timing (work-stealing run_all, all cores). One unit:
@@ -451,7 +531,14 @@ fn main() {
         sweep_runs as f64 / (sweep_ms / 1_000.0)
     );
     sweep_done = Some((sweep_ns, sweep_runs));
-    flush(&rows, &sweep_done, &scale_rows, &event_profile, true);
+    flush(
+        &rows,
+        &sweep_done,
+        &scale_rows,
+        &threaded_rows,
+        &event_profile,
+        true,
+    );
 
     if scale {
         for &n in scale_sizes {
@@ -469,6 +556,7 @@ fn main() {
                         ScalePoint {
                             sensors: row.sensors,
                             mode: label,
+                            shards: 1,
                             wall_ns: row.wall_ns,
                             events: row.events,
                             generated: row.generated,
@@ -491,13 +579,86 @@ fn main() {
                 scale_rows.push(ScalePoint {
                     sensors: p.sensors,
                     mode: p.mode,
+                    shards: 1,
                     wall_ns: p.wall_ns,
                     events: p.events,
                     generated: p.generated,
                     delivered: p.delivered,
                     mean_delay_secs: p.mean_delay_secs,
                 });
-                flush(&rows, &sweep_done, &scale_rows, &event_profile, true);
+                flush(
+                    &rows,
+                    &sweep_done,
+                    &scale_rows,
+                    &threaded_rows,
+                    &event_profile,
+                    true,
+                );
+            }
+        }
+
+        // Multicore tier: the same workload re-run under >1 spatial shard.
+        // The reports are bit-identical to the single-shard rows above
+        // (the determinism contract), so only the wall time is new data.
+        for &n in threaded_sizes {
+            for mode in [MobilityMode::Ticked, MobilityMode::Lazy] {
+                let label = if mode == MobilityMode::Lazy {
+                    "lazy"
+                } else {
+                    "ticked"
+                };
+                for &sh in threaded_shards {
+                    let key = (n, label.to_string(), sh);
+                    if !progress.threaded.contains_key(&key) {
+                        let row = measure_sharded(n, scale_dur, mode, sh);
+                        progress.threaded.insert(
+                            key.clone(),
+                            ScalePoint {
+                                sensors: row.sensors,
+                                mode: label,
+                                shards: sh,
+                                wall_ns: row.wall_ns,
+                                events: row.events,
+                                generated: row.generated,
+                                delivered: row.delivered,
+                                mean_delay_secs: row.mean_delay_secs,
+                            },
+                        );
+                        progress.save(&progress_path, &fingerprint);
+                    }
+                    let p = &progress.threaded[&key];
+                    let speedup = progress
+                        .scale
+                        .get(&(n, label.to_string()))
+                        .map_or(0.0, |base| p.events_per_sec() / base.events_per_sec());
+                    eprintln!(
+                        "scale {:>5} sensors {:>6} x{:>2} shards: {:>8.1} ms  {:>7.0} kev/s  {:>5.2}x",
+                        p.sensors,
+                        p.mode,
+                        p.shards,
+                        p.wall_ns as f64 / 1e6,
+                        p.events_per_sec() / 1e3,
+                        speedup,
+                    );
+                    threaded_rows.push(ScalePoint {
+                        sensors: p.sensors,
+                        mode: p.mode,
+                        shards: p.shards,
+                        wall_ns: p.wall_ns,
+                        events: p.events,
+                        generated: p.generated,
+                        delivered: p.delivered,
+                        mean_delay_secs: p.mean_delay_secs,
+                    });
+                    flush(
+                        &rows,
+                        &sweep_done,
+                        &scale_rows,
+                        &threaded_rows,
+                        &event_profile,
+                        true,
+                    );
+                }
             }
         }
     }
@@ -532,7 +693,14 @@ fn main() {
         event_profile = Some(prof);
     }
 
-    flush(&rows, &sweep_done, &scale_rows, &event_profile, false);
+    flush(
+        &rows,
+        &sweep_done,
+        &scale_rows,
+        &threaded_rows,
+        &event_profile,
+        false,
+    );
     // A finished baseline starts over next time: the progress file only
     // bridges interruptions, it must not freeze old measurements forever.
     let _ = std::fs::remove_file(&progress_path);
@@ -550,6 +718,7 @@ fn render_output(
     rows: &[EngineRow],
     sweep_done: &Option<(u128, usize)>,
     scale: (bool, u64, &[ScalePoint]),
+    threaded_rows: &[ScalePoint],
     pre_ref: Option<f64>,
     event_profile: Option<&EventProfile>,
 ) -> Json {
@@ -646,6 +815,52 @@ fn render_output(
             );
         }
         json = json.field("scale", section);
+    }
+    if scale_enabled && !threaded_rows.is_empty() {
+        let tier_rows: Vec<Json> = threaded_rows
+            .iter()
+            .map(|r| {
+                // Speedup is against the single-shard row of the same
+                // (sensors, mode) workload, when that row is present.
+                let base = scale_rows
+                    .iter()
+                    .find(|b| b.sensors == r.sensors && b.mode == r.mode);
+                let mut row = Json::object()
+                    .field("sensors", r.sensors)
+                    .field("mode", r.mode)
+                    .field("shards", r.shards)
+                    .field("wall_ms", r.wall_ns as f64 / 1e6)
+                    .field("events", r.events)
+                    .field("events_per_sec", r.events_per_sec())
+                    .field("ns_per_event", r.ns_per_event())
+                    .field("generated", r.generated)
+                    .field("delivered", r.delivered)
+                    .field("delivery_ratio", r.delivery_ratio())
+                    .field("mean_delay_secs", r.mean_delay_secs);
+                if let Some(base) = base {
+                    if base.events_per_sec() > 0.0 {
+                        row = row.field(
+                            "speedup_vs_single_shard",
+                            r.events_per_sec() / base.events_per_sec(),
+                        );
+                    }
+                }
+                row
+            })
+            .collect();
+        json = json.field(
+            "scale_threaded",
+            Json::object()
+                .field("protocol", "OPT")
+                .field("duration_secs", scale_dur)
+                .field("seed", 1u64)
+                .field(
+                    "note",
+                    "spatial shards; results bit-identical to single-shard by \
+                     the determinism contract (tests/sharded_engine.rs)",
+                )
+                .field("rows", Json::Arr(tier_rows)),
+        );
     }
     if let Some(prof) = event_profile {
         let kind_rows: Vec<Json> = prof

@@ -1,0 +1,95 @@
+//! CI gate for the sharded engine's determinism contract: an N-shard run
+//! of a scale-tier cell must be **bit-identical** to the single-shard run
+//! — every counter and every f64 bit, under both mobility engines.
+//!
+//! `tests/sharded_engine.rs` proves the contract on a small pinned world;
+//! this gate re-proves it on a real scale-tier cell (1 000 sensors, the
+//! size where shard bands are actually populated) so a regression that
+//! only shows up under load cannot slip past CI. Exits 0 on parity, 1 on
+//! any divergence, printing the first differing field.
+//!
+//! Usage: `cargo run --release -p dftmsn-bench --bin shard_parity
+//! [--sensors N] [--secs S] [--shards K]` (defaults 1000 / 60 / 8).
+
+use dftmsn_bench::scale::scale_scenario;
+use dftmsn_core::report::SimReport;
+use dftmsn_core::variants::ProtocolKind;
+use dftmsn_core::world::{MobilityMode, Simulation};
+
+/// Every tracked field of a report, flattened to exact bit patterns.
+fn fingerprint(r: &SimReport) -> Vec<(&'static str, u64)> {
+    vec![
+        ("generated", r.generated),
+        ("delivered", r.delivered),
+        ("sink_receptions", r.sink_receptions),
+        ("frames_sent", r.frames_sent),
+        ("collisions", r.collisions),
+        ("attempts", r.attempts),
+        ("multicasts", r.multicasts),
+        ("copies_sent", r.copies_sent),
+        ("events_processed", r.events_processed),
+        ("mean_delay_secs", r.mean_delay_secs.to_bits()),
+        ("total_sensor_energy_j", r.total_sensor_energy_j.to_bits()),
+        ("avg_sensor_power_mw", r.avg_sensor_power_mw.to_bits()),
+        ("deliveries", r.deliveries.len() as u64),
+    ]
+}
+
+fn run(sensors: usize, secs: u64, mode: MobilityMode, shards: usize) -> SimReport {
+    Simulation::builder(scale_scenario(sensors, secs), ProtocolKind::Opt)
+        .seed(1)
+        .mobility_mode(mode)
+        .shards(shards)
+        .build()
+        .run()
+}
+
+fn arg(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map_or(default, |s| {
+            s.parse()
+                .unwrap_or_else(|_| panic!("{flag} takes a number"))
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sensors = arg(&args, "--sensors", 1_000);
+    let secs = arg(&args, "--secs", 60) as u64;
+    let shards = arg(&args, "--shards", 8);
+
+    let mut failed = false;
+    for mode in [MobilityMode::Ticked, MobilityMode::Lazy] {
+        let single = run(sensors, secs, mode, 1);
+        let sharded = run(sensors, secs, mode, shards);
+        let (a, b) = (fingerprint(&single), fingerprint(&sharded));
+        let diverged: Vec<&&str> = a
+            .iter()
+            .zip(&b)
+            .filter(|((_, x), (_, y))| x != y)
+            .map(|((name, _), _)| name)
+            .collect();
+        if diverged.is_empty() {
+            eprintln!(
+                "shard_parity {mode:?}: OK — {shards}-shard run bit-identical \
+                 ({sensors} sensors, {secs} s, {} events)",
+                single.events_processed
+            );
+        } else {
+            failed = true;
+            eprintln!(
+                "shard_parity {mode:?}: FAIL — {shards}-shard run diverged from \
+                 single-shard in: {diverged:?}"
+            );
+            for ((name, x), (_, y)) in a.iter().zip(&b).filter(|((_, x), (_, y))| x != y) {
+                eprintln!("  {name}: single={x} sharded={y}");
+            }
+        }
+    }
+    if failed {
+        eprintln!("shard_parity: determinism contract BROKEN (DESIGN.md \u{a7} 8)");
+        std::process::exit(1);
+    }
+}

@@ -68,13 +68,18 @@ pub fn scale_scenario(sensors: usize, duration_secs: u64) -> ScenarioParams {
     p
 }
 
-/// One measured (size, mobility-mode) point of the scale tier.
+/// One measured (size, mobility-mode, shard-count) point of the scale
+/// tier.
 #[derive(Debug, Clone)]
 pub struct ScaleRow {
     /// Sensor count of the run.
     pub sensors: usize,
     /// Mobility mode the engine ran under.
     pub mode: MobilityMode,
+    /// Spatial shard count the engine ran with (1 = the single-shard
+    /// engine; results are bit-identical for every value by contract,
+    /// only the wall time moves).
+    pub shards: usize,
     /// Wall time of `Simulation::run`, accumulated in integer ns.
     pub wall_ns: u128,
     /// Events popped from the queue (`SimReport::events_processed`).
@@ -128,9 +133,24 @@ impl ScaleRow {
 /// Times one OPT run of the scale scenario (build excluded, `run` only).
 #[must_use]
 pub fn measure(sensors: usize, duration_secs: u64, mode: MobilityMode) -> ScaleRow {
+    measure_sharded(sensors, duration_secs, mode, 1)
+}
+
+/// [`measure`] with the engine partitioned onto `shards` spatial shards.
+/// The report is bit-identical to the single-shard run (the engine's
+/// determinism contract, enforced by `tests/sharded_engine.rs`), so the
+/// only quantity this adds over `measure` is the wall time.
+#[must_use]
+pub fn measure_sharded(
+    sensors: usize,
+    duration_secs: u64,
+    mode: MobilityMode,
+    shards: usize,
+) -> ScaleRow {
     let sim = Simulation::builder(scale_scenario(sensors, duration_secs), ProtocolKind::Opt)
         .seed(1)
         .mobility_mode(mode)
+        .shards(shards)
         .build();
     let t0 = Instant::now();
     let report = sim.run();
@@ -138,6 +158,7 @@ pub fn measure(sensors: usize, duration_secs: u64, mode: MobilityMode) -> ScaleR
     ScaleRow {
         sensors,
         mode,
+        shards,
         wall_ns,
         events: report.events_processed,
         generated: report.generated,
@@ -216,6 +237,7 @@ mod tests {
         let row = ScaleRow {
             sensors: 0,
             mode: MobilityMode::Ticked,
+            shards: 1,
             wall_ns: 0,
             events: 0,
             generated: 0,

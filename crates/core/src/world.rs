@@ -43,7 +43,7 @@ use crate::report::{DeliveryRecord, NodeSummary, RunMetrics, SimReport};
 use crate::trace::{DropReason, TeeSink, TraceEvent, TraceSink};
 use crate::variants::{MetricKind, ProtocolKind, SelectionKind, VariantConfig};
 use dftmsn_mobility::geom::{Bounds, Vec2};
-use dftmsn_mobility::grid_index::SpatialGrid;
+use dftmsn_mobility::grid_index::{ShardMap, SpatialGrid};
 use dftmsn_mobility::models::{
     MobilityModel, RandomWalk, RandomWaypoint, Stationary, ZoneMobility,
 };
@@ -51,9 +51,9 @@ use dftmsn_mobility::zones::{ZoneGrid, ZoneId};
 use dftmsn_radio::energy::RadioState;
 use dftmsn_radio::ids::NodeId;
 use dftmsn_radio::medium::{Frame, Medium, TxHandle};
-use dftmsn_sim::event::EventQueue;
+use dftmsn_sim::event::ShardedEventQueue;
 use dftmsn_sim::rng::SimRng;
-use dftmsn_sim::time::{SimDuration, SimTime};
+use dftmsn_sim::time::{EpochClock, SimDuration, SimTime};
 
 #[path = "world_ckpt.rs"]
 mod ckpt;
@@ -486,6 +486,79 @@ fn cell_coast_ticks(margin: f64, disp: Vec2) -> u32 {
     }
 }
 
+/// Runtime state of the sharded engine (DESIGN.md § 8).
+///
+/// A pure execution knob: the shard count is never serialized — checkpoints
+/// capture the logical event list and `dftmsn-ckpt/1` stays byte-stable —
+/// and per the event queue's lane-placement contract the *results* of a run
+/// are bit-identical for every shard count, so everything here is
+/// locality bookkeeping and telemetry.
+#[derive(Debug)]
+struct ShardRuntime {
+    /// Lane/worker count; 1 = the classic single-shard engine.
+    count: usize,
+    /// Column-band partition of the spatial grid (`None` when `count` is 1).
+    map: Option<ShardMap>,
+    /// Node → owning shard, refreshed at every epoch barrier. Empty when
+    /// unsharded; events for unknown nodes route to lane 0.
+    node_shard: Vec<u8>,
+    /// Boundary-band half-width in metres: radio range plus the worst-case
+    /// approach (`2 · v_max · lookahead`) two nodes can close within one
+    /// epoch.
+    band_m: f64,
+    /// Conservative-lookahead barrier cadence, derived from `v_max`.
+    epoch: EpochClock,
+    /// The next barrier instant.
+    next_barrier: SimTime,
+    /// Barriers taken so far (telemetry).
+    barriers: u64,
+    /// Nodes inside a boundary band at the last barrier (telemetry).
+    boundary_nodes: usize,
+}
+
+impl ShardRuntime {
+    fn single() -> Self {
+        ShardRuntime {
+            count: 1,
+            map: None,
+            node_shard: Vec::new(),
+            band_m: 0.0,
+            epoch: EpochClock::derive(0.0, 0.0),
+            next_barrier: SimTime::MAX,
+            barriers: 0,
+            boundary_nodes: 0,
+        }
+    }
+}
+
+/// Telemetry snapshot of the sharded engine, from
+/// [`Simulation::shard_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Active shard count (1 = unsharded).
+    pub shards: usize,
+    /// Epoch barriers taken so far.
+    pub barriers: u64,
+    /// Frames whose audible set spanned more than one shard (mirror
+    /// insertions in the medium's per-shard active lists).
+    pub cross_shard_frames: u64,
+    /// Nodes inside a boundary band at the most recent barrier.
+    pub boundary_nodes: usize,
+}
+
+/// Lane an event is filed into: node-addressed events follow their node's
+/// shard, global events (mobility, faults, observation) live on lane 0.
+/// Pure locality — the queue's pop order is lane-independent.
+fn event_lane(node_shard: &[u8], ev: &Event) -> usize {
+    match *ev {
+        Event::DataGen(i) | Event::MetricTimeout(i) | Event::TxEnd(i, _) => {
+            node_shard.get(i.index()).map_or(0, |&s| s as usize)
+        }
+        Event::Timer(i, _, _) => node_shard.get(i.index()).map_or(0, |&s| s as usize),
+        Event::MobilityTick | Event::Fault(_) | Event::ObserveTick => 0,
+    }
+}
+
 /// A configured, runnable simulation.
 ///
 /// Construct one through [`Simulation::builder`]; the builder is the
@@ -515,7 +588,9 @@ pub struct Simulation {
     timing: Timing,
     end: SimTime,
 
-    events: EventQueue<Event>,
+    events: ShardedEventQueue<Event>,
+    /// Spatial sharding runtime; see [`ShardStats`] and DESIGN.md § 8.
+    shards: ShardRuntime,
     nodes: Vec<Node>,
     /// Struct-of-arrays mirror of the hottest per-node fields (epoch, MAC
     /// state tag, ξ); refreshed via [`Self::sync_hot`] after every
@@ -602,6 +677,8 @@ pub struct SimulationBuilder {
     protocol: ProtocolParams,
     seed: u64,
     mobility_mode: MobilityMode,
+    shards: usize,
+    contact_cache: bool,
     faults: Option<FaultPlan>,
     trace: Option<Box<dyn TraceSink>>,
     observer: Option<MetricsRecorder>,
@@ -628,6 +705,25 @@ impl SimulationBuilder {
     /// randomness order, so lazy runs carry their own baselines.
     pub fn mobility_mode(mut self, mode: MobilityMode) -> Self {
         self.mobility_mode = mode;
+        self
+    }
+
+    /// Sets the spatial shard count (default: 1, clamped to 1..=64 and to
+    /// the grid's column count). Sharding is a pure execution knob: for
+    /// any shard count the run's results are bit-identical to the
+    /// single-shard engine's — the determinism contract DESIGN.md § 8
+    /// documents and `tests/sharded_engine.rs` enforces.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Enables or disables the ticked-mode contact cache (default: on).
+    /// Disabling it forces every neighbour query down the exact uncached
+    /// path; results must be bit-identical either way. This is a
+    /// differential-testing knob, not a tuning surface.
+    pub fn contact_cache(mut self, on: bool) -> Self {
+        self.contact_cache = on;
         self
     }
 
@@ -679,6 +775,9 @@ impl SimulationBuilder {
         if let Some(plan) = self.faults {
             sim.install_fault_plan(plan);
         }
+        if !self.contact_cache {
+            sim.contacts = None;
+        }
         if let Some(recorder) = self.observer {
             recorder.begin_run(RunMeta {
                 protocol: sim.config.kind.label().to_owned(),
@@ -700,6 +799,9 @@ impl SimulationBuilder {
         } else {
             sim.trace = self.trace;
         }
+        if self.shards > 1 {
+            sim.set_shards(self.shards);
+        }
         sim
     }
 }
@@ -718,6 +820,8 @@ impl Simulation {
             protocol: ProtocolParams::paper_default(),
             seed: 1,
             mobility_mode: MobilityMode::default(),
+            shards: 1,
+            contact_cache: true,
             faults: None,
             trace: None,
             observer: None,
@@ -960,7 +1064,8 @@ impl Simulation {
             seed,
             timing,
             end,
-            events: EventQueue::new(),
+            events: ShardedEventQueue::new(1),
+            shards: ShardRuntime::single(),
             nodes,
             hot,
             mobility,
@@ -1055,9 +1160,9 @@ impl Simulation {
                 let node = &mut self.nodes[i];
                 SimDuration::from_secs_f64(node.rng.gen_exp(self.scenario.data_interval_secs))
             };
-            self.events.schedule_after(first_gen, Event::DataGen(id));
+            self.sched_after(first_gen, Event::DataGen(id));
             let delta = SimDuration::from_secs_f64(self.protocol.xi_timeout_secs);
-            self.events.schedule_after(delta, Event::MetricTimeout(id));
+            self.sched_after(delta, Event::MetricTimeout(id));
         }
     }
 
@@ -1111,6 +1216,135 @@ impl Simulation {
     #[must_use]
     pub fn contact_cache_stats(&self) -> Option<(u64, u64)> {
         self.contacts.as_ref().map(|c| (c.hits, c.misses))
+    }
+
+    /// Re-partitions a live simulation onto `shards` spatial shards
+    /// (clamped to 1..=64 and to the grid's column count). Safe at any
+    /// event boundary — including right after resuming a checkpoint, which
+    /// always comes up single-shard because the shard count is an
+    /// execution knob, never serialized state. Pending events are re-filed
+    /// onto their owning lanes with their global order preserved, so the
+    /// run's results do not depend on when (or whether) this is called.
+    pub fn set_shards(&mut self, shards: usize) {
+        let requested = shards.clamp(1, 64);
+        let map = self.grid.shard_map(requested);
+        if map.shards() <= 1 {
+            self.shards = ShardRuntime::single();
+            self.events.reshard(1, |_| 0);
+            self.medium.set_sharding(Vec::new(), 1);
+            return;
+        }
+        let count = map.shards();
+        let vmax = self.scenario.speed_max_mps.max(0.2);
+        let range = self.scenario.channel.range_m;
+        let epoch = EpochClock::derive(range, vmax);
+        let band = range + 2.0 * vmax * epoch.lookahead().as_secs_f64();
+        self.shards = ShardRuntime {
+            count,
+            map: Some(map),
+            node_shard: vec![0; self.positions.len()],
+            band_m: band,
+            epoch,
+            next_barrier: epoch.next_barrier(self.now()),
+            barriers: 0,
+            boundary_nodes: 0,
+        };
+        self.refresh_shard_assignment();
+        let node_shard = self.shards.node_shard.clone();
+        self.events
+            .reshard(count, move |ev| event_lane(&node_shard, ev));
+    }
+
+    /// Telemetry of the sharded engine: shard count, barriers taken,
+    /// cross-shard frame mirrors and the boundary-band population at the
+    /// last barrier. Reads state only.
+    #[must_use]
+    pub fn shard_stats(&self) -> ShardStats {
+        ShardStats {
+            shards: self.shards.count,
+            barriers: self.shards.barriers,
+            cross_shard_frames: self.medium.cross_shard_frames(),
+            boundary_nodes: self.shards.boundary_nodes,
+        }
+    }
+
+    /// Frames currently on the air: transmissions whose `TxEnd` has not
+    /// fired yet. A checkpoint taken while this is nonzero exercises the
+    /// mid-frame seam — the snapshot must carry the in-flight state.
+    #[must_use]
+    pub fn airborne_frames(&self) -> usize {
+        self.medium.airborne()
+    }
+
+    /// Nodes currently mid-coast-lease in ticked mode (straight-line
+    /// ticks promised but not yet replayed into their models). `None` in
+    /// lazy mode. Checkpointing settles every lease first; this telemetry
+    /// lets tests prove a snapshot instant actually was mid-lease.
+    #[must_use]
+    pub fn coasting_nodes(&self) -> Option<usize> {
+        self.coast.as_ref().map(|c| {
+            (0..c.model_left.len())
+                .filter(|&j| c.model_left[j] > 0 || c.applied[j] > 0)
+                .count()
+        })
+    }
+
+    /// Recomputes every node's owning shard from its current stored
+    /// position, counts the boundary-band population, and re-installs the
+    /// assignment in the medium (rebuilding its per-shard active lists).
+    /// Stored positions may lag truth by the mode's drift bound; the
+    /// boundary band is sized to absorb exactly that drift, so affinity
+    /// staleness never affects results — only mirror counts.
+    fn refresh_shard_assignment(&mut self) {
+        let ShardRuntime {
+            map,
+            node_shard,
+            band_m,
+            boundary_nodes,
+            ..
+        } = &mut self.shards;
+        let Some(map) = map.as_ref() else {
+            return;
+        };
+        let mut boundary = 0usize;
+        for (j, p) in self.positions.iter().enumerate() {
+            node_shard[j] = map.shard_of(*p) as u8;
+            if map.in_boundary_band(*p, *band_m) {
+                boundary += 1;
+            }
+        }
+        *boundary_nodes = boundary;
+        self.medium.set_sharding(node_shard.clone(), map.shards());
+    }
+
+    /// Takes an epoch barrier if one is due: refreshes shard affinity and
+    /// the medium's boundary mirrors. Events already filed keep their
+    /// lanes — placement is locality, not semantics — so a barrier never
+    /// touches the queue.
+    fn maybe_epoch_barrier(&mut self, now: SimTime) {
+        if self.shards.count <= 1 || now < self.shards.next_barrier {
+            return;
+        }
+        self.refresh_shard_assignment();
+        self.shards.barriers += 1;
+        self.shards.next_barrier = self.shards.epoch.next_barrier(now);
+    }
+
+    /// Files `ev` on its owning shard's lane at `at`. Routing consults the
+    /// affinity table from the last barrier; a stale entry mis-places the
+    /// event on a neighbouring lane, which costs locality and nothing
+    /// else.
+    #[inline]
+    fn sched_at(&mut self, at: SimTime, ev: Event) {
+        let lane = event_lane(&self.shards.node_shard, &ev);
+        self.events.schedule_at_on(lane, at, ev);
+    }
+
+    /// [`sched_at`](Self::sched_at) with a relative delay.
+    #[inline]
+    fn sched_after(&mut self, after: SimDuration, ev: Event) {
+        let lane = event_lane(&self.shards.node_shard, &ev);
+        self.events.schedule_after_on(lane, after, ev);
     }
 
     /// The simulation clock: the time of the most recently processed
@@ -1344,7 +1578,15 @@ impl Simulation {
         let idx = i.index();
         if !self.nodes[idx].alive {
             // Crashing a dead node is a no-op, but a battery death still
-            // pins it down so a later recovery is refused.
+            // pins it down so a later recovery is refused. `battery_dead`
+            // has no SoA mirror and nothing else here touches mirrored
+            // state, so no re-sync is needed; the assertions prove the
+            // mirrors were left consistent when the node went down.
+            debug_assert!(
+                !self.hot.alive[idx],
+                "alive mirror drifted on an already-dead node"
+            );
+            debug_assert_eq!(self.hot.epoch[idx], self.nodes[idx].epoch);
             if permanent {
                 self.nodes[idx].battery_dead = true;
             }
@@ -1401,10 +1643,12 @@ impl Simulation {
         self.hot.sync_alive(idx, true);
         self.medium.set_listening(i, true);
         if !self.nodes[idx].is_sink() {
-            let jitter = {
-                let node = &mut self.nodes[idx];
-                SimDuration::from_secs_f64(node.rng.gen_range_f64(0.0, 2.0))
-            };
+            // Fault-plan randomness lives in the dedicated fault fork:
+            // drawing this jitter from the node's primary stream would
+            // desynchronize every later primary draw from the quiet run's,
+            // breaking the contract that faults perturb only the faulted
+            // behaviour.
+            let jitter = SimDuration::from_secs_f64(self.fault_rng.gen_range_f64(0.0, 2.0));
             self.schedule_timer(i, jitter, Timer::WakeUp);
         }
         true
@@ -1423,18 +1667,22 @@ impl Simulation {
     fn schedule_timer(&mut self, i: NodeId, delay: SimDuration, timer: Timer) {
         debug_assert_eq!(self.hot.epoch[i.index()], self.nodes[i.index()].epoch);
         let epoch = self.hot.epoch[i.index()];
-        self.events
-            .schedule_after(delay, Event::Timer(i, epoch, timer));
+        self.sched_after(delay, Event::Timer(i, epoch, timer));
     }
 
     fn on_mobility_tick(&mut self, now: SimTime) {
+        self.maybe_epoch_barrier(now);
         if let Some(every) = self.lazy.as_ref().map(|l| l.sync_every) {
             // Lazy mode: this tick is a low-rate staleness sweep. Catching
             // every node up to `now` re-establishes the invariant the
             // expanded-radius queries rely on — no stored position lags
             // truth by more than `sync_every · v_max` metres.
-            for j in 0..self.mobility.len() {
-                self.catch_up_node(j, now);
+            if self.shards.count > 1 {
+                self.catch_up_all_parallel(now);
+            } else {
+                for j in 0..self.mobility.len() {
+                    self.catch_up_node(j, now);
+                }
             }
             self.events.schedule_after(every, Event::MobilityTick);
             return;
@@ -1539,6 +1787,65 @@ impl Simulation {
     /// Advances node `j`'s mobility from its last synced instant to `now`
     /// in one closed-form span, updating its stored position and grid
     /// cell. No-op in Ticked mode and for already-current nodes.
+    /// The staleness sweep fanned out over the shard workers: every lane
+    /// of per-node state (model, RNG, sync stamp, position) is split into
+    /// disjoint contiguous chunks, one scoped thread per shard. Each
+    /// node's advance reads and writes only its own lanes — per-node RNG
+    /// streams are exactly why lazy mode carries `lazy.rngs` — so the
+    /// result is bit-identical to the sequential sweep regardless of
+    /// scheduling. The spatial grid is shared structure, so its bucket
+    /// moves replay sequentially afterwards; `move_node` keeps buckets
+    /// sorted and ignores same-cell moves, making the final grid a pure
+    /// function of the final positions.
+    fn catch_up_all_parallel(&mut self, now: SimTime) {
+        let Simulation {
+            mobility,
+            lazy,
+            positions,
+            grid,
+            shards,
+            ..
+        } = self;
+        let lazy = lazy.as_mut().expect("lazy branch");
+        let n = mobility.len();
+        if n == 0 {
+            return;
+        }
+        let workers = shards.count.min(n);
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut m = mobility.as_mut_slice();
+            let mut r = lazy.rngs.as_mut_slice();
+            let mut s = lazy.synced_at.as_mut_slice();
+            let mut p = positions.as_mut_slice();
+            while !m.is_empty() {
+                let take = chunk.min(m.len());
+                let (m0, m_rest) = m.split_at_mut(take);
+                let (r0, r_rest) = r.split_at_mut(take);
+                let (s0, s_rest) = s.split_at_mut(take);
+                let (p0, p_rest) = p.split_at_mut(take);
+                scope.spawn(move || {
+                    for j in 0..m0.len() {
+                        let dt = now.saturating_since(s0[j]);
+                        if dt.is_zero() {
+                            continue;
+                        }
+                        s0[j] = now;
+                        m0[j].advance_span(dt.as_secs_f64(), &mut r0[j]);
+                        p0[j] = m0[j].position();
+                    }
+                });
+                m = m_rest;
+                r = r_rest;
+                s = s_rest;
+                p = p_rest;
+            }
+        });
+        for (j, p) in positions.iter().enumerate() {
+            grid.move_node(j, *p);
+        }
+    }
+
     fn catch_up_node(&mut self, j: usize, now: SimTime) {
         let Some(lazy) = self.lazy.as_mut() else {
             return;
@@ -1567,7 +1874,7 @@ impl Simulation {
             let node = &mut self.nodes[i.index()];
             SimDuration::from_secs_f64(node.rng.gen_exp(self.scenario.data_interval_secs))
         };
-        self.events.schedule_after(next, Event::DataGen(i));
+        self.sched_after(next, Event::DataGen(i));
     }
 
     fn on_metric_timeout(&mut self, now: SimTime, i: NodeId) {
@@ -1576,7 +1883,7 @@ impl Simulation {
         if !node.alive {
             // ξ is frozen while the node is down; the anchor stays put, so
             // the first timeout after recovery applies every missed window.
-            self.events.schedule_after(delta, Event::MetricTimeout(i));
+            self.sched_after(delta, Event::MetricTimeout(i));
             return;
         }
         // Eq. 1 decays ξ once per *elapsed* Δ window since the last
@@ -1592,9 +1899,9 @@ impl Simulation {
             node.metric.decay_windows(self.protocol.alpha, windows);
             node.xi_anchor = anchor + delta * windows;
             self.sync_hot(i.index());
-            self.events.schedule_after(delta, Event::MetricTimeout(i));
+            self.sched_after(delta, Event::MetricTimeout(i));
         } else {
-            self.events.schedule_at(due, Event::MetricTimeout(i));
+            self.sched_at(due, Event::MetricTimeout(i));
         }
     }
 
@@ -2130,12 +2437,25 @@ impl Simulation {
                 ..
             } = self;
             let coast = coast.as_mut().expect("ticked mode has a coast ledger");
-            let cache = contacts.as_mut().expect("ticked mode has a contact cache");
             let slot = i.index();
             let t = coast.tick_no;
             coast.materialize(slot, t, positions);
             let center = positions[slot];
             let r2 = range * range;
+            let Some(cache) = contacts.as_mut() else {
+                // Cache disabled (the differential-testing knob): same
+                // materialize-then-exact-query sequence as a cache miss,
+                // just at the true range with nothing memoized.
+                grid.collect_neighborhood(slot, range, &mut scratch.mat);
+                for &j in &scratch.mat {
+                    coast.materialize(j, t, positions);
+                }
+                grid.query_within(positions, slot, range, &mut scratch.idx);
+                scratch.ids.clear();
+                let (idx, ids) = (&scratch.idx, &mut scratch.ids);
+                ids.extend(idx.iter().map(|&j| NodeId(j)));
+                return;
+            };
             let fresh = cache.gen[slot] == cache.arena_gen
                 && now.saturating_since(cache.at[slot]) <= cache.valid_for;
             if fresh {
@@ -2221,7 +2541,7 @@ impl Simulation {
             &self.scratch.ids,
         );
         let airtime = self.scenario.channel.airtime(bits);
-        self.events.schedule_after(airtime, Event::TxEnd(i, handle));
+        self.sched_after(airtime, Event::TxEnd(i, handle));
     }
 
     fn on_tx_end(&mut self, now: SimTime, i: NodeId, handle: TxHandle) {
@@ -3311,5 +3631,102 @@ mod tests {
             .count() as u64;
         assert_eq!(deliveries, report.delivered);
         assert_eq!(recorder.totals().1.deliveries, report.delivered);
+    }
+
+    #[test]
+    fn recovery_jitter_comes_from_the_fault_fork() {
+        // PR-2 contract: a crash/recover cycle must leave every per-node
+        // primary stream exactly where the quiet run would have it — all
+        // fault randomness is drawn from the dedicated fork.
+        let mut sim = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(11)
+            .build();
+        let idx = 3;
+        let primary_before = sim.nodes[idx].rng.state();
+        let fault_before = sim.fault_rng.state();
+        let now = sim.now();
+        assert!(sim.crash_node(now, NodeId(idx), false));
+        assert!(sim.recover_node(now, NodeId(idx)));
+        assert_eq!(
+            sim.nodes[idx].rng.state(),
+            primary_before,
+            "crash/recover touched the node's primary RNG stream"
+        );
+        assert_ne!(
+            sim.fault_rng.state(),
+            fault_before,
+            "the recovery jitter should come from the fault fork"
+        );
+        // And the untouched population's streams are untouched too.
+        let other = sim.nodes[5].rng.state();
+        assert!(sim.crash_node(now, NodeId(3), false));
+        assert!(sim.recover_node(now, NodeId(3)));
+        assert_eq!(sim.nodes[5].rng.state(), other);
+    }
+
+    #[test]
+    fn stacked_fault_plans_keep_the_hot_mirrors_consistent() {
+        // Property sweep over stacked plans: BatteryDeath landing on an
+        // already-crashed node takes the early return in `crash_node`,
+        // whose debug assertions prove the SoA mirrors never drift. The
+        // recovery then stays refused (battery_dead pins the node down).
+        let mut rng = SimRng::seed_from(0x057A_C4ED);
+        for trial in 0..8 {
+            let scenario = tiny();
+            let mut plan = FaultPlan::default();
+            let victim = rng.gen_range_u64(scenario.sensors as u64) as usize;
+            plan.events.push(crate::faults::FaultEvent {
+                at_secs: 40.0 + trial as f64,
+                kind: FaultKind::NodeCrash(NodeId(victim)),
+            });
+            plan.events.push(crate::faults::FaultEvent {
+                at_secs: 90.0 + trial as f64,
+                kind: FaultKind::BatteryDeath(NodeId(victim)),
+            });
+            plan.events.push(crate::faults::FaultEvent {
+                at_secs: 140.0 + trial as f64,
+                kind: FaultKind::NodeRecover(NodeId(victim)),
+            });
+            let sim = Simulation::builder(scenario, ProtocolKind::Opt)
+                .seed(100 + trial)
+                .faults(plan)
+                .build();
+            let report = sim.run();
+            assert_eq!(report.faults.crashes, 1, "trial {trial}");
+            assert_eq!(
+                report.faults.recoveries, 0,
+                "trial {trial}: battery death must pin the node down"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_runs_report_their_topology() {
+        let scenario = ScenarioParams {
+            sensors: 24,
+            sinks: 2,
+            duration_secs: 300,
+            ..ScenarioParams::paper_default()
+        };
+        let sim = Simulation::builder(scenario, ProtocolKind::Opt)
+            .seed(3)
+            .shards(4)
+            .build();
+        let stats = sim.shard_stats();
+        assert!(stats.shards >= 2, "grid too narrow to shard");
+        let report = sim.run();
+        assert!(report.generated > 0);
+    }
+
+    #[test]
+    fn set_shards_back_to_one_restores_the_single_lane_engine() {
+        let mut sim = Simulation::builder(tiny(), ProtocolKind::Opt)
+            .seed(4)
+            .shards(8)
+            .build();
+        sim.set_shards(1);
+        assert_eq!(sim.shard_stats().shards, 1);
+        let report = sim.run();
+        assert!(report.generated > 0);
     }
 }

@@ -1398,7 +1398,10 @@ impl Simulation {
             }
             pending.push((at, ev));
         }
-        sim.events = EventQueue::restore(now, popped, pending);
+        // Restored runs always come up single-lane: the shard count is an
+        // execution knob, not state, so it is never serialized. Callers
+        // re-shard with `set_shards` after resume if they want parallelism.
+        sim.events = ShardedEventQueue::restore(1, now, popped, pending, |_| 0);
 
         sim.observe_ticks = r.u64()?;
         sim.global_link_drop = r.f64()?;

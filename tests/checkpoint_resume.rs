@@ -280,3 +280,118 @@ fn faulted_runs_resume_bit_identically() {
         );
     }
 }
+
+/// Steps `sim` until `pred` holds at an event boundary past `t_min`
+/// seconds, returning false if the run ends first.
+fn step_until(sim: &mut Simulation, t_min: f64, mut pred: impl FnMut(&Simulation) -> bool) -> bool {
+    loop {
+        if sim.now().as_secs_f64() >= t_min && pred(sim) {
+            return true;
+        }
+        if !sim.step() {
+            return false;
+        }
+    }
+}
+
+#[test]
+fn checkpoints_taken_mid_frame_resume_bit_identically() {
+    // The seam: a `begin_tx` has fired but its (unguarded, not
+    // epoch-cancelled) `TxEnd` is still pending. The snapshot must carry
+    // the in-flight transmission and the resumed queue must fire the
+    // `TxEnd` at the exact original instant. Faults keep the plan cursor
+    // and crash paths in play across the boundary.
+    let scenario = scenario();
+    let plan = FaultPlan::node_failures(&scenario, 0.3, Some(120.0), 9);
+    let full = Simulation::builder(scenario.clone(), ProtocolKind::Opt)
+        .seed(5)
+        .mobility_mode(MobilityMode::Ticked)
+        .faults(plan.clone())
+        .build()
+        .run();
+
+    let mut part = Simulation::builder(scenario.clone(), ProtocolKind::Opt)
+        .seed(5)
+        .mobility_mode(MobilityMode::Ticked)
+        .faults(plan.clone())
+        .build();
+    assert!(
+        step_until(&mut part, 200.0, |s| s.airborne_frames() > 0),
+        "no frame was mid-air at any boundary past 200 s"
+    );
+    assert!(part.airborne_frames() > 0);
+    let bytes = part.checkpoint_bytes();
+    drop(part);
+
+    let (resumed_sim, _) = Simulation::resume_from_bytes(&bytes).expect("mid-frame resume");
+    assert!(
+        resumed_sim.airborne_frames() > 0,
+        "the in-flight frame was lost across the checkpoint"
+    );
+    let resumed = resumed_sim.run();
+    assert_eq!(
+        golden(&resumed),
+        golden(&full),
+        "mid-frame: counters diverged"
+    );
+    assert_eq!(
+        resumed.mean_delay_secs.to_bits(),
+        full.mean_delay_secs.to_bits(),
+        "mid-frame: delay accounting diverged"
+    );
+    assert_eq!(
+        resumed.faults, full.faults,
+        "mid-frame: fault counters diverged"
+    );
+}
+
+#[test]
+fn checkpoints_taken_mid_coast_lease_resume_bit_identically() {
+    // The seam PR 6 introduced: ticked nodes coast on straight-line
+    // leases whose replay into the models is deferred. `checkpoint_bytes`
+    // settles every lease before serializing; the resumed run re-grants
+    // from the settled models exactly as an uninterrupted run re-grants
+    // after its own settle — this proves the settle/regrant round trip is
+    // invisible, faults included.
+    let scenario = scenario();
+    let plan = FaultPlan::node_failures(&scenario, 0.25, Some(150.0), 17);
+    let full = Simulation::builder(scenario.clone(), ProtocolKind::Opt)
+        .seed(8)
+        .mobility_mode(MobilityMode::Ticked)
+        .faults(plan.clone())
+        .build()
+        .run();
+
+    let mut part = Simulation::builder(scenario.clone(), ProtocolKind::Opt)
+        .seed(8)
+        .mobility_mode(MobilityMode::Ticked)
+        .faults(plan.clone())
+        .build();
+    assert!(
+        step_until(&mut part, 250.0, |s| {
+            s.coasting_nodes().expect("ticked mode") > scenario.sensors / 2
+        }),
+        "most of the population should be mid-lease at a typical boundary"
+    );
+    let mid_lease = part.coasting_nodes().expect("ticked mode");
+    assert!(mid_lease > 0, "checkpoint instant was not mid-lease");
+    let bytes = part.checkpoint_bytes();
+    drop(part);
+
+    let (resumed_sim, _) = Simulation::resume_from_bytes(&bytes).expect("mid-lease resume");
+    let resumed = resumed_sim.run();
+    assert_eq!(
+        golden(&resumed),
+        golden(&full),
+        "mid-lease: counters diverged"
+    );
+    assert_eq!(
+        resumed.total_sensor_energy_j.to_bits(),
+        full.total_sensor_energy_j.to_bits(),
+        "mid-lease: energy accounting diverged"
+    );
+    assert_eq!(
+        resumed.deliveries, full.deliveries,
+        "mid-lease: deliveries diverged"
+    );
+}

@@ -1,0 +1,205 @@
+//! Determinism contract of the sharded engine (DESIGN.md § 8).
+//!
+//! Sharding is a pure execution knob: for ANY shard count the run's
+//! results — every golden counter, every f64 bit of delay and energy
+//! accounting, every delivery record — must be bit-identical to the
+//! single-shard engine's. The per-shard event lanes share one global
+//! sequence counter, so pop order is provably lane-independent; these
+//! tests enforce the end-to-end consequence across protocol variants,
+//! both mobility engines, fault plans and mid-run re-sharding.
+//!
+//! A failure here always means a shard-dependent side effect leaked into
+//! simulation state — never a legitimate behaviour change.
+
+use dftmsn::core::variants::ProtocolKind;
+use dftmsn::prelude::*;
+
+/// Busy pinned workload: dense enough that frames routinely cross the
+/// column-band boundaries of a 4-shard split.
+fn scenario() -> ScenarioParams {
+    ScenarioParams {
+        sensors: 24,
+        sinks: 2,
+        duration_secs: 600,
+        ..ScenarioParams::paper_default()
+    }
+}
+
+/// One delivery record flattened to exact bits: (msg, created, delay, hops).
+type DeliveryBits = (u64, u64, u64, u32);
+
+/// Everything a run reports, flattened for exact comparison. f64s are
+/// compared by bit pattern: "close" is not "identical".
+fn fingerprint(r: &SimReport) -> (Vec<u64>, Vec<DeliveryBits>) {
+    let counters = vec![
+        r.generated,
+        r.delivered,
+        r.sink_receptions,
+        r.frames_sent,
+        r.collisions,
+        r.attempts,
+        r.multicasts,
+        r.copies_sent,
+        r.events_processed,
+        r.mean_delay_secs.to_bits(),
+        r.total_sensor_energy_j.to_bits(),
+        r.avg_sensor_power_mw.to_bits(),
+        r.faults.crashes,
+        r.faults.recoveries,
+        r.faults.frames_dropped,
+    ];
+    let deliveries = r
+        .deliveries
+        .iter()
+        .map(|d| {
+            (
+                d.msg.0,
+                d.created_secs.to_bits(),
+                d.delay_secs.to_bits(),
+                d.hops,
+            )
+        })
+        .collect();
+    (counters, deliveries)
+}
+
+fn run(kind: ProtocolKind, seed: u64, mode: MobilityMode, shards: usize) -> SimReport {
+    Simulation::builder(scenario(), kind)
+        .seed(seed)
+        .mobility_mode(mode)
+        .shards(shards)
+        .build()
+        .run()
+}
+
+#[test]
+fn sharded_runs_match_single_shard_across_variants_and_modes() {
+    for mode in [MobilityMode::Ticked, MobilityMode::Lazy] {
+        for kind in [ProtocolKind::Opt, ProtocolKind::Epidemic, ProtocolKind::Zbr] {
+            let single = run(kind, 7, mode, 1);
+            for shards in [2, 4, 8] {
+                let sharded = run(kind, 7, mode, shards);
+                assert_eq!(
+                    fingerprint(&sharded),
+                    fingerprint(&single),
+                    "{kind} {mode:?}: {shards}-shard run diverged from single-shard"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_faulted_runs_match_single_shard() {
+    let plan = FaultPlan::node_failures(&scenario(), 0.3, Some(150.0), 13);
+    for mode in [MobilityMode::Ticked, MobilityMode::Lazy] {
+        let single = Simulation::builder(scenario(), ProtocolKind::Opt)
+            .seed(5)
+            .mobility_mode(mode)
+            .faults(plan.clone())
+            .build()
+            .run();
+        assert!(single.faults.crashes > 0, "{mode:?}: plan injected nothing");
+        let sharded = Simulation::builder(scenario(), ProtocolKind::Opt)
+            .seed(5)
+            .mobility_mode(mode)
+            .faults(plan.clone())
+            .shards(4)
+            .build()
+            .run();
+        assert_eq!(
+            fingerprint(&sharded),
+            fingerprint(&single),
+            "{mode:?}: faulted 4-shard run diverged"
+        );
+    }
+}
+
+#[test]
+fn resharding_mid_run_changes_nothing() {
+    // Flip the shard count twice mid-run; pending events are re-filed
+    // with their global order preserved, so the results cannot move.
+    let single = run(ProtocolKind::Opt, 9, MobilityMode::Lazy, 1);
+    let mut sim = Simulation::builder(scenario(), ProtocolKind::Opt)
+        .seed(9)
+        .mobility_mode(MobilityMode::Lazy)
+        .build();
+    let mut flipped = false;
+    let mut flopped = false;
+    loop {
+        let t = sim.now().as_secs_f64();
+        if !flipped && t >= 150.0 {
+            sim.set_shards(6);
+            flipped = true;
+        }
+        if !flopped && t >= 400.0 {
+            sim.set_shards(2);
+            flopped = true;
+        }
+        if !sim.step() {
+            break;
+        }
+    }
+    assert!(flipped && flopped, "run too short to exercise both flips");
+    let report = sim.finish_partial();
+    // finish_partial on an exhausted run covers the same horizon as run().
+    assert_eq!(
+        fingerprint(&report).0[..9],
+        fingerprint(&single).0[..9],
+        "mid-run re-sharding changed the counters"
+    );
+}
+
+#[test]
+fn resumed_checkpoints_reshard_cleanly() {
+    // Checkpoint a single-shard run, resume, then fan out to 4 shards:
+    // the continuation must match the uninterrupted single-shard twin.
+    // (The shard count is never serialized — restored sims come up
+    // single-lane and re-shard on demand.)
+    let single = run(ProtocolKind::Opt, 11, MobilityMode::Ticked, 1);
+    let mut part = Simulation::builder(scenario(), ProtocolKind::Opt)
+        .seed(11)
+        .mobility_mode(MobilityMode::Ticked)
+        .shards(4)
+        .build();
+    while part.now().as_secs_f64() < 300.0 {
+        if !part.step() {
+            break;
+        }
+    }
+    let bytes = part.checkpoint_bytes();
+    drop(part);
+    let (mut resumed, _) = Simulation::resume_from_bytes(&bytes).expect("resume");
+    assert_eq!(
+        resumed.shard_stats().shards,
+        1,
+        "shard count leaked into the checkpoint"
+    );
+    resumed.set_shards(4);
+    let report = resumed.run();
+    assert_eq!(
+        fingerprint(&report),
+        fingerprint(&single),
+        "resume → re-shard continuation diverged"
+    );
+}
+
+#[test]
+fn shard_telemetry_reflects_the_topology() {
+    let sim = Simulation::builder(scenario(), ProtocolKind::Opt)
+        .seed(3)
+        .shards(4)
+        .build();
+    let before = sim.shard_stats();
+    assert!(before.shards >= 2);
+    assert_eq!(before.barriers, 0);
+    let mut sim = sim;
+    while sim.step() {}
+    let after = sim.shard_stats();
+    assert!(after.barriers > 0, "no epoch barrier fired in a 600 s run");
+    assert!(
+        after.cross_shard_frames > 0,
+        "a dense 24-node world should mirror some frames across bands"
+    );
+    let _ = sim.finish_partial();
+}
