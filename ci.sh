@@ -77,6 +77,15 @@ grep -qi 'checksum\|corrupt' target/ci_ckpt_bad.err \
 echo "==> shard-parity gate (N-shard scale cell must be bit-identical to 1-shard)"
 cargo run --release -q -p dftmsn-bench --bin shard_parity
 
+echo "==> policy-parity gate (builtin variants bit-identical through the trait; policy goldens)"
+cargo test --release -q --test policy_parity
+cargo run --release -q -p dftmsn-cli -- run --policy twohop:budget=3 \
+    --sensors 10 --sinks 2 --duration 300 --json >/dev/null \
+    || { echo "policy smoke: run --policy failed"; exit 1; }
+
+echo "==> public-API surface gate (drift must be declared in API_SURFACE.txt)"
+cargo run --release -q -p dftmsn-bench --bin api_surface -- --check
+
 echo "==> docs build cleanly (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

@@ -9,12 +9,10 @@ use dftmsn_core::variants::ProtocolKind;
 use dftmsn_core::world::Simulation;
 
 fn scenario(secs: u64) -> ScenarioParams {
-    ScenarioParams {
-        sensors: 30,
-        sinks: 2,
-        duration_secs: secs,
-        ..ScenarioParams::paper_default()
-    }
+    ScenarioParams::paper_default()
+        .with_sensors(30)
+        .with_sinks(2)
+        .with_duration_secs(secs)
 }
 
 fn bench_variants(c: &mut Criterion) {

@@ -9,6 +9,7 @@ use dftmsn_bench::experiments::{write_table, ExperimentOpts};
 use dftmsn_bench::sweep::{average, run_all, RunSpec};
 use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::{ProtocolParams, ScenarioParams};
+use dftmsn_core::policy::PolicySpec;
 use dftmsn_core::variants::ProtocolKind;
 use dftmsn_metrics::table::Table;
 
@@ -37,6 +38,7 @@ fn main() {
                     seed: seed + 1,
                     faults: FaultPlan::default(),
                     observe_window_secs: None,
+                    policy: PolicySpec::Builtin,
                 });
             }
         }

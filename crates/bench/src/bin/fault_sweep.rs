@@ -24,6 +24,7 @@ use dftmsn_bench::experiments::{write_table, ExperimentOpts};
 use dftmsn_bench::sweep::{average, run_all_resumable, RunSpec};
 use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::{ProtocolParams, ScenarioParams};
+use dftmsn_core::policy::PolicySpec;
 use dftmsn_core::report::SimReport;
 use dftmsn_core::variants::ProtocolKind;
 use dftmsn_metrics::table::Table;
@@ -60,6 +61,7 @@ fn main() {
                     seed,
                     faults,
                     observe_window_secs: None,
+                    policy: PolicySpec::Builtin,
                 });
             }
         }
@@ -171,6 +173,7 @@ fn timeline(opts: &ExperimentOpts, variants: &[ProtocolKind]) {
             seed,
             faults: faults.clone(),
             observe_window_secs: Some(window),
+            policy: PolicySpec::Builtin,
         };
         let (_, series) = spec.run_observed();
         let series = series.expect("observed run returns series");

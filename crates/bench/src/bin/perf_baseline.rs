@@ -49,6 +49,7 @@ use dftmsn_bench::scale::{
 use dftmsn_bench::sweep::{run_all, RunSpec};
 use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::{ProtocolParams, ScenarioParams};
+use dftmsn_core::policy::PolicySpec;
 use dftmsn_core::profile::EventProfile;
 use dftmsn_core::variants::ProtocolKind;
 use dftmsn_core::world::{MobilityMode, Simulation};
@@ -351,12 +352,10 @@ fn main() {
     } else {
         (10_000, 3, 2_000, 4)
     };
-    let scenario = ScenarioParams {
-        sensors: 30,
-        sinks: 2,
-        duration_secs: engine_secs,
-        ..ScenarioParams::paper_default()
-    };
+    let scenario = ScenarioParams::paper_default()
+        .with_sensors(30)
+        .with_sinks(2)
+        .with_duration_secs(engine_secs);
     let (scale_sizes, scale_dur): (&[usize], u64) = if quick {
         (&SCALE_SENSORS[..2], QUICK_DURATION_SECS)
     } else {
@@ -502,17 +501,16 @@ fn main() {
                 .into_iter()
                 .flat_map(|kind| {
                     (1..=sweep_seeds).map(move |seed| RunSpec {
-                        scenario: ScenarioParams {
-                            sensors: 30,
-                            sinks: 2,
-                            duration_secs: sweep_secs,
-                            ..ScenarioParams::paper_default()
-                        },
+                        scenario: ScenarioParams::paper_default()
+                            .with_sensors(30)
+                            .with_sinks(2)
+                            .with_duration_secs(sweep_secs),
                         protocol: ProtocolParams::paper_default(),
                         config: kind.config(),
                         seed,
                         faults: FaultPlan::default(),
                         observe_window_secs: None,
+                        policy: PolicySpec::Builtin,
                     })
                 })
                 .collect();

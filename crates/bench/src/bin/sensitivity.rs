@@ -10,6 +10,7 @@ use dftmsn_bench::experiments::{write_table, ExperimentOpts};
 use dftmsn_bench::sweep::{average, run_all, RunSpec};
 use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::{ProtocolParams, ScenarioParams};
+use dftmsn_core::policy::PolicySpec;
 use dftmsn_core::variants::ProtocolKind;
 use dftmsn_metrics::table::Table;
 
@@ -19,48 +20,27 @@ fn main() {
 
     let mut cases: Vec<(String, ProtocolParams)> = vec![("default".into(), base.clone())];
     for alpha in [0.1, 0.5] {
-        cases.push((
-            format!("alpha={alpha}"),
-            ProtocolParams {
-                alpha,
-                ..base.clone()
-            },
-        ));
+        cases.push((format!("alpha={alpha}"), base.clone().with_alpha(alpha)));
     }
     for delta in [15.0, 60.0, 120.0] {
         cases.push((
             format!("Delta={delta}s"),
-            ProtocolParams {
-                xi_timeout_secs: delta,
-                ..base.clone()
-            },
+            base.clone().with_xi_timeout_secs(delta),
         ));
     }
     for r in [0.8, 0.99] {
-        cases.push((
-            format!("R={r}"),
-            ProtocolParams {
-                delivery_threshold_r: r,
-                ..base.clone()
-            },
-        ));
+        cases.push((format!("R={r}"), base.clone().with_delivery_threshold_r(r)));
     }
     for th in [0.9, 0.95, 1.0] {
         cases.push((
             format!("ftd_drop={th}"),
-            ProtocolParams {
-                ftd_drop_threshold: th,
-                ..base.clone()
-            },
+            base.clone().with_ftd_drop_threshold(th),
         ));
     }
     for t_min in [1.0, 2.0] {
         cases.push((
             format!("T_min={t_min}s"),
-            ProtocolParams {
-                t_min_secs: t_min,
-                ..base.clone()
-            },
+            base.clone().with_t_min_secs(t_min),
         ));
     }
 
@@ -81,6 +61,7 @@ fn main() {
                 seed: seed + 1,
                 faults: FaultPlan::default(),
                 observe_window_secs: None,
+                policy: PolicySpec::Builtin,
             });
         }
     }

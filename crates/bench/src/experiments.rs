@@ -8,6 +8,7 @@ use dftmsn_core::contention::{
 };
 use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::{ProtocolParams, ScenarioParams};
+use dftmsn_core::policy::PolicySpec;
 use dftmsn_core::sleep::SleepController;
 use dftmsn_core::variants::{ProtocolKind, VariantConfig};
 use dftmsn_metrics::table::Table;
@@ -86,6 +87,7 @@ fn averaged_cell(
             seed: seed + 1,
             faults: FaultPlan::default(),
             observe_window_secs: None,
+            policy: PolicySpec::Builtin,
         })
         .collect()
 }
@@ -201,27 +203,9 @@ pub fn ablation(opts: &ExperimentOpts) -> Vec<Table> {
     let base = ProtocolKind::Opt.config();
     let cases: Vec<(&str, VariantConfig)> = vec![
         ("OPT (all)", base),
-        (
-            "no adaptive tau",
-            VariantConfig {
-                adaptive_tau: false,
-                ..base
-            },
-        ),
-        (
-            "no adaptive W",
-            VariantConfig {
-                adaptive_window: false,
-                ..base
-            },
-        ),
-        (
-            "fixed sleep",
-            VariantConfig {
-                adaptive_sleep: false,
-                ..base
-            },
-        ),
+        ("no adaptive tau", base.with_adaptive_tau(false)),
+        ("no adaptive W", base.with_adaptive_window(false)),
+        ("fixed sleep", base.with_adaptive_sleep(false)),
         ("NOOPT (none)", ProtocolKind::NoOpt.config()),
         ("NOSLEEP", ProtocolKind::NoSleep.config()),
     ];
@@ -235,6 +219,7 @@ pub fn ablation(opts: &ExperimentOpts) -> Vec<Table> {
                 seed: seed + 1,
                 faults: FaultPlan::default(),
                 observe_window_secs: None,
+                policy: PolicySpec::Builtin,
             });
         }
     }
@@ -393,13 +378,7 @@ mod tests {
             duration_secs: 120,
             threads: 0,
         };
-        let points = vec![(
-            1.0,
-            ScenarioParams {
-                sensors: 8,
-                ..ScenarioParams::paper_default()
-            },
-        )];
+        let points = vec![(1.0, ScenarioParams::paper_default().with_sensors(8))];
         let tables = grid_tables("t", "sinks", &points, &[ProtocolKind::Opt], &opts);
         assert_eq!(tables.len(), 5);
         assert_eq!(tables[0].row_count(), 1);

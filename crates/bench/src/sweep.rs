@@ -7,6 +7,7 @@
 use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::observe::{MetricsRecorder, ObserveSeries};
 use dftmsn_core::params::{ProtocolParams, ScenarioParams};
+use dftmsn_core::policy::PolicySpec;
 use dftmsn_core::report::SimReport;
 use dftmsn_core::variants::VariantConfig;
 use dftmsn_core::world::Simulation;
@@ -35,6 +36,9 @@ pub struct RunSpec {
     /// Attach a windowed [`MetricsRecorder`] with this aggregation window
     /// (seconds). `None` = headline report only, no observation overhead.
     pub observe_window_secs: Option<f64>,
+    /// Forwarding policy (default [`PolicySpec::Builtin`]: the behaviour
+    /// `config` names).
+    pub policy: PolicySpec,
 }
 
 impl RunSpec {
@@ -59,6 +63,7 @@ impl RunSpec {
     pub fn run_observed(&self) -> (SimReport, Option<ObserveSeries>) {
         let mut builder = Simulation::builder(self.scenario.clone(), self.config)
             .protocol(self.protocol.clone())
+            .policy(self.policy)
             .seed(self.seed);
         if !self.faults.is_empty() {
             builder = builder.faults(self.faults.clone());
@@ -417,17 +422,16 @@ mod tests {
 
     fn spec(seed: u64) -> RunSpec {
         RunSpec {
-            scenario: ScenarioParams {
-                sensors: 10,
-                sinks: 1,
-                duration_secs: 150,
-                ..ScenarioParams::paper_default()
-            },
+            scenario: ScenarioParams::paper_default()
+                .with_sensors(10)
+                .with_sinks(1)
+                .with_duration_secs(150),
             protocol: ProtocolParams::paper_default(),
             config: ProtocolKind::Opt.config(),
             seed,
             faults: FaultPlan::default(),
             observe_window_secs: None,
+            policy: PolicySpec::Builtin,
         }
     }
 

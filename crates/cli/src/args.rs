@@ -7,6 +7,7 @@
 
 use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::ScenarioParams;
+use dftmsn_core::policy::PolicySpec;
 use dftmsn_core::variants::ProtocolKind;
 
 /// Where to stream windowed observation rows, and how wide each window is.
@@ -35,6 +36,10 @@ pub struct CheckpointArgs {
 pub struct RunConfig {
     /// Variant to simulate (`compare` ignores this and runs them all).
     pub protocol: ProtocolKind,
+    /// Forwarding policy. [`PolicySpec::Builtin`] keeps the variant's own
+    /// rules; `run` executes the named policy instead, `compare` appends
+    /// it as an extra row after the builtin panel.
+    pub policy: PolicySpec,
     /// Scenario, after applying overrides.
     pub scenario: ScenarioParams,
     /// Seed.
@@ -97,11 +102,13 @@ dftmsn — Delay/Fault-Tolerant Mobile Sensor Network simulator (ICDCS 2007)
 
 USAGE:
     dftmsn run      [--protocol OPT|NOOPT|NOSLEEP|ZBR|DIRECT|EPIDEMIC]
+                    [--policy NAME[:k=v,...]]
                     [scenario flags] [--seed N] [--fault-plan SPEC]
                     [--observe FILE [--window SECS]] [--csv | --json]
                     [--checkpoint FILE [--checkpoint-every SECS]]
                     [--resume FILE]
-    dftmsn compare  [scenario flags] [--seed N] [--fault-plan SPEC]
+    dftmsn compare  [--policy NAME[:k=v,...]]
+                    [scenario flags] [--seed N] [--fault-plan SPEC]
     dftmsn inspect  FILE [--series NAME] [--width CHARS]
     dftmsn analyze  [scenario flags]
     dftmsn help
@@ -132,6 +139,17 @@ CHECKPOINTING (run only):
                             from the snapshot, so those flags conflict.
                             Pass the original --observe FILE to continue
                             its JSONL stream byte-exactly.
+
+FORWARDING POLICY (--policy NAME[:k=v,...], case-insensitive):
+    builtin            the variant's own rules (default)
+    twohop[:budget=N]  two-hop relay; source spreads at most N copies to
+                       relays, relays hand over to sinks only      (N=4)
+    meetrate[:horizon=S,debounce=S,beta=B]
+                       sink meeting-rate estimator drives selection
+                       (horizon 600 s, debounce 5 s, beta 0.3)
+    A non-builtin --policy replaces the variant's forwarding rules, so it
+    conflicts with --protocol on 'run'; 'compare' appends the policy as an
+    extra row after the six builtin variants.
 
 FAULT PLAN SPEC (';'-separated directives, e.g. \"crash=0.3;linkdrop=0.2\"):
     none               explicit empty plan
@@ -225,6 +243,8 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
 
     let mut scenario = ScenarioParams::paper_default();
     let mut protocol = ProtocolKind::Opt;
+    let mut protocol_flag = false;
+    let mut policy = PolicySpec::Builtin;
     let mut seed = 1u64;
     let mut fault_spec: Option<&str> = None;
     let mut observe_path: Option<String> = None;
@@ -263,7 +283,14 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             "--protocol" => {
                 run_only(flag)?;
                 fresh_run_flags.push(flag);
+                protocol_flag = true;
                 protocol = parse_protocol(take_value(flag, &mut it)?)?;
+            }
+            "--policy" => {
+                not_analyze(flag)?;
+                fresh_run_flags.push(flag);
+                policy = PolicySpec::parse(take_value(flag, &mut it)?)
+                    .map_err(|e| ParseError(format!("invalid policy: {e}")))?;
             }
             "--sensors" => {
                 fresh_run_flags.push(flag);
@@ -371,6 +398,13 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             "--csv and --json are mutually exclusive".to_owned(),
         ));
     }
+    if protocol_flag && policy != PolicySpec::Builtin {
+        return Err(ParseError(format!(
+            "--protocol conflicts with --policy {}: a non-builtin policy \
+             replaces the variant's forwarding rules",
+            policy.label()
+        )));
+    }
     let observe = observe_path.map(|path| ObserveArgs {
         path,
         window_secs: window_secs.unwrap_or(100.0),
@@ -382,6 +416,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
 
     let config = RunConfig {
         protocol,
+        policy,
         scenario,
         seed,
         faults,
@@ -404,6 +439,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dftmsn_core::policy::MeetingRate;
 
     #[test]
     fn empty_args_mean_help() {
@@ -720,5 +756,91 @@ mod tests {
             let err = parse(flags).unwrap_err();
             assert!(err.0.contains("only valid for 'run'"), "{flags:?}: {err}");
         }
+    }
+
+    #[test]
+    fn run_accepts_a_parameterized_policy() {
+        let cmd = parse(&["run", "--policy", "twohop:budget=3"]).unwrap();
+        match cmd {
+            Command::Run(cfg) => {
+                assert_eq!(cfg.policy, PolicySpec::TwoHop { budget: 3 });
+                assert_eq!(cfg.protocol, ProtocolKind::Opt);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_defaults_to_builtin() {
+        match parse(&["run"]).unwrap() {
+            Command::Run(cfg) => assert_eq!(cfg.policy, PolicySpec::Builtin),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compare_shares_the_run_validation_path_for_policy() {
+        // --policy combines with --fault-plan on compare exactly as on run…
+        let cmd = parse(&[
+            "compare",
+            "--policy",
+            "meetrate:horizon=300,beta=0.5",
+            "--fault-plan",
+            "linkdrop=0.1",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Compare(cfg) => {
+                assert_eq!(
+                    cfg.policy,
+                    PolicySpec::MeetingRate {
+                        horizon_secs: 300.0,
+                        debounce_secs: MeetingRate::DEFAULT_DEBOUNCE_SECS,
+                        beta: 0.5,
+                    }
+                );
+                assert_eq!(cfg.faults.len(), 1);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // …and the run-only flags stay rejected with the same taxonomy.
+        let err = parse(&["compare", "--policy", "twohop", "--observe", "o.jsonl"]).unwrap_err();
+        assert!(err.0.contains("only valid for 'run'"), "{err}");
+    }
+
+    #[test]
+    fn bad_policies_are_parse_errors_not_panics() {
+        for bad in [
+            &["run", "--policy", "teleport"][..],
+            &["run", "--policy", "twohop:budget=0"],
+            &["run", "--policy", "twohop:fuel=3"],
+            &["run", "--policy", "meetrate:beta=2.0"],
+            &["compare", "--policy", "teleport"],
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.0.contains("invalid policy"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn policy_conflicts_with_an_explicit_protocol() {
+        let err = parse(&["run", "--protocol", "zbr", "--policy", "twohop"]).unwrap_err();
+        assert!(err.0.contains("--protocol conflicts"), "{err}");
+        // Order must not matter, and an explicit builtin policy is fine.
+        let err = parse(&["run", "--policy", "meetrate", "--protocol", "opt"]).unwrap_err();
+        assert!(err.0.contains("--protocol conflicts"), "{err}");
+        assert!(parse(&["run", "--protocol", "zbr", "--policy", "builtin"]).is_ok());
+    }
+
+    #[test]
+    fn policy_is_a_fresh_run_flag() {
+        let err = parse(&["run", "--resume", "c", "--policy", "twohop"]).unwrap_err();
+        assert!(err.0.contains("--resume"), "{err}");
+    }
+
+    #[test]
+    fn analyze_rejects_policy() {
+        let err = parse(&["analyze", "--policy", "twohop"]).unwrap_err();
+        assert!(err.0.contains("valid"), "{err}");
     }
 }

@@ -14,6 +14,7 @@ use dftmsn_core::analysis::{
 };
 use dftmsn_core::observe::MetricsRecorder;
 use dftmsn_core::params::ScenarioParams;
+use dftmsn_core::policy::PolicySpec;
 use dftmsn_core::report::SimReport;
 use dftmsn_core::variants::ProtocolKind;
 use dftmsn_core::world::{CkptError, Simulation};
@@ -188,9 +189,13 @@ struct Observing {
 /// Builds a fresh simulation from the parsed flags (the non-`--resume`
 /// path), attaching the observer when requested.
 fn build_fresh(cfg: &RunConfig) -> Result<(Simulation, Option<Observing>), CliError> {
+    let what = match cfg.policy {
+        PolicySpec::Builtin => cfg.protocol.to_string(),
+        other => format!("policy {}", other.label()),
+    };
     eprintln!(
         "running {} on {} sensors / {} sinks for {} s (seed {}, {} fault events)...",
-        cfg.protocol,
+        what,
         cfg.scenario.sensors,
         cfg.scenario.sinks,
         cfg.scenario.duration_secs,
@@ -199,6 +204,7 @@ fn build_fresh(cfg: &RunConfig) -> Result<(Simulation, Option<Observing>), CliEr
     );
     let mut builder = Simulation::builder(cfg.scenario.clone(), cfg.protocol)
         .seed(cfg.seed)
+        .policy(cfg.policy)
         .faults(cfg.faults.clone());
     let mut observing = None;
     if let Some(obs) = &cfg.observe {
@@ -457,6 +463,15 @@ fn compare(cfg: &RunConfig) {
             "collisions",
         ],
     );
+    let mut row = |label: &str, r: &SimReport| {
+        table.row(vec![
+            label.into(),
+            (r.delivery_ratio() * 100.0).into(),
+            r.avg_sensor_power_mw.into(),
+            r.mean_delay_secs.into(),
+            r.collisions.into(),
+        ]);
+    };
     for kind in ProtocolKind::ALL {
         eprintln!("running {kind}...");
         let r = Simulation::builder(cfg.scenario.clone(), kind)
@@ -464,13 +479,19 @@ fn compare(cfg: &RunConfig) {
             .faults(cfg.faults.clone())
             .build()
             .run();
-        table.row(vec![
-            kind.label().into(),
-            (r.delivery_ratio() * 100.0).into(),
-            r.avg_sensor_power_mw.into(),
-            r.mean_delay_secs.into(),
-            r.collisions.into(),
-        ]);
+        row(kind.label(), &r);
+    }
+    // A non-builtin --policy joins the panel as a seventh row, run on the
+    // OPT base configuration so its MAC knobs match the strongest builtin.
+    if cfg.policy != PolicySpec::Builtin {
+        eprintln!("running policy {}...", cfg.policy.label());
+        let r = Simulation::builder(cfg.scenario.clone(), ProtocolKind::Opt)
+            .seed(cfg.seed)
+            .policy(cfg.policy)
+            .faults(cfg.faults.clone())
+            .build()
+            .run();
+        row(cfg.policy.label(), &r);
     }
     println!("{}", table.render_text(2));
 }

@@ -15,6 +15,9 @@
 //!   a simulated shared medium;
 //! * [`variants`] — OPT / NOOPT / NOSLEEP / ZBR (+ DIRECT, EPIDEMIC)
 //!   baselines;
+//! * [`policy`] — the [`ForwardingPolicy`] seam: every protocol decision
+//!   point behind one trait, plus the TwoHopRelay and MeetingRate
+//!   competitor policies;
 //! * [`faults`] — deterministic fault injection (node crashes, link loss,
 //!   DATA corruption, sink outages);
 //! * [`trace`], [`observe`] — the MAC-level event stream and the windowed
@@ -49,6 +52,7 @@ pub mod neighbor;
 pub mod node;
 pub mod observe;
 pub mod params;
+pub mod policy;
 pub mod profile;
 pub mod queue;
 pub mod report;
@@ -65,6 +69,7 @@ pub use ftd::Ftd;
 pub use message::{Message, MessageId};
 pub use observe::{MetricsRecorder, ObserveRow, ObserveSeries, WindowCounters, WorldSnapshot};
 pub use params::{ProtocolParams, ScenarioParams};
+pub use policy::{ForwardingPolicy, MeetingRate, Policy, PolicySpec, TwoHopRelay};
 pub use queue::FtdQueue;
 pub use report::SimReport;
 pub use trace::{DropReason, SharedTrace, TeeSink, TraceEvent, TraceSink};
@@ -86,6 +91,7 @@ pub mod prelude {
     pub use crate::faults::{FaultKind, FaultPlan};
     pub use crate::observe::{MetricsRecorder, ObserveRow, ObserveSeries, WorldSnapshot};
     pub use crate::params::{ProtocolParams, ScenarioParams};
+    pub use crate::policy::{ForwardingPolicy, MeetingRate, Policy, PolicySpec, TwoHopRelay};
     pub use crate::report::SimReport;
     pub use crate::trace::{DropReason, SharedTrace, TeeSink, TraceEvent, TraceSink};
     pub use crate::variants::{ProtocolKind, VariantConfig};

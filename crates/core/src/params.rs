@@ -51,7 +51,13 @@ pub enum MobilityKind {
 }
 
 /// Deployment, traffic and radio configuration (paper Sec. 5).
+///
+/// Marked `#[non_exhaustive]`: construct via [`ScenarioParams::paper_default`]
+/// or [`ScenarioParams::smoke_test`] and adjust fields (they stay public) or
+/// chain the `with_*` builders — new knobs can then land without a breaking
+/// change.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct ScenarioParams {
     /// Deployment area width (m).
     pub area_width_m: f64,
@@ -227,7 +233,12 @@ impl Default for ScenarioParams {
 
 /// Protocol constants (paper Secs. 3–4). Field names follow the paper's
 /// notation where one exists.
+///
+/// Marked `#[non_exhaustive]`: construct via
+/// [`ProtocolParams::paper_default`] and adjust fields or chain the
+/// `with_*` builders.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct ProtocolParams {
     /// Eq. 1 memory constant α ∈ [0, 1].
     pub alpha: f64,
@@ -307,6 +318,41 @@ impl ProtocolParams {
             receiver_window_secs: 0.5,
             neighbor_ttl_secs: 30.0,
         }
+    }
+
+    /// Sets the Eq. 1 memory constant α (builder style).
+    #[must_use]
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the Eq. 1 decay timeout Δ in seconds (builder style).
+    #[must_use]
+    pub fn with_xi_timeout_secs(mut self, secs: f64) -> Self {
+        self.xi_timeout_secs = secs;
+        self
+    }
+
+    /// Sets the delivery threshold R (builder style).
+    #[must_use]
+    pub fn with_delivery_threshold_r(mut self, r: f64) -> Self {
+        self.delivery_threshold_r = r;
+        self
+    }
+
+    /// Sets the FTD drop threshold (builder style).
+    #[must_use]
+    pub fn with_ftd_drop_threshold(mut self, threshold: f64) -> Self {
+        self.ftd_drop_threshold = threshold;
+        self
+    }
+
+    /// Sets the minimum sleeping period T_min in seconds (builder style).
+    #[must_use]
+    pub fn with_t_min_secs(mut self, secs: f64) -> Self {
+        self.t_min_secs = secs;
+        self
     }
 
     /// Validates internal consistency.

@@ -57,6 +57,7 @@ pub struct NodeSummary {
 /// [`FaultPlan`](crate::faults::FaultPlan) injects nothing), so any nonzero
 /// field is directly attributable to injected faults.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct FaultCounters {
     /// Node crash events applied (including sink outages).
     pub crashes: u64,
@@ -175,7 +176,11 @@ impl RunMetrics {
 }
 
 /// The summary of one finished simulation run.
+///
+/// Marked `#[non_exhaustive]`: only the engine constructs reports, and new
+/// diagnostic fields can land without breaking downstream consumers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct SimReport {
     /// Variant label (OPT, NOOPT, …).
     pub protocol: String,

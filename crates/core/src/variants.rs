@@ -178,8 +178,12 @@ impl From<ProtocolKind> for VariantConfig {
 
 /// The knobs distinguishing the variants; produced by
 /// [`ProtocolKind::config`] and consumed by the simulation engine. Custom
-/// combinations (for ablations) can be built by mutating a base config.
+/// combinations (for ablations) can be built by mutating a base config or
+/// chaining the `with_*` builders.
+///
+/// Marked `#[non_exhaustive]`: always start from [`ProtocolKind::config`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct VariantConfig {
     /// Which named variant this derives from.
     pub kind: ProtocolKind,
@@ -197,6 +201,29 @@ pub struct VariantConfig {
     pub selection: SelectionKind,
     /// Queue discipline.
     pub queue: QueueDiscipline,
+}
+
+impl VariantConfig {
+    /// Toggles Eq. 13 adaptive τ_max (builder style, for ablations).
+    #[must_use]
+    pub fn with_adaptive_tau(mut self, on: bool) -> Self {
+        self.adaptive_tau = on;
+        self
+    }
+
+    /// Toggles Eq. 14 adaptive contention window (builder style).
+    #[must_use]
+    pub fn with_adaptive_window(mut self, on: bool) -> Self {
+        self.adaptive_window = on;
+        self
+    }
+
+    /// Toggles Eq. 6 adaptive sleeping (builder style).
+    #[must_use]
+    pub fn with_adaptive_sleep(mut self, on: bool) -> Self {
+        self.adaptive_sleep = on;
+        self
+    }
 }
 
 #[cfg(test)]

@@ -33,15 +33,19 @@ use crate::faults::{FaultKind, FaultPlan};
 use crate::frames::MacPayload;
 use crate::ftd::Ftd;
 use crate::message::{Message, MessageId, MessageIdAllocator};
-use crate::neighbor::{select_receivers_into, Candidate, Selection, SelectionScratch};
+use crate::neighbor::{Candidate, Selection, SelectionScratch};
 use crate::node::{MacState, Node, NodeRole, ReceiverCtx, SenderCtx, TxPlan};
 use crate::observe::{MetricsRecorder, RunMeta, WorldSnapshot};
 use crate::params::{MobilityKind, ProtocolParams, ScenarioParams};
+use crate::policy::{
+    Confirmed, CopyFate, ForwardingPolicy, MacControls, Policy, PolicySpec, RtsInfo, RxView,
+    SelectCtx,
+};
 use crate::profile::EventProfile;
 use crate::queue::InsertOutcome;
 use crate::report::{DeliveryRecord, NodeSummary, RunMetrics, SimReport};
 use crate::trace::{DropReason, TeeSink, TraceEvent, TraceSink};
-use crate::variants::{MetricKind, ProtocolKind, SelectionKind, VariantConfig};
+use crate::variants::{ProtocolKind, VariantConfig};
 use dftmsn_mobility::geom::{Bounds, Vec2};
 use dftmsn_mobility::grid_index::{ShardMap, SpatialGrid};
 use dftmsn_mobility::models::{
@@ -584,6 +588,12 @@ pub struct Simulation {
     scenario: ScenarioParams,
     protocol: ProtocolParams,
     config: VariantConfig,
+    /// The forwarding policy: every protocol decision point dispatches
+    /// through this sealed enum (DESIGN.md § 9).
+    policy: Policy,
+    /// The policy's MAC-adaptation knobs, cached so the per-event hot
+    /// paths read plain bools instead of dispatching.
+    mac: MacControls,
     seed: u64,
     timing: Timing,
     end: SimTime,
@@ -675,6 +685,7 @@ pub struct SimulationBuilder {
     scenario: ScenarioParams,
     config: VariantConfig,
     protocol: ProtocolParams,
+    policy: PolicySpec,
     seed: u64,
     mobility_mode: MobilityMode,
     shards: usize,
@@ -695,6 +706,15 @@ impl SimulationBuilder {
     /// Sets the root seed every random stream forks from (default: 1).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Replaces the forwarding policy (default: [`PolicySpec::Builtin`],
+    /// i.e. whatever variant the run's config names). A non-builtin
+    /// policy supplies its own receiver-qualification, selection, copy
+    /// bookkeeping and MAC-adaptation rules; see [`crate::policy`].
+    pub fn policy(mut self, spec: PolicySpec) -> Self {
+        self.policy = spec;
         self
     }
 
@@ -772,6 +792,7 @@ impl SimulationBuilder {
             self.seed,
             self.mobility_mode,
         );
+        sim.install_policy(self.policy);
         if let Some(plan) = self.faults {
             sim.install_fault_plan(plan);
         }
@@ -780,7 +801,7 @@ impl SimulationBuilder {
         }
         if let Some(recorder) = self.observer {
             recorder.begin_run(RunMeta {
-                protocol: sim.config.kind.label().to_owned(),
+                protocol: sim.policy.label().to_owned(),
                 seed: sim.seed,
                 duration_secs: sim.scenario.duration_secs as f64,
                 sensors: sim.scenario.sensors,
@@ -818,6 +839,7 @@ impl Simulation {
             scenario,
             config: config.into(),
             protocol: ProtocolParams::paper_default(),
+            policy: PolicySpec::Builtin,
             seed: 1,
             mobility_mode: MobilityMode::default(),
             shards: 1,
@@ -826,44 +848,6 @@ impl Simulation {
             trace: None,
             observer: None,
         }
-    }
-
-    /// Builds a simulation of the named protocol variant with the default
-    /// protocol constants.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `scenario` fails validation.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Simulation::builder(scenario, kind).seed(seed).build()"
-    )]
-    #[must_use]
-    pub fn new(scenario: ScenarioParams, kind: ProtocolKind, seed: u64) -> Self {
-        Self::builder(scenario, kind).seed(seed).build()
-    }
-
-    /// Builds a simulation with explicit protocol constants and a custom
-    /// variant configuration (for ablations).
-    ///
-    /// # Panics
-    ///
-    /// Panics if either parameter set fails validation.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Simulation::builder(scenario, config).protocol(protocol).seed(seed).build()"
-    )]
-    #[must_use]
-    pub fn with_config(
-        scenario: ScenarioParams,
-        protocol: ProtocolParams,
-        config: VariantConfig,
-        seed: u64,
-    ) -> Self {
-        Self::builder(scenario, config)
-            .protocol(protocol)
-            .seed(seed)
-            .build()
     }
 
     /// Builds and validates the simulation world (no optional attachments).
@@ -1057,10 +1041,14 @@ impl Simulation {
             hot.sync_alive(idx, node.alive);
         }
 
+        let policy = Policy::builtin(config);
+        let mac = policy.mac();
         let mut sim = Simulation {
             scenario,
             protocol,
             config,
+            policy,
+            mac,
             seed,
             timing,
             end,
@@ -1095,26 +1083,20 @@ impl Simulation {
         sim
     }
 
-    /// Builds a simulation and installs a fault plan in one step.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the scenario or the plan fails validation.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Simulation::builder(scenario, kind).seed(seed).faults(plan).build()"
-    )]
+    /// Instantiates and attaches the forwarding policy named by `spec`.
+    /// Also called by checkpoint restore, which then overwrites the
+    /// policy's runtime state from the snapshot's policy frame.
+    fn install_policy(&mut self, spec: PolicySpec) {
+        let mut policy = spec.into_policy(self.config);
+        policy.init(self.nodes.len());
+        self.mac = policy.mac();
+        self.policy = policy;
+    }
+
+    /// The attached policy's serializable descriptor.
     #[must_use]
-    pub fn with_faults(
-        scenario: ScenarioParams,
-        kind: ProtocolKind,
-        seed: u64,
-        plan: FaultPlan,
-    ) -> Self {
-        Self::builder(scenario, kind)
-            .seed(seed)
-            .faults(plan)
-            .build()
+    pub fn policy_spec(&self) -> PolicySpec {
+        self.policy.spec()
     }
 
     /// Installs a fault plan, scheduling its events as first-class entries
@@ -1125,11 +1107,6 @@ impl Simulation {
     /// # Panics
     ///
     /// Panics if the plan fails [`FaultPlan::validate`] for this scenario.
-    #[deprecated(since = "0.1.0", note = "use SimulationBuilder::faults before build()")]
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.install_fault_plan(plan);
-    }
-
     fn install_fault_plan(&mut self, plan: FaultPlan) {
         plan.validate(&self.scenario)
             .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
@@ -1170,15 +1147,6 @@ impl Simulation {
     #[must_use]
     pub fn variant(&self) -> VariantConfig {
         self.config
-    }
-
-    /// Attaches a trace sink observing MAC-level events during the run.
-    ///
-    /// Use a [`crate::trace::SharedTrace`] clone to read the trace back
-    /// after [`run`](Self::run) consumed the simulation.
-    #[deprecated(since = "0.1.0", note = "use SimulationBuilder::trace before build()")]
-    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
-        self.trace = Some(sink);
     }
 
     #[inline]
@@ -1599,8 +1567,10 @@ impl Simulation {
             if permanent {
                 node.battery_dead = true;
             }
-            while node.queue.pop_head().is_some() {
+            while let Some(dropped) = node.queue.pop_head() {
                 lost += 1;
+                // Policies with per-message ledgers reclaim them here.
+                self.policy.on_copy_discarded(i, &dropped);
             }
             // The epoch bump makes every pending timer stale, so the node
             // cannot be revived by a leftover WakeUp or window deadline.
@@ -1964,7 +1934,7 @@ impl Simulation {
         // Eq. 9's ξ-scaled listening period is part of the Sec. 4.2
         // optimization; the unoptimized protocol draws uniformly over the
         // whole fixed window.
-        let sig = if self.config.adaptive_tau {
+        let sig = if self.mac.adaptive_tau {
             sigma(node.metric.value(), tau_max)
         } else {
             tau_max
@@ -2056,11 +2026,14 @@ impl Simulation {
         {
             let node = &self.nodes[i.index()];
             let ctx = node.sender_ctx.as_ref().expect("window end without ctx");
-            Self::select_into(
-                &self.config,
-                self.protocol.delivery_threshold_r,
-                node.metric.value(),
-                ctx.msg.ftd,
+            let sctx = SelectCtx {
+                sender: i,
+                sender_metric: node.metric.value(),
+                msg: ctx.msg,
+                threshold_r: self.protocol.delivery_threshold_r,
+            };
+            self.policy.select(
+                &sctx,
                 &ctx.candidates,
                 &mut self.scratch.sel,
                 &mut selection,
@@ -2108,69 +2081,20 @@ impl Simulation {
         );
     }
 
-    /// Applies the variant's receiver-selection rule to the CTS repliers,
-    /// writing the result into `out` (cleared first).
-    ///
-    /// An associated function rather than a method so callers can hold
-    /// disjoint borrows of the node array and the scratch buffers.
-    fn select_into(
-        config: &VariantConfig,
-        threshold_r: f64,
-        sender_metric: f64,
-        msg_ftd: Ftd,
-        candidates: &[Candidate],
-        scratch: &mut SelectionScratch,
-        out: &mut Selection,
-    ) {
-        out.clear();
-        match config.selection {
-            SelectionKind::FtdThreshold => select_receivers_into(
-                sender_metric,
-                msg_ftd,
-                candidates,
-                threshold_r,
-                scratch,
-                out,
-            ),
-            SelectionKind::SingleBest | SelectionKind::SinkOnly => {
-                // total_cmp instead of partial_cmp().expect: a NaN metric
-                // is a bug upstream, but selection must not panic on it.
-                let best = candidates
-                    .iter()
-                    .filter(|c| c.buffer_space > 0 && c.xi.is_finite())
-                    .max_by(|a, b| a.xi.total_cmp(&b.xi).then_with(|| b.id.cmp(&a.id)));
-                if let Some(c) = best {
-                    out.receivers
-                        .push((c.id, msg_ftd.receiver_copy(sender_metric, &[])));
-                    out.receiver_xis.push(c.xi);
-                    out.combined_delivery = msg_ftd.combined_delivery(&out.receiver_xis);
-                }
-            }
-            SelectionKind::AllResponders => {
-                for c in candidates.iter().filter(|c| c.buffer_space > 0) {
-                    out.receivers.push((c.id, Ftd::NEW));
-                    out.receiver_xis.push(c.xi);
-                }
-                out.combined_delivery = msg_ftd.combined_delivery(&out.receiver_xis);
-            }
-        }
-    }
-
-    /// Convenience form of [`Self::select_into`] returning a fresh
+    /// Applies the policy's receiver-selection rule, returning a fresh
     /// `Selection` (test and inspection use; the hot path reuses buffers).
     #[cfg(test)]
     fn select_for(&self, sender_metric: f64, msg_ftd: Ftd, candidates: &[Candidate]) -> Selection {
         let mut scratch = SelectionScratch::default();
         let mut out = Selection::default();
-        Self::select_into(
-            &self.config,
-            self.protocol.delivery_threshold_r,
+        let ctx = SelectCtx {
+            sender: NodeId(0),
             sender_metric,
-            msg_ftd,
-            candidates,
-            &mut scratch,
-            &mut out,
-        );
+            msg: Message::sensed(MessageId(u64::MAX), NodeId(usize::MAX), SimTime::ZERO)
+                .with_ftd(msg_ftd),
+            threshold_r: self.protocol.delivery_threshold_r,
+        };
+        self.policy.select(&ctx, candidates, &mut scratch, &mut out);
         out
     }
 
@@ -2202,62 +2126,46 @@ impl Simulation {
         self.metrics.multicasts += 1;
         self.metrics.copies_sent += self.scratch.confirmed_xis.len() as u64;
 
-        // Eq. 1 (or the ZBR history rule) on a successful transmission.
+        // Metric update (Eq. 1 / history / estimator, per policy) and the
+        // retained copy's fate in one dispatch.
         let alpha = self.protocol.alpha;
-        {
+        let fate = {
+            let confirmed = Confirmed {
+                xis: &self.scratch.confirmed_xis,
+                any_sink,
+            };
             let node = &mut self.nodes[i.index()];
             node.last_tx = now;
-            match self.config.metric {
-                MetricKind::DeliveryProb => {
-                    let best = self
-                        .scratch
-                        .confirmed_xis
-                        .iter()
-                        .copied()
-                        .fold(0.0f64, f64::max);
-                    node.metric
-                        .on_transmission(DeliveryProb::new(best.clamp(0.0, 1.0)), alpha);
-                }
-                MetricKind::SinkHistory => {
-                    if any_sink {
-                        node.metric.on_transmission(DeliveryProb::SINK, alpha);
-                    }
-                }
-            }
-        }
+            self.policy.on_multicast(
+                i,
+                &ctx.msg,
+                &confirmed,
+                alpha,
+                self.protocol.ftd_drop_threshold,
+                &mut node.metric,
+            )
+        };
         self.sync_hot(i.index());
 
         // Queue bookkeeping for the transmitted message.
         let msg_id = ctx.msg.id;
-        match self.config.selection {
-            SelectionKind::FtdThreshold => {
-                if any_sink {
-                    // Highest possible FTD: drop immediately (delivered).
-                    self.nodes[i.index()].queue.remove(msg_id);
-                } else {
-                    let new_ftd = ctx.msg.ftd.after_multicast(&self.scratch.confirmed_xis);
-                    if new_ftd.value() > self.protocol.ftd_drop_threshold {
-                        if self.nodes[i.index()].queue.remove(msg_id).is_some() {
-                            self.metrics.drops_ftd += 1;
-                            self.emit(TraceEvent::Dropped {
-                                at: now,
-                                node: i,
-                                msg: msg_id,
-                                reason: DropReason::FtdThreshold,
-                            });
-                        }
-                    } else {
-                        self.nodes[i.index()].queue.update_ftd(msg_id, new_ftd);
-                    }
-                }
-            }
-            SelectionKind::SingleBest | SelectionKind::SinkOnly => {
-                // Single-copy transfer: the message moved.
+        match fate {
+            CopyFate::Delivered | CopyFate::Moved => {
                 self.nodes[i.index()].queue.remove(msg_id);
             }
-            SelectionKind::AllResponders => {
-                if any_sink {
-                    self.nodes[i.index()].queue.remove(msg_id);
+            CopyFate::Retain => {}
+            CopyFate::Demote(new_ftd) => {
+                self.nodes[i.index()].queue.update_ftd(msg_id, new_ftd);
+            }
+            CopyFate::Drop => {
+                if self.nodes[i.index()].queue.remove(msg_id).is_some() {
+                    self.metrics.drops_ftd += 1;
+                    self.emit(TraceEvent::Dropped {
+                        at: now,
+                        node: i,
+                        msg: msg_id,
+                        reason: DropReason::FtdThreshold,
+                    });
                 }
             }
         }
@@ -2293,7 +2201,7 @@ impl Simulation {
             node.receiver_ctx = None;
             node.listen_retries = 0;
             let go_sleep =
-                self.config.sleeps && node.cycles_inactive >= self.protocol.inactivity_cycles_l;
+                self.mac.sleeps && node.cycles_inactive >= self.protocol.inactivity_cycles_l;
             // A node in work mode "repeats the two-phase process" (Sec. 3.2):
             // after a successful cycle the next one starts immediately; only
             // failed attempts back off before retrying.
@@ -2308,7 +2216,7 @@ impl Simulation {
             (go_sleep, backoff)
         };
         if go_sleep {
-            let duration = if self.config.adaptive_sleep {
+            let duration = if self.mac.adaptive_sleep {
                 let node = &self.nodes[i.index()];
                 node.sleep
                     .sleep_duration(node.queue.urgency(urgency_bound), &self.protocol)
@@ -2343,7 +2251,7 @@ impl Simulation {
     /// memoized for a few seconds per node — the neighborhood changes on
     /// mobility timescales, not per attempt.
     fn tau_max_for(&mut self, now: SimTime, i: NodeId) -> u64 {
-        if !self.config.adaptive_tau {
+        if !self.mac.adaptive_tau {
             return self.protocol.tau_max_fixed_slots;
         }
         const TAU_CACHE_SECS: u64 = 5;
@@ -2368,7 +2276,7 @@ impl Simulation {
     /// Contention window for node `i`: Eq. 14 over the expected replier
     /// count, or the fixed NOOPT value.
     fn window_for(&self, now: SimTime, i: NodeId) -> u32 {
-        if !self.config.adaptive_window {
+        if !self.mac.adaptive_window {
             return self.protocol.cts_window_fixed as u32;
         }
         let node = &self.nodes[i.index()];
@@ -2575,12 +2483,8 @@ impl Simulation {
                 let (xi, ftd, window, msg) = {
                     let node = &self.nodes[i.index()];
                     let ctx = node.sender_ctx.as_ref().expect("preamble without ctx");
-                    (
-                        node.metric.value(),
-                        ctx.msg.ftd.value(),
-                        ctx.window_slots,
-                        ctx.msg.id,
-                    )
+                    let (xi, ftd) = self.policy.advertise(i, node.metric.value(), &ctx.msg);
+                    (xi, ftd, ctx.window_slots, ctx.msg.id)
                 };
                 self.begin_frame(
                     now,
@@ -2716,7 +2620,14 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     /// Does node `r` qualify as a receiver for the advertised RTS?
-    fn qualified(&self, r: NodeId, sender_xi: f64, ftd: f64, msg: MessageId) -> bool {
+    fn qualified(
+        &self,
+        r: NodeId,
+        sender: NodeId,
+        sender_xi: f64,
+        ftd: f64,
+        msg: MessageId,
+    ) -> bool {
         debug_assert_eq!(self.hot.sink[r.index()], self.nodes[r.index()].is_sink());
         if self.hot.sink[r.index()] {
             // Sinks always qualify: ξ = 1 and effectively infinite buffer.
@@ -2730,22 +2641,32 @@ impl Simulation {
             node.metric.value().to_bits()
         );
         let xi = self.hot.xi[r.index()];
-        match self.config.selection {
-            SelectionKind::FtdThreshold => {
-                xi > sender_xi
-                    && node.queue.available_space_for(Ftd::new(ftd)) > 0
-                    && !node.queue.contains(msg)
-            }
-            SelectionKind::SingleBest => {
-                xi > sender_xi && !node.queue.is_full() && !node.queue.contains(msg)
-            }
-            SelectionKind::SinkOnly => false,
-            SelectionKind::AllResponders => !node.queue.is_full() && !node.queue.contains(msg),
-        }
+        self.policy.qualifies(
+            &RxView {
+                xi,
+                queue: &node.queue,
+            },
+            &RtsInfo {
+                sender,
+                xi: sender_xi,
+                ftd,
+                msg,
+            },
+        )
     }
 
     fn handle_rx(&mut self, now: SimTime, r: NodeId, frame: &Frame<MacPayload>) {
         let src = frame.src;
+        // Policy estimator hook: any heard frame is a contact observation.
+        // Builtin returns `None` unconditionally (the compiler folds the
+        // branch away), so the pre-seam runs stay bit-identical.
+        if !self.hot.sink[r.index()] {
+            let src_is_sink = self.hot.sink[src.index()];
+            if let Some(m) = self.policy.on_frame_from(r, src, src_is_sink, now) {
+                self.nodes[r.index()].metric = DeliveryProb::new(m);
+                self.sync_hot(r.index());
+            }
+        }
         match &frame.payload {
             MacPayload::Preamble => {
                 // Preambles fan out to every audible node, so this filter
@@ -2770,7 +2691,7 @@ impl Simulation {
                 if !(state == MacState::AwaitRts || state.receptive()) {
                     return;
                 }
-                if self.qualified(r, *xi, *ftd, *msg) {
+                if self.qualified(r, src, *xi, *ftd, *msg) {
                     let slot = {
                         let node = &mut self.nodes[r.index()];
                         node.rng
@@ -2935,6 +2856,7 @@ impl Simulation {
             | InsertOutcome::RejectedDuplicate => {}
             InsertOutcome::InsertedEvicting(evicted) => {
                 self.metrics.drops_overflow += 1;
+                self.policy.on_copy_discarded(i, &evicted);
                 self.emit(TraceEvent::Dropped {
                     at: now,
                     node: i,
@@ -3009,7 +2931,7 @@ impl Simulation {
         let counters = self.medium.counters();
         let m = self.metrics;
         SimReport {
-            protocol: self.config.kind.label().to_owned(),
+            protocol: self.policy.label().to_owned(),
             seed: self.seed,
             duration_secs: secs,
             sensors,
@@ -3192,32 +3114,36 @@ mod tests {
         // Direct metric pokes bypass the engine's mutation sites, so the
         // hot mirror must be refreshed by hand.
         sim.sync_hot(r.index());
-        assert!(sim.qualified(r, 0.4, 0.0, MessageId(9)));
+        let s = NodeId(5);
+        assert!(sim.qualified(r, s, 0.4, 0.0, MessageId(9)));
         assert!(
-            !sim.qualified(r, 0.5, 0.0, MessageId(9)),
+            !sim.qualified(r, s, 0.5, 0.0, MessageId(9)),
             "ties do not qualify"
         );
-        assert!(!sim.qualified(r, 0.6, 0.0, MessageId(9)));
+        assert!(!sim.qualified(r, s, 0.6, 0.0, MessageId(9)));
 
         // Holding a copy disqualifies.
         let msg = Message::sensed(MessageId(9), NodeId(3), SimTime::ZERO);
         sim.nodes[r.index()].queue.insert(msg);
-        assert!(!sim.qualified(r, 0.1, 0.0, MessageId(9)));
-        assert!(sim.qualified(r, 0.1, 0.0, MessageId(10)), "other ids fine");
+        assert!(!sim.qualified(r, s, 0.1, 0.0, MessageId(9)));
+        assert!(
+            sim.qualified(r, s, 0.1, 0.0, MessageId(10)),
+            "other ids fine"
+        );
 
         // Sinks always qualify.
         let sink = NodeId(scenario.sensors);
         assert!(sim.nodes[sink.index()].is_sink());
-        assert!(sim.qualified(sink, 0.99, 0.99, MessageId(9)));
+        assert!(sim.qualified(sink, s, 0.99, 0.99, MessageId(9)));
 
         // SinkOnly: sensors never qualify.
         let sim = mk(ProtocolKind::Direct);
-        assert!(!sim.qualified(r, 0.0, 0.0, MessageId(9)));
-        assert!(sim.qualified(sink, 0.9, 0.0, MessageId(9)));
+        assert!(!sim.qualified(r, s, 0.0, 0.0, MessageId(9)));
+        assert!(sim.qualified(sink, s, 0.9, 0.0, MessageId(9)));
 
         // AllResponders: metric ignored, only space matters.
         let sim = mk(ProtocolKind::Epidemic);
-        assert!(sim.qualified(r, 0.99, 0.0, MessageId(9)));
+        assert!(sim.qualified(r, s, 0.99, 0.0, MessageId(9)));
     }
 
     #[test]
@@ -3521,40 +3447,20 @@ mod tests {
         assert!(report.mean_delay_secs >= 0.0);
     }
 
-    /// The deprecated constructors are thin wrappers over the builder, so
-    /// legacy callers keep getting bit-identical runs.
+    /// An explicitly-attached builtin policy is the default path, so the
+    /// two spellings must produce bit-identical runs.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_match_the_builder() {
-        let via_builder = Simulation::builder(tiny(), ProtocolKind::Opt)
+    fn explicit_builtin_policy_matches_the_default() {
+        let implicit = Simulation::builder(tiny(), ProtocolKind::Opt)
             .seed(7)
             .build()
             .run();
-        let via_new = Simulation::new(tiny(), ProtocolKind::Opt, 7).run();
-        let via_config = Simulation::with_config(
-            tiny(),
-            ProtocolParams::paper_default(),
-            ProtocolKind::Opt.config(),
-            7,
-        )
-        .run();
-        assert_eq!(via_builder.to_json().render(), via_new.to_json().render());
-        assert_eq!(
-            via_builder.to_json().render(),
-            via_config.to_json().render()
-        );
-
-        let plan = FaultPlan::node_failures(&tiny(), 0.3, None, 7);
-        let faults_builder = Simulation::builder(tiny(), ProtocolKind::Opt)
+        let explicit = Simulation::builder(tiny(), ProtocolKind::Opt)
             .seed(7)
-            .faults(plan.clone())
+            .policy(PolicySpec::Builtin)
             .build()
             .run();
-        let faults_old = Simulation::with_faults(tiny(), ProtocolKind::Opt, 7, plan).run();
-        assert_eq!(
-            faults_builder.to_json().render(),
-            faults_old.to_json().render()
-        );
+        assert_eq!(implicit.to_json().render(), explicit.to_json().render());
     }
 
     /// Attaching an observer must not perturb the run: the `ObserveTick`

@@ -44,6 +44,7 @@ use crate::queue::FtdQueue;
 use crate::report::FaultCounters;
 use crate::sleep::SleepController;
 use crate::variants::QueueDiscipline;
+use crate::variants::{MetricKind, SelectionKind};
 use dftmsn_metrics::histogram::Histogram;
 use dftmsn_metrics::stats::RunningStats;
 use dftmsn_radio::energy::EnergyMeter;
@@ -1202,6 +1203,34 @@ impl Simulation {
         // Observer accumulation state (None when no recorder attached).
         let recorder_state = self.observer.as_ref().map(|r| r.snapshot_state());
         w.option(recorder_state.as_ref(), w_recorder_state);
+
+        // Policy frame: id tag, parameters, then runtime state. Appended
+        // last so pre-seam checkpoints (which end at the recorder option)
+        // keep decoding — reader exhaustion here means legacy Builtin.
+        match &self.policy {
+            Policy::Builtin(_) => w.u8(0),
+            Policy::TwoHop(p) => {
+                w.u8(1);
+                w.u32(p.budget());
+                let entries = p.copies_entries();
+                w.seq(&entries, |w, &(m, c)| {
+                    w.u64(m.0);
+                    w.u32(c);
+                });
+            }
+            Policy::MeetingRate(p) => {
+                w.u8(2);
+                w.f64(p.horizon_secs());
+                w.f64(p.debounce_secs());
+                w.f64(p.beta());
+                w.seq(p.states(), |w, s| {
+                    w.option(s.last_heard.as_ref(), |w, &t| w_time(w, t));
+                    w_time(w, s.contact_at);
+                    w.f64(s.ewma_gap_secs);
+                    w.u64(s.contacts);
+                });
+            }
+        }
     }
 
     /// Reconstructs a simulation from [`checkpoint_bytes`] output.
@@ -1416,6 +1445,51 @@ impl Simulation {
         sim.fault_plan = plan;
 
         let recorder_state = r.option(r_recorder_state)?;
+
+        // Policy frame. A pre-seam checkpoint ends at the recorder option,
+        // so reader exhaustion selects the legacy Builtin encoding.
+        if r.is_exhausted() {
+            sim.install_policy(PolicySpec::Builtin);
+        } else {
+            match r.u8()? {
+                0 => sim.install_policy(PolicySpec::Builtin),
+                1 => {
+                    let budget = r.u32()?;
+                    let entries = r.seq(|r| Ok((MessageId(r.u64()?), r.u32()?)))?;
+                    sim.install_policy(PolicySpec::TwoHop { budget });
+                    if let Policy::TwoHop(p) = &mut sim.policy {
+                        p.restore_copies(entries);
+                    }
+                }
+                2 => {
+                    let horizon_secs = r.f64()?;
+                    let debounce_secs = r.f64()?;
+                    let beta = r.f64()?;
+                    let states = r.seq(|r| {
+                        Ok(crate::policy::MeetState {
+                            last_heard: r.option(r_time)?,
+                            contact_at: r_time(r)?,
+                            ewma_gap_secs: r.f64()?,
+                            contacts: r.u64()?,
+                        })
+                    })?;
+                    if states.len() != n {
+                        return Err(CkptError::corrupt("meetrate state table length mismatch"));
+                    }
+                    sim.install_policy(PolicySpec::MeetingRate {
+                        horizon_secs,
+                        debounce_secs,
+                        beta,
+                    });
+                    if let Policy::MeetingRate(p) = &mut sim.policy {
+                        p.restore_states(states);
+                    }
+                }
+                t => {
+                    return Err(CkptError::corrupt(format!("bad policy tag {t}")));
+                }
+            }
+        }
 
         // Derived state: positions mirror the models, the grid mirrors the
         // positions, the hot table mirrors the nodes.

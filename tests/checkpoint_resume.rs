@@ -44,12 +44,10 @@ impl Write for SharedBuf {
 /// any checkpoint boundary, small enough to sweep 24 combinations in a
 /// debug test run.
 fn scenario() -> ScenarioParams {
-    ScenarioParams {
-        sensors: 16,
-        sinks: 2,
-        duration_secs: 600,
-        ..ScenarioParams::paper_default()
-    }
+    ScenarioParams::paper_default()
+        .with_sensors(16)
+        .with_sinks(2)
+        .with_duration_secs(600)
 }
 
 const OBSERVE_WINDOW_SECS: f64 = 50.0;

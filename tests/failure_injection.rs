@@ -114,26 +114,15 @@ fn dense_cell_heavy_contention_stays_live() {
 fn extreme_protocol_constants_do_not_panic() {
     let scenarios = [
         // Always-drop threshold: every relayed copy purges after Eq. 3.
-        ProtocolParams {
-            ftd_drop_threshold: 0.0,
-            ..ProtocolParams::paper_default()
-        },
+        ProtocolParams::paper_default().with_ftd_drop_threshold(0.0),
         // Never select more than forced: R = 0 stops at the first receiver.
-        ProtocolParams {
-            delivery_threshold_r: 0.0,
-            ..ProtocolParams::paper_default()
-        },
+        ProtocolParams::paper_default().with_delivery_threshold_r(0.0),
         // Paranoid redundancy: R = 1 takes every qualified receiver.
-        ProtocolParams {
-            delivery_threshold_r: 1.0,
-            ..ProtocolParams::paper_default()
-        },
+        ProtocolParams::paper_default().with_delivery_threshold_r(1.0),
         // Hyperactive ξ decay.
-        ProtocolParams {
-            xi_timeout_secs: 1.0,
-            alpha: 1.0,
-            ..ProtocolParams::paper_default()
-        },
+        ProtocolParams::paper_default()
+            .with_xi_timeout_secs(1.0)
+            .with_alpha(1.0),
     ];
     for protocol in scenarios {
         let r = dftmsn::core::world::Simulation::builder(

@@ -14,12 +14,10 @@ use dftmsn::core::variants::ProtocolKind;
 use dftmsn::prelude::*;
 
 fn scenario() -> ScenarioParams {
-    ScenarioParams {
-        sensors: 20,
-        sinks: 2,
-        duration_secs: 600,
-        ..ScenarioParams::paper_default()
-    }
+    ScenarioParams::paper_default()
+        .with_sensors(20)
+        .with_sinks(2)
+        .with_duration_secs(600)
 }
 
 fn fingerprint(r: &SimReport) -> Vec<u64> {

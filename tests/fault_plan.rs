@@ -5,12 +5,10 @@
 use dftmsn::prelude::*;
 
 fn scenario() -> ScenarioParams {
-    ScenarioParams {
-        sensors: 16,
-        sinks: 2,
-        duration_secs: 800,
-        ..ScenarioParams::paper_default()
-    }
+    ScenarioParams::paper_default()
+        .with_sensors(16)
+        .with_sinks(2)
+        .with_duration_secs(800)
 }
 
 /// The eight-counter fingerprint the golden determinism suite also uses.

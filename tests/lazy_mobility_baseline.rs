@@ -36,12 +36,10 @@ struct Golden {
 /// The same pinned workload as `determinism_baseline`: 20 sensors, 2
 /// sinks, 2 000 s, paper defaults.
 fn pinned_scenario() -> ScenarioParams {
-    ScenarioParams {
-        sensors: 20,
-        sinks: 2,
-        duration_secs: 2000,
-        ..ScenarioParams::paper_default()
-    }
+    ScenarioParams::paper_default()
+        .with_sensors(20)
+        .with_sinks(2)
+        .with_duration_secs(2000)
 }
 
 const VARIANTS: [ProtocolKind; 6] = [

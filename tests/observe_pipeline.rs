@@ -143,12 +143,10 @@ fn faulted_run_reconciles_and_marks_onset() {
 
 #[test]
 fn observer_leaves_every_variant_bit_identical() {
-    let scenario = ScenarioParams {
-        sensors: 15,
-        sinks: 2,
-        duration_secs: 800,
-        ..ScenarioParams::paper_default()
-    };
+    let scenario = ScenarioParams::paper_default()
+        .with_sensors(15)
+        .with_sinks(2)
+        .with_duration_secs(800);
     for kind in ProtocolKind::ALL {
         let plain = Simulation::builder(scenario.clone(), kind)
             .seed(42)

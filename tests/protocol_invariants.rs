@@ -325,10 +325,7 @@ proptest! {
         history in proptest::collection::vec(any::<bool>(), 0..40),
         urgency in prob(),
     ) {
-        let p = ProtocolParams {
-            t_min_secs: t_min_centis as f64 / 100.0,
-            ..ProtocolParams::paper_default()
-        };
+        let p = ProtocolParams::paper_default().with_t_min_secs(t_min_centis as f64 / 100.0);
         let mut ctl = SleepController::new(p.history_window_s);
         for h in history {
             ctl.record_cycle(h);

@@ -17,12 +17,10 @@ use dftmsn::prelude::*;
 /// Busy pinned workload: dense enough that frames routinely cross the
 /// column-band boundaries of a 4-shard split.
 fn scenario() -> ScenarioParams {
-    ScenarioParams {
-        sensors: 24,
-        sinks: 2,
-        duration_secs: 600,
-        ..ScenarioParams::paper_default()
-    }
+    ScenarioParams::paper_default()
+        .with_sensors(24)
+        .with_sinks(2)
+        .with_duration_secs(600)
 }
 
 /// One delivery record flattened to exact bits: (msg, created, delay, hops).
