@@ -77,6 +77,9 @@ grep -qi 'checksum\|corrupt' target/ci_ckpt_bad.err \
 echo "==> shard-parity gate (N-shard scale cell must be bit-identical to 1-shard)"
 cargo run --release -q -p dftmsn-bench --bin shard_parity
 
+echo "==> thread-parity gate (parallel interval executor must be bit-identical to sequential)"
+cargo run --release -q -p dftmsn-bench --bin thread_parity
+
 echo "==> policy-parity gate (builtin variants bit-identical through the trait; policy goldens)"
 cargo test --release -q --test policy_parity
 cargo run --release -q -p dftmsn-cli -- run --policy twohop:budget=3 \
@@ -89,8 +92,14 @@ cargo run --release -q -p dftmsn-bench --bin api_surface -- --check
 echo "==> docs build cleanly (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
-echo "==> perf baseline smoke (--quick --scale; discards output)"
-cargo run --release -p dftmsn-bench --bin perf_baseline -- --quick --scale --out target/BENCH_engine.quick.json
+echo "==> perf baseline smoke + executor speedup gate (--quick --scale --speedup-check)"
+# --speedup-check: on a host with enough cores, the best ticked threads>1
+# cell must clear 1.5x sequential throughput; on smaller hosts scaling is
+# unfalsifiable and the gate records lower bounds and passes. Escape
+# hatch for legitimately noisy multicore hosts: SPEEDUP_CHECK_WARN_ONLY=1.
+cargo run --release -p dftmsn-bench --bin perf_baseline -- --quick --scale \
+    --speedup-check ${SPEEDUP_CHECK_WARN_ONLY:+--warn-only} \
+    --out target/BENCH_engine.quick.json
 
 echo "==> scale-tier regression gate (failing; >25% ns/event over committed BENCH_engine.json)"
 # Escape hatch for hardware that legitimately differs from the machine

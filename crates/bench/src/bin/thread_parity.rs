@@ -1,0 +1,128 @@
+//! CI gate for the parallel interval executor's determinism contract: a
+//! multi-threaded run of a scale-tier cell must be **bit-identical** to
+//! the sequential run — every counter and every f64 bit, under both
+//! mobility engines, composed with sharding.
+//!
+//! `tests/sharded_engine.rs` proves the contract on small pinned worlds;
+//! this gate re-proves it on a real scale-tier cell (1 000 sensors, where
+//! the interaction quarantine actually splits work) so a regression that
+//! only shows up under load cannot slip past CI. The ticked cell must
+//! additionally *engage* the parallel path (events executed in chunks),
+//! so the gate cannot rot into comparing two sequential runs. Exits 0 on
+//! parity, 1 on any divergence.
+//!
+//! Usage: `cargo run --release -p dftmsn-bench --bin thread_parity
+//! [--sensors N] [--secs S]` (defaults 1000 / 60).
+
+use dftmsn_bench::scale::scale_scenario;
+use dftmsn_core::profile::ExecStats;
+use dftmsn_core::report::SimReport;
+use dftmsn_core::variants::ProtocolKind;
+use dftmsn_core::world::{MobilityMode, Simulation};
+
+/// Every tracked field of a report, flattened to exact bit patterns.
+fn fingerprint(r: &SimReport) -> Vec<(&'static str, u64)> {
+    vec![
+        ("generated", r.generated),
+        ("delivered", r.delivered),
+        ("sink_receptions", r.sink_receptions),
+        ("frames_sent", r.frames_sent),
+        ("collisions", r.collisions),
+        ("attempts", r.attempts),
+        ("multicasts", r.multicasts),
+        ("copies_sent", r.copies_sent),
+        ("events_processed", r.events_processed),
+        ("mean_delay_secs", r.mean_delay_secs.to_bits()),
+        ("total_sensor_energy_j", r.total_sensor_energy_j.to_bits()),
+        ("avg_sensor_power_mw", r.avg_sensor_power_mw.to_bits()),
+        ("deliveries", r.deliveries.len() as u64),
+    ]
+}
+
+/// Drives a run through `advance` (the parallel-aware unit of work) so
+/// the executor's telemetry is readable afterwards; the baseline takes
+/// the same path for a like-for-like report.
+fn run(
+    sensors: usize,
+    secs: u64,
+    mode: MobilityMode,
+    shards: usize,
+    threads: usize,
+) -> (SimReport, ExecStats) {
+    let mut sim = Simulation::builder(scale_scenario(sensors, secs), ProtocolKind::Opt)
+        .seed(1)
+        .mobility_mode(mode)
+        .shards(shards)
+        .threads(threads)
+        .build();
+    while sim.advance() {}
+    let stats = sim.exec_stats().clone();
+    (sim.finish_partial(), stats)
+}
+
+fn arg(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map_or(default, |s| {
+            s.parse()
+                .unwrap_or_else(|_| panic!("{flag} takes a number"))
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sensors = arg(&args, "--sensors", 1_000);
+    let secs = arg(&args, "--secs", 60) as u64;
+
+    let mut failed = false;
+    for mode in [MobilityMode::Ticked, MobilityMode::Lazy] {
+        let (single, _) = run(sensors, secs, mode, 1, 1);
+        for (shards, threads) in [(1, 2), (4, 8)] {
+            let (threaded, stats) = run(sensors, secs, mode, shards, threads);
+            let (a, b) = (fingerprint(&single), fingerprint(&threaded));
+            let diverged: Vec<&&str> = a
+                .iter()
+                .zip(&b)
+                .filter(|((_, x), (_, y))| x != y)
+                .map(|((name, _), _)| name)
+                .collect();
+            if diverged.is_empty() {
+                eprintln!(
+                    "thread_parity {mode:?} {shards}sh x {threads}th: OK — \
+                     bit-identical ({sensors} sensors, {secs} s, {} events; \
+                     {} parallel / {} sequential, {} fallback + {} bypass of \
+                     {} intervals)",
+                    single.events_processed,
+                    stats.parallel_events,
+                    stats.sequential_events,
+                    stats.fallback_intervals,
+                    stats.bypass_intervals,
+                    stats.total_intervals(),
+                );
+            } else {
+                failed = true;
+                eprintln!(
+                    "thread_parity {mode:?} {shards}sh x {threads}th: FAIL — \
+                     diverged from sequential in: {diverged:?}"
+                );
+                for ((name, x), (_, y)) in a.iter().zip(&b).filter(|((_, x), (_, y))| x != y) {
+                    eprintln!("  {name}: sequential={x} threaded={y}");
+                }
+            }
+            if mode == MobilityMode::Ticked && threads == 8 && stats.parallel_events == 0 {
+                failed = true;
+                eprintln!(
+                    "thread_parity {mode:?}: FAIL — the parallel path never \
+                     engaged on the ticked scale cell (the gate would be \
+                     vacuous); fallback={} bypass={}",
+                    stats.fallback_intervals, stats.bypass_intervals,
+                );
+            }
+        }
+    }
+    if failed {
+        eprintln!("thread_parity: determinism contract BROKEN (DESIGN.md \u{a7} 8)");
+        std::process::exit(1);
+    }
+}

@@ -34,8 +34,11 @@ use dftmsn_core::variants::ProtocolKind;
 use dftmsn_core::world::{MobilityMode, Simulation};
 use std::time::Instant;
 
-/// Sensor counts of the tracked scale tier.
-pub const SCALE_SENSORS: [usize; 4] = [200, 1_000, 5_000, 20_000];
+/// Sensor counts of the tracked scale tier. The 50 000- and 100 000-
+/// sensor sizes exist to keep the flat per-event cost honest two further
+/// doublings out (and to give the parallel interval executor headroom on
+/// hosts that have the cores for it).
+pub const SCALE_SENSORS: [usize; 6] = [200, 1_000, 5_000, 20_000, 50_000, 100_000];
 
 /// Simulated seconds per scale run in the full tier.
 pub const SCALE_DURATION_SECS: u64 = 300;
@@ -80,6 +83,9 @@ pub struct ScaleRow {
     /// engine; results are bit-identical for every value by contract,
     /// only the wall time moves).
     pub shards: usize,
+    /// Worker threads of the parallel interval executor (1 = sequential;
+    /// bit-identical results for every value, same contract as shards).
+    pub threads: usize,
     /// Wall time of `Simulation::run`, accumulated in integer ns.
     pub wall_ns: u128,
     /// Events popped from the queue (`SimReport::events_processed`).
@@ -147,10 +153,26 @@ pub fn measure_sharded(
     mode: MobilityMode,
     shards: usize,
 ) -> ScaleRow {
+    measure_parallel(sensors, duration_secs, mode, shards, 1)
+}
+
+/// [`measure_sharded`] with `threads` workers driving the parallel
+/// interval executor on top of the shard topology. Still bit-identical
+/// to the sequential single-shard run (`thread_parity` enforces it); the
+/// wall time is the only new quantity.
+#[must_use]
+pub fn measure_parallel(
+    sensors: usize,
+    duration_secs: u64,
+    mode: MobilityMode,
+    shards: usize,
+    threads: usize,
+) -> ScaleRow {
     let sim = Simulation::builder(scale_scenario(sensors, duration_secs), ProtocolKind::Opt)
         .seed(1)
         .mobility_mode(mode)
         .shards(shards)
+        .threads(threads)
         .build();
     let t0 = Instant::now();
     let report = sim.run();
@@ -159,6 +181,7 @@ pub fn measure_sharded(
         sensors,
         mode,
         shards,
+        threads,
         wall_ns,
         events: report.events_processed,
         generated: report.generated,
@@ -238,6 +261,7 @@ mod tests {
             sensors: 0,
             mode: MobilityMode::Ticked,
             shards: 1,
+            threads: 1,
             wall_ns: 0,
             events: 0,
             generated: 0,

@@ -41,7 +41,7 @@ use crate::policy::{
     Confirmed, CopyFate, ForwardingPolicy, MacControls, Policy, PolicySpec, RtsInfo, RxView,
     SelectCtx,
 };
-use crate::profile::EventProfile;
+use crate::profile::{EventProfile, ExecStats};
 use crate::queue::InsertOutcome;
 use crate::report::{DeliveryRecord, NodeSummary, RunMetrics, SimReport};
 use crate::trace::{DropReason, TeeSink, TraceEvent, TraceSink};
@@ -63,6 +63,9 @@ use dftmsn_sim::time::{EpochClock, SimDuration, SimTime};
 mod ckpt;
 pub use ckpt::{CkptError, Resumed, CKPT_MAGIC};
 
+#[path = "world_exec.rs"]
+mod exec;
+
 /// Node-local timer kinds; all are epoch-guarded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Timer {
@@ -83,7 +86,7 @@ enum Timer {
     Guard,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 enum Event {
     MobilityTick,
     DataGen(NodeId),
@@ -653,6 +656,18 @@ pub struct Simulation {
     /// [`run_profiled`](Self::run_profiled). `None` costs one predictable
     /// branch per event; never serialized (telemetry, not state).
     profile: Option<Box<EventProfile>>,
+
+    /// Within-epoch parallel executor runtime (worker count, interaction-
+    /// quarantine scratch, interval telemetry). Like the shard count, an
+    /// execution knob: never serialized, and results are bit-identical
+    /// for every thread count (DESIGN.md § 8).
+    par: exec::ParRuntime,
+    /// Installed only while the parallel executor's sequential commit
+    /// lane is running an interval: diverts [`sched_at`](Self::sched_at)
+    /// and [`sched_after`](Self::sched_after) into the interval's spawn
+    /// log instead of the global queue. Always `None` between
+    /// [`advance`](Self::advance) calls.
+    seq_lane: Option<Box<exec::SeqLane>>,
 }
 
 /// Configures and constructs a [`Simulation`].
@@ -689,6 +704,7 @@ pub struct SimulationBuilder {
     seed: u64,
     mobility_mode: MobilityMode,
     shards: usize,
+    threads: usize,
     contact_cache: bool,
     faults: Option<FaultPlan>,
     trace: Option<Box<dyn TraceSink>>,
@@ -735,6 +751,16 @@ impl SimulationBuilder {
     /// documents and `tests/sharded_engine.rs` enforces.
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Sets the within-epoch parallel executor's worker count (default:
+    /// 1, fully sequential; clamped to 1..=64). Another pure execution
+    /// knob: results are bit-identical for every thread count. Ignored —
+    /// the run stays sequential — while a trace sink, an observer, or
+    /// the profiler is attached, since those watch individual events.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -823,6 +849,9 @@ impl SimulationBuilder {
         if self.shards > 1 {
             sim.set_shards(self.shards);
         }
+        if self.threads > 1 {
+            sim.set_threads(self.threads);
+        }
         sim
     }
 }
@@ -843,6 +872,7 @@ impl Simulation {
             seed: 1,
             mobility_mode: MobilityMode::default(),
             shards: 1,
+            threads: 1,
             contact_cache: true,
             faults: None,
             trace: None,
@@ -1078,6 +1108,8 @@ impl Simulation {
             link_drop: LinkDropTable::new(n),
             fault_regime: false,
             profile: None,
+            par: exec::ParRuntime::new(n),
+            seq_lane: None,
         };
         sim.schedule_initial_events();
         sim
@@ -1159,8 +1191,50 @@ impl Simulation {
     /// Runs the simulation to its configured end and produces the report.
     #[must_use]
     pub fn run(mut self) -> SimReport {
-        while self.step() {}
+        while self.advance() {}
         self.finish_report()
+    }
+
+    /// Processes the next unit of work — one event on the sequential
+    /// path, one *interval* of events on the parallel path — returning
+    /// `false` when the run is complete. The parallel path engages only
+    /// when [`set_threads`](Self::set_threads) requested more than one
+    /// worker and no trace sink or profiler is attached (both observe
+    /// individual events mid-interval). External drivers that used to
+    /// loop on [`step`](Self::step) should loop on `advance` instead;
+    /// every `advance` boundary is a valid checkpoint instant.
+    pub fn advance(&mut self) -> bool {
+        if self.par.threads > 1 && self.trace.is_none() && self.profile.is_none() {
+            self.step_interval()
+        } else {
+            self.step()
+        }
+    }
+
+    /// Sets the worker count for within-epoch parallel event execution
+    /// (clamped to 1..=64; default 1 = fully sequential). Like the shard
+    /// count, a pure execution knob: results are bit-identical for every
+    /// thread count — the determinism contract DESIGN.md § 8 documents
+    /// and `tests/sharded_engine.rs` plus the `thread_parity` gate
+    /// enforce. Never serialized; resumed checkpoints come up
+    /// single-threaded.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.par.threads = threads.clamp(1, 64);
+    }
+
+    /// The configured parallel-executor worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.par.threads
+    }
+
+    /// Telemetry of the parallel interval executor: interval counts by
+    /// flavor (parallel / fallback / bypass), the parallel-vs-sequential
+    /// event split, spawn accounting, chunk-phase wall time and join-
+    /// barrier stall. Zeroed until the parallel path first engages.
+    #[must_use]
+    pub fn exec_stats(&self) -> &ExecStats {
+        &self.par.stats
     }
 
     /// Runs to completion with per-event-kind wall-time profiling enabled,
@@ -1193,11 +1267,22 @@ impl Simulation {
     /// execution knob, never serialized state. Pending events are re-filed
     /// onto their owning lanes with their global order preserved, so the
     /// run's results do not depend on when (or whether) this is called.
+    ///
+    /// Telemetry across a mid-run flip: `barriers` and
+    /// `cross_shard_frames` are run-lifetime counters and *carry* through
+    /// any re-shard (including a collapse to one shard), so rates stay
+    /// meaningful over the whole run. `boundary_nodes` is a gauge of the
+    /// last barrier's band population and is recomputed immediately for
+    /// the new topology. A checkpoint *resume* is the one boundary that
+    /// zeroes all three — the counters describe this process's execution,
+    /// not simulated history. `tests/sharded_engine.rs` pins this.
     pub fn set_shards(&mut self, shards: usize) {
+        let carried_barriers = self.shards.barriers;
         let requested = shards.clamp(1, 64);
         let map = self.grid.shard_map(requested);
         if map.shards() <= 1 {
             self.shards = ShardRuntime::single();
+            self.shards.barriers = carried_barriers;
             self.events.reshard(1, |_| 0);
             self.medium.set_sharding(Vec::new(), 1);
             return;
@@ -1214,7 +1299,7 @@ impl Simulation {
             band_m: band,
             epoch,
             next_barrier: epoch.next_barrier(self.now()),
-            barriers: 0,
+            barriers: carried_barriers,
             boundary_nodes: 0,
         };
         self.refresh_shard_assignment();
@@ -1304,6 +1389,15 @@ impl Simulation {
     /// else.
     #[inline]
     fn sched_at(&mut self, at: SimTime, ev: Event) {
+        if let Some(lane) = self.seq_lane.as_deref_mut() {
+            // Mid-interval on the parallel executor's commit lane: the
+            // spawn goes to the interval log, which either consumes it
+            // within the interval or re-files it at the commit walk with
+            // the exact sequence number the sequential run would have
+            // drawn (world_exec.rs).
+            lane.spawn(at, ev);
+            return;
+        }
         let lane = event_lane(&self.shards.node_shard, &ev);
         self.events.schedule_at_on(lane, at, ev);
     }
@@ -1311,6 +1405,14 @@ impl Simulation {
     /// [`sched_at`](Self::sched_at) with a relative delay.
     #[inline]
     fn sched_after(&mut self, after: SimDuration, ev: Event) {
+        if let Some(lane) = self.seq_lane.as_deref_mut() {
+            // The queue clock sits at the drain horizon during an
+            // interval; "after" is relative to the event being handled,
+            // which the commit lane tracks itself.
+            let at = lane.current_t + after;
+            lane.spawn(at, ev);
+            return;
+        }
         let lane = event_lane(&self.shards.node_shard, &ev);
         self.events.schedule_after_on(lane, after, ev);
     }
@@ -1654,7 +1756,7 @@ impl Simulation {
                     self.catch_up_node(j, now);
                 }
             }
-            self.events.schedule_after(every, Event::MobilityTick);
+            self.sched_after(every, Event::MobilityTick);
             return;
         }
         let dt = self.scenario.mobility_tick_secs;
@@ -1722,7 +1824,10 @@ impl Simulation {
         due.clear();
         coast.wheel[(t % COAST_WHEEL as u64) as usize] = due;
         let tick = SimDuration::from_secs_f64(dt);
-        self.events.schedule_after(tick, Event::MobilityTick);
+        // Routed through sched_after (not the queue directly) so a tick
+        // handled on the parallel executor's commit lane re-arms itself
+        // relative to the tick instant, not the interval's drain horizon.
+        self.sched_after(tick, Event::MobilityTick);
     }
 
     /// Settles every outstanding coast lease so the mobility models' own
@@ -2849,6 +2954,11 @@ impl Simulation {
         // first eviction victim, but it still delivers if its carrier
         // reaches a sink. Purging such copies at insert would let a single
         // multicast annihilate every copy of a message.
+        // Overapproximate queue occupancy for the parallel executor's
+        // interaction quarantine: set on every insert attempt, cleared
+        // lazily at classification when the queue is seen empty. A stale
+        // `true` only costs parallelism, never correctness.
+        self.par.occupied[i.index()] = true;
         let outcome = self.nodes[i.index()].queue.insert(msg);
         match outcome {
             InsertOutcome::Inserted

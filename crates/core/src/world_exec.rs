@@ -1,0 +1,1097 @@
+//! Within-epoch parallel event execution (DESIGN.md § 8).
+//!
+//! [`Simulation::advance`] with `threads > 1` processes events an
+//! *interval* at a time instead of one at a time: drain every event due in
+//! `[t0, bound)`, prove which of them cannot interact with the rest of the
+//! world during the interval (the *interaction quarantine*), execute those
+//! on worker threads over disjoint `split_at_mut` views of the SoA node
+//! lanes, run everything else on a sequential commit lane in exact global
+//! order, then stitch the interval back together so that every observable
+//! bit — counters, f64 accumulators, RNG streams, pending-event sequence
+//! numbers, checkpoint bytes — is identical to the sequential engine's.
+//!
+//! # Why results are exact, not approximately right
+//!
+//! **Quarantine soundness.** A node is *clean* (chunk-executable) only if,
+//! at classification time, it is provably unobservable to and unaffected
+//! by every event on the sequential lane for the whole interval:
+//!
+//! * it is `Sleeping` or `Passive` with no MAC context, an empty message
+//!   queue and a quiet radio (nothing audible, no reception in progress),
+//!   so the only events it can own are wake-ups, cycle guards, metric
+//!   timeouts, dead-node generator ticks and stale timers — all of which
+//!   read and write that node alone; and
+//! * no *capable* node (one that could transmit this interval) can reach
+//!   it: capability spreads along stored-position distance bounded by
+//!   `range + drift` (a frame only couples nodes within true radio range,
+//!   and stored positions lag truth by a mode-specific, classification-
+//!   time-computable bound), and every node a sequential-lane handler
+//!   could even *inspect* (neighbour queries go out at the inflated
+//!   `query_radius`) is conservatively marked. The BFS over the stored-
+//!   position grid therefore overapproximates the interval's interaction
+//!   closure; anything outside it commutes with the entire sequential
+//!   lane, so executing the chunk phase *before* the interleaved-in-time
+//!   sequential lane cannot change any outcome.
+//!
+//! When the closure floods (dense, mostly-awake neighbourhoods percolate
+//! — see EXPERIMENTS.md) or an event shape the chunk path cannot take
+//! shows up on a clean node, the whole interval falls back to the
+//! sequential lane. Fallback is a performance event, never a correctness
+//! event, and a streak of floods switches to plain stepping for a while
+//! (`bypass`) so classification cost cannot make a flooded run slower.
+//!
+//! **Sequence-number exactness.** Sequential runs allocate a global
+//! sequence number per scheduled event; pop order `(time, seq)` *is* the
+//! determinism contract, and the numbers end up in checkpoint bytes. The
+//! interval executor cannot allocate at spawn time (chunks run
+//! concurrently), so every spawn gets a *provisional* key — drained
+//! events keep their real sequence numbers, spawned ones get
+//! `PROV_BASE + lane-local index`, which orders them after every drained
+//! event at the same instant and in spawn order within a lane, exactly as
+//! fresh allocations would. After the interval, a commit walk merges the
+//! per-lane spawn logs by `(time, resolved key)` — the true chronological
+//! order of the spawning handler calls — and replays the allocations:
+//! each spawn draws its real number from the shared counter in the same
+//! order the sequential engine would have, parked spawns (due past the
+//! interval) are re-filed with their numbers pre-assigned, and consumed
+//! spawns are accounted into the lifetime pop counter. Induction on the
+//! log order resolves provisional parent keys before they are needed.
+//!
+//! The executor is engaged only when no trace sink, observer or profiler
+//! is attached (those watch individual events), and `Fault`/`ObserveTick`
+//! events — plus the lazy-mode staleness sweep — *terminate* the drain
+//! and run after the commit walk on fully merged state, because they
+//! touch arbitrary nodes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use dftmsn_mobility::models::MobilityModel;
+use dftmsn_radio::energy::RadioState;
+use dftmsn_radio::ids::NodeId;
+use dftmsn_sim::rng::SimRng;
+use dftmsn_sim::time::{SimDuration, SimTime};
+
+use super::{event_lane, Event, Simulation, Timer};
+use crate::ftd::Ftd;
+use crate::node::{MacState, Node};
+use crate::params::ProtocolParams;
+use crate::profile::ExecStats;
+use dftmsn_mobility::geom::Vec2;
+use dftmsn_radio::energy::EnergyModel;
+
+/// Provisional spawn keys start here: above every real sequence number a
+/// run can allocate, so `(t, key)` ordering puts drained events before
+/// same-instant spawns — exactly where fresh allocations would land.
+const PROV_BASE: u64 = 1 << 63;
+
+/// Interval drain horizon per mode, seconds. Ticked mode keeps intervals
+/// short so the `2·v_max·Δ` motion slack stays well below the radio range
+/// and the interaction graph stays subcritical; lazy mode's slack is
+/// dominated by position staleness anyway, so it takes a longer horizon.
+const INTERVAL_TICKED_SECS: f64 = 0.1;
+const INTERVAL_LAZY_SECS: f64 = 0.25;
+
+/// Marked-population percentage beyond which the quarantine is considered
+/// flooded and the interval falls back to the sequential lane.
+const MARKED_CAP_PCT: usize = 40;
+
+/// Fewer drained events than this and an interval is not worth
+/// classifying: it runs on the sequential lane directly.
+const MIN_PARALLEL_EVENTS: usize = 48;
+
+/// After this many consecutive flooded intervals the executor stops
+/// attempting classification for [`FLOOD_BYPASS_INTERVALS`] intervals
+/// (plain sequential stepping), then probes again. Counting in intervals
+/// — never wall time — keeps the decision deterministic, and since every
+/// path is exact the choice can never affect results.
+const FLOOD_BACKOFF_AFTER: u32 = 8;
+const FLOOD_BYPASS_INTERVALS: u32 = 64;
+
+/// A spawned-event record in an interval lane log.
+#[derive(Debug, Clone, Copy)]
+struct SpawnRec {
+    due: SimTime,
+    ev: Event,
+    /// Due at or past the interval bound (or past the run end): re-filed
+    /// into the global queue at commit instead of executing here.
+    parked: bool,
+    /// The real sequence number, assigned by the commit walk.
+    seq: u64,
+}
+
+/// One spawning handler call: `len` spawns starting at `spawns[start]`,
+/// made while handling the event identified by `(t, key)`.
+#[derive(Debug, Clone, Copy)]
+struct LogEntry {
+    t: SimTime,
+    key: u64,
+    start: u32,
+    len: u32,
+}
+
+/// Per-lane spawn log; only handler calls that actually spawned are
+/// logged, which necessarily includes the parent of every consumed spawn.
+#[derive(Debug, Default)]
+struct LaneLog {
+    entries: Vec<LogEntry>,
+    spawns: Vec<SpawnRec>,
+}
+
+impl LaneLog {
+    /// Resolves a (possibly provisional) key to a real sequence number.
+    /// Provisional parents always precede their children in `entries`, so
+    /// by the time the commit walk needs a resolution it exists.
+    fn resolve(&self, key: u64) -> u64 {
+        if key < PROV_BASE {
+            return key;
+        }
+        let seq = self.spawns[(key - PROV_BASE) as usize].seq;
+        debug_assert_ne!(seq, u64::MAX, "spawn referenced before its commit");
+        seq
+    }
+}
+
+/// Heap entry for spawns consumed within the interval; ordered by
+/// `(t, key)` only — the payload is cargo.
+#[derive(Debug)]
+struct HeapEv {
+    t: SimTime,
+    key: u64,
+    ev: Event,
+}
+
+impl PartialEq for HeapEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.key == other.key
+    }
+}
+impl Eq for HeapEv {}
+impl PartialOrd for HeapEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.t, self.key).cmp(&(other.t, other.key))
+    }
+}
+
+/// One interval execution lane: the sequential commit lane and every
+/// parallel chunk each own one. Tracks the spawn log, the min-heap of
+/// spawns consumed within the interval, and commit accounting.
+#[derive(Debug)]
+pub(super) struct SeqLane {
+    bound: SimTime,
+    end: SimTime,
+    /// The firing time of the event currently being handled — the base
+    /// for relative scheduling, since the queue clock sits at the drain
+    /// horizon mid-interval.
+    pub(super) current_t: SimTime,
+    current_key: u64,
+    entry_start: usize,
+    heap: BinaryHeap<Reverse<HeapEv>>,
+    log: LaneLog,
+    /// Spawns consumed (executed) within the interval on this lane.
+    consumed: u64,
+    /// Latest consumed-spawn firing time (for the clock advance).
+    max_consumed: SimTime,
+    /// Deferred grid moves (lazy chunks): node indices whose stored
+    /// position changed; replayed ascending at commit.
+    moves: Vec<u32>,
+    /// Worker busy wall time (chunk lanes only; stall telemetry).
+    busy_ns: u64,
+}
+
+impl SeqLane {
+    fn new(bound: SimTime, end: SimTime) -> Self {
+        SeqLane {
+            bound,
+            end,
+            current_t: SimTime::ZERO,
+            current_key: 0,
+            entry_start: 0,
+            heap: BinaryHeap::new(),
+            log: LaneLog::default(),
+            consumed: 0,
+            max_consumed: SimTime::ZERO,
+            moves: Vec::new(),
+            busy_ns: 0,
+        }
+    }
+
+    /// Files a spawn from a handler running on this lane. Consumed (due
+    /// within the interval and the run horizon) or parked for the commit
+    /// walk to re-file; either way it is logged so the walk can replay
+    /// the sequential engine's allocation order.
+    pub(super) fn spawn(&mut self, at: SimTime, ev: Event) {
+        debug_assert!(at >= self.current_t, "handlers never schedule the past");
+        let parked = !(at < self.bound && at <= self.end);
+        let idx = self.log.spawns.len();
+        self.log.spawns.push(SpawnRec {
+            due: at,
+            ev,
+            parked,
+            seq: u64::MAX,
+        });
+        if !parked {
+            self.heap.push(Reverse(HeapEv {
+                t: at,
+                key: PROV_BASE + idx as u64,
+                ev,
+            }));
+        }
+    }
+
+    /// Picks the next event in `(t, key)` order from the drained slice
+    /// cursor and the consumed-spawn heap. Provisional keys sort after
+    /// every real sequence number, matching fresh-allocation order.
+    fn next_event(
+        &mut self,
+        drained: &[(SimTime, u64, Event)],
+        cursor: &mut usize,
+    ) -> Option<(SimTime, u64, Event)> {
+        let from_heap = match (drained.get(*cursor), self.heap.peek()) {
+            (None, None) => return None,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some(&(dt, dk, _)), Some(Reverse(h))) => (h.t, h.key) < (dt, dk),
+        };
+        if from_heap {
+            let Reverse(h) = self.heap.pop().expect("peeked above");
+            self.consumed += 1;
+            if h.t > self.max_consumed {
+                self.max_consumed = h.t;
+            }
+            Some((h.t, h.key, h.ev))
+        } else {
+            let e = drained[*cursor];
+            *cursor += 1;
+            Some(e)
+        }
+    }
+
+    /// Brackets one handler call so its spawns land in one log entry.
+    fn begin_entry(&mut self, t: SimTime, key: u64) {
+        self.current_t = t;
+        self.current_key = key;
+        self.entry_start = self.log.spawns.len();
+    }
+
+    fn finish_entry(&mut self) {
+        let len = self.log.spawns.len() - self.entry_start;
+        if len > 0 {
+            self.log.entries.push(LogEntry {
+                t: self.current_t,
+                key: self.current_key,
+                start: self.entry_start as u32,
+                len: len as u32,
+            });
+        }
+    }
+}
+
+/// Interval-executor runtime state: the worker count, persistent
+/// classification scratch, telemetry, and the flood-backoff counters.
+/// Pure execution state — never serialized, results never depend on it.
+#[derive(Debug)]
+pub(super) struct ParRuntime {
+    pub(super) threads: usize,
+    pub(super) stats: ExecStats,
+    /// Overapproximate queue occupancy: set at every insert attempt,
+    /// cleared lazily at classification when the queue is seen empty.
+    /// Starts all-true (conservative) so a resumed checkpoint with loaded
+    /// queues needs no special casing.
+    pub(super) occupied: Vec<bool>,
+    marked: Vec<bool>,
+    capable: Vec<bool>,
+    wake_drained: Vec<bool>,
+    frontier: Vec<u32>,
+    qbuf: Vec<usize>,
+    datagen: Vec<u32>,
+    drained: Vec<(SimTime, u64, Event)>,
+    chunk_events: Vec<Vec<(SimTime, u64, Event)>>,
+    seq_events: Vec<(SimTime, u64, Event)>,
+    flood_streak: u32,
+    bypass_left: u32,
+}
+
+impl ParRuntime {
+    pub(super) fn new(n: usize) -> Self {
+        ParRuntime {
+            threads: 1,
+            stats: ExecStats::default(),
+            occupied: vec![true; n],
+            marked: vec![false; n],
+            capable: vec![false; n],
+            wake_drained: vec![false; n],
+            frontier: Vec::new(),
+            qbuf: Vec::new(),
+            datagen: Vec::new(),
+            drained: Vec::new(),
+            chunk_events: Vec::new(),
+            seq_events: Vec::new(),
+            flood_streak: 0,
+            bypass_left: 0,
+        }
+    }
+}
+
+/// The protocol constants a chunk handler needs, hoisted once per
+/// interval so workers share plain references.
+#[derive(Debug)]
+struct CleanCfg<'a> {
+    energy: &'a EnergyModel,
+    protocol: &'a ProtocolParams,
+    receiver_window: SimDuration,
+    sleeps: bool,
+    adaptive_sleep: bool,
+    urgency_bound: Ftd,
+    data_interval_secs: f64,
+}
+
+/// Lazy-mode per-node lanes a chunk owns (`split_at_mut` views).
+struct LazyChunk<'a> {
+    rngs: &'a mut [SimRng],
+    synced_at: &'a mut [SimTime],
+    mobility: &'a mut [Box<dyn MobilityModel>],
+    positions: &'a mut [Vec2],
+}
+
+/// Everything one worker owns for its node range `[base, base + len)`.
+/// `sink_all`/`alive_all` are whole-population shared reads (immutable
+/// during the chunk phase); every `&mut` slice is chunk-local.
+struct ChunkJob<'a> {
+    base: usize,
+    events: &'a [(SimTime, u64, Event)],
+    nodes: &'a mut [Node],
+    epoch: &'a mut [u64],
+    state: &'a mut [MacState],
+    xi: &'a mut [f64],
+    sink_all: &'a [bool],
+    alive_all: &'a [bool],
+    listening: &'a mut [bool],
+    lazy: Option<LazyChunk<'a>>,
+    cfg: &'a CleanCfg<'a>,
+}
+
+impl ChunkJob<'_> {
+    /// [`super::Simulation::sync_hot`] for the chunk's slice views.
+    fn sync_hot(&mut self, l: usize) {
+        let node = &self.nodes[l];
+        self.epoch[l] = node.epoch;
+        self.state[l] = node.state;
+        self.xi[l] = node.metric.value();
+    }
+}
+
+impl Simulation {
+    /// The interval drain horizon (see the mode constants above).
+    fn interval_len(&self) -> SimDuration {
+        if self.lazy.is_some() {
+            SimDuration::from_secs_f64(INTERVAL_LAZY_SECS)
+        } else {
+            SimDuration::from_secs_f64(INTERVAL_TICKED_SECS)
+        }
+    }
+
+    /// Events that must see fully merged world state: they touch
+    /// arbitrary nodes (fault injection, observer snapshots, the lazy
+    /// staleness sweep), so they bound the drain and run after commit.
+    /// The ticked per-tick mobility handler, by contrast, is an ordinary
+    /// sequential-lane event: chunks never read positions in ticked mode.
+    fn is_terminator(&self, ev: &Event) -> bool {
+        match ev {
+            Event::Fault(_) | Event::ObserveTick => true,
+            Event::MobilityTick => self.lazy.is_some(),
+            _ => false,
+        }
+    }
+
+    /// Parallel-path counterpart of [`step`](Self::step): executes one
+    /// interval of events and returns `false` when the run is complete.
+    /// Every return is a valid checkpoint boundary. Results are
+    /// bit-identical to sequential stepping for any thread count.
+    pub(super) fn step_interval(&mut self) -> bool {
+        debug_assert!(self.seq_lane.is_none());
+        let Some(t0) = self.events.peek_time() else {
+            return false;
+        };
+        if t0 > self.end {
+            return false;
+        }
+
+        // Flood-streak bypass: plain sequential stepping, zero overhead.
+        if self.par.bypass_left > 0 {
+            self.par.bypass_left -= 1;
+            self.par.stats.bypass_intervals += 1;
+            let cap = t0 + self.interval_len();
+            while let Some(t) = self.events.peek_time() {
+                if t >= cap || t > self.end || !self.step() {
+                    break;
+                }
+            }
+            return true;
+        }
+
+        // ---- Drain: pop everything due before the horizon, stopping at
+        // (and holding) the first terminator.
+        let mut bound = t0 + self.interval_len();
+        let mut drained = std::mem::take(&mut self.par.drained);
+        drained.clear();
+        let mut terminator: Option<(SimTime, Event)> = None;
+        while let Some((t, _)) = self.events.peek_next_key() {
+            if t > self.end || t >= bound {
+                break;
+            }
+            let (t, seq, ev) = self.events.pop_keyed().expect("peeked above");
+            if self.is_terminator(&ev) {
+                bound = t;
+                terminator = Some((t, ev));
+                break;
+            }
+            drained.push((t, seq, ev));
+        }
+        self.par.stats.record_drained(drained.len());
+
+        // ---- Classify + partition (or fall back).
+        let parallel = drained.len() >= MIN_PARALLEL_EVENTS && self.plan_interval(&drained, bound);
+        if parallel {
+            self.par.flood_streak = 0;
+            self.par.stats.intervals += 1;
+
+            let t_chunk = Instant::now();
+            let chunk_outs = self.run_chunks(bound);
+            let wall_ns = t_chunk.elapsed().as_nanos() as u64;
+            let workers = chunk_outs.len() as u64;
+            let busy: u64 = chunk_outs.iter().map(|c| c.busy_ns).sum();
+            self.par.stats.chunk_ns += wall_ns;
+            self.par.stats.stall_ns += (wall_ns * workers).saturating_sub(busy);
+            let chunk_drained: u64 = self.par.chunk_events.iter().map(|c| c.len() as u64).sum();
+            self.par.stats.parallel_events += chunk_drained;
+
+            let seq_events = std::mem::take(&mut self.par.seq_events);
+            self.par.stats.sequential_events += seq_events.len() as u64;
+            let seq_out = self.run_seq_lane(&seq_events, bound);
+            self.par.seq_events = seq_events;
+            self.par.seq_events.clear();
+
+            self.commit_interval(seq_out, chunk_outs, terminator.is_none());
+        } else {
+            if drained.len() >= MIN_PARALLEL_EVENTS {
+                // A real flood (or an unexpected event shape), not just a
+                // small interval: count towards the bypass streak.
+                self.par.flood_streak += 1;
+                if self.par.flood_streak >= FLOOD_BACKOFF_AFTER {
+                    self.par.flood_streak = 0;
+                    self.par.bypass_left = FLOOD_BYPASS_INTERVALS;
+                }
+            }
+            self.par.stats.fallback_intervals += 1;
+            self.par.stats.sequential_events += drained.len() as u64;
+            let seq_out = self.run_seq_lane(&drained, bound);
+            self.commit_interval(seq_out, Vec::new(), terminator.is_none());
+        }
+
+        if let Some((t, ev)) = terminator {
+            self.par.stats.terminator_events += 1;
+            self.handle(t, ev);
+        }
+        self.par.drained = drained;
+        true
+    }
+
+    /// Classifies the interval's interaction closure and partitions the
+    /// drained events into per-chunk runs plus the sequential lane.
+    /// Returns `false` — fall back to fully sequential — when the closure
+    /// floods past the cap or a clean node holds an event shape the chunk
+    /// path cannot execute.
+    fn plan_interval(&mut self, drained: &[(SimTime, u64, Event)], bound: SimTime) -> bool {
+        let n = self.nodes.len();
+        let t0 = self.events.now().min(bound);
+        let delta = bound.saturating_since(t0).as_secs_f64();
+        let range = self.scenario.channel.range_m;
+        let vmax = self.scenario.speed_max_mps.max(0.2);
+
+        self.par.marked.fill(false);
+        self.par.capable.fill(false);
+        self.par.wake_drained.fill(false);
+        self.par.frontier.clear();
+        self.par.datagen.clear();
+        let cap = n * MARKED_CAP_PCT / 100;
+        let mut marked_cnt = 0usize;
+
+        // Drained pre-scan: a live WakeUp makes a sleeping node capable of
+        // acting this interval; an alive generator tick makes its node a
+        // queue holder (and so a potential sender) mid-interval.
+        for &(_, _, ev) in drained {
+            match ev {
+                Event::Timer(i, ep, Timer::WakeUp) if self.hot.epoch[i.index()] == ep => {
+                    self.par.wake_drained[i.index()] = true;
+                }
+                Event::DataGen(i) if self.hot.alive[i.index()] => {
+                    self.par.datagen.push(i.index() as u32);
+                }
+                _ => {}
+            }
+        }
+
+        // Seed scan: anything mid-cycle, holding traffic, or with a noisy
+        // radio anchors the interaction closure. One dense pass; the only
+        // `Node` dereferences are occupancy re-checks on flagged nodes.
+        for j in 0..n {
+            let mid = !matches!(self.hot.state[j], MacState::Sleeping | MacState::Passive);
+            let holder = self.par.occupied[j] && {
+                if self.nodes[j].queue.is_empty() {
+                    self.par.occupied[j] = false;
+                    false
+                } else {
+                    true
+                }
+            };
+            if mid || holder || !self.medium.is_radio_quiet(j) {
+                if !self.par.marked[j] {
+                    self.par.marked[j] = true;
+                    marked_cnt += 1;
+                }
+                if !self.par.capable[j] {
+                    self.par.capable[j] = true;
+                    self.par.frontier.push(j as u32);
+                }
+            }
+        }
+        for k in 0..self.par.datagen.len() {
+            let j = self.par.datagen[k] as usize;
+            if !self.par.marked[j] {
+                self.par.marked[j] = true;
+                marked_cnt += 1;
+            }
+            if !self.par.capable[j] {
+                self.par.capable[j] = true;
+                self.par.frontier.push(j as u32);
+            }
+        }
+
+        // BFS over stored positions: capability propagates along possible
+        // true-range contact; everything a capable node's neighbour
+        // queries could even inspect gets marked (read quarantine).
+        //
+        // Lazy: stored positions lag truth by `v_max · staleness`, and a
+        // node may be caught up (mutated!) anywhere in the interval, so a
+        // node's *reach* is `v_max · (bound − synced_at)`. Queries inspect
+        // out to `query_radius`, hence the wider mark threshold.
+        //
+        // Ticked: positions materialize exactly (a deterministic, RNG-free
+        // replay the engine performs before any read), so both thresholds
+        // collapse to `range + 2·v_max·Δ`; neighbour-query supersets only
+        // materialize candidates (position bookkeeping the chunks never
+        // touch), never read their protocol state past true range.
+        let lazy_geom = self.lazy.as_ref().map(|lz| {
+            (
+                lz.query_radius,
+                lz.vmax,
+                lz.vmax * (lz.sync_every.as_secs_f64() + delta),
+            )
+        });
+        let ticked_thresh = range + 2.0 * vmax * delta;
+        // Stored positions can lag true ones by at most a grid cell's
+        // diagonal in ticked mode (coast leases never cross a cell).
+        let ticked_slack = match &self.lazy {
+            Some(_) => 0.0,
+            None => (4.0 * range).max(1.0) * std::f64::consts::SQRT_2,
+        };
+
+        while let Some(x) = self.par.frontier.pop() {
+            if marked_cnt > cap {
+                return false; // flooded
+            }
+            let x = x as usize;
+            let (r_collect, reach_x) = match lazy_geom {
+                Some((qr, vm, reach_max)) => {
+                    let lz = self.lazy.as_ref().expect("lazy geom implies lazy mode");
+                    let reach_x = vm * bound.saturating_since(lz.synced_at[x]).as_secs_f64();
+                    (qr + reach_x + reach_max, reach_x)
+                }
+                None => {
+                    let coast = self.coast.as_mut().expect("ticked mode");
+                    let t = coast.tick_no;
+                    coast.materialize(x, t, &mut self.positions);
+                    (ticked_thresh + ticked_slack, 0.0)
+                }
+            };
+            self.grid
+                .query_within(&self.positions, x, r_collect, &mut self.par.qbuf);
+            for k in 0..self.par.qbuf.len() {
+                let y = self.par.qbuf[k];
+                if self.par.capable[y] {
+                    continue;
+                }
+                let (prop, mark) = match lazy_geom {
+                    Some((qr, vm, _)) => {
+                        let lz = self.lazy.as_ref().expect("lazy mode");
+                        let reach_y = vm * bound.saturating_since(lz.synced_at[y]).as_secs_f64();
+                        (range + reach_x + reach_y, qr + reach_x + reach_y)
+                    }
+                    None => {
+                        let coast = self.coast.as_mut().expect("ticked mode");
+                        let t = coast.tick_no;
+                        coast.materialize(y, t, &mut self.positions);
+                        (ticked_thresh, ticked_thresh)
+                    }
+                };
+                let d2 = self.positions[x].distance_sq(self.positions[y]);
+                if d2 <= prop * prop {
+                    // Within possible true radio range of a capable node:
+                    // it can be woken into the exchange, so capability
+                    // propagates — unless it provably cannot act (dead, or
+                    // asleep with no wake-up due this interval).
+                    if !self.par.marked[y] {
+                        self.par.marked[y] = true;
+                        marked_cnt += 1;
+                    }
+                    let can_act = self.hot.alive[y]
+                        && (self.hot.state[y] != MacState::Sleeping || self.par.wake_drained[y]);
+                    if can_act {
+                        self.par.capable[y] = true;
+                        self.par.frontier.push(y as u32);
+                    }
+                } else if d2 <= mark * mark && !self.par.marked[y] {
+                    // Inspection reach only: sequential-lane queries may
+                    // read (and in lazy mode catch up) this node.
+                    self.par.marked[y] = true;
+                    marked_cnt += 1;
+                }
+            }
+        }
+
+        // Partition the drained events. Any event on a marked node — or
+        // any global event — goes to the sequential lane; events on clean
+        // nodes must be one of the chunk-executable shapes, else the whole
+        // interval is unsound to split and falls back.
+        let nchunks = self.par.threads;
+        let chunk_size = n.div_ceil(nchunks);
+        if self.par.chunk_events.len() < nchunks {
+            self.par.chunk_events.resize_with(nchunks, Vec::new);
+        }
+        for c in &mut self.par.chunk_events {
+            c.clear();
+        }
+        self.par.seq_events.clear();
+        for &(t, s, ev) in drained {
+            let (node, allowed) = match ev {
+                Event::MobilityTick => (None, true),
+                Event::DataGen(i) => (Some(i.index()), !self.hot.alive[i.index()]),
+                Event::MetricTimeout(i) => (Some(i.index()), true),
+                Event::TxEnd(i, _) => (Some(i.index()), false),
+                Event::Timer(i, ep, tmr) => {
+                    let l = i.index();
+                    let stale = self.hot.epoch[l] != ep;
+                    (
+                        Some(l),
+                        stale || matches!(tmr, Timer::WakeUp | Timer::Guard),
+                    )
+                }
+                Event::Fault(_) | Event::ObserveTick => {
+                    unreachable!("terminators never reach the partition")
+                }
+            };
+            match node {
+                Some(l) if !self.par.marked[l] => {
+                    if !allowed {
+                        return false; // unexpected shape on a clean node
+                    }
+                    self.par.chunk_events[l / chunk_size].push((t, s, ev));
+                }
+                _ => self.par.seq_events.push((t, s, ev)),
+            }
+        }
+        true
+    }
+
+    /// Executes the clean chunks on scoped workers over disjoint
+    /// `split_at_mut` views. Chunk boundaries are fixed by node index, so
+    /// every mutable lane splits the same way; `hot.sink`/`hot.alive` are
+    /// shared immutable reads. Joins before returning — the sequential
+    /// lane runs on fully released borrows.
+    fn run_chunks(&mut self, bound: SimTime) -> Vec<SeqLane> {
+        let n = self.nodes.len();
+        let nchunks = self.par.threads;
+        let chunk_size = n.div_ceil(nchunks);
+        let chunk_events = std::mem::take(&mut self.par.chunk_events);
+        let cfg = CleanCfg {
+            energy: &self.scenario.energy,
+            protocol: &self.protocol,
+            receiver_window: SimDuration::from_secs_f64(self.protocol.receiver_window_secs),
+            sleeps: self.mac.sleeps,
+            adaptive_sleep: self.mac.adaptive_sleep,
+            urgency_bound: Ftd::new(self.protocol.urgency_ftd_bound),
+            data_interval_secs: self.scenario.data_interval_secs,
+        };
+        let end = self.end;
+        let lazy_on = self.lazy.is_some();
+
+        let mut outs: Vec<SeqLane> = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            let mut nodes_rest: &mut [Node] = &mut self.nodes;
+            let mut epoch_rest: &mut [u64] = &mut self.hot.epoch;
+            let mut state_rest: &mut [MacState] = &mut self.hot.state;
+            let mut xi_rest: &mut [f64] = &mut self.hot.xi;
+            let sink_all: &[bool] = &self.hot.sink;
+            let alive_all: &[bool] = &self.hot.alive;
+            let mut listen_rest: &mut [bool] = self.medium.listening_mut();
+            let (mut rngs_rest, mut synced_rest) = match self.lazy.as_mut() {
+                Some(lz) => (
+                    Some(lz.rngs.as_mut_slice()),
+                    Some(lz.synced_at.as_mut_slice()),
+                ),
+                None => (None, None),
+            };
+            let mut mob_rest = lazy_on.then_some(self.mobility.as_mut_slice());
+            let mut pos_rest = lazy_on.then_some(self.positions.as_mut_slice());
+
+            for (ci, events) in chunk_events.iter().enumerate() {
+                let base = ci * chunk_size;
+                if base >= n {
+                    break;
+                }
+                let len = chunk_size.min(n - base);
+                let (nodes_c, r) = nodes_rest.split_at_mut(len);
+                nodes_rest = r;
+                let (epoch_c, r) = epoch_rest.split_at_mut(len);
+                epoch_rest = r;
+                let (state_c, r) = state_rest.split_at_mut(len);
+                state_rest = r;
+                let (xi_c, r) = xi_rest.split_at_mut(len);
+                xi_rest = r;
+                let (listen_c, r) = listen_rest.split_at_mut(len);
+                listen_rest = r;
+                let lazy_c = if lazy_on {
+                    Some(LazyChunk {
+                        rngs: split_front(&mut rngs_rest, len),
+                        synced_at: split_front(&mut synced_rest, len),
+                        mobility: split_front(&mut mob_rest, len),
+                        positions: split_front(&mut pos_rest, len),
+                    })
+                } else {
+                    None
+                };
+                if events.is_empty() {
+                    continue;
+                }
+                let job = ChunkJob {
+                    base,
+                    events,
+                    nodes: nodes_c,
+                    epoch: epoch_c,
+                    state: state_c,
+                    xi: xi_c,
+                    sink_all,
+                    alive_all,
+                    listening: listen_c,
+                    lazy: lazy_c,
+                    cfg: &cfg,
+                };
+                handles.push(s.spawn(move || run_chunk(job, bound, end)));
+            }
+            for h in handles {
+                outs.push(h.join().expect("chunk worker panicked"));
+            }
+        });
+        self.par.chunk_events = chunk_events;
+        outs
+    }
+
+    /// Runs the sequential commit lane: the marked/global events of the
+    /// interval, in exact `(t, seq)` order, through the ordinary
+    /// [`handle`](Self::handle) dispatch with scheduling intercepted into
+    /// the interval spawn log.
+    fn run_seq_lane(&mut self, drained: &[(SimTime, u64, Event)], bound: SimTime) -> SeqLane {
+        self.seq_lane = Some(Box::new(SeqLane::new(bound, self.end)));
+        let mut cursor = 0usize;
+        loop {
+            let lane = self.seq_lane.as_deref_mut().expect("installed above");
+            let Some((t, key, ev)) = lane.next_event(drained, &mut cursor) else {
+                break;
+            };
+            lane.begin_entry(t, key);
+            self.handle(t, ev);
+            self.seq_lane
+                .as_deref_mut()
+                .expect("interval lane stays installed")
+                .finish_entry();
+        }
+        *self.seq_lane.take().expect("installed above")
+    }
+
+    /// The commit walk: merges every lane's spawn log in `(t, resolved
+    /// key)` order — the chronological order of the spawning handler
+    /// calls — and replays the sequential engine's sequence-number
+    /// allocations. Parked spawns re-file with their numbers
+    /// pre-assigned; consumed spawns are folded into the lifetime pop
+    /// counter and, when no terminator already advanced it, the queue
+    /// clock.
+    fn commit_interval(&mut self, seq: SeqLane, chunks: Vec<SeqLane>, advance_clock: bool) {
+        let mut consumed = seq.consumed;
+        let mut max_consumed = seq.max_consumed;
+        let mut moves: Vec<u32> = Vec::new();
+        let mut logs: Vec<LaneLog> = Vec::with_capacity(1 + chunks.len());
+        logs.push(seq.log);
+        for c in chunks {
+            consumed += c.consumed;
+            if c.max_consumed > max_consumed {
+                max_consumed = c.max_consumed;
+            }
+            moves.extend_from_slice(&c.moves);
+            logs.push(c.log);
+        }
+
+        let mut cursors = vec![0usize; logs.len()];
+        let mut parked = 0u64;
+        loop {
+            let mut best: Option<(SimTime, u64, usize)> = None;
+            for (li, log) in logs.iter().enumerate() {
+                if let Some(e) = log.entries.get(cursors[li]) {
+                    let rk = log.resolve(e.key);
+                    if best.is_none_or(|(bt, bk, _)| (e.t, rk) < (bt, bk)) {
+                        best = Some((e.t, rk, li));
+                    }
+                }
+            }
+            let Some((_, _, li)) = best else {
+                break;
+            };
+            let e = logs[li].entries[cursors[li]];
+            cursors[li] += 1;
+            for k in e.start..e.start + e.len {
+                let seqno = self.events.alloc_seq();
+                let rec = &mut logs[li].spawns[k as usize];
+                rec.seq = seqno;
+                if rec.parked {
+                    parked += 1;
+                    let lane = event_lane(&self.shards.node_shard, &rec.ev);
+                    self.events
+                        .schedule_preassigned(lane, rec.due, rec.ev, seqno);
+                }
+            }
+        }
+
+        self.events.note_external_pops(consumed);
+        self.par.stats.spawns_consumed += consumed;
+        self.par.stats.spawns_parked += parked;
+        if advance_clock && max_consumed > self.events.now() {
+            self.events.advance_now(max_consumed);
+        }
+
+        // Deferred lazy-chunk grid moves: the grid is a pure function of
+        // final stored positions, so an ascending replay lands the exact
+        // buckets a sequential run would hold at the interval boundary.
+        moves.sort_unstable();
+        moves.dedup();
+        for &j in &moves {
+            self.grid.move_node(j as usize, self.positions[j as usize]);
+        }
+    }
+}
+
+/// Splits `len` elements off the front of an optional slice borrow.
+fn split_front<'a, T>(rest: &mut Option<&'a mut [T]>, len: usize) -> &'a mut [T] {
+    let slice = rest.take().expect("lazy lanes present in lazy mode");
+    let (head, tail) = slice.split_at_mut(len);
+    *rest = Some(tail);
+    head
+}
+
+/// One worker's interval: merge the chunk's drained events with its
+/// consumed spawns in `(t, key)` order and dispatch each through the
+/// clean-handler transcriptions below.
+fn run_chunk(mut job: ChunkJob<'_>, bound: SimTime, end: SimTime) -> SeqLane {
+    let t_busy = Instant::now();
+    let mut lane = SeqLane::new(bound, end);
+    let mut cursor = 0usize;
+    while let Some((t, key, ev)) = lane.next_event(job.events, &mut cursor) {
+        lane.begin_entry(t, key);
+        dispatch_clean(&mut job, &mut lane, t, ev);
+        lane.finish_entry();
+    }
+    lane.busy_ns = t_busy.elapsed().as_nanos() as u64;
+    lane
+}
+
+/// Chunk-side event dispatch: the clean-shape subset of
+/// [`Simulation::handle`], with the same stale-timer filter against the
+/// (chunk-local, possibly already advanced) epoch mirror.
+fn dispatch_clean(job: &mut ChunkJob<'_>, lane: &mut SeqLane, now: SimTime, ev: Event) {
+    match ev {
+        Event::Timer(i, epoch, timer) => {
+            let l = i.index() - job.base;
+            debug_assert_eq!(job.epoch[l], job.nodes[l].epoch);
+            if job.epoch[l] != epoch {
+                return; // stale — implicit cancellation, as in handle()
+            }
+            match timer {
+                Timer::WakeUp => clean_wakeup(job, lane, now, i),
+                Timer::Guard => clean_guard(job, lane, now, i),
+                _ => unreachable!("partition admits only WakeUp/Guard live timers"),
+            }
+        }
+        Event::MetricTimeout(i) => clean_metric_timeout(job, lane, now, i),
+        Event::DataGen(i) => clean_data_gen_dead(job, lane, now, i),
+        _ => unreachable!("partition admits only node-local clean kinds"),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Clean-handler transcriptions.
+//
+// Each function below is a line-for-line transcription of the matching
+// branch of its sequential handler in world.rs, restricted to the state a
+// clean node can be in (no MAC context, empty queue, quiet radio — the
+// asserts enforce the quarantine's promises). Any behavioural edit to the
+// originals MUST be mirrored here; `thread_parity` and the parallel cells
+// of tests/sharded_engine.rs diff the two paths bit-for-bit.
+// ----------------------------------------------------------------------
+
+/// `start_cycle` for a clean node (world.rs: `fn start_cycle`). The
+/// sender branch is unreachable: a queue holder is always marked.
+fn clean_wakeup(job: &mut ChunkJob<'_>, lane: &mut SeqLane, now: SimTime, i: NodeId) {
+    let l = i.index() - job.base;
+    debug_assert_eq!(job.sink_all[i.index()], job.nodes[l].is_sink());
+    debug_assert_eq!(job.alive_all[i.index()], job.nodes[l].alive);
+    if job.sink_all[i.index()] || !job.alive_all[i.index()] {
+        return;
+    }
+    // Lazy catch-up (`catch_up_node`): per-node RNG stream, deferred grid
+    // move (replayed ascending at commit — order-insensitive).
+    if let Some(lz) = job.lazy.as_mut() {
+        let dt = now.saturating_since(lz.synced_at[l]);
+        if !dt.is_zero() {
+            lz.synced_at[l] = now;
+            lz.mobility[l].advance_span(dt.as_secs_f64(), &mut lz.rngs[l]);
+            let p = lz.mobility[l].position();
+            lz.positions[l] = p;
+            lane.moves.push(i.index() as u32);
+        }
+    }
+    {
+        let node = &mut job.nodes[l];
+        if node.state == MacState::Sleeping {
+            node.meter.set_state(now, RadioState::Idle, job.cfg.energy);
+            // set_listening(i, true): a pure flag set — waking a quiet
+            // radio aborts no reception.
+            job.listening[l] = true;
+        }
+        assert!(
+            node.sender_ctx.is_none() && node.receiver_ctx.is_none(),
+            "clean wakeup with a live MAC context"
+        );
+        node.listen_retries = 0;
+    }
+    // A queue holder is marked (occupancy seed), so only the empty-queue
+    // receiver-window branch of start_cycle is reachable here.
+    assert!(
+        job.nodes[l].queue.is_empty(),
+        "clean wakeup with a queued copy"
+    );
+    let window = job.cfg.receiver_window;
+    job.nodes[l].transition(MacState::Passive);
+    job.sync_hot(l);
+    lane.spawn(now + window, Event::Timer(i, job.epoch[l], Timer::Guard));
+}
+
+/// `end_cycle(.., active: false)` for a clean node (world.rs:
+/// `fn end_cycle`), including the sink arm. No `Slept` trace emit: the
+/// parallel path never runs with a trace sink attached.
+fn clean_guard(job: &mut ChunkJob<'_>, lane: &mut SeqLane, now: SimTime, i: NodeId) {
+    let l = i.index() - job.base;
+    debug_assert_eq!(job.sink_all[i.index()], job.nodes[l].is_sink());
+    if job.sink_all[i.index()] {
+        let node = &mut job.nodes[l];
+        assert!(
+            node.sender_ctx.is_none(),
+            "clean sink guard with sender ctx"
+        );
+        node.receiver_ctx = None;
+        node.listen_retries = 0;
+        node.transition(MacState::Passive);
+        job.sync_hot(l);
+        return;
+    }
+    let (go_sleep, backoff) = {
+        let node = &mut job.nodes[l];
+        node.sleep.record_cycle(false);
+        node.cycles_inactive += 1;
+        assert!(node.sender_ctx.is_none(), "clean guard with sender ctx");
+        node.receiver_ctx = None;
+        node.listen_retries = 0;
+        let go_sleep =
+            job.cfg.sleeps && node.cycles_inactive >= job.cfg.protocol.inactivity_cycles_l;
+        // Inactive cycles always draw the backoff (the active arm's
+        // immediate-repeat gap is unreachable for a Guard), keeping the
+        // node's RNG stream aligned with the sequential handler.
+        let backoff = SimDuration::from_secs_f64(node.rng.gen_range_f64(
+            job.cfg.protocol.backoff_min_secs,
+            job.cfg.protocol.backoff_max_secs,
+        ));
+        (go_sleep, backoff)
+    };
+    if go_sleep {
+        let duration = if job.cfg.adaptive_sleep {
+            let node = &job.nodes[l];
+            node.sleep
+                .sleep_duration(node.queue.urgency(job.cfg.urgency_bound), job.cfg.protocol)
+        } else {
+            SimDuration::from_secs_f64(job.cfg.protocol.fixed_sleep_secs)
+        };
+        let node = &mut job.nodes[l];
+        node.transition(MacState::Sleeping);
+        node.meter.set_state(now, RadioState::Sleep, job.cfg.energy);
+        job.sync_hot(l);
+        // set_listening(i, false): the rx-abort arm is a no-op on a quiet
+        // radio, leaving the pure flag clear.
+        job.listening[l] = false;
+        lane.spawn(now + duration, Event::Timer(i, job.epoch[l], Timer::WakeUp));
+    } else {
+        job.nodes[l].transition(MacState::Passive);
+        job.sync_hot(l);
+        lane.spawn(now + backoff, Event::Timer(i, job.epoch[l], Timer::WakeUp));
+    }
+}
+
+/// `on_metric_timeout` transcription (world.rs): both the frozen-ξ dead
+/// branch and the Eq. 1 elapsed-window decay. No RNG, node-local.
+fn clean_metric_timeout(job: &mut ChunkJob<'_>, lane: &mut SeqLane, now: SimTime, i: NodeId) {
+    let l = i.index() - job.base;
+    let delta = SimDuration::from_secs_f64(job.cfg.protocol.xi_timeout_secs);
+    let node = &mut job.nodes[l];
+    if !node.alive {
+        lane.spawn(now + delta, Event::MetricTimeout(i));
+        return;
+    }
+    let anchor = node.last_tx.max(node.xi_anchor);
+    let due = anchor + delta;
+    if now >= due {
+        let windows = (now.saturating_since(anchor).ticks() / delta.ticks().max(1)).max(1);
+        node.metric.decay_windows(job.cfg.protocol.alpha, windows);
+        node.xi_anchor = anchor + delta * windows;
+        job.sync_hot(l);
+        lane.spawn(now + delta, Event::MetricTimeout(i));
+    } else {
+        lane.spawn(due, Event::MetricTimeout(i));
+    }
+}
+
+/// `on_data_gen` for a dead node (world.rs): the Poisson clock keeps
+/// ticking — one per-node-RNG draw, no generation. Alive generator ticks
+/// seed the closure and never reach a chunk.
+fn clean_data_gen_dead(job: &mut ChunkJob<'_>, lane: &mut SeqLane, now: SimTime, i: NodeId) {
+    let l = i.index() - job.base;
+    assert!(!job.nodes[l].alive, "live DataGen reached a clean chunk");
+    let next = {
+        let node = &mut job.nodes[l];
+        SimDuration::from_secs_f64(node.rng.gen_exp(job.cfg.data_interval_secs))
+    };
+    lane.spawn(now + next, Event::DataGen(i));
+}

@@ -326,6 +326,28 @@ impl<P: Clone> Medium<P> {
         self.listening[node.index()]
     }
 
+    /// The listening flags as one mutable lane, for partitioning into
+    /// disjoint per-worker chunks (`split_at_mut`) by the parallel epoch
+    /// executor. This is the only medium state a *radio-quiet* node's
+    /// wake/sleep cycle touches: such a node has no reception in progress
+    /// and nothing audible, so flipping its flag here is exactly
+    /// [`set_listening`](Self::set_listening) (whose rx-abort is a no-op).
+    /// Callers must uphold that contract — flip only nodes for which
+    /// [`is_radio_quiet`](Self::is_radio_quiet) holds.
+    pub fn listening_mut(&mut self) -> &mut [bool] {
+        &mut self.listening
+    }
+
+    /// True when the medium holds no per-node state for `i` beyond the
+    /// listening flag: nothing audible at the node and no reception in
+    /// progress. The parallel epoch executor only takes nodes that are
+    /// radio-quiet (and provably stay so for the interval) onto worker
+    /// threads.
+    #[must_use]
+    pub fn is_radio_quiet(&self, i: usize) -> bool {
+        self.audible_at[i].is_empty() && self.rx[i].is_none()
+    }
+
     /// Carrier sense: is any transmission audible at `node` right now?
     ///
     /// This reflects what the node's radio can physically detect, whether

@@ -714,6 +714,91 @@ impl<E> ShardedEventQueue<E> {
         Some((t, payload))
     }
 
+    /// Pops the earliest live event like [`pop`](Self::pop), also returning
+    /// its global sequence number. The parallel epoch executor drains with
+    /// this so it can (a) merge drained events against interval-local
+    /// spawns by the exact `(time, seq)` key the sequential engine uses,
+    /// and (b) prove its commit-time renumbering reproduced the sequential
+    /// counter stream.
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for (k, lane) in self.lanes.iter_mut().enumerate() {
+            if let Some((t, s)) = lane.peek_key() {
+                if best.is_none_or(|(bt, bs, _)| (t, s) < (bt, bs)) {
+                    best = Some((t, s, k));
+                }
+            }
+        }
+        let (_, s, k) = best?;
+        let (t, payload) = self.lanes[k].pop().expect("peeked lane has an event");
+        self.now = t;
+        self.popped += 1;
+        Some((t, s, payload))
+    }
+
+    /// The `(time, seq)` key of the next live event without popping it.
+    #[must_use]
+    pub fn peek_next_key(&mut self) -> Option<(SimTime, u64)> {
+        self.lanes.iter_mut().filter_map(EventQueue::peek_key).min()
+    }
+
+    /// Draws the next global sequence number without filing an event.
+    ///
+    /// This is the commit half of the parallel epoch executor's
+    /// provisional-sequence scheme: workers record spawns against
+    /// provisional ids, and the commit walk replays them in the exact
+    /// order a sequential run would have reached each scheduling call,
+    /// drawing the real sequence numbers here. After the walk the counter
+    /// is bit-identical to the sequential run's.
+    pub fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Files `payload` at `at` in `lane` under an externally drawn `seq`
+    /// (from [`alloc_seq`](Self::alloc_seq)). Pairs with the commit walk:
+    /// events spawned during a parallel interval but due after it are
+    /// parked, renumbered in sequential order, and re-filed through here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before [`now`](Self::now), `lane` is out of
+    /// range, or `seq` was not previously drawn from the global counter.
+    pub fn schedule_preassigned(&mut self, lane: usize, at: SimTime, payload: E, seq: u64) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < now {}",
+            self.now
+        );
+        assert!(seq < self.next_seq, "preassigned seq {seq} was never drawn");
+        let _ = self.lanes[lane].schedule_at_seq(at, payload, seq);
+    }
+
+    /// Accounts for `n` events consumed outside the queue (spawned and
+    /// executed entirely within a parallel interval, so never filed). Keeps
+    /// the lifetime [`popped`](Self::popped) counter — and everything
+    /// derived from it, down to checkpoint bytes — identical to a
+    /// sequential run that filed and popped them.
+    pub fn note_external_pops(&mut self, n: u64) {
+        self.popped += n;
+    }
+
+    /// Advances the queue clock to `t` without popping anything. The
+    /// parallel interval executor calls this after its commit walk when
+    /// the latest event it consumed out-of-queue (a spawned event executed
+    /// inside the interval) lies past the last *drained* event, so the
+    /// clock matches the sequential run's "time of the most recently
+    /// processed event" exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` would move the clock backwards.
+    pub fn advance_now(&mut self, t: SimTime) {
+        assert!(t >= self.now, "advance_now cannot rewind the clock");
+        self.now = t;
+    }
+
     /// The instant of the next live event without popping it.
     #[must_use]
     pub fn peek_time(&mut self) -> Option<SimTime> {

@@ -277,8 +277,16 @@ pub struct EpochClock {
 }
 
 impl EpochClock {
-    /// Shortest epoch worth the barrier overhead (1 ms granule).
-    pub const MIN_LOOKAHEAD: SimDuration = SimDuration::from_millis(1);
+    /// Shortest epoch worth the barrier overhead. A barrier costs an O(n)
+    /// affinity sweep plus a medium mirror rebuild; at the old 1 ms floor a
+    /// degenerate band (zero width, or a pathological `v_max`) pinned the
+    /// clock there and a run took a thousand barriers per simulated second
+    /// — pure thrash, since a band too narrow to buy lookahead gains
+    /// nothing from refreshing faster. 25 ms is one paper-default mobility
+    /// tick: affinity can never go staler than a tick's worth of motion
+    /// between barriers, and the O(n) sweep amortizes over at least a
+    /// tick's worth of events.
+    pub const MIN_LOOKAHEAD: SimDuration = SimDuration::from_millis(25);
     /// Longest epoch: refresh at least every 30 s so load tracking and
     /// telemetry stay current even in near-static worlds.
     pub const MAX_LOOKAHEAD: SimDuration = SimDuration::from_secs(30);
@@ -350,6 +358,48 @@ mod tests {
             EpochClock::derive(1e12, 0.001).lookahead(),
             EpochClock::MAX_LOOKAHEAD
         );
+    }
+
+    #[test]
+    fn epoch_clock_paper_default_is_one_second() {
+        // The paper's parameter set: 10 m radio range, 5 m/s speed bound.
+        // The engine derives the band from the range, so the band IS the
+        // range here and the epoch lands on 1 s — pinned so a parameter
+        // or formula drift shows up as a failed constant, not a silent
+        // barrier-cadence change.
+        let c = EpochClock::derive(10.0, 5.0);
+        assert_eq!(c.lookahead(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn epoch_clock_static_fleet_pins_to_the_maximum() {
+        // A static fleet (v_max = 0, and the negative-guard path) cannot
+        // invalidate shard affinity at all; the clock must sit at the max
+        // rather than divide by zero or thrash.
+        for v in [0.0, -1.0] {
+            assert_eq!(
+                EpochClock::derive(10.0, v).lookahead(),
+                EpochClock::MAX_LOOKAHEAD
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_clock_floor_blocks_barrier_thrash() {
+        // Tiny bands clamp to the floor, and the floor is wide enough
+        // that a worst-case run takes at most 40 barriers per simulated
+        // second — not a thousand, as the old 1 ms floor allowed.
+        let c = EpochClock::derive(1e-9, 100.0);
+        assert_eq!(c.lookahead(), EpochClock::MIN_LOOKAHEAD);
+        assert!(c.lookahead() >= SimDuration::from_millis(25));
+        // The barrier grid at the floor still advances strictly.
+        let mut t = SimTime::ZERO;
+        for _ in 0..3 {
+            let next = c.next_barrier(t);
+            assert!(next > t);
+            t = next;
+        }
+        assert_eq!(t, SimTime::from_ticks(75_000)); // 75 ms at µs ticks
     }
 
     #[test]

@@ -279,6 +279,72 @@ fn faulted_runs_resume_bit_identically() {
     }
 }
 
+#[test]
+fn parallel_faulted_runs_checkpoint_and_resume_bit_identically() {
+    // A checkpoint taken at an interval boundary of the parallel executor
+    // (threads > 1 drives `advance` through whole event intervals) must
+    // resume into the exact bit-stream of an uninterrupted sequential
+    // run, faults included. The thread count — like the shard count — is
+    // never serialized; restored sims come up single-threaded and opt
+    // back in.
+    let scenario = scenario();
+    let plan = FaultPlan::node_failures(&scenario, 0.3, Some(120.0), 9);
+    for mode in [MobilityMode::Ticked, MobilityMode::Lazy] {
+        let label = format!("parallel faulted OPT {mode:?}");
+
+        let full = Simulation::builder(scenario.clone(), ProtocolKind::Opt)
+            .seed(5)
+            .mobility_mode(mode)
+            .faults(plan.clone())
+            .build()
+            .run();
+        assert!(full.faults.crashes > 0, "{label}: plan injected nothing");
+
+        let mut part = Simulation::builder(scenario.clone(), ProtocolKind::Opt)
+            .seed(5)
+            .mobility_mode(mode)
+            .faults(plan.clone())
+            .threads(8)
+            .build();
+        while part.now().as_secs_f64() < 300.0 {
+            if !part.advance() {
+                break;
+            }
+        }
+        let bytes = part.checkpoint_bytes();
+        drop(part);
+
+        let (mut resumed_sim, _) =
+            Simulation::resume_from_bytes(&bytes).unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_eq!(
+            resumed_sim.threads(),
+            1,
+            "{label}: thread count leaked into the checkpoint"
+        );
+        resumed_sim.set_threads(8);
+        let resumed = resumed_sim.run();
+        assert_eq!(
+            golden(&resumed),
+            golden(&full),
+            "{label}: counters diverged"
+        );
+        assert_eq!(
+            resumed.faults, full.faults,
+            "{label}: fault counters diverged"
+        );
+        assert_eq!(
+            resumed.mean_delay_secs.to_bits(),
+            full.mean_delay_secs.to_bits(),
+            "{label}: delay accounting diverged"
+        );
+        assert_eq!(
+            resumed.total_sensor_energy_j.to_bits(),
+            full.total_sensor_energy_j.to_bits(),
+            "{label}: energy accounting diverged"
+        );
+    }
+}
+
 /// Steps `sim` until `pred` holds at an event boundary past `t_min`
 /// seconds, returning false if the run ends first.
 fn step_until(sim: &mut Simulation, t_min: f64, mut pred: impl FnMut(&Simulation) -> bool) -> bool {

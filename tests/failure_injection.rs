@@ -150,6 +150,55 @@ fn zero_min_speed_and_equal_speed_bounds_work() {
 }
 
 #[test]
+fn faults_under_parallel_execution_degrade_gracefully_and_match() {
+    // Crash a third of a sparse fleet while the parallel interval
+    // executor is engaged: faults terminate intervals, crash/recovery
+    // state machines run on merged state, and the result must still be
+    // bit-identical to the sequential engine's — graceful degradation,
+    // not just absence of panics.
+    let mut p = base(600).with_sensors(200).with_sinks(2);
+    p.area_width_m = 300.0;
+    p.area_height_m = 300.0;
+    p.zone_cols = 10;
+    p.zone_rows = 10;
+    p.data_interval_secs = 240.0;
+    let plan = FaultPlan::node_failures(&p, 0.33, Some(120.0), 11);
+    let seq = Simulation::builder(p.clone(), ProtocolKind::Opt)
+        .seed(10)
+        .faults(plan.clone())
+        .build()
+        .run();
+    assert!(seq.faults.crashes > 0, "plan injected nothing");
+    assert!(
+        seq.generated > 0 && seq.delivered <= seq.generated,
+        "faulted run lost accounting sanity: {}",
+        seq.summary()
+    );
+    let par = Simulation::builder(p, ProtocolKind::Opt)
+        .seed(10)
+        .faults(plan)
+        .threads(4)
+        .build()
+        .run();
+    assert_eq!(par.faults, seq.faults, "fault counters diverged");
+    assert_eq!(
+        (
+            par.generated,
+            par.delivered,
+            par.frames_sent,
+            par.events_processed
+        ),
+        (
+            seq.generated,
+            seq.delivered,
+            seq.frames_sent,
+            seq.events_processed
+        ),
+        "parallel faulted run diverged from sequential"
+    );
+}
+
+#[test]
 fn long_idle_network_sleeps_instead_of_spinning() {
     // Almost no traffic: nodes should spend the run asleep, not burning
     // events. Power must approach the sleep floor, far below idle.

@@ -113,6 +113,162 @@ fn sharded_faulted_runs_match_single_shard() {
     }
 }
 
+fn run_threaded(
+    kind: ProtocolKind,
+    seed: u64,
+    mode: MobilityMode,
+    shards: usize,
+    threads: usize,
+) -> SimReport {
+    Simulation::builder(scenario(), kind)
+        .seed(seed)
+        .mobility_mode(mode)
+        .shards(shards)
+        .threads(threads)
+        .build()
+        .run()
+}
+
+#[test]
+fn threaded_runs_match_sequential_across_variants_and_modes() {
+    // Thread count is a pure execution knob exactly like the shard
+    // count: bit-identical results for every value. The dense 24-node
+    // world floods the interaction quarantine almost every interval, so
+    // this exercises the drain/commit/fallback machinery end to end.
+    for mode in [MobilityMode::Ticked, MobilityMode::Lazy] {
+        for kind in [ProtocolKind::Opt, ProtocolKind::Epidemic, ProtocolKind::Zbr] {
+            let single = run(kind, 7, mode, 1);
+            for (shards, threads) in [(1, 2), (4, 8)] {
+                let threaded = run_threaded(kind, 7, mode, shards, threads);
+                assert_eq!(
+                    fingerprint(&threaded),
+                    fingerprint(&single),
+                    "{kind} {mode:?}: {shards}-shard {threads}-thread run diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_faulted_runs_match_sequential() {
+    let plan = FaultPlan::node_failures(&scenario(), 0.3, Some(150.0), 13);
+    for mode in [MobilityMode::Ticked, MobilityMode::Lazy] {
+        let single = Simulation::builder(scenario(), ProtocolKind::Opt)
+            .seed(5)
+            .mobility_mode(mode)
+            .faults(plan.clone())
+            .build()
+            .run();
+        let threaded = Simulation::builder(scenario(), ProtocolKind::Opt)
+            .seed(5)
+            .mobility_mode(mode)
+            .faults(plan.clone())
+            .shards(4)
+            .threads(8)
+            .build()
+            .run();
+        assert_eq!(
+            fingerprint(&threaded),
+            fingerprint(&single),
+            "{mode:?}: faulted 4-shard 8-thread run diverged"
+        );
+    }
+}
+
+/// Sparse scale-tier cell: low density and light traffic keep the
+/// interaction quarantine subcritical in ticked mode, so intervals
+/// genuinely split into parallel chunks instead of falling back.
+fn sparse_scenario() -> ScenarioParams {
+    let mut p = ScenarioParams::paper_default();
+    let side = 150.0 * (600.0f64 / 100.0).sqrt();
+    p.sensors = 600;
+    p.sinks = 6;
+    p.area_width_m = side;
+    p.area_height_m = side;
+    p.zone_cols = 12;
+    p.zone_rows = 12;
+    p.data_interval_secs = 720.0;
+    p.mobility_tick_secs = 0.025;
+    p.duration_secs = 60;
+    p.validate().expect("sparse scenario must be valid");
+    p
+}
+
+#[test]
+fn sparse_threaded_runs_take_the_parallel_path_and_match() {
+    for mode in [MobilityMode::Ticked, MobilityMode::Lazy] {
+        let mut base = Simulation::builder(sparse_scenario(), ProtocolKind::Opt)
+            .seed(21)
+            .mobility_mode(mode)
+            .build();
+        while base.advance() {}
+        let single = base.finish_partial();
+        for (shards, threads) in [(1, 2), (4, 4)] {
+            let mut sim = Simulation::builder(sparse_scenario(), ProtocolKind::Opt)
+                .seed(21)
+                .mobility_mode(mode)
+                .shards(shards)
+                .threads(threads)
+                .build();
+            while sim.advance() {}
+            let stats = sim.exec_stats().clone();
+            assert!(
+                stats.total_intervals() > 0,
+                "{mode:?}: the parallel executor never engaged"
+            );
+            if mode == MobilityMode::Ticked {
+                // Ticked mode must actually split work: the sparse cell is
+                // subcritical, so chunks — not fallbacks — carry events.
+                assert!(
+                    stats.parallel_events > 0,
+                    "{mode:?} {threads}-thread: no events ran in parallel chunks \
+                     (fallback={} bypass={} parallel={})",
+                    stats.fallback_intervals,
+                    stats.bypass_intervals,
+                    stats.intervals,
+                );
+            }
+            let report = sim.finish_partial();
+            assert_eq!(
+                fingerprint(&report),
+                fingerprint(&single),
+                "{mode:?}: sparse {shards}-shard {threads}-thread run diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn resharding_mid_run_preserves_lifetime_counters() {
+    // Barriers and cross-shard frame counts are run-lifetime counters:
+    // flipping the shard topology mid-run must carry them, not zero them.
+    let mut sim = Simulation::builder(scenario(), ProtocolKind::Opt)
+        .seed(3)
+        .shards(4)
+        .build();
+    while sim.now().as_secs_f64() < 300.0 {
+        if !sim.step() {
+            break;
+        }
+    }
+    let mid = sim.shard_stats();
+    assert!(mid.barriers > 0, "no barrier fired in 300 s");
+    sim.set_shards(2);
+    let after = sim.shard_stats();
+    assert!(
+        after.barriers >= mid.barriers,
+        "re-sharding reset the barrier counter ({} -> {})",
+        mid.barriers,
+        after.barriers
+    );
+    assert!(
+        after.cross_shard_frames >= mid.cross_shard_frames,
+        "re-sharding reset the cross-shard frame counter"
+    );
+    let _ = sim.finish_partial();
+}
+
 #[test]
 fn resharding_mid_run_changes_nothing() {
     // Flip the shard count twice mid-run; pending events are re-filed
