@@ -86,6 +86,28 @@ cargo run --release -q -p dftmsn-cli -- run --policy twohop:budget=3 \
     --sensors 10 --sinks 2 --duration 300 --json >/dev/null \
     || { echo "policy smoke: run --policy failed"; exit 1; }
 
+echo "==> adversary-parity gate (all-honest runs bit-identical; adversarial runs seed-deterministic)"
+# Quiet-run bit-identity across all 24 goldens (behavior machinery compiled
+# in but dormant) plus the stacked behavior+fault and lifetime suites.
+cargo test --release -q --test determinism_baseline
+cargo test --release -q --test lazy_mobility_baseline
+cargo test --release -q --test behavior
+# Seeded 25%-selfish determinism smoke: two identical invocations must
+# produce byte-equal JSON reports.
+adv_a=$(cargo run --release -q -p dftmsn-cli -- run --protocol OPT \
+    --sensors 20 --sinks 2 --duration 2000 --seed 1 \
+    --behaviors "selfish=0.25" --json)
+adv_b=$(cargo run --release -q -p dftmsn-cli -- run --protocol OPT \
+    --sensors 20 --sinks 2 --duration 2000 --seed 1 \
+    --behaviors "selfish=0.25" --json)
+[ "$adv_a" = "$adv_b" ] \
+    || { echo "adversary gate: selfish run is not seed-deterministic"; exit 1; }
+echo "$adv_a" | grep -q '"behavior_changes":[1-9]' \
+    || { echo "adversary gate: no behavior changes counted"; exit 1; }
+cargo run --release -q -p dftmsn-cli -- run --behaviors "liar=0.1;blackhole=0.1@500" \
+    --sensors 10 --sinks 2 --duration 300 --json >/dev/null \
+    || { echo "adversary smoke: run --behaviors failed"; exit 1; }
+
 echo "==> public-API surface gate (drift must be declared in API_SURFACE.txt)"
 cargo run --release -q -p dftmsn-bench --bin api_surface -- --check
 

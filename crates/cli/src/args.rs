@@ -5,6 +5,7 @@
 //! per-command flag whitelists keep `dftmsn compare --csv` an error
 //! instead of a silent no-op.
 
+use dftmsn_core::behavior;
 use dftmsn_core::faults::FaultPlan;
 use dftmsn_core::params::ScenarioParams;
 use dftmsn_core::policy::PolicySpec;
@@ -108,11 +109,13 @@ USAGE:
     dftmsn run      [--protocol OPT|NOOPT|NOSLEEP|ZBR|DIRECT|EPIDEMIC]
                     [--policy NAME[:k=v,...]]
                     [scenario flags] [--seed N] [--fault-plan SPEC]
+                    [--behaviors SPEC]
                     [--observe FILE [--window SECS]] [--csv | --json]
                     [--checkpoint FILE [--checkpoint-every SECS]]
                     [--resume FILE] [--threads N]
     dftmsn compare  [--policy NAME[:k=v,...]]
                     [scenario flags] [--seed N] [--fault-plan SPEC]
+                    [--behaviors SPEC]
     dftmsn inspect  FILE [--series NAME] [--width CHARS]
     dftmsn analyze  [scenario flags]
     dftmsn help
@@ -169,6 +172,16 @@ FAULT PLAN SPEC (';'-separated directives, e.g. \"crash=0.3;linkdrop=0.2\"):
     linkdrop=P         every frame dropped with probability P
     corrupt=P          received DATA frames corrupted with probability P
     sinkout=I@T1-T2    sink number I (0-based) offline from T1 to T2 secs
+
+BEHAVIORS SPEC (';'-separated, e.g. \"selfish=0.25\" or \"liar=0.1@500\"):
+    none                         explicit empty spec
+    selfish|liar|forger|blackhole=F[@T]
+                       fraction F of sensors adopt the behavior at time T
+                       (0 secs when omitted). Victim sets are disjoint,
+                       seed-deterministic, and drawn from the fault RNG
+                       stream, so honest runs stay bit-identical.
+    Combines with --fault-plan: behavior changes are appended after the
+    fault plan's directives.
 
 EXIT CODES:
     0 ok   1 runtime error   2 usage   3 I/O error
@@ -258,6 +271,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
     let mut policy = PolicySpec::Builtin;
     let mut seed = 1u64;
     let mut fault_spec: Option<&str> = None;
+    let mut behavior_spec: Option<&str> = None;
     let mut observe_path: Option<String> = None;
     let mut window_secs: Option<f64> = None;
     let mut checkpoint_path: Option<String> = None;
@@ -336,6 +350,11 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 fresh_run_flags.push(flag);
                 fault_spec = Some(take_value(flag, &mut it)?);
             }
+            "--behaviors" => {
+                not_analyze(flag)?;
+                fresh_run_flags.push(flag);
+                behavior_spec = Some(take_value(flag, &mut it)?);
+            }
             "--observe" => {
                 run_only(flag)?;
                 observe_path = Some(take_value(flag, &mut it)?.to_owned());
@@ -393,11 +412,18 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
         .map_err(|e| ParseError(format!("invalid scenario: {e}")))?;
     // The plan is expanded only after every scenario override landed: the
     // node-fraction and sink-ordinal directives target the final topology.
-    let faults = match fault_spec {
+    let mut faults = match fault_spec {
         Some(spec) => FaultPlan::parse(spec, &scenario, seed)
             .map_err(|e| ParseError(format!("invalid fault plan: {e}")))?,
         None => FaultPlan::default(),
     };
+    // Behaviors expand to BehaviorChange events appended after the fault
+    // plan's own — the documented stable (time, insertion) extend order.
+    if let Some(spec) = behavior_spec {
+        let plan = behavior::parse_spec(spec, &scenario, seed)
+            .map_err(|e| ParseError(format!("invalid behavior spec: {e}")))?;
+        faults.extend(plan);
+    }
     if window_secs.is_some() && observe_path.is_none() {
         return Err(ParseError("--window requires --observe".to_owned()));
     }
@@ -640,6 +666,68 @@ mod tests {
         assert!(err.0.contains("invalid fault plan"), "{err}");
         let err = parse(&["run", "--fault-plan", "sinkout=9@0-10"]).unwrap_err();
         assert!(err.0.contains("invalid fault plan"), "{err}");
+    }
+
+    #[test]
+    fn behaviors_flag_expands_against_the_final_scenario() {
+        let Ok(Command::Run(cfg)) = parse(&[
+            "run",
+            "--behaviors",
+            "selfish=0.5",
+            "--sensors",
+            "10",
+            "--sinks",
+            "2",
+        ]) else {
+            panic!("parse failed");
+        };
+        // 50% of the *overridden* 10 sensors turn selfish, even though the
+        // flag came before the --sensors override.
+        assert_eq!(cfg.faults.len(), 5);
+    }
+
+    #[test]
+    fn behaviors_append_after_the_fault_plan() {
+        let Ok(Command::Run(cfg)) = parse(&[
+            "run",
+            "--fault-plan",
+            "linkdrop=0.1",
+            "--behaviors",
+            "blackhole=0.1",
+            "--sensors",
+            "10",
+        ]) else {
+            panic!("parse failed");
+        };
+        // One global link event plus one behavior change, fault plan first.
+        assert_eq!(cfg.faults.len(), 2);
+    }
+
+    #[test]
+    fn behaviors_flag_reaches_compare_too() {
+        let Ok(Command::Compare(cfg)) = parse(&["compare", "--behaviors", "liar=0.05"]) else {
+            panic!("parse failed");
+        };
+        assert_eq!(cfg.faults.len(), 5); // 5% of 100 sensors
+    }
+
+    #[test]
+    fn bad_behavior_specs_are_parse_errors_not_panics() {
+        for spec in [
+            "gremlin=0.5",
+            "selfish=1.5",
+            "selfish=0.6;liar=0.6",
+            "selfish",
+        ] {
+            let err = parse(&["run", "--behaviors", spec]).unwrap_err();
+            assert!(err.0.contains("invalid behavior spec"), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn behaviors_conflict_with_resume() {
+        let err = parse(&["run", "--resume", "c", "--behaviors", "none"]).unwrap_err();
+        assert!(err.0.contains("--behaviors"), "{err}");
     }
 
     #[test]

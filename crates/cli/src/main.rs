@@ -455,6 +455,30 @@ fn print_report(cfg: &RunConfig, report: &SimReport) {
             "  despite faults   : {:>8} deliveries",
             f.deliveries_despite_faults
         );
+        if f.behavior_changes > 0 {
+            println!(
+                "  adversaries      : {} behavior changes, {} copies captured",
+                f.behavior_changes, f.copies_captured
+            );
+            println!(
+                "  adversary frames : {} forged ({} detected), {} lied adverts",
+                f.forged_frames, f.forged_detected, f.lied_advertisements
+            );
+        }
+    }
+    let l = &report.lifetime;
+    if l.first_death_secs.is_some() {
+        let fmt = |v: Option<f64>| match v {
+            Some(t) => format!("{t:.0}s"),
+            None => "-".into(),
+        };
+        println!(
+            "  lifetime         : FND {} / HND {} / LND {}, {} alive at end",
+            fmt(l.first_death_secs),
+            fmt(l.half_death_secs),
+            fmt(l.last_death_secs),
+            l.alive_at_end
+        );
     }
 }
 
@@ -526,6 +550,7 @@ const SNAPSHOT_SERIES: &[&str] = &[
     "xi_max",
     "asleep_fraction",
     "energy_j",
+    "alive_nodes",
 ];
 
 /// `(t1, value)` points of one named series across the window rows.

@@ -18,6 +18,7 @@
 //! bit-for-bit identical to a run without any fault machinery (the fault
 //! RNG stream is forked but never drawn from).
 
+use crate::behavior::NodeBehavior;
 use crate::params::ScenarioParams;
 use dftmsn_radio::ids::NodeId;
 use dftmsn_sim::rng::SimRng;
@@ -64,6 +65,15 @@ pub enum FaultKind {
     SinkDown(NodeId),
     /// The sink comes back online.
     SinkUp(NodeId),
+    /// The sensor switches to playing the protocol as `behavior` (see
+    /// [`NodeBehavior`] and DESIGN.md § 10). Orthogonal to liveness: a
+    /// behavior assigned to a dead node takes effect if it later recovers.
+    BehaviorChange {
+        /// The turning node.
+        node: NodeId,
+        /// Its conduct from this instant on.
+        behavior: NodeBehavior,
+    },
 }
 
 impl FaultKind {
@@ -79,6 +89,7 @@ impl FaultKind {
             FaultKind::DataCorruption { .. } => "DataCorruption",
             FaultKind::SinkDown(_) => "SinkDown",
             FaultKind::SinkUp(_) => "SinkUp",
+            FaultKind::BehaviorChange { .. } => "BehaviorChange",
         }
     }
 }
@@ -103,6 +114,34 @@ impl std::fmt::Display for InvalidFaultPlan {
 }
 
 impl std::error::Error for InvalidFaultPlan {}
+
+/// Splits an explicit-grammar directive value into its body and the
+/// mandatory `@T` firing time.
+fn explicit_split_at<'a>(
+    directive: &str,
+    value: &'a str,
+) -> Result<(&'a str, f64), InvalidFaultPlan> {
+    let (body, t) = value.rsplit_once('@').ok_or_else(|| {
+        InvalidFaultPlan(format!("'{directive}' needs an explicit @T firing time"))
+    })?;
+    let at: f64 = t
+        .parse()
+        .map_err(|_| InvalidFaultPlan(format!("invalid time '{t}' in '{directive}'")))?;
+    Ok((body, at))
+}
+
+/// Parses a raw node id from an explicit-grammar directive.
+fn explicit_node(directive: &str, s: &str) -> Result<NodeId, InvalidFaultPlan> {
+    s.parse::<usize>()
+        .map(NodeId)
+        .map_err(|_| InvalidFaultPlan(format!("invalid node id '{s}' in '{directive}'")))
+}
+
+/// Parses the `N@T` form shared by the single-node explicit directives.
+fn explicit_node_at(directive: &str, value: &str) -> Result<(NodeId, f64), InvalidFaultPlan> {
+    let (body, at) = explicit_split_at(directive, value)?;
+    Ok((explicit_node(directive, body)?, at))
+}
 
 /// A deterministic, schedulable fault scenario.
 ///
@@ -144,6 +183,13 @@ impl FaultPlan {
     }
 
     /// Merges another plan's events into this one.
+    ///
+    /// Ordering guarantee: `other`'s events are appended *after* this
+    /// plan's, and both plans' internal orders are preserved — `extend`
+    /// never sorts. The engine schedules each event at its `at_secs` and
+    /// breaks same-instant ties by plan position, so the effective firing
+    /// order is stable `(time, insertion)`: extending `A` with `B` makes
+    /// `B`'s same-instant events apply after `A`'s.
     pub fn extend(&mut self, other: FaultPlan) {
         self.events.extend(other.events);
     }
@@ -227,6 +273,47 @@ impl FaultPlan {
         plan
     }
 
+    /// Renders the plan as an *explicit* spec string that
+    /// [`parse`](Self::parse) reads back into an identical plan: one
+    /// directive per event, in plan order, each pinning its exact node,
+    /// probability and firing time (floats use Rust's shortest round-trip
+    /// formatting, so `parse(format_spec(p)) == p` bit-for-bit).
+    ///
+    /// An empty plan renders as `none`.
+    #[must_use]
+    pub fn format_spec(&self) -> String {
+        if self.events.is_empty() {
+            return "none".to_owned();
+        }
+        let parts: Vec<String> = self
+            .events
+            .iter()
+            .map(|ev| {
+                let t = ev.at_secs;
+                match ev.kind {
+                    FaultKind::NodeCrash(id) => format!("crashnode={}@{t:?}", id.index()),
+                    FaultKind::NodeRecover(id) => format!("recovernode={}@{t:?}", id.index()),
+                    FaultKind::BatteryDeath(id) => format!("batterynode={}@{t:?}", id.index()),
+                    FaultKind::LinkDegrade { a, b, drop_prob } => {
+                        format!("link={}:{}:{drop_prob:?}@{t:?}", a.index(), b.index())
+                    }
+                    FaultKind::GlobalLinkDegrade { drop_prob } => {
+                        format!("alllinks={drop_prob:?}@{t:?}")
+                    }
+                    FaultKind::DataCorruption { node, prob } => {
+                        format!("corruptnode={}:{prob:?}@{t:?}", node.index())
+                    }
+                    FaultKind::SinkDown(id) => format!("sinkdown={}@{t:?}", id.index()),
+                    FaultKind::SinkUp(id) => format!("sinkup={}@{t:?}", id.index()),
+                    FaultKind::BehaviorChange { node, behavior } => {
+                        format!("behavior={}:{}@{t:?}", node.index(), behavior.label())
+                    }
+                }
+            })
+            .collect();
+        parts.join(";")
+    }
+
     /// Parses the CLI fault-plan syntax: `;`-separated directives
     ///
     /// * `none` — nothing (an explicit empty plan);
@@ -238,6 +325,15 @@ impl FaultPlan {
     ///
     /// Seeded directives (`crash`, `churn`) derive their victims and times
     /// from `seed` alone.
+    ///
+    /// On top of the aggregate forms above, the *explicit* grammar emitted
+    /// by [`format_spec`](Self::format_spec) is accepted: one event per
+    /// directive, each with a mandatory `@T` firing time —
+    /// `crashnode=N@T`, `recovernode=N@T`, `batterynode=N@T`,
+    /// `link=A:B:P@T`, `alllinks=P@T`, `corruptnode=N:P@T`,
+    /// `sinkdown=N@T`, `sinkup=N@T` (raw node ids), and
+    /// `behavior=N:KIND@T` with `KIND` one of `selfish`, `liar`,
+    /// `forger`, `blackhole`, `honest`.
     ///
     /// # Errors
     ///
@@ -298,6 +394,71 @@ impl FaultPlan {
                         num(t1)?,
                         num(t2)?,
                     ));
+                }
+                // Explicit single-event grammar (format_spec round-trip).
+                "crashnode" | "recovernode" | "batterynode" | "sinkdown" | "sinkup" => {
+                    let (node, at) = explicit_node_at(directive, value)?;
+                    let kind = match key {
+                        "crashnode" => FaultKind::NodeCrash(node),
+                        "recovernode" => FaultKind::NodeRecover(node),
+                        "batterynode" => FaultKind::BatteryDeath(node),
+                        "sinkdown" => FaultKind::SinkDown(node),
+                        _ => FaultKind::SinkUp(node),
+                    };
+                    plan.push(at, kind);
+                }
+                "alllinks" => {
+                    let (p, at) = explicit_split_at(directive, value)?;
+                    plan.push(at, FaultKind::GlobalLinkDegrade { drop_prob: num(p)? });
+                }
+                "link" => {
+                    let (body, at) = explicit_split_at(directive, value)?;
+                    let mut it = body.splitn(3, ':');
+                    let (a, b, p) = match (it.next(), it.next(), it.next()) {
+                        (Some(a), Some(b), Some(p)) => (a, b, p),
+                        _ => {
+                            return Err(InvalidFaultPlan(format!(
+                                "'{directive}' needs the form link=A:B:P@T"
+                            )))
+                        }
+                    };
+                    plan.push(
+                        at,
+                        FaultKind::LinkDegrade {
+                            a: explicit_node(directive, a)?,
+                            b: explicit_node(directive, b)?,
+                            drop_prob: num(p)?,
+                        },
+                    );
+                }
+                "corruptnode" => {
+                    let (body, at) = explicit_split_at(directive, value)?;
+                    let (n, p) = body.split_once(':').ok_or_else(|| {
+                        InvalidFaultPlan(format!("'{directive}' needs the form corruptnode=N:P@T"))
+                    })?;
+                    plan.push(
+                        at,
+                        FaultKind::DataCorruption {
+                            node: explicit_node(directive, n)?,
+                            prob: num(p)?,
+                        },
+                    );
+                }
+                "behavior" => {
+                    let (body, at) = explicit_split_at(directive, value)?;
+                    let (n, label) = body.split_once(':').ok_or_else(|| {
+                        InvalidFaultPlan(format!("'{directive}' needs the form behavior=N:KIND@T"))
+                    })?;
+                    let behavior = NodeBehavior::from_label(label).ok_or_else(|| {
+                        InvalidFaultPlan(format!("unknown behavior '{label}' in '{directive}'"))
+                    })?;
+                    plan.push(
+                        at,
+                        FaultKind::BehaviorChange {
+                            node: explicit_node(directive, n)?,
+                            behavior,
+                        },
+                    );
                 }
                 other => {
                     return Err(InvalidFaultPlan(format!("unknown directive '{other}'")));
@@ -380,6 +541,7 @@ impl FaultPlan {
                 }
                 FaultKind::SinkDown(id) => sink(id, "SinkDown")?,
                 FaultKind::SinkUp(id) => sink(id, "SinkUp")?,
+                FaultKind::BehaviorChange { node, .. } => sensor(node, "BehaviorChange")?,
             }
         }
         Ok(())
@@ -503,9 +665,79 @@ mod tests {
             "sinkout=0@100",
             "linkdrop=1.5",
             "sinkout=9@1-2",
+            "crashnode=3",
+            "crashnode=x@10",
+            "crashnode=3@x",
+            "link=1:2@10",
+            "link=1:1:0.5@10",
+            "corruptnode=3@10",
+            "behavior=3@10",
+            "behavior=3:gremlin@10",
+            "behavior=21:selfish@10",
+            "sinkdown=0@10",
         ] {
             assert!(FaultPlan::parse(bad, &s, 1).is_err(), "'{bad}' accepted");
         }
+    }
+
+    #[test]
+    fn explicit_grammar_round_trips_through_format_spec() {
+        let s = scenario();
+        let mut plan = FaultPlan::default();
+        plan.push(12.5, FaultKind::NodeCrash(NodeId(3)));
+        plan.push(12.5, FaultKind::NodeRecover(NodeId(3)));
+        plan.push(100.0, FaultKind::BatteryDeath(NodeId(7)));
+        plan.push(
+            0.1,
+            FaultKind::LinkDegrade {
+                a: NodeId(1),
+                b: NodeId(2),
+                drop_prob: 0.375,
+            },
+        );
+        plan.push(50.0, FaultKind::GlobalLinkDegrade { drop_prob: 0.1 });
+        plan.push(
+            60.0,
+            FaultKind::DataCorruption {
+                node: NodeId(4),
+                prob: 0.25,
+            },
+        );
+        plan.push(70.0, FaultKind::SinkDown(NodeId(20)));
+        plan.push(80.0, FaultKind::SinkUp(NodeId(20)));
+        plan.push(
+            90.0,
+            FaultKind::BehaviorChange {
+                node: NodeId(5),
+                behavior: NodeBehavior::Liar,
+            },
+        );
+        let spec = plan.format_spec();
+        let back = FaultPlan::parse(&spec, &s, 1).unwrap();
+        assert_eq!(back, plan, "spec was: {spec}");
+        assert_eq!(FaultPlan::default().format_spec(), "none");
+        assert!(FaultPlan::parse("none", &s, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn extend_preserves_time_and_insertion_order() {
+        let mut a = FaultPlan::default();
+        a.push(100.0, FaultKind::NodeCrash(NodeId(1)));
+        a.push(50.0, FaultKind::NodeCrash(NodeId(2)));
+        let mut b = FaultPlan::default();
+        b.push(100.0, FaultKind::NodeRecover(NodeId(1)));
+        b.push(50.0, FaultKind::NodeRecover(NodeId(2)));
+        a.extend(b);
+        // extend never sorts: the first plan's events stay first, so
+        // same-instant events fire in (time, insertion) order — crash
+        // before recover at both t=50 and t=100.
+        let kinds: Vec<&'static str> = a.events.iter().map(|e| e.kind.label()).collect();
+        assert_eq!(
+            kinds,
+            vec!["NodeCrash", "NodeCrash", "NodeRecover", "NodeRecover"]
+        );
+        assert_eq!(a.events[0].at_secs, 100.0);
+        assert_eq!(a.events[2].at_secs, 100.0);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   competitor policies;
 //! * [`faults`] — deterministic fault injection (node crashes, link loss,
 //!   DATA corruption, sink outages);
+//! * [`behavior`] — adversarial node behaviors (selfish, liar, forger,
+//!   blackhole) injected through the fault plan, plus network-lifetime
+//!   tracking;
 //! * [`trace`], [`observe`] — the MAC-level event stream and the windowed
 //!   metrics pipeline built on it;
 //! * [`params`], [`report`] — configuration and results.
@@ -41,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod behavior;
 pub mod contention;
 pub mod delivery;
 pub mod dense;
@@ -63,6 +67,7 @@ pub mod trace;
 pub mod variants;
 pub mod world;
 
+pub use behavior::NodeBehavior;
 pub use delivery::DeliveryProb;
 pub use faults::{FaultKind, FaultPlan};
 pub use ftd::Ftd;
@@ -88,6 +93,7 @@ pub use world::{CkptError, MobilityMode, Resumed, Simulation, SimulationBuilder,
 /// # let _ = sim;
 /// ```
 pub mod prelude {
+    pub use crate::behavior::NodeBehavior;
     pub use crate::faults::{FaultKind, FaultPlan};
     pub use crate::observe::{MetricsRecorder, ObserveRow, ObserveSeries, WorldSnapshot};
     pub use crate::params::{ProtocolParams, ScenarioParams};

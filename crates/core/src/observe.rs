@@ -80,6 +80,10 @@ pub struct WorldSnapshot {
     pub asleep_fraction: f64,
     /// Cumulative energy consumed by all sensors so far (J).
     pub energy_j: f64,
+    /// Sensors currently alive (not crashed, not battery-dead) — the
+    /// lifetime tier's alive-node timeseries. Trailing field so
+    /// `dftmsn-observe/1` rows stay backward-compatible.
+    pub alive_nodes: u64,
 }
 
 /// Event counts accumulated over one window (or over the whole run, for
@@ -440,7 +444,8 @@ fn row_json(row: &ObserveRow) -> Json {
             .field("xi_min", s.xi_min)
             .field("xi_max", s.xi_max)
             .field("asleep_fraction", s.asleep_fraction)
-            .field("energy_j", s.energy_j),
+            .field("energy_j", s.energy_j)
+            .field("alive_nodes", s.alive_nodes),
         None => Json::Null,
     };
     Json::object()
@@ -673,7 +678,7 @@ impl MetricsRecorder {
             ("sleeps", |r| r.counters.sleeps as f64),
             ("faults", |r| r.counters.faults as f64),
         ];
-        let snaps: [(&str, SnapFn); 7] = [
+        let snaps: [(&str, SnapFn); 8] = [
             ("queue_mean", |s| s.queue_mean),
             ("queue_max", |s| s.queue_max as f64),
             ("xi_mean", |s| s.xi_mean),
@@ -681,6 +686,7 @@ impl MetricsRecorder {
             ("xi_max", |s| s.xi_max),
             ("asleep_fraction", |s| s.asleep_fraction),
             ("energy_j", |s| s.energy_j),
+            ("alive_nodes", |s| s.alive_nodes as f64),
         ];
         let mut series = Vec::new();
         for (name, f) in counters {
@@ -741,6 +747,7 @@ mod tests {
             xi_max: 1.0,
             asleep_fraction: 0.25,
             energy_j: 1.0,
+            alive_nodes: 12,
         }
     }
 

@@ -80,6 +80,18 @@ pub struct FaultCounters {
     /// First-copy sink deliveries after the first fault fired — the
     /// "delivered despite faults" numerator.
     pub deliveries_despite_faults: u64,
+    /// `BehaviorChange` events applied (adversarial or back to honest).
+    pub behavior_changes: u64,
+    /// DATA copies accepted by an adversarial node — each is a copy the
+    /// honest network believes is in flight but the adversary will sit on
+    /// (or, for blackholes, has already destroyed).
+    pub copies_captured: u64,
+    /// Frames a forger emitted with corrupted or fabricated content.
+    pub forged_frames: u64,
+    /// Forged DATA receptions detected and discarded at a receiver.
+    pub forged_detected: u64,
+    /// RTS/CTS advertisements in which a liar inflated its ξ/FTD.
+    pub lied_advertisements: u64,
 }
 
 impl FaultCounters {
@@ -87,6 +99,44 @@ impl FaultCounters {
     #[must_use]
     pub fn any(&self) -> bool {
         *self != FaultCounters::default()
+    }
+}
+
+/// Network-lifetime summary: LEACH-style death anchors plus the end-of-run
+/// sensor energy distribution.
+///
+/// Marked `#[non_exhaustive]`: only the engine constructs it (tests can use
+/// [`Lifetime::quiet`]), so new lifetime diagnostics can land without
+/// breaking downstream consumers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct Lifetime {
+    /// First node death time (s) — FND. `None` when every sensor survived.
+    pub first_death_secs: Option<f64>,
+    /// Half nodes dead time (s) — HND: when the alive census first reached
+    /// half the sensor population or less.
+    pub half_death_secs: Option<f64>,
+    /// Last node death time (s) — LND: when the alive census reached zero.
+    pub last_death_secs: Option<f64>,
+    /// Sensors alive (not crashed, not battery-dead) at the end of the run.
+    pub alive_at_end: u64,
+    /// Distribution of per-sensor total energy consumed (J).
+    pub energy_hist: Histogram,
+}
+
+impl Lifetime {
+    /// The lifetime block of a run in which no sensor ever died and no
+    /// energy histogram was collected — the baseline for tests and for
+    /// legacy serialized reports that predate the lifetime tier.
+    #[must_use]
+    pub fn quiet(sensors: usize) -> Lifetime {
+        Lifetime {
+            first_death_secs: None,
+            half_death_secs: None,
+            last_death_secs: None,
+            alive_at_end: sensors as u64,
+            energy_hist: Histogram::new(0.0, 1.0, 8),
+        }
     }
 }
 
@@ -243,6 +293,8 @@ pub struct SimReport {
     pub mean_hops: f64,
     /// Fault-attributed counters (all zero without injected faults).
     pub faults: FaultCounters,
+    /// Network-lifetime summary (death anchors, final energy spread).
+    pub lifetime: Lifetime,
     /// Full delay statistics.
     pub delay_stats: RunningStats,
     /// Delay distribution.
@@ -291,6 +343,7 @@ impl SimReport {
     #[must_use]
     pub fn to_json(&self) -> dftmsn_metrics::json::Json {
         use dftmsn_metrics::json::Json;
+        let opt_num = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
         let nodes: Vec<Json> = self
             .node_summaries
             .iter()
@@ -356,7 +409,20 @@ impl SimReport {
                     .field(
                         "deliveries_despite_faults",
                         self.faults.deliveries_despite_faults,
-                    ),
+                    )
+                    .field("behavior_changes", self.faults.behavior_changes)
+                    .field("copies_captured", self.faults.copies_captured)
+                    .field("forged_frames", self.faults.forged_frames)
+                    .field("forged_detected", self.faults.forged_detected)
+                    .field("lied_advertisements", self.faults.lied_advertisements),
+            )
+            .field(
+                "lifetime",
+                Json::object()
+                    .field("first_death_secs", opt_num(self.lifetime.first_death_secs))
+                    .field("half_death_secs", opt_num(self.lifetime.half_death_secs))
+                    .field("last_death_secs", opt_num(self.lifetime.last_death_secs))
+                    .field("alive_at_end", self.lifetime.alive_at_end),
             )
             .field("nodes", Json::Arr(nodes))
     }
@@ -369,7 +435,7 @@ impl SimReport {
     #[must_use]
     pub fn snap_bytes(&self) -> Vec<u8> {
         let mut w = SnapWriter::new();
-        w.u8(1); // layout version
+        w.u8(2); // layout version (2 = v1 + behavioral counters + lifetime)
         w.string(&self.protocol);
         w.u64(self.seed);
         w.f64(self.duration_secs);
@@ -442,7 +508,33 @@ impl SimReport {
                 w.f64(e);
             }
         });
+        self.write_v2_tail(&mut w);
         w.into_bytes()
+    }
+
+    /// The v2-only suffix: behavioral fault counters plus the lifetime
+    /// block, strictly appended after the v1 payload so v1 decoding can
+    /// stop right before it.
+    fn write_v2_tail(&self, w: &mut SnapWriter) {
+        for c in [
+            self.faults.behavior_changes,
+            self.faults.copies_captured,
+            self.faults.forged_frames,
+            self.faults.forged_detected,
+            self.faults.lied_advertisements,
+        ] {
+            w.u64(c);
+        }
+        w.option(self.lifetime.first_death_secs.as_ref(), |w, &t| w.f64(t));
+        w.option(self.lifetime.half_death_secs.as_ref(), |w, &t| w.f64(t));
+        w.option(self.lifetime.last_death_secs.as_ref(), |w, &t| w.f64(t));
+        w.u64(self.lifetime.alive_at_end);
+        let (lo, hi, buckets, underflow, overflow) = self.lifetime.energy_hist.raw_parts();
+        w.f64(lo);
+        w.f64(hi);
+        w.seq(buckets, |w, &b| w.u64(b));
+        w.u64(underflow);
+        w.u64(overflow);
     }
 
     /// Reconstructs a report serialized with [`snap_bytes`](Self::snap_bytes).
@@ -454,7 +546,7 @@ impl SimReport {
     pub fn from_snap_bytes(bytes: &[u8]) -> Result<SimReport, SnapError> {
         let mut r = SnapReader::new(bytes);
         let version = r.u8()?;
-        if version != 1 {
+        if version != 1 && version != 2 {
             return Err(SnapError::new(format!(
                 "unknown SimReport layout version {version}"
             )));
@@ -489,7 +581,7 @@ impl SimReport {
         let events_processed = r.u64()?;
         let mean_final_xi = r.f64()?;
         let mean_hops = r.f64()?;
-        let faults = FaultCounters {
+        let mut faults = FaultCounters {
             crashes: r.u64()?,
             recoveries: r.u64()?,
             battery_deaths: r.u64()?,
@@ -499,6 +591,7 @@ impl SimReport {
             data_corrupted: r.u64()?,
             retransmissions_triggered: r.u64()?,
             deliveries_despite_faults: r.u64()?,
+            ..FaultCounters::default()
         };
         let count = r.u64()?;
         let mean = r.f64()?;
@@ -544,6 +637,36 @@ impl SimReport {
                 energy_by_state_j,
             })
         })?;
+        let lifetime = if version >= 2 {
+            faults.behavior_changes = r.u64()?;
+            faults.copies_captured = r.u64()?;
+            faults.forged_frames = r.u64()?;
+            faults.forged_detected = r.u64()?;
+            faults.lied_advertisements = r.u64()?;
+            let first_death_secs = r.option(SnapReader::f64)?;
+            let half_death_secs = r.option(SnapReader::f64)?;
+            let last_death_secs = r.option(SnapReader::f64)?;
+            let alive_at_end = r.u64()?;
+            let elo = r.f64()?;
+            let ehi = r.f64()?;
+            let ebuckets = r.seq(SnapReader::u64)?;
+            let eunder = r.u64()?;
+            let eover = r.u64()?;
+            if !(elo.is_finite() && ehi.is_finite() && elo < ehi) || ebuckets.is_empty() {
+                return Err(SnapError::new("invalid energy histogram geometry"));
+            }
+            Lifetime {
+                first_death_secs,
+                half_death_secs,
+                last_death_secs,
+                alive_at_end,
+                energy_hist: Histogram::from_raw_parts(elo, ehi, ebuckets, eunder, eover),
+            }
+        } else {
+            // v1 predates the lifetime tier: behavioral counters stay zero
+            // and the lifetime block reads as "nothing ever died".
+            Lifetime::quiet(sensors)
+        };
         if !r.is_exhausted() {
             return Err(SnapError::new("trailing bytes after SimReport payload"));
         }
@@ -576,6 +699,7 @@ impl SimReport {
             mean_final_xi,
             mean_hops,
             faults,
+            lifetime,
             delay_stats,
             delay_hist,
             deliveries,
@@ -633,6 +757,7 @@ mod tests {
             mean_final_xi: 0.4,
             mean_hops: 1.0,
             faults: FaultCounters::default(),
+            lifetime: Lifetime::quiet(10),
             delay_stats: RunningStats::new(),
             delay_hist: Histogram::new(0.0, 100.0, 10),
             deliveries: Vec::new(),
@@ -739,6 +864,50 @@ mod tests {
         let mut vers = bytes;
         vers[0] = 99;
         assert!(SimReport::from_snap_bytes(&vers).is_err());
+    }
+
+    #[test]
+    fn snap_v2_round_trips_behavioral_counters_and_lifetime() {
+        let mut r = report(10, 5);
+        r.faults.copies_captured = 13;
+        r.faults.forged_frames = 4;
+        r.faults.lied_advertisements = 21;
+        r.lifetime.first_death_secs = Some(312.5);
+        r.lifetime.half_death_secs = Some(1000.25);
+        r.lifetime.alive_at_end = 3;
+        r.lifetime.energy_hist = Histogram::new(0.0, 2.0, 16);
+        r.lifetime.energy_hist.record(0.5);
+        r.lifetime.energy_hist.record(1.5);
+        let back = SimReport::from_snap_bytes(&r.snap_bytes()).expect("round trip");
+        assert_eq!(back.faults, r.faults);
+        assert_eq!(back.lifetime, r.lifetime);
+        let js = back.to_json().render();
+        assert!(js.contains("\"copies_captured\":13"), "{js}");
+        assert!(js.contains("\"first_death_secs\":312.5"), "{js}");
+        assert!(js.contains("\"last_death_secs\":null"), "{js}");
+    }
+
+    #[test]
+    fn snap_v1_payloads_still_decode_as_pre_lifetime_reports() {
+        // A v1 payload is exactly the v2 bytes minus the appended tail,
+        // with the version byte rolled back — sweep progress files written
+        // before the lifetime tier must keep loading.
+        let r = report(10, 5);
+        let full = r.snap_bytes();
+        let mut tail = SnapWriter::new();
+        r.write_v2_tail(&mut tail);
+        let tail_len = tail.into_bytes().len();
+        let mut v1 = full[..full.len() - tail_len].to_vec();
+        v1[0] = 1;
+        let back = SimReport::from_snap_bytes(&v1).expect("v1 decode");
+        assert_eq!(back.faults, FaultCounters::default());
+        assert_eq!(back.lifetime, Lifetime::quiet(10));
+        assert_eq!(back.generated, r.generated);
+        // But a truncated v2 payload is corruption, not a v1 record.
+        let mut bad = full[..full.len() - tail_len].to_vec();
+        assert!(SimReport::from_snap_bytes(&bad).is_err());
+        bad.push(0);
+        assert!(SimReport::from_snap_bytes(&bad).is_err());
     }
 
     #[test]

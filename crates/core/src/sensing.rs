@@ -331,6 +331,7 @@ mod tests {
             deliveries,
             node_summaries: Vec::new(),
             faults: crate::report::FaultCounters::default(),
+            lifetime: crate::report::Lifetime::quiet(100),
         }
     }
 

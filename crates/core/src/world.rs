@@ -26,6 +26,7 @@
 //! timer (or an unguarded `TxEnd`) that eventually ends the cycle, so no
 //! node can wedge: see the state table in `node.rs`.
 
+use crate::behavior::{BehaviorTable, LifetimeTracker, NodeBehavior};
 use crate::contention::{optimize_cts_window, optimize_tau_max, sigma};
 use crate::delivery::DeliveryProb;
 use crate::dense::{DeliveredSet, HotNodeTable, LinkDropTable};
@@ -43,9 +44,10 @@ use crate::policy::{
 };
 use crate::profile::{EventProfile, ExecStats};
 use crate::queue::InsertOutcome;
-use crate::report::{DeliveryRecord, NodeSummary, RunMetrics, SimReport};
+use crate::report::{DeliveryRecord, Lifetime, NodeSummary, RunMetrics, SimReport};
 use crate::trace::{DropReason, TeeSink, TraceEvent, TraceSink};
 use crate::variants::{ProtocolKind, VariantConfig};
+use dftmsn_metrics::histogram::Histogram;
 use dftmsn_mobility::geom::{Bounds, Vec2};
 use dftmsn_mobility::grid_index::{ShardMap, SpatialGrid};
 use dftmsn_mobility::models::{
@@ -651,6 +653,15 @@ pub struct Simulation {
     /// True once any fault event has fired (gates the
     /// `deliveries_despite_faults` counter).
     fault_regime: bool,
+    /// Per-node behavior assignments (DESIGN.md § 10). All-honest unless a
+    /// [`FaultKind::BehaviorChange`] fires; every adversarial check is
+    /// gated on [`BehaviorTable::any`] so quiet runs pay one integer
+    /// compare per site and stay bit-identical to the goldens.
+    behaviors: BehaviorTable,
+    /// Network-lifetime census: alive sensor count plus FND/HND/LND death
+    /// anchors, updated by [`crash_node`](Self::crash_node) and
+    /// [`recover_node`](Self::recover_node).
+    lifetime: LifetimeTracker,
 
     /// Per-event-kind wall-time counters, populated only by
     /// [`run_profiled`](Self::run_profiled). `None` costs one predictable
@@ -1073,6 +1084,8 @@ impl Simulation {
 
         let policy = Policy::builtin(config);
         let mac = policy.mac();
+        let behaviors = BehaviorTable::new(n);
+        let lifetime = LifetimeTracker::new(scenario.sensors);
         let mut sim = Simulation {
             scenario,
             protocol,
@@ -1107,6 +1120,8 @@ impl Simulation {
             global_link_drop: 0.0,
             link_drop: LinkDropTable::new(n),
             fault_regime: false,
+            behaviors,
+            lifetime,
             profile: None,
             par: exec::ParRuntime::new(n),
             seq_lane: None,
@@ -1559,7 +1574,11 @@ impl Simulation {
         let mut xi_max = f64::NEG_INFINITY;
         let mut asleep = 0usize;
         let mut energy = 0.0;
+        let mut alive_nodes = 0u64;
         for node in self.nodes.iter().take(self.scenario.sensors) {
+            if node.alive {
+                alive_nodes += 1;
+            }
             let len = node.queue.len() as u64;
             queue_sum += len;
             queue_max = queue_max.max(len);
@@ -1584,6 +1603,7 @@ impl Simulation {
             xi_max,
             asleep_fraction: asleep as f64 / sensors as f64,
             energy_j: energy,
+            alive_nodes,
         }
     }
 
@@ -1638,6 +1658,22 @@ impl Simulation {
             FaultKind::DataCorruption { node, prob } => {
                 self.nodes[node.index()].corrupt_rx_prob = prob.clamp(0.0, 1.0);
             }
+            FaultKind::BehaviorChange { node, behavior } => {
+                let idx = node.index();
+                // Orthogonal to liveness: assigning to a dead node records
+                // the behavior, which takes effect if the node recovers.
+                debug_assert_eq!(
+                    self.hot.alive[idx], self.nodes[idx].alive,
+                    "alive mirror drifted at behavior change"
+                );
+                self.behaviors.set(idx, behavior);
+                self.metrics.faults.behavior_changes += 1;
+                if behavior.is_adversarial() {
+                    // Conservative: an adversary's cycles are never eligible
+                    // for the clean (behavior-blind) parallel partition.
+                    self.par.occupied[idx] = true;
+                }
+            }
         }
     }
 
@@ -1691,6 +1727,9 @@ impl Simulation {
         self.hot.sync_alive(idx, false);
         self.metrics.faults.messages_lost_to_crash += lost;
         self.medium.set_listening(i, false);
+        if idx < self.scenario.sensors {
+            self.lifetime.on_death(now.as_secs_f64());
+        }
         true
     }
 
@@ -1714,6 +1753,9 @@ impl Simulation {
         self.sync_hot(idx);
         self.hot.sync_alive(idx, true);
         self.medium.set_listening(i, true);
+        if idx < self.scenario.sensors {
+            self.lifetime.on_revive();
+        }
         if !self.nodes[idx].is_sink() {
             // Fault-plan randomness lives in the dedicated fault fork:
             // drawing this jitter from the node's primary stream would
@@ -2021,7 +2063,11 @@ impl Simulation {
             node.receiver_ctx = None;
             node.listen_retries = 0;
         }
-        if self.nodes[i.index()].queue.is_empty() {
+        // Withholding adversaries (selfish, liar, blackhole) never enter
+        // the sender phase: captured copies rot in their queues. Forgers
+        // *do* transmit — corrupting relayed DATA requires sending it.
+        let withholds = self.behaviors.any() && self.behaviors.get(i.index()).withholds();
+        if withholds || self.nodes[i.index()].queue.is_empty() {
             // Nothing to send: stay available as a receiver for a window,
             // then re-evaluate the sleeping policy.
             let window = SimDuration::from_secs_f64(self.protocol.receiver_window_secs);
@@ -2112,6 +2158,25 @@ impl Simulation {
             };
             (node.metric.value(), space, ctx.msg)
         };
+        // Liars and forgers advertise a perfect ξ and unbounded buffer to
+        // win the sender's selection; the sender's copy-fate logic then
+        // believes the copy moved (or was delivered) and drops it — the
+        // capture mechanism of both behaviors.
+        let (metric, space) = if self.behaviors.any() && !self.hot.sink[i.index()] {
+            match self.behaviors.get(i.index()) {
+                NodeBehavior::Liar => {
+                    self.metrics.faults.lied_advertisements += 1;
+                    (1.0, u32::MAX)
+                }
+                NodeBehavior::Forger => {
+                    self.metrics.faults.forged_frames += 1;
+                    (1.0, u32::MAX)
+                }
+                _ => (metric, space),
+            }
+        } else {
+            (metric, space)
+        };
         self.begin_frame(
             now,
             i,
@@ -2177,6 +2242,12 @@ impl Simulation {
             .as_ref()
             .expect("ACK slot without ctx")
             .msg;
+        // A forger's ACK is a forgery: it acknowledges data it is about to
+        // corrupt (or data it never stored faithfully). The frame itself is
+        // indistinguishable on the air, so it still captures the copy.
+        if self.behaviors.any() && self.behaviors.get(i.index()) == NodeBehavior::Forger {
+            self.metrics.faults.forged_frames += 1;
+        }
         self.begin_frame(
             now,
             i,
@@ -2591,6 +2662,17 @@ impl Simulation {
                     let (xi, ftd) = self.policy.advertise(i, node.metric.value(), &ctx.msg);
                     (xi, ftd, ctx.window_slots, ctx.msg.id)
                 };
+                // A liar that flipped mid-cycle inflates its RTS too: a
+                // perfect ξ and a maximally fault-tolerant message draw
+                // receivers it will never actually hand data to usefully.
+                let (xi, ftd) = if self.behaviors.any()
+                    && self.behaviors.get(i.index()) == NodeBehavior::Liar
+                {
+                    self.metrics.faults.lied_advertisements += 1;
+                    (1.0, ftd.max(1.0))
+                } else {
+                    (xi, ftd)
+                };
                 self.begin_frame(
                     now,
                     i,
@@ -2680,6 +2762,16 @@ impl Simulation {
         let delivered_to = std::mem::take(&mut outcome.delivered_to);
         let is_data = matches!(outcome.frame.payload, MacPayload::Data { .. });
         let src = outcome.frame.src;
+        // A forger corrupts every DATA frame it relays. The corruption is
+        // in the payload, so each receiver detects and discards it (same
+        // observable outcome as the DataCorruption fault, but attributed to
+        // the forger); the sender keeps the copy queued and retries.
+        let src_forges = is_data
+            && self.behaviors.any()
+            && self.behaviors.get(src.index()) == NodeBehavior::Forger;
+        if src_forges {
+            self.metrics.faults.forged_frames += 1;
+        }
         for r in delivered_to {
             // Fault filters. All of them are inert on a fault-free run:
             // every node is alive, both drop tables are empty and every
@@ -2710,6 +2802,11 @@ impl Simulation {
                     self.metrics.faults.retransmissions_triggered += 1;
                     continue;
                 }
+            }
+            if src_forges {
+                self.metrics.faults.forged_detected += 1;
+                self.metrics.faults.retransmissions_triggered += 1;
+                continue;
             }
             self.handle_rx(now, r, &outcome.frame);
         }
@@ -2796,7 +2893,27 @@ impl Simulation {
                 if !(state == MacState::AwaitRts || state.receptive()) {
                     return;
                 }
-                if self.qualified(r, src, *xi, *ftd, *msg) {
+                // Behavior overrides sit *around* the policy's qualify
+                // rule, so every policy faces the same adversaries:
+                // selfish nodes never CTS-reply, black holes always do,
+                // liars/forgers volunteer whenever they can physically
+                // store the copy (their CTS then inflates the
+                // advertisement).
+                let qualifies = if self.behaviors.any() && !self.hot.sink[r.index()] {
+                    match self.behaviors.get(r.index()) {
+                        NodeBehavior::Honest => self.qualified(r, src, *xi, *ftd, *msg),
+                        NodeBehavior::Selfish => false,
+                        NodeBehavior::Blackhole => true,
+                        NodeBehavior::Liar | NodeBehavior::Forger => {
+                            let queue = &self.nodes[r.index()].queue;
+                            !queue.contains(*msg)
+                                && queue.available_space_for(Ftd::new((*ftd).clamp(0.0, 1.0))) > 0
+                        }
+                    }
+                } else {
+                    self.qualified(r, src, *xi, *ftd, *msg)
+                };
+                if qualifies {
                     let slot = {
                         let node = &mut self.nodes[r.index()];
                         node.rng
@@ -2899,8 +3016,27 @@ impl Simulation {
                 if self.hot.sink[r.index()] {
                     self.record_sink_reception(now, r, &msg.hopped());
                 } else {
-                    let assigned = ctx.assigned_ftd.unwrap_or(msg.ftd);
-                    self.insert_into_queue(now, r, msg.hopped().with_ftd(assigned));
+                    // Any adversarial receiver captures the copy: the ACK it
+                    // is about to send makes the sender count the copy as
+                    // moved (or, for a lied ξ = 1, delivered) and drop it.
+                    // Black holes destroy the copy outright; the others let
+                    // it rot in their queue (they never enter the sender
+                    // phase).
+                    let behavior = if self.behaviors.any() {
+                        self.behaviors.get(r.index())
+                    } else {
+                        NodeBehavior::Honest
+                    };
+                    if behavior.is_adversarial() {
+                        self.metrics.faults.copies_captured += 1;
+                    }
+                    if behavior == NodeBehavior::Blackhole {
+                        // Silently dropped: no queue insert, but the MAC
+                        // exchange (ACK below) completes normally.
+                    } else {
+                        let assigned = ctx.assigned_ftd.unwrap_or(msg.ftd);
+                        self.insert_into_queue(now, r, msg.hopped().with_ftd(assigned));
+                    }
                 }
                 self.nodes[r.index()].transition(MacState::AckPending);
                 self.sync_hot(r.index());
@@ -3040,6 +3176,27 @@ impl Simulation {
         let secs = duration.as_secs_f64();
         let counters = self.medium.counters();
         let m = self.metrics;
+        // Lifetime tier: death anchors from the live census plus the final
+        // energy spread. The histogram's upper edge sits just above the
+        // maximum observed energy (exact binary multiplier, so the layout
+        // is reproducible bit-for-bit across runs with equal energies).
+        let lifetime = {
+            let max_e = node_summaries
+                .iter()
+                .map(|n| n.energy_j)
+                .fold(0.0f64, f64::max);
+            let mut energy_hist = Histogram::new(0.0, max_e.max(1e-6) * 1.015625, 16);
+            for n in &node_summaries {
+                energy_hist.record(n.energy_j);
+            }
+            Lifetime {
+                first_death_secs: self.lifetime.first_death_secs(),
+                half_death_secs: self.lifetime.half_death_secs(),
+                last_death_secs: self.lifetime.last_death_secs(),
+                alive_at_end: self.lifetime.alive() as u64,
+                energy_hist,
+            }
+        };
         SimReport {
             protocol: self.policy.label().to_owned(),
             seed: self.seed,
@@ -3071,6 +3228,7 @@ impl Simulation {
             copies_sent: m.copies_sent,
             events_processed: self.events.popped() - self.observe_ticks,
             faults: m.faults,
+            lifetime,
             mean_final_xi: xi_sum / sensors as f64,
             mean_hops: if self.deliveries.is_empty() {
                 0.0

@@ -38,6 +38,7 @@
 //!   totals line are exact.
 
 use super::*;
+use crate::behavior::NodeBehavior;
 use crate::neighbor::{NeighborEntry, NeighborTable};
 use crate::observe::{ObserveRow, RecorderState, WindowCounters};
 use crate::queue::FtdQueue;
@@ -473,6 +474,11 @@ fn w_fault_kind(w: &mut SnapWriter, k: &FaultKind) {
             w.u8(7);
             w_node_id(w, *i);
         }
+        FaultKind::BehaviorChange { node, behavior } => {
+            w.u8(8);
+            w_node_id(w, *node);
+            w.u8(behavior.tag());
+        }
     }
 }
 
@@ -495,6 +501,14 @@ fn r_fault_kind(r: &mut SnapReader) -> Result<FaultKind, SnapError> {
         },
         6 => FaultKind::SinkDown(r_node_id(r)?),
         7 => FaultKind::SinkUp(r_node_id(r)?),
+        8 => FaultKind::BehaviorChange {
+            node: r_node_id(r)?,
+            behavior: {
+                let t = r.u8()?;
+                NodeBehavior::from_tag(t)
+                    .ok_or_else(|| SnapError::new(format!("bad NodeBehavior tag {t}")))?
+            },
+        },
         t => return Err(SnapError::new(format!("bad FaultKind tag {t}"))),
     })
 }
@@ -938,6 +952,9 @@ fn w_fault_counters(w: &mut SnapWriter, f: &FaultCounters) {
     w.u64(f.deliveries_despite_faults);
 }
 
+// Frozen nine-counter layout (`dftmsn-ckpt/1` mid-payload; the committed
+// golden fixture pins it). The five behavioral counters ride the appended
+// behavior tail frame instead — see `w_behavior_tail`.
 fn r_fault_counters(r: &mut SnapReader) -> Result<FaultCounters, SnapError> {
     Ok(FaultCounters {
         crashes: r.u64()?,
@@ -949,6 +966,7 @@ fn r_fault_counters(r: &mut SnapReader) -> Result<FaultCounters, SnapError> {
         data_corrupted: r.u64()?,
         retransmissions_triggered: r.u64()?,
         deliveries_despite_faults: r.u64()?,
+        ..FaultCounters::default()
     })
 }
 
@@ -1004,6 +1022,10 @@ fn w_world_snapshot(w: &mut SnapWriter, s: &WorldSnapshot) {
     w.f64(s.energy_j);
 }
 
+// Frozen seven-field layout (`dftmsn-ckpt/1` mid-payload). `alive_nodes`
+// rides the behavior tail frame as a patch for the pending row and is
+// filled with 0 here; legacy checkpoints leave it 0, which `inspect`
+// renders as "unknown" only for the single pending window.
 fn r_world_snapshot(r: &mut SnapReader) -> Result<WorldSnapshot, SnapError> {
     Ok(WorldSnapshot {
         queue_mean: r.f64()?,
@@ -1013,6 +1035,7 @@ fn r_world_snapshot(r: &mut SnapReader) -> Result<WorldSnapshot, SnapError> {
         xi_max: r.f64()?,
         asleep_fraction: r.f64()?,
         energy_j: r.f64()?,
+        alive_nodes: 0,
     })
 }
 
@@ -1231,6 +1254,36 @@ impl Simulation {
                 });
             }
         }
+
+        // Behavior tail frame (appended after the policy frame; reader
+        // exhaustion there means all-honest, zero behavioral counters and
+        // no death anchors — exactly what pre-behavior checkpoints imply).
+        w.u8(1); // tail version
+        let assigned: Vec<(usize, NodeBehavior)> = self.behaviors.entries().collect();
+        w.seq(&assigned, |w, &(i, b)| {
+            w.usize(i);
+            w.u8(b.tag());
+        });
+        for c in [
+            self.metrics.faults.behavior_changes,
+            self.metrics.faults.copies_captured,
+            self.metrics.faults.forged_frames,
+            self.metrics.faults.forged_detected,
+            self.metrics.faults.lied_advertisements,
+        ] {
+            w.u64(c);
+        }
+        w.option(self.lifetime.first_death_secs().as_ref(), |w, &t| w.f64(t));
+        w.option(self.lifetime.half_death_secs().as_ref(), |w, &t| w.f64(t));
+        w.option(self.lifetime.last_death_secs().as_ref(), |w, &t| w.f64(t));
+        // The pending observe row embeds a frozen 7-field snapshot layout
+        // mid-payload, so its `alive_nodes` travels here as a patch.
+        let pending_alive = recorder_state
+            .as_ref()
+            .and_then(|s| s.pending.as_ref())
+            .and_then(|row| row.snapshot.as_ref())
+            .map(|s| s.alive_nodes);
+        w.option(pending_alive.as_ref(), |w, &a| w.u64(a));
     }
 
     /// Reconstructs a simulation from [`checkpoint_bytes`] output.
@@ -1444,7 +1497,7 @@ impl Simulation {
         sim.fault_regime = r.bool()?;
         sim.fault_plan = plan;
 
-        let recorder_state = r.option(r_recorder_state)?;
+        let mut recorder_state = r.option(r_recorder_state)?;
 
         // Policy frame. A pre-seam checkpoint ends at the recorder option,
         // so reader exhaustion selects the legacy Builtin encoding.
@@ -1488,6 +1541,58 @@ impl Simulation {
                 t => {
                     return Err(CkptError::corrupt(format!("bad policy tag {t}")));
                 }
+            }
+        }
+
+        // Behavior tail frame. Exhaustion means a pre-behavior checkpoint:
+        // all-honest assignments, zero behavioral counters, no recorded
+        // death anchors (the census below is still recomputed exactly).
+        let mut anchors: (Option<f64>, Option<f64>, Option<f64>) = (None, None, None);
+        let mut pending_alive: Option<u64> = None;
+        if !r.is_exhausted() {
+            let tv = r.u8()?;
+            if tv != 1 {
+                return Err(CkptError::corrupt(format!(
+                    "bad behavior tail version {tv}"
+                )));
+            }
+            let assigned = r.seq(|r| Ok((r.usize()?, r.u8()?)))?;
+            for (i, tag) in assigned {
+                if i >= n {
+                    return Err(CkptError::corrupt("behavior entry names unknown node"));
+                }
+                let b = NodeBehavior::from_tag(tag)
+                    .ok_or_else(|| CkptError::corrupt(format!("bad NodeBehavior tag {tag}")))?;
+                sim.behaviors.set(i, b);
+                if b.is_adversarial() {
+                    sim.par.occupied[i] = true;
+                }
+            }
+            sim.metrics.faults.behavior_changes = r.u64()?;
+            sim.metrics.faults.copies_captured = r.u64()?;
+            sim.metrics.faults.forged_frames = r.u64()?;
+            sim.metrics.faults.forged_detected = r.u64()?;
+            sim.metrics.faults.lied_advertisements = r.u64()?;
+            anchors = (
+                r.option(SnapReader::f64)?,
+                r.option(SnapReader::f64)?,
+                r.option(SnapReader::f64)?,
+            );
+            pending_alive = r.option(SnapReader::u64)?;
+        }
+        // The alive census is derived state: recompute it from restored
+        // node liveness rather than trusting the wire.
+        let alive_sensors = sim
+            .nodes
+            .iter()
+            .take(sim.scenario.sensors)
+            .filter(|node| node.alive)
+            .count();
+        sim.lifetime
+            .restore(alive_sensors, anchors.0, anchors.1, anchors.2);
+        if let (Some(state), Some(alive)) = (recorder_state.as_mut(), pending_alive) {
+            if let Some(snap) = state.pending.as_mut().and_then(|row| row.snapshot.as_mut()) {
+                snap.alive_nodes = alive;
             }
         }
 

@@ -508,6 +508,16 @@ impl Simulation {
     /// Returns `false` — fall back to fully sequential — when the closure
     /// floods past the cap or a clean node holds an event shape the chunk
     /// path cannot execute.
+    ///
+    /// The classification is deliberately behavior-blind (DESIGN.md § 10):
+    /// every adversarial interception lives in the mid-MAC paths (sender
+    /// phase with a non-empty queue, CTS/ACK slots, frame reception from a
+    /// non-quiet sender) or in `Event::Fault` handling, and all of those
+    /// are quarantined or sequential already. The only clean-path events —
+    /// empty-queue WakeUps, Guards, dead-node DataGen, MetricTimeouts —
+    /// execute identically for honest and adversarial nodes: a withholding
+    /// node with an empty queue takes the same receiver-window branch an
+    /// honest empty-queue node does.
     fn plan_interval(&mut self, drained: &[(SimTime, u64, Event)], bound: SimTime) -> bool {
         let n = self.nodes.len();
         let t0 = self.events.now().min(bound);

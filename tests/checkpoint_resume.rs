@@ -280,6 +280,66 @@ fn faulted_runs_resume_bit_identically() {
 }
 
 #[test]
+fn adversarial_runs_resume_bit_identically() {
+    // Behavior changes ride the fault plan; the checkpoint's behavior
+    // tail frame must restore the per-node table, the behavioral
+    // counters, and the lifetime anchors so the resumed run is
+    // bit-identical — including a behavior whose onset (selfish@400)
+    // lies *beyond* the checkpoint instant, so it fires post-resume.
+    let scenario = scenario();
+    let mut plan =
+        dftmsn::core::behavior::parse_spec("liar=0.2;selfish=0.2@400", &scenario, 5).unwrap();
+    plan.extend(FaultPlan::node_failures(&scenario, 0.2, Some(120.0), 9));
+    for mode in [MobilityMode::Ticked, MobilityMode::Lazy] {
+        let label = format!("adversarial OPT {mode:?}");
+
+        let full = Simulation::builder(scenario.clone(), ProtocolKind::Opt)
+            .seed(5)
+            .mobility_mode(mode)
+            .faults(plan.clone())
+            .build()
+            .run();
+        assert!(
+            full.faults.behavior_changes > 0 && full.faults.crashes > 0,
+            "{label}: plan injected nothing"
+        );
+
+        let mut part_sim = Simulation::builder(scenario.clone(), ProtocolKind::Opt)
+            .seed(5)
+            .mobility_mode(mode)
+            .faults(plan.clone())
+            .build();
+        while part_sim.now().as_secs_f64() < 300.0 {
+            if !part_sim.step() {
+                break;
+            }
+        }
+        let bytes = part_sim.checkpoint_bytes();
+        let (resumed_sim, _) =
+            Simulation::resume_from_bytes(&bytes).unwrap_or_else(|e| panic!("{label}: {e}"));
+        let resumed = resumed_sim.run();
+        assert_eq!(
+            golden(&resumed),
+            golden(&full),
+            "{label}: counters diverged"
+        );
+        assert_eq!(
+            resumed.faults, full.faults,
+            "{label}: fault/behavior counters diverged"
+        );
+        assert_eq!(
+            resumed.lifetime, full.lifetime,
+            "{label}: lifetime block diverged"
+        );
+        assert_eq!(
+            resumed.mean_delay_secs.to_bits(),
+            full.mean_delay_secs.to_bits(),
+            "{label}: delay bits diverged"
+        );
+    }
+}
+
+#[test]
 fn parallel_faulted_runs_checkpoint_and_resume_bit_identically() {
     // A checkpoint taken at an interval boundary of the parallel executor
     // (threads > 1 drives `advance` through whole event intervals) must

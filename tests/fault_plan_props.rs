@@ -1,0 +1,116 @@
+//! Property-based hardening of the fault-plan text grammar (PR 10, S1).
+//!
+//! Two contracts, exercised on arbitrary inputs:
+//!
+//! * every well-formed plan round-trips `format_spec` → `parse` exactly —
+//!   the explicit grammar is a faithful serialization of plan data;
+//! * `parse` (and `behavior::parse_spec`) never panic: arbitrary directive
+//!   soup yields `Ok` or `InvalidFaultPlan`, and an `Err` never leaks a
+//!   partial plan to the caller (the `Result` is the only output channel).
+
+use dftmsn::core::behavior::{self, NodeBehavior};
+use dftmsn::core::faults::{FaultKind, FaultPlan};
+use dftmsn::core::params::ScenarioParams;
+use dftmsn::radio::ids::NodeId;
+use proptest::prelude::*;
+
+const SENSORS: usize = 20;
+const SINKS: usize = 2;
+
+fn scenario() -> ScenarioParams {
+    ScenarioParams::paper_default()
+        .with_sensors(SENSORS)
+        .with_sinks(SINKS)
+        .with_duration_secs(2000)
+}
+
+/// A probability with exact decimal representation (keeps the focus on
+/// grammar round-tripping, though `{:?}` would round-trip any f64).
+fn prob() -> impl Strategy<Value = f64> {
+    (0u32..=1000).prop_map(|x| f64::from(x) / 1000.0)
+}
+
+/// A non-negative finite firing time, including fractional seconds.
+fn time() -> impl Strategy<Value = f64> {
+    (0u32..=200_000).prop_map(|x| f64::from(x) / 10.0)
+}
+
+/// One arbitrary *valid* event against [`scenario`]: every `FaultKind`
+/// variant, ids in role-correct ranges, probabilities in `[0, 1]`.
+fn valid_event() -> impl Strategy<Value = (f64, FaultKind)> {
+    let ids = (0u8..9, 0usize..SENSORS, 0usize..(SENSORS + SINKS));
+    (ids, prob(), time(), 0usize..5).prop_map(|((sel, sensor, node), p, t, btag)| {
+        let sink = NodeId(SENSORS + sensor % SINKS);
+        let kind = match sel {
+            0 => FaultKind::NodeCrash(NodeId(sensor)),
+            1 => FaultKind::NodeRecover(NodeId(sensor)),
+            2 => FaultKind::BatteryDeath(NodeId(sensor)),
+            3 => FaultKind::LinkDegrade {
+                a: NodeId(node),
+                b: NodeId((node + 1) % (SENSORS + SINKS)),
+                drop_prob: p,
+            },
+            4 => FaultKind::GlobalLinkDegrade { drop_prob: p },
+            5 => FaultKind::DataCorruption {
+                node: NodeId(node),
+                prob: p,
+            },
+            6 => FaultKind::SinkDown(sink),
+            7 => FaultKind::SinkUp(sink),
+            _ => FaultKind::BehaviorChange {
+                node: NodeId(sensor),
+                behavior: NodeBehavior::ALL[btag],
+            },
+        };
+        (t, kind)
+    })
+}
+
+/// Bytes that keep the fuzz inputs inside the grammar's alphabet often
+/// enough to reach the deep parse paths, plus junk to stress the rest.
+const SOUP: &[u8] = b"0123456789.=@:;-+eExcrashlinkdropoutchurnbehavioselfgk ";
+
+fn directive_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..SOUP.len(), 0..60)
+        .prop_map(|ix| ix.into_iter().map(|i| SOUP[i] as char).collect())
+}
+
+proptest! {
+    /// `parse(format_spec(plan))` reproduces any valid plan exactly —
+    /// same events, same order, bit-equal times and probabilities.
+    #[test]
+    fn well_formed_plans_round_trip_through_format_spec(
+        events in proptest::collection::vec(valid_event(), 0..25),
+    ) {
+        let s = scenario();
+        let mut plan = FaultPlan::default();
+        for (t, kind) in events {
+            plan.push(t, kind);
+        }
+        prop_assert!(plan.validate(&s).is_ok());
+        let text = plan.format_spec();
+        let reparsed = FaultPlan::parse(&text, &s, 1);
+        prop_assert_eq!(reparsed, Ok(plan), "spec was: {}", text);
+    }
+
+    /// Arbitrary directive soup never panics the parser; it returns a
+    /// validated plan or an `InvalidFaultPlan`, nothing in between.
+    #[test]
+    fn fault_plan_parse_never_panics(spec in directive_soup(), seed in 0u64..64) {
+        let s = scenario();
+        if let Ok(plan) = FaultPlan::parse(&spec, &s, seed) {
+            // Anything parse accepts must already satisfy validate — no
+            // partially-checked plans escape.
+            prop_assert!(plan.validate(&s).is_ok(), "spec was: {}", spec);
+        }
+    }
+
+    /// Same contract for the `--behaviors` grammar.
+    #[test]
+    fn behavior_parse_spec_never_panics(spec in directive_soup(), seed in 0u64..64) {
+        let s = scenario();
+        if let Ok(plan) = behavior::parse_spec(&spec, &s, seed) {
+            prop_assert!(plan.validate(&s).is_ok(), "spec was: {}", spec);
+        }
+    }
+}
